@@ -1,0 +1,78 @@
+//! Throughput of the from-scratch cryptographic substrate — context for
+//! interpreting the wall-clock figures (Fig. 5/6 absolute numbers are
+//! bounded by these primitives, not by the protocol design).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use revelio_crypto::aead::ChaCha20Poly1305;
+use revelio_crypto::aes::Aes;
+use revelio_crypto::ed25519::SigningKey;
+use revelio_crypto::sha2::{Sha256, Sha384};
+use revelio_crypto::x25519;
+use revelio_crypto::xts::Xts;
+
+fn bench_hash(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    for size in [4096usize, 65536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| black_box(Sha256::digest(d)));
+        });
+        group.bench_with_input(BenchmarkId::new("sha384", size), &data, |b, d| {
+            b.iter(|| black_box(Sha384::digest(d)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ciphers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cipher");
+    let sector = vec![0x5au8; 4096];
+    group.throughput(Throughput::Bytes(4096));
+
+    let aes = Aes::new(&[7u8; 32]).unwrap();
+    group.bench_function("aes256_block_x256", |b| {
+        b.iter(|| {
+            let mut acc = [0u8; 16];
+            for _ in 0..256 {
+                acc = aes.encrypt_block(&acc);
+            }
+            black_box(acc)
+        });
+    });
+
+    let xts = Xts::new(&[7u8; 64]).unwrap();
+    group.bench_function("xts_encrypt_4k_sector", |b| {
+        b.iter(|| black_box(xts.encrypt_sector(5, &sector).unwrap()));
+    });
+
+    let aead = ChaCha20Poly1305::new(&[7u8; 32]);
+    group.bench_function("chacha20poly1305_seal_4k", |b| {
+        b.iter(|| black_box(aead.seal(&[0u8; 12], b"", &sector)));
+    });
+    group.finish();
+}
+
+fn bench_public_key(c: &mut Criterion) {
+    let mut group = c.benchmark_group("public_key");
+    group.sample_size(20);
+    let key = SigningKey::from_seed(&[9u8; 32]);
+    let msg = vec![1u8; 1184]; // attestation-report-sized payload
+    let sig = key.sign(&msg);
+
+    group.bench_function("ed25519_sign_report", |b| {
+        b.iter(|| black_box(key.sign(&msg)));
+    });
+    group.bench_function("ed25519_verify_report", |b| {
+        b.iter(|| key.verifying_key().verify(&msg, &sig).unwrap());
+    });
+    group.bench_function("x25519_shared_secret", |b| {
+        b.iter(|| black_box(x25519::x25519(&[3u8; 32], &x25519::basepoint())));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_ciphers, bench_public_key);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Fig. 6: dm-verity read latency — sequential reads of a plain device vs
+//! a verity-verified mapping of the same data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use revelio_storage::block::{BlockDevice, MemBlockDevice};
+use revelio_storage::verity::{VerityDevice, VerityParams, VerityTree};
+
+const BLOCK: usize = 4096;
+
+fn read_all(device: &dyn BlockDevice, total: usize) {
+    let mut buf = vec![0u8; BLOCK];
+    for i in 0..(total / BLOCK) as u64 {
+        device.read_block(i, &mut buf).unwrap();
+    }
+    black_box(&buf);
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let total = 2 << 20; // 2 MiB per iteration
+    let data = Arc::new(MemBlockDevice::new(BLOCK, (total / BLOCK) as u64));
+    let fill = vec![0x5au8; BLOCK];
+    for i in 0..(total / BLOCK) as u64 {
+        data.write_block(i, &fill).unwrap();
+    }
+    let tree = VerityTree::build(
+        data.as_ref(),
+        VerityParams { hash_block_size: BLOCK, salt: [3; 32] },
+    )
+    .unwrap();
+    let root = tree.root_hash();
+    let verity = VerityDevice::open(Arc::clone(&data) as _, tree, &root).unwrap();
+
+    let mut group = c.benchmark_group("fig6_dmverity_read");
+    group.throughput(Throughput::Bytes(total as u64));
+    group.bench_with_input(BenchmarkId::new("plain", "2MiB"), &(), |b, ()| {
+        b.iter(|| read_all(data.as_ref(), total));
+    });
+    group.bench_with_input(BenchmarkId::new("verity", "2MiB"), &(), |b, ()| {
+        b.iter(|| read_all(&verity, total));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Table 1: Revelio-imposed delays on first boot (BN and CP variants).
+//!
+//! Criterion measures the *real* wall time of the full measured-direct-boot
+//! first-boot path (verity tree verification, sealed-volume creation,
+//! identity creation) at simulation scale; the `repro` binary prints the
+//! paper-scale modelled table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use revelio_bench::run_table1;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_first_boot");
+    group.sample_size(10);
+    group.bench_function("bn_and_cp_first_boot", |b| {
+        b.iter(|| black_box(run_table1()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

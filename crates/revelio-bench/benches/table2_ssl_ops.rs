@@ -1,0 +1,19 @@
+//! Table 2: SSL certificate generation and distribution — the SP node's
+//! full provisioning protocol over a simulated fleet.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use revelio_bench::run_table2;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_ssl_ops");
+    group.sample_size(10);
+    group.bench_function("provision_3_node_fleet", |b| {
+        b.iter(|| black_box(run_table2(3)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

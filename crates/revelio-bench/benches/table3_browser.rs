@@ -1,0 +1,18 @@
+//! Table 3: browser-based remote attestation and connection validation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use revelio_bench::run_table3;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_browser_attestation");
+    group.sample_size(10);
+    group.bench_function("full_client_scenario", |b| {
+        b.iter(|| black_box(run_table3()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,473 @@
+//! Experiment implementations for every table and figure in the paper's
+//! evaluation (§6), shared by the Criterion benches and the `repro`
+//! binary.
+//!
+//! # Scaling
+//!
+//! The paper's disks are gigabytes; an in-memory reproduction runs the
+//! *same code paths* at 1/[`SCALE`] size and uses a cost model whose
+//! per-byte constants are multiplied by [`SCALE`], so modelled latencies
+//! come out at paper scale while real execution stays laptop-sized. Shape
+//! claims (what dominates, how costs scale, who wins) are invariant under
+//! this transformation because every modelled cost is linear in bytes.
+//! `EXPERIMENTS.md` records paper-vs-reproduced values.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use revelio::node::demo_app;
+use revelio::world::SimWorld;
+use revelio_boot::firmware::FirmwareKind;
+use revelio_boot::loader::{BootOptions, Hypervisor};
+use revelio_boot::timing::{BootReport, CostModel};
+use revelio_build::artifacts::CryptVolumeConfig;
+use revelio_build::fstree::FsTree;
+use revelio_build::image::{build_image, ImageSpec};
+use revelio_storage::block::{BlockDevice, MemBlockDevice};
+use revelio_storage::crypt::{CryptDevice, CryptParams};
+use revelio_storage::verity::{VerityDevice, VerityParams, VerityTree};
+use sev_snp::ids::GuestPolicy;
+
+/// Size scale factor: simulated bytes × `SCALE` = paper bytes.
+pub const SCALE: u64 = 64;
+
+/// The paper's cost model with per-byte constants multiplied by [`SCALE`]
+/// (so a 1/64-size disk yields paper-scale modelled latencies).
+#[must_use]
+pub fn scaled_cost_model() -> CostModel {
+    let base = CostModel::default();
+    CostModel {
+        hash_ns_per_byte: base.hash_ns_per_byte * SCALE as f64,
+        cipher_ns_per_byte: base.cipher_ns_per_byte * SCALE as f64,
+        ..base
+    }
+}
+
+/// Builds a rootfs tree holding roughly `payload_bytes` of content.
+#[must_use]
+pub fn rootfs_of_size(payload_bytes: usize) -> FsTree {
+    let mut tree = FsTree::new();
+    let chunk = 1 << 20; // 1 MiB files
+    let mut remaining = payload_bytes;
+    let mut index = 0;
+    while remaining > 0 {
+        let size = remaining.min(chunk);
+        // Compressible-ish but non-constant content.
+        let content: Vec<u8> = (0..size).map(|i| ((i / 7) ^ (index * 31)) as u8).collect();
+        tree.add_file(&format!("/usr/lib/blob-{index:04}"), content, 0o644)
+            .expect("static path");
+        remaining -= size;
+        index += 1;
+    }
+    tree.add_file("/usr/sbin/service", b"service binary".to_vec(), 0o755)
+        .expect("static path");
+    tree
+}
+
+/// One Table 1 variant (Boundary Node or CryptPad server).
+#[derive(Debug, Clone)]
+pub struct Table1Variant {
+    /// Variant label (`"BN"` / `"CP"`).
+    pub label: &'static str,
+    /// The boot report with modelled step latencies (paper scale).
+    pub report: BootReport,
+}
+
+/// Runs the Table 1 experiment: first-boot timelines of the two images.
+///
+/// # Panics
+///
+/// Panics if image building or boot fails (a bug, not a benchmark result).
+#[must_use]
+pub fn run_table1() -> Vec<Table1Variant> {
+    let mut world = SimWorld::new(100);
+
+    // Boundary Node: 4 GiB paper rootfs (64 MiB simulated), many services.
+    let bn_services: Vec<String> = (0..110).map(|i| format!("bn-svc-{i}")).collect();
+    // CryptPad server: ~2.9 GiB paper rootfs, few services.
+    let cp_services: Vec<String> = (0..20).map(|i| format!("cp-svc-{i}")).collect();
+
+    let mut variants = Vec::new();
+    for (label, rootfs_bytes, services) in [
+        ("BN", (4u64 << 30) / SCALE, &bn_services),
+        ("CP", (2_900u64 << 20) / SCALE, &cp_services),
+    ] {
+        let mut spec = ImageSpec::new(label, rootfs_of_size(rootfs_bytes as usize));
+        spec.init.services = services.clone();
+        spec.init.crypt_volume = Some(CryptVolumeConfig {
+            partition_name: "data".into(),
+            kdf_iterations: 1000,
+        });
+        // 84 MB paper volume, scaled.
+        spec.data_blocks = (84 * 1024 * 1024 / SCALE) / spec.block_size as u64;
+        let image = build_image(&spec).expect("image builds");
+        let platform = world.new_platform();
+        let vm = Hypervisor::new(FirmwareKind::MeasuredDirectBoot)
+            .boot(
+                &platform,
+                &image,
+                GuestPolicy::default(),
+                BootOptions { cost_model: scaled_cost_model(), ..BootOptions::default() },
+            )
+            .expect("boot succeeds");
+        variants.push(Table1Variant { label, report: vm.boot_report().clone() });
+    }
+    variants
+}
+
+/// One point of the Fig. 5 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Point {
+    /// Total I/O size in bytes (simulated scale).
+    pub total_bytes: usize,
+    /// Plain read/write wall time, ms.
+    pub plain_ms: f64,
+    /// Encrypted read/write wall time, ms.
+    pub crypt_ms: f64,
+}
+
+impl Fig5Point {
+    /// Overhead percentage of the encrypted path.
+    #[must_use]
+    pub fn overhead_percent(&self) -> f64 {
+        (self.crypt_ms - self.plain_ms) / self.plain_ms * 100.0
+    }
+}
+
+const FIG5_BLOCK: usize = 4096;
+
+fn dd_write(device: &dyn BlockDevice, total: usize) {
+    let buf = vec![0xa5u8; FIG5_BLOCK];
+    for i in 0..(total / FIG5_BLOCK) as u64 {
+        device.write_block(i, &buf).expect("in range");
+    }
+}
+
+fn dd_read(device: &dyn BlockDevice, total: usize) {
+    let mut buf = vec![0u8; FIG5_BLOCK];
+    for i in 0..(total / FIG5_BLOCK) as u64 {
+        device.read_block(i, &mut buf).expect("in range");
+    }
+}
+
+/// Runs the Fig. 5 experiment: `dd`-style sequential I/O (4 KiB blocks)
+/// over a plain device vs a dm-crypt volume, for each size in
+/// `total_sizes`. `write` selects the write or read sweep.
+///
+/// # Panics
+///
+/// Panics on device setup failure.
+#[must_use]
+pub fn run_fig5(total_sizes: &[usize], write: bool) -> Vec<Fig5Point> {
+    let max = total_sizes.iter().copied().max().unwrap_or(FIG5_BLOCK);
+    let blocks = (max / FIG5_BLOCK + 2) as u64;
+
+    let plain = MemBlockDevice::new(FIG5_BLOCK, blocks);
+    let backing = Arc::new(MemBlockDevice::new(FIG5_BLOCK, blocks + 1));
+    // Paper config: aes-xts-plain64 + pbkdf2(1000).
+    let params = CryptParams { iterations: 1000, salt: [7; 32] };
+    CryptDevice::format(Arc::clone(&backing) as _, b"bench key", &params).expect("format");
+    let crypt = CryptDevice::open(backing as _, b"bench key", &params).expect("open");
+    // Pre-fill for the read sweep.
+    if !write {
+        dd_write(&plain, max);
+        dd_write(&crypt, max);
+    }
+
+    total_sizes
+        .iter()
+        .map(|&total| {
+            let t0 = Instant::now();
+            if write {
+                dd_write(&plain, total);
+            } else {
+                dd_read(&plain, total);
+            }
+            let plain_ms = t0.elapsed().as_secs_f64() * 1000.0;
+            let t0 = Instant::now();
+            if write {
+                dd_write(&crypt, total);
+            } else {
+                dd_read(&crypt, total);
+            }
+            let crypt_ms = t0.elapsed().as_secs_f64() * 1000.0;
+            Fig5Point { total_bytes: total, plain_ms, crypt_ms }
+        })
+        .collect()
+}
+
+/// One point of the Fig. 6 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Point {
+    /// File size read, bytes.
+    pub file_bytes: usize,
+    /// Plain read wall time, ms.
+    pub plain_ms: f64,
+    /// Verity-verified read wall time, ms.
+    pub verity_ms: f64,
+}
+
+impl Fig6Point {
+    /// Slowdown factor of the verified path.
+    #[must_use]
+    pub fn slowdown(&self) -> f64 {
+        self.verity_ms / self.plain_ms
+    }
+}
+
+/// Runs the Fig. 6 experiment: reading files of the given sizes from a
+/// verity-protected volume vs a plain one.
+///
+/// # Panics
+///
+/// Panics on device setup failure.
+#[must_use]
+pub fn run_fig6(file_sizes: &[usize]) -> Vec<Fig6Point> {
+    let max = file_sizes.iter().copied().max().unwrap_or(4096);
+    let blocks = (max / 4096 + 2) as u64;
+    let data = Arc::new(MemBlockDevice::new(4096, blocks));
+    dd_write(data.as_ref(), max);
+    let tree = VerityTree::build(
+        data.as_ref(),
+        VerityParams { hash_block_size: 4096, salt: [3; 32] },
+    )
+    .expect("tree builds");
+    let root = tree.root_hash();
+    let verity = VerityDevice::open(Arc::clone(&data) as _, tree, &root).expect("opens");
+
+    file_sizes
+        .iter()
+        .map(|&size| {
+            let t0 = Instant::now();
+            dd_read(data.as_ref(), size);
+            let plain_ms = t0.elapsed().as_secs_f64() * 1000.0;
+            let t0 = Instant::now();
+            dd_read(&verity, size);
+            let verity_ms = t0.elapsed().as_secs_f64() * 1000.0;
+            Fig6Point { file_bytes: size, plain_ms, verity_ms }
+        })
+        .collect()
+}
+
+/// Table 2 result: the SP node's per-phase latencies (simulated ms).
+#[must_use]
+pub fn run_table2(fleet_size: usize) -> revelio::sp::SpTimings {
+    let mut world = SimWorld::new(200);
+    let fleet = world
+        .deploy_fleet("service.example.org", fleet_size, demo_app())
+        .expect("fleet deploys");
+    fleet.provision.timings
+}
+
+/// Table 3 result rows (simulated ms).
+#[derive(Debug, Clone, Copy)]
+pub struct Table3 {
+    /// Base network round trip.
+    pub network_latency_ms: f64,
+    /// Plain HTTPS page access (no extension).
+    pub plain_get_ms: f64,
+    /// First attested access (cold VCEK cache).
+    pub attested_get_ms: f64,
+    /// Of which, the KDS fetch.
+    pub kds_ms: f64,
+    /// Attested access with a warm VCEK cache.
+    pub attested_get_warm_ms: f64,
+    /// Monitored request on an attested session.
+    pub monitored_get_ms: f64,
+}
+
+/// Runs the Table 3 experiment.
+///
+/// # Panics
+///
+/// Panics if deployment or attestation fails.
+#[must_use]
+pub fn run_table3() -> Table3 {
+    let mut world = SimWorld::new(300);
+    let fleet = world
+        .deploy_fleet("pad.example.org", 1, demo_app())
+        .expect("fleet deploys");
+    let mut extension = world.extension();
+    extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
+
+    let network_latency_ms = 2.0 * world.tuning.link_one_way_us as f64 / 1000.0;
+
+    let (_, plain_get_ms) = world
+        .clock
+        .time_ms(|| extension.browse_unprotected("pad.example.org", "/").expect("plain get"));
+
+    let cold = extension.browse("pad.example.org", "/").expect("attested get");
+    let warm = extension.browse("pad.example.org", "/").expect("warm get");
+
+    let mut session = extension.open_monitored("pad.example.org").expect("monitored session");
+    let (_, monitored_get_ms) = world.clock.time_ms(|| session.request("/").expect("request"));
+
+    Table3 {
+        network_latency_ms,
+        plain_get_ms,
+        attested_get_ms: cold.timing.total_ms,
+        kds_ms: cold.timing.kds_ms,
+        attested_get_warm_ms: warm.timing.total_ms,
+        monitored_get_ms,
+    }
+}
+
+/// Ablation: verity hash-block size vs tree depth and per-read hash work.
+#[derive(Debug, Clone, Copy)]
+pub struct VerityAblationPoint {
+    /// Hash block size, bytes.
+    pub hash_block_size: usize,
+    /// Tree depth.
+    pub depth: usize,
+    /// Wall time to read the whole volume verified, ms.
+    pub read_all_ms: f64,
+}
+
+/// Runs the verity hash-block-size ablation over a fixed 8 MiB volume.
+///
+/// # Panics
+///
+/// Panics on device setup failure.
+#[must_use]
+pub fn run_verity_ablation(hash_block_sizes: &[usize]) -> Vec<VerityAblationPoint> {
+    let total = 8 << 20;
+    let data = Arc::new(MemBlockDevice::new(4096, (total / 4096) as u64));
+    dd_write(data.as_ref(), total);
+    hash_block_sizes
+        .iter()
+        .map(|&hbs| {
+            let tree = VerityTree::build(
+                data.as_ref(),
+                VerityParams { hash_block_size: hbs, salt: [1; 32] },
+            )
+            .expect("tree builds");
+            let depth = tree.depth();
+            let root = tree.root_hash();
+            let verity = VerityDevice::open(Arc::clone(&data) as _, tree, &root).expect("opens");
+            let t0 = Instant::now();
+            dd_read(&verity, total);
+            VerityAblationPoint {
+                hash_block_size: hbs,
+                depth,
+                read_all_ms: t0.elapsed().as_secs_f64() * 1000.0,
+            }
+        })
+        .collect()
+}
+
+/// Ablation: shared certificate vs per-node issuance under CA rate limits.
+/// Returns `(fleet_size, shared_cert_orders, per_node_orders, limit)`.
+#[must_use]
+pub fn cert_strategy_ablation(fleet_size: usize, limit: u32) -> (usize, u32, u32, u32) {
+    // The shared strategy orders once regardless of fleet size; per-node
+    // orders once per node and trips the limit beyond it.
+    (fleet_size, 1, fleet_size as u32, limit)
+}
+
+/// Ablation: well-known-fetch attestation vs RA-TLS (evidence in the
+/// handshake, §7), both with a warm VCEK cache. Returns
+/// `(well_known_ms, ratls_ms)` per attested page access.
+///
+/// # Panics
+///
+/// Panics if deployment or attestation fails.
+#[must_use]
+pub fn run_ratls_ablation() -> (f64, f64) {
+    let mut world = SimWorld::new(400);
+    let fleet = world
+        .deploy_fleet("pad.example.org", 1, demo_app())
+        .expect("fleet deploys");
+    let mut extension = world.extension();
+    extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
+    // Warm the VCEK cache so both paths are KDS-free.
+    extension.browse("pad.example.org", "/").expect("warms cache");
+    let well_known = extension.browse("pad.example.org", "/").expect("fetch path");
+    let ratls = extension.browse_ratls("pad.example.org", "/").expect("ratls path");
+    (well_known.timing.total_ms, ratls.timing.total_ms)
+}
+
+/// Scalability experiment (requirement D3): SP provisioning latency as the
+/// fleet grows. Returns `(fleet_size, total_provision_ms)` pairs.
+///
+/// # Panics
+///
+/// Panics if deployment fails.
+#[must_use]
+pub fn run_fleet_scaling(sizes: &[usize]) -> Vec<(usize, f64)> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let mut world = SimWorld::new(500 + n as u64);
+            let clock = world.clock.clone();
+            let t0 = clock.now_ms();
+            let _fleet = world
+                .deploy_fleet("scale.example.org", n, demo_app())
+                .expect("fleet deploys");
+            (n, clock.now_ms() - t0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_reports_contain_paper_steps_with_magnitudes() {
+        let variants = run_table1();
+        assert_eq!(variants.len(), 2);
+        let bn = &variants[0].report;
+        let cp = &variants[1].report;
+        // dm-verity verify: BN ~4.7 s (paper 4.68), CP smaller (paper 3.34).
+        let bn_verify = bn.step_ms("dm-verity verify").unwrap();
+        let cp_verify = cp.step_ms("dm-verity verify").unwrap();
+        assert!((3500.0..6000.0).contains(&bn_verify), "{bn_verify}");
+        assert!(cp_verify < bn_verify);
+        // dm-crypt setup in the paper's 400-800 ms band.
+        let crypt = bn.step_ms("dm-crypt setup").unwrap();
+        assert!((300.0..900.0).contains(&crypt), "{crypt}");
+        // BN boots slower than CP overall (22.7 s vs 10.2 s in the paper).
+        assert!(bn.total_ms() > 1.5 * cp.total_ms());
+    }
+
+    #[test]
+    fn fig5_crypt_slower_than_plain() {
+        let points = run_fig5(&[64 * 1024, 256 * 1024], false);
+        for p in &points {
+            assert!(p.crypt_ms > p.plain_ms, "{p:?}");
+        }
+        let writes = run_fig5(&[64 * 1024], true);
+        assert!(writes[0].crypt_ms > writes[0].plain_ms);
+    }
+
+    #[test]
+    fn fig6_verity_slower_than_plain() {
+        let points = run_fig6(&[256 * 1024, 1 << 20]);
+        for p in &points {
+            assert!(p.slowdown() > 1.0, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn table2_generation_dominates() {
+        let t = run_table2(3);
+        assert!(t.certificate_generation_ms > t.evidence_retrieval_ms);
+        assert!(t.certificate_generation_ms > t.certificate_distribution_ms);
+    }
+
+    #[test]
+    fn table3_shape_matches_paper() {
+        let t = run_table3();
+        assert!(t.attested_get_ms > t.plain_get_ms);
+        assert!(t.kds_ms > 0.5 * (t.attested_get_ms - t.plain_get_ms));
+        assert!(t.attested_get_warm_ms < t.attested_get_ms - t.kds_ms + 50.0);
+        assert!(t.monitored_get_ms > t.plain_get_ms - t.network_latency_ms);
+    }
+
+    #[test]
+    fn verity_ablation_depth_decreases_with_block_size() {
+        let points = run_verity_ablation(&[1024, 4096, 16384]);
+        assert!(points[0].depth >= points[1].depth);
+        assert!(points[1].depth >= points[2].depth);
+    }
+}

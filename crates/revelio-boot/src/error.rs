@@ -1,0 +1,117 @@
+//! Error type for the boot sequence.
+
+use std::error::Error;
+use std::fmt;
+
+use revelio_build::BuildError;
+use revelio_storage::StorageError;
+use sev_snp::SnpError;
+
+/// Which measured component a hash check concerned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BootComponent {
+    /// The guest kernel blob.
+    Kernel,
+    /// The initial RAM disk.
+    Initrd,
+    /// The kernel command line.
+    Cmdline,
+}
+
+impl fmt::Display for BootComponent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BootComponent::Kernel => "kernel",
+            BootComponent::Initrd => "initrd",
+            BootComponent::Cmdline => "cmdline",
+        })
+    }
+}
+
+/// Errors that abort a boot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BootError {
+    /// The firmware's re-measurement of a component disagreed with the
+    /// hash table — the host passed different blobs than it hashed
+    /// (§6.1.1: "the booting will not be successful").
+    HashMismatch(BootComponent),
+    /// The firmware image carries no hash table but the guest requires
+    /// measured direct boot.
+    MissingHashTable,
+    /// The command line carries no verity root hash but the init config
+    /// demands a verity rootfs.
+    MissingRootHash,
+    /// The verity metadata did not match the root hash from the measured
+    /// command line (tampered rootfs, §6.1.2).
+    RootfsIntegrity(StorageError),
+    /// The sealed data volume rejected the measurement-derived key — this
+    /// VM is not the one that sealed the disk.
+    DataVolumeSealed,
+    /// The platform rejected the launch (policy error etc.).
+    Launch(SnpError),
+    /// The image or its artifacts were malformed.
+    Image(BuildError),
+    /// Underlying storage failure.
+    Storage(StorageError),
+}
+
+impl fmt::Display for BootError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BootError::HashMismatch(c) => {
+                write!(f, "firmware measurement of {c} does not match injected hash table")
+            }
+            BootError::MissingHashTable => write!(f, "firmware has no measured boot hash table"),
+            BootError::MissingRootHash => {
+                write!(f, "kernel command line carries no verity root hash")
+            }
+            BootError::RootfsIntegrity(e) => write!(f, "rootfs integrity failure: {e}"),
+            BootError::DataVolumeSealed => {
+                write!(f, "sealed data volume rejected the measurement-derived key")
+            }
+            BootError::Launch(e) => write!(f, "launch rejected: {e}"),
+            BootError::Image(e) => write!(f, "malformed image: {e}"),
+            BootError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl Error for BootError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BootError::RootfsIntegrity(e) | BootError::Storage(e) => Some(e),
+            BootError::Launch(e) => Some(e),
+            BootError::Image(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SnpError> for BootError {
+    fn from(e: SnpError) -> Self {
+        BootError::Launch(e)
+    }
+}
+
+impl From<BuildError> for BootError {
+    fn from(e: BuildError) -> Self {
+        BootError::Image(e)
+    }
+}
+
+impl From<StorageError> for BootError {
+    fn from(e: StorageError) -> Self {
+        BootError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_component() {
+        assert!(BootError::HashMismatch(BootComponent::Initrd).to_string().contains("initrd"));
+    }
+}

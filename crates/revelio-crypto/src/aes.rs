@@ -1,0 +1,368 @@
+//! AES-128 and AES-256 block ciphers (FIPS 197).
+//!
+//! Backs the [`crate::xts`] mode used by the `dm-crypt` simulation
+//! (`aes-xts-plain64`, the paper's §6.3.1 cipher spec).
+//!
+//! The S-box and its inverse are computed at first use from their definition
+//! (multiplicative inverse in GF(2^8) followed by the affine transform)
+//! rather than embedded as literal tables, then pinned by the FIPS 197
+//! vectors in the tests.
+
+use std::sync::OnceLock;
+
+use crate::CryptoError;
+
+/// Multiplication in GF(2^8) modulo the AES polynomial x^8+x^4+x^3+x+1.
+#[inline]
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let high = a & 0x80;
+        a <<= 1;
+        if high != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+fn sbox_tables() -> &'static ([u8; 256], [u8; 256]) {
+    static TABLES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        // Multiplicative inverses by brute force (256*256 products, one-time).
+        let mut inv = [0u8; 256];
+        for a in 1..=255u8 {
+            for b in 1..=255u8 {
+                if gf_mul(a, b) == 1 {
+                    inv[a as usize] = b;
+                    break;
+                }
+            }
+        }
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for x in 0..=255u8 {
+            let b = inv[x as usize];
+            let s = b
+                ^ b.rotate_left(1)
+                ^ b.rotate_left(2)
+                ^ b.rotate_left(3)
+                ^ b.rotate_left(4)
+                ^ 0x63;
+            sbox[x as usize] = s;
+            inv_sbox[s as usize] = x;
+        }
+        (sbox, inv_sbox)
+    })
+}
+
+fn sub_byte(b: u8) -> u8 {
+    sbox_tables().0[b as usize]
+}
+
+fn inv_sub_byte(b: u8) -> u8 {
+    sbox_tables().1[b as usize]
+}
+
+/// AES variant selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeySize {
+    /// AES-128: 16-byte key, 10 rounds.
+    Aes128,
+    /// AES-256: 32-byte key, 14 rounds.
+    Aes256,
+}
+
+impl KeySize {
+    fn rounds(self) -> usize {
+        match self {
+            KeySize::Aes128 => 10,
+            KeySize::Aes256 => 14,
+        }
+    }
+
+    fn key_words(self) -> usize {
+        match self {
+            KeySize::Aes128 => 4,
+            KeySize::Aes256 => 8,
+        }
+    }
+
+    /// Key length in bytes.
+    #[must_use]
+    pub fn key_len(self) -> usize {
+        self.key_words() * 4
+    }
+}
+
+/// An AES block cipher instance with an expanded key schedule.
+///
+/// ```
+/// use revelio_crypto::aes::Aes;
+///
+/// let aes = Aes::new(&[0u8; 16])?;
+/// let ct = aes.encrypt_block(&[0u8; 16]);
+/// assert_eq!(aes.decrypt_block(&ct), [0u8; 16]);
+/// # Ok::<(), revelio_crypto::CryptoError>(())
+/// ```
+#[derive(Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+    size: KeySize,
+}
+
+impl std::fmt::Debug for Aes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Aes").field("size", &self.size).finish_non_exhaustive()
+    }
+}
+
+impl Aes {
+    /// Creates a cipher from a 16-byte (AES-128) or 32-byte (AES-256) key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeySize`] for any other key length.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        let size = match key.len() {
+            16 => KeySize::Aes128,
+            32 => KeySize::Aes256,
+            n => return Err(CryptoError::InvalidKeySize(n)),
+        };
+        Ok(Self::expand(key, size))
+    }
+
+    /// Which variant this instance uses.
+    #[must_use]
+    pub fn key_size(&self) -> KeySize {
+        self.size
+    }
+
+    fn expand(key: &[u8], size: KeySize) -> Self {
+        let nk = size.key_words();
+        let rounds = size.rounds();
+        let total_words = 4 * (rounds + 1);
+        let mut w: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+        for i in 0..nk {
+            w.push(key[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        let mut rcon = 1u8;
+        for i in nk..total_words {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in &mut temp {
+                    *b = sub_byte(*b);
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            } else if nk > 6 && i % nk == 4 {
+                for b in &mut temp {
+                    *b = sub_byte(*b);
+                }
+            }
+            let prev = w[i - nk];
+            w.push([
+                prev[0] ^ temp[0],
+                prev[1] ^ temp[1],
+                prev[2] ^ temp[2],
+                prev[3] ^ temp[3],
+            ]);
+        }
+        let round_keys = w
+            .chunks_exact(4)
+            .map(|c| {
+                let mut rk = [0u8; 16];
+                for (i, word) in c.iter().enumerate() {
+                    rk[i * 4..i * 4 + 4].copy_from_slice(word);
+                }
+                rk
+            })
+            .collect();
+        Aes { round_keys, size }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk) {
+            *s ^= k;
+        }
+    }
+
+    fn shift_rows(state: &mut [u8; 16]) {
+        // state[r + 4c]; row r rotates left by r positions.
+        for r in 1..4 {
+            let row = [state[r], state[r + 4], state[r + 8], state[r + 12]];
+            for c in 0..4 {
+                state[r + 4 * c] = row[(c + r) % 4];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let row = [state[r], state[r + 4], state[r + 8], state[r + 12]];
+            for c in 0..4 {
+                state[r + 4 * c] = row[(c + 4 - r) % 4];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+            state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] =
+                gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+            state[4 * c + 1] =
+                gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+            state[4 * c + 2] =
+                gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+            state[4 * c + 3] =
+                gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+        }
+    }
+
+    /// Encrypts a single 16-byte block.
+    #[must_use]
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let rounds = self.size.rounds();
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        for round in 1..rounds {
+            for b in &mut state {
+                *b = sub_byte(*b);
+            }
+            Self::shift_rows(&mut state);
+            Self::mix_columns(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+        }
+        for b in &mut state {
+            *b = sub_byte(*b);
+        }
+        Self::shift_rows(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[rounds]);
+        state
+    }
+
+    /// Decrypts a single 16-byte block.
+    #[must_use]
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        let rounds = self.size.rounds();
+        let mut state = *block;
+        Self::add_round_key(&mut state, &self.round_keys[rounds]);
+        for round in (1..rounds).rev() {
+            Self::inv_shift_rows(&mut state);
+            for b in &mut state {
+                *b = inv_sub_byte(*b);
+            }
+            Self::add_round_key(&mut state, &self.round_keys[round]);
+            Self::inv_mix_columns(&mut state);
+        }
+        Self::inv_shift_rows(&mut state);
+        for b in &mut state {
+            *b = inv_sub_byte(*b);
+        }
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sbox_spot_values() {
+        assert_eq!(sub_byte(0x00), 0x63);
+        assert_eq!(sub_byte(0x01), 0x7c);
+        assert_eq!(sub_byte(0x53), 0xed);
+        assert_eq!(inv_sub_byte(0x63), 0x00);
+    }
+
+    #[test]
+    fn sbox_is_a_permutation() {
+        let (sbox, inv) = sbox_tables();
+        let mut seen = [false; 256];
+        for &v in sbox.iter() {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        for x in 0..=255u8 {
+            assert_eq!(inv[sbox[x as usize] as usize], x);
+        }
+    }
+
+    #[test]
+    fn fips197_aes128_vector() {
+        let key = hex::decode_array::<16>("000102030405060708090a0b0c0d0e0f").unwrap();
+        let pt = hex::decode_array::<16>("00112233445566778899aabbccddeeff").unwrap();
+        let aes = Aes::new(&key).unwrap();
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(hex::encode(ct), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn fips197_aes256_vector() {
+        let key = hex::decode_array::<32>(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        )
+        .unwrap();
+        let pt = hex::decode_array::<16>("00112233445566778899aabbccddeeff").unwrap();
+        let aes = Aes::new(&key).unwrap();
+        let ct = aes.encrypt_block(&pt);
+        assert_eq!(hex::encode(ct), "8ea2b7ca516745bfeafc49904b496089");
+        assert_eq!(aes.decrypt_block(&ct), pt);
+    }
+
+    #[test]
+    fn invalid_key_sizes_rejected() {
+        for n in [0usize, 8, 15, 17, 24, 31, 33] {
+            assert_eq!(Aes::new(&vec![0u8; n]).unwrap_err(), CryptoError::InvalidKeySize(n));
+        }
+    }
+
+    #[test]
+    fn gf_mul_known_products() {
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1); // FIPS 197 §4.2 example
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(1, 0xab), 0xab);
+        assert_eq!(gf_mul(0, 0xab), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn encrypt_decrypt_roundtrip_128(key: [u8; 16], block: [u8; 16]) {
+            let aes = Aes::new(&key).unwrap();
+            prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
+
+        #[test]
+        fn encrypt_decrypt_roundtrip_256(key: [u8; 32], block: [u8; 16]) {
+            let aes = Aes::new(&key).unwrap();
+            prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
+
+        #[test]
+        fn encryption_is_injective(key: [u8; 16], b1: [u8; 16], b2: [u8; 16]) {
+            prop_assume!(b1 != b2);
+            let aes = Aes::new(&key).unwrap();
+            prop_assert_ne!(aes.encrypt_block(&b1), aes.encrypt_block(&b2));
+        }
+    }
+}

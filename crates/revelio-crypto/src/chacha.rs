@@ -1,0 +1,155 @@
+//! The ChaCha20 stream cipher (RFC 8439).
+//!
+//! Used by the TLS record-layer simulation (via the
+//! [`crate::aead::ChaCha20Poly1305`] AEAD) and as a fast deterministic
+//! keystream source inside the simulators.
+
+/// ChaCha20 key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// ChaCha20 nonce length in bytes (the RFC 8439 96-bit variant).
+pub const NONCE_LEN: usize = 12;
+
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 block for (`key`, `counter`, `nonce`).
+#[must_use]
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (XOR keystream starting at block
+/// `initial_counter`). ChaCha20 is its own inverse.
+///
+/// ```
+/// use revelio_crypto::chacha::xor_stream;
+/// let key = [7u8; 32];
+/// let nonce = [1u8; 12];
+/// let mut data = b"attestation report".to_vec();
+/// xor_stream(&key, 1, &nonce, &mut data);
+/// assert_ne!(&data[..], b"attestation report");
+/// xor_stream(&key, 1, &nonce, &mut data);
+/// assert_eq!(&data[..], b"attestation report");
+/// ```
+pub fn xor_stream(
+    key: &[u8; KEY_LEN],
+    initial_counter: u32,
+    nonce: &[u8; NONCE_LEN],
+    data: &mut [u8],
+) {
+    for (i, chunk) in data.chunks_mut(64).enumerate() {
+        let counter = initial_counter.wrapping_add(i as u32);
+        let ks = block(key, counter, nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use proptest::prelude::*;
+
+    fn rfc_key() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2 test vector: counter 1, nonce 00:00:00:09:00:00:00:4a:00:00:00:00.
+        let key = rfc_key();
+        let nonce = hex::decode_array::<12>("000000090000004a00000000").unwrap();
+        let out = block(&key, 1, &nonce);
+        assert_eq!(
+            hex::encode(out),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector_prefix() {
+        // RFC 8439 §2.4.2: "Ladies and Gentlemen..." with counter 1.
+        let key = rfc_key();
+        let nonce = hex::decode_array::<12>("000000000000004a00000000").unwrap();
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could \
+                         offer you only one tip for the future, sunscreen would be it."
+            .to_vec();
+        xor_stream(&key, 1, &nonce, &mut data);
+        assert_eq!(
+            hex::encode(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let key = [0u8; 32];
+        let nonce = [0u8; 12];
+        let mut long = vec![0u8; 128];
+        xor_stream(&key, 5, &nonce, &mut long);
+        let b5 = block(&key, 5, &nonce);
+        let b6 = block(&key, 6, &nonce);
+        assert_eq!(&long[..64], &b5[..]);
+        assert_eq!(&long[64..], &b6[..]);
+    }
+
+    proptest! {
+        #[test]
+        fn xor_stream_is_involution(key: [u8; 32], nonce: [u8; 12], counter: u32, data: Vec<u8>) {
+            let mut buf = data.clone();
+            xor_stream(&key, counter, &nonce, &mut buf);
+            xor_stream(&key, counter, &nonce, &mut buf);
+            prop_assert_eq!(buf, data);
+        }
+
+        #[test]
+        fn different_nonces_give_different_keystreams(key: [u8; 32], n1: [u8; 12], n2: [u8; 12]) {
+            prop_assume!(n1 != n2);
+            prop_assert_ne!(block(&key, 0, &n1), block(&key, 0, &n2));
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Error type shared by the primitives in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by cryptographic operations.
+///
+/// Variants deliberately carry no secret-dependent data: an authentication
+/// failure reports *that* verification failed, never *why*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// An AEAD tag or MAC did not verify.
+    AuthenticationFailed,
+    /// A signature did not verify against the given public key and message.
+    InvalidSignature,
+    /// An encoded point, scalar, or key had an invalid length.
+    InvalidLength {
+        /// The length the caller supplied.
+        got: usize,
+        /// The length the primitive requires.
+        expected: usize,
+    },
+    /// An encoded curve point was not on the curve or otherwise malformed.
+    InvalidPoint,
+    /// A scalar was out of range (e.g. an Ed25519 `S` value `>= L`).
+    InvalidScalar,
+    /// Hex input contained a non-hexadecimal character or odd length.
+    InvalidHex,
+    /// A key had an invalid size for the selected cipher.
+    InvalidKeySize(usize),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => write!(f, "authentication tag mismatch"),
+            CryptoError::InvalidSignature => write!(f, "signature verification failed"),
+            CryptoError::InvalidLength { got, expected } => {
+                write!(f, "invalid length {got}, expected {expected}")
+            }
+            CryptoError::InvalidPoint => write!(f, "invalid curve point encoding"),
+            CryptoError::InvalidScalar => write!(f, "scalar out of range"),
+            CryptoError::InvalidHex => write!(f, "invalid hexadecimal input"),
+            CryptoError::InvalidKeySize(n) => write!(f, "invalid key size {n} bytes"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let variants = [
+            CryptoError::AuthenticationFailed,
+            CryptoError::InvalidSignature,
+            CryptoError::InvalidLength { got: 3, expected: 4 },
+            CryptoError::InvalidPoint,
+            CryptoError::InvalidScalar,
+            CryptoError::InvalidHex,
+            CryptoError::InvalidKeySize(7),
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

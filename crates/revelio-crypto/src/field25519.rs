@@ -1,0 +1,400 @@
+//! Arithmetic in GF(2^255 - 19), the base field of Curve25519.
+//!
+//! Elements are five 51-bit limbs (`u64` each, products in `u128`). The
+//! field backs both [`crate::ed25519`] (twisted Edwards form) and
+//! [`crate::x25519`] (Montgomery form).
+
+use std::sync::OnceLock;
+
+use crate::bigint::BigUint;
+
+const LOW_51_BIT_MASK: u64 = (1u64 << 51) - 1;
+
+/// An element of GF(2^255 - 19).
+///
+/// Internal limbs are kept loosely reduced (< 2^52); [`FieldElement::to_bytes`]
+/// produces the canonical encoding.
+#[derive(Clone, Copy)]
+pub struct FieldElement(pub(crate) [u64; 5]);
+
+impl std::fmt::Debug for FieldElement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FieldElement(0x{})", crate::hex::encode(self.to_bytes()))
+    }
+}
+
+impl PartialEq for FieldElement {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_bytes() == other.to_bytes()
+    }
+}
+
+impl Eq for FieldElement {}
+
+/// The field prime p = 2^255 - 19 as a [`BigUint`].
+pub(crate) fn prime() -> &'static BigUint {
+    static P: OnceLock<BigUint> = OnceLock::new();
+    P.get_or_init(|| BigUint::one().shl(255).sub(&BigUint::from_u64(19)))
+}
+
+/// Test-only access to the field prime (used by encoding-canonicality
+/// tests in sibling modules).
+#[doc(hidden)]
+#[must_use]
+pub fn prime_for_tests() -> &'static BigUint {
+    prime()
+}
+
+impl FieldElement {
+    /// The additive identity.
+    #[must_use]
+    pub fn zero() -> Self {
+        FieldElement([0; 5])
+    }
+
+    /// The multiplicative identity.
+    #[must_use]
+    pub fn one() -> Self {
+        FieldElement([1, 0, 0, 0, 0])
+    }
+
+    /// Constructs an element from a small integer.
+    #[must_use]
+    pub fn from_u64(v: u64) -> Self {
+        FieldElement([v & LOW_51_BIT_MASK, v >> 51, 0, 0, 0])
+    }
+
+    /// Decodes 32 little-endian bytes, ignoring the top bit (values are
+    /// interpreted mod p, matching RFC 7748 / RFC 8032 decoding).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; 32]) -> Self {
+        let load = |b: &[u8]| -> u64 {
+            let mut v = [0u8; 8];
+            v.copy_from_slice(&b[..8]);
+            u64::from_le_bytes(v)
+        };
+        FieldElement([
+            load(&bytes[0..8]) & LOW_51_BIT_MASK,
+            (load(&bytes[6..14]) >> 3) & LOW_51_BIT_MASK,
+            (load(&bytes[12..20]) >> 6) & LOW_51_BIT_MASK,
+            (load(&bytes[19..27]) >> 1) & LOW_51_BIT_MASK,
+            (load(&bytes[24..32]) >> 12) & LOW_51_BIT_MASK,
+        ])
+    }
+
+    /// Canonical 32-byte little-endian encoding (fully reduced mod p).
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 32] {
+        // Exact reduction via BigUint keeps this unambiguously correct; the
+        // hot paths (mul/square) never call it.
+        let mut n = BigUint::zero();
+        for (i, &l) in self.0.iter().enumerate() {
+            n = n.add(&BigUint::from_u64(l).shl(51 * i));
+        }
+        let r = n.rem(prime());
+        let bytes = r.to_bytes_le_padded(32);
+        bytes.try_into().expect("32 bytes")
+    }
+
+    /// Carry-propagates limbs back under 2^52.
+    fn weak_reduce(mut self) -> Self {
+        let mut carry: u64 = 0;
+        for i in 0..5 {
+            let v = self.0[i] + carry;
+            self.0[i] = v & LOW_51_BIT_MASK;
+            carry = v >> 51;
+        }
+        self.0[0] += carry * 19;
+        self
+    }
+
+    /// Field addition.
+    #[must_use]
+    pub fn add(&self, rhs: &FieldElement) -> FieldElement {
+        let mut out = [0u64; 5];
+        for i in 0..5 {
+            out[i] = self.0[i] + rhs.0[i];
+        }
+        FieldElement(out).weak_reduce()
+    }
+
+    /// Field subtraction.
+    #[must_use]
+    pub fn sub(&self, rhs: &FieldElement) -> FieldElement {
+        // Add 4p before subtracting so limbs never underflow even with
+        // loosely-reduced (< 2^52) inputs.
+        const FOUR_P: [u64; 5] = [
+            0x1f_ffff_ffff_ffb4, // 4*(2^51 - 19)
+            0x1f_ffff_ffff_fffc, // 4*(2^51 - 1)
+            0x1f_ffff_ffff_fffc,
+            0x1f_ffff_ffff_fffc,
+            0x1f_ffff_ffff_fffc,
+        ];
+        let mut out = [0u64; 5];
+        for i in 0..5 {
+            out[i] = self.0[i] + FOUR_P[i] - rhs.0[i];
+        }
+        FieldElement(out).weak_reduce()
+    }
+
+    /// Field negation.
+    #[must_use]
+    pub fn neg(&self) -> FieldElement {
+        FieldElement::zero().sub(self)
+    }
+
+    /// Field multiplication.
+    #[must_use]
+    pub fn mul(&self, rhs: &FieldElement) -> FieldElement {
+        let a = &self.0;
+        let b = &rhs.0;
+        let m = |x: u64, y: u64| u128::from(x) * u128::from(y);
+        let b1_19 = b[1] * 19;
+        let b2_19 = b[2] * 19;
+        let b3_19 = b[3] * 19;
+        let b4_19 = b[4] * 19;
+        let c0 = m(a[0], b[0]) + m(a[4], b1_19) + m(a[3], b2_19) + m(a[2], b3_19) + m(a[1], b4_19);
+        let mut c1 = m(a[1], b[0]) + m(a[0], b[1]) + m(a[4], b2_19) + m(a[3], b3_19) + m(a[2], b4_19);
+        let mut c2 = m(a[2], b[0]) + m(a[1], b[1]) + m(a[0], b[2]) + m(a[4], b3_19) + m(a[3], b4_19);
+        let mut c3 = m(a[3], b[0]) + m(a[2], b[1]) + m(a[1], b[2]) + m(a[0], b[3]) + m(a[4], b4_19);
+        let mut c4 = m(a[4], b[0]) + m(a[3], b[1]) + m(a[2], b[2]) + m(a[1], b[3]) + m(a[0], b[4]);
+
+        let mut out = [0u64; 5];
+        c1 += c0 >> 51;
+        out[0] = (c0 as u64) & LOW_51_BIT_MASK;
+        c2 += c1 >> 51;
+        out[1] = (c1 as u64) & LOW_51_BIT_MASK;
+        c3 += c2 >> 51;
+        out[2] = (c2 as u64) & LOW_51_BIT_MASK;
+        c4 += c3 >> 51;
+        out[3] = (c3 as u64) & LOW_51_BIT_MASK;
+        let carry = (c4 >> 51) as u64;
+        out[4] = (c4 as u64) & LOW_51_BIT_MASK;
+        out[0] += carry * 19;
+        let carry = out[0] >> 51;
+        out[0] &= LOW_51_BIT_MASK;
+        out[1] += carry;
+        FieldElement(out)
+    }
+
+    /// Field squaring.
+    #[must_use]
+    pub fn square(&self) -> FieldElement {
+        self.mul(self)
+    }
+
+    /// Raises to the power given as little-endian bytes.
+    #[must_use]
+    pub fn pow_bytes_le(&self, exponent: &[u8]) -> FieldElement {
+        let mut result = FieldElement::one();
+        for byte in exponent.iter().rev() {
+            for bit in (0..8).rev() {
+                result = result.square();
+                if (byte >> bit) & 1 == 1 {
+                    result = result.mul(self);
+                }
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse (returns zero for zero).
+    #[must_use]
+    pub fn invert(&self) -> FieldElement {
+        // x^(p-2)
+        static EXP: OnceLock<Vec<u8>> = OnceLock::new();
+        let exp = EXP.get_or_init(|| prime().sub(&BigUint::from_u64(2)).to_bytes_le());
+        self.pow_bytes_le(exp)
+    }
+
+    /// x^((p-5)/8), the core of the square-root computation.
+    #[must_use]
+    pub fn pow_p58(&self) -> FieldElement {
+        static EXP: OnceLock<Vec<u8>> = OnceLock::new();
+        let exp = EXP.get_or_init(|| {
+            prime().sub(&BigUint::from_u64(5)).div_rem(&BigUint::from_u64(8)).0.to_bytes_le()
+        });
+        self.pow_bytes_le(exp)
+    }
+
+    /// `true` when the canonical encoding is odd (the "sign" bit used in
+    /// point compression).
+    #[must_use]
+    pub fn is_negative(&self) -> bool {
+        self.to_bytes()[0] & 1 == 1
+    }
+
+    /// `true` when the element is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+}
+
+/// sqrt(-1) mod p.
+#[must_use]
+pub fn sqrt_m1() -> FieldElement {
+    static V: OnceLock<FieldElement> = OnceLock::new();
+    *V.get_or_init(|| {
+        // 2^((p-1)/4)
+        let exp = prime().sub(&BigUint::one()).shr(2).to_bytes_le();
+        FieldElement::from_u64(2).pow_bytes_le(&exp)
+    })
+}
+
+/// The twisted Edwards curve constant d = -121665/121666 mod p.
+#[must_use]
+pub fn edwards_d() -> FieldElement {
+    static V: OnceLock<FieldElement> = OnceLock::new();
+    *V.get_or_init(|| {
+        FieldElement::from_u64(121_665)
+            .neg()
+            .mul(&FieldElement::from_u64(121_666).invert())
+    })
+}
+
+/// Computes `sqrt(u/v)` when it exists.
+///
+/// Returns `(true, x)` with `x² · v = u` (the non-negative root), or
+/// `(false, _)` when `u/v` is not a square. Used by Ed25519 point
+/// decompression (RFC 8032 §5.1.3).
+#[must_use]
+pub fn sqrt_ratio(u: &FieldElement, v: &FieldElement) -> (bool, FieldElement) {
+    let v3 = v.square().mul(v);
+    let v7 = v3.square().mul(v);
+    let mut x = u.mul(&v3).mul(&u.mul(&v7).pow_p58());
+    let vxx = x.square().mul(v);
+    let correct = vxx == *u;
+    let flipped = vxx == u.neg();
+    if flipped {
+        x = x.mul(&sqrt_m1());
+    }
+    if x.is_negative() {
+        x = x.neg();
+    }
+    (correct || flipped, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fe(v: u64) -> FieldElement {
+        FieldElement::from_u64(v)
+    }
+
+    #[test]
+    fn add_sub_identities() {
+        let a = fe(12345);
+        assert_eq!(a.add(&FieldElement::zero()), a);
+        assert_eq!(a.sub(&a), FieldElement::zero());
+        assert_eq!(a.neg().add(&a), FieldElement::zero());
+    }
+
+    #[test]
+    fn mul_matches_small_integers() {
+        assert_eq!(fe(7).mul(&fe(9)), fe(63));
+        assert_eq!(fe(1 << 30).mul(&fe(1 << 30)), {
+            // 2^60 spans a limb boundary.
+            let mut expect = FieldElement::zero();
+            expect.0[1] = 1 << 9;
+            expect
+        });
+    }
+
+    #[test]
+    fn reduction_wraps_p_to_zero() {
+        // p ≡ 0: encode p via limbs = (2^51-19, 2^51-1, ..., 2^51-1).
+        let p = FieldElement([
+            (1u64 << 51) - 19,
+            (1u64 << 51) - 1,
+            (1u64 << 51) - 1,
+            (1u64 << 51) - 1,
+            (1u64 << 51) - 1,
+        ]);
+        assert_eq!(p.to_bytes(), [0u8; 32]);
+        assert_eq!(p.add(&fe(5)), fe(5));
+    }
+
+    #[test]
+    fn invert_small_values() {
+        for v in [1u64, 2, 3, 121_666, 0xffff_ffff] {
+            let x = fe(v);
+            assert_eq!(x.mul(&x.invert()), FieldElement::one(), "inverse of {v}");
+        }
+    }
+
+    #[test]
+    fn sqrt_m1_squares_to_minus_one() {
+        let i = sqrt_m1();
+        assert_eq!(i.square(), FieldElement::one().neg());
+    }
+
+    #[test]
+    fn edwards_d_satisfies_definition() {
+        // d * 121666 == -121665
+        assert_eq!(
+            edwards_d().mul(&fe(121_666)),
+            fe(121_665).neg()
+        );
+    }
+
+    #[test]
+    fn sqrt_ratio_perfect_square() {
+        let u = fe(4);
+        let v = fe(1);
+        let (ok, x) = sqrt_ratio(&u, &v);
+        assert!(ok);
+        assert_eq!(x.square(), u);
+    }
+
+    #[test]
+    fn sqrt_ratio_non_square() {
+        // 2 is a non-square mod p (p ≡ 5 mod 8).
+        let (ok, _) = sqrt_ratio(&fe(2), &FieldElement::one());
+        assert!(!ok);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut bytes = [0u8; 32];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        bytes[31] &= 0x7f;
+        let x = FieldElement::from_bytes(&bytes);
+        assert_eq!(x.to_bytes(), bytes);
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutes(a: u64, b: u64) {
+            prop_assert_eq!(fe(a).mul(&fe(b)), fe(b).mul(&fe(a)));
+        }
+
+        #[test]
+        fn distributive(a: u64, b: u64, c: u64) {
+            let lhs = fe(a).mul(&fe(b).add(&fe(c)));
+            let rhs = fe(a).mul(&fe(b)).add(&fe(a).mul(&fe(c)));
+            prop_assert_eq!(lhs, rhs);
+        }
+
+        #[test]
+        fn invert_roundtrips(bytes: [u8; 32]) {
+            let mut bytes = bytes;
+            bytes[31] &= 0x7f;
+            let x = FieldElement::from_bytes(&bytes);
+            prop_assume!(!x.is_zero());
+            prop_assert_eq!(x.mul(&x.invert()), FieldElement::one());
+        }
+
+        #[test]
+        fn square_matches_mul(bytes: [u8; 32]) {
+            let mut bytes = bytes;
+            bytes[31] &= 0x7f;
+            let x = FieldElement::from_bytes(&bytes);
+            prop_assert_eq!(x.square(), x.mul(&x));
+        }
+    }
+}

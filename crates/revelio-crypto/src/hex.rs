@@ -1,0 +1,111 @@
+//! Hexadecimal encoding and decoding.
+//!
+//! Fingerprints, launch measurements, and report fields are routinely shown
+//! to end-users and recorded in golden-value registries as lowercase hex.
+
+use crate::CryptoError;
+
+const ALPHABET: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes bytes as a lowercase hexadecimal string.
+///
+/// ```
+/// assert_eq!(revelio_crypto::hex::encode([0xde, 0xad, 0xbe, 0xef]), "deadbeef");
+/// ```
+pub fn encode(data: impl AsRef<[u8]>) -> String {
+    let data = data.as_ref();
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(ALPHABET[(b >> 4) as usize] as char);
+        out.push(ALPHABET[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hexadecimal string (upper- or lowercase) into bytes.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidHex`] if the input has odd length or
+/// contains a character outside `[0-9a-fA-F]`.
+///
+/// ```
+/// let bytes = revelio_crypto::hex::decode("DEADbeef")?;
+/// assert_eq!(bytes, [0xde, 0xad, 0xbe, 0xef]);
+/// # Ok::<(), revelio_crypto::CryptoError>(())
+/// ```
+pub fn decode(s: impl AsRef<str>) -> Result<Vec<u8>, CryptoError> {
+    let s = s.as_ref().as_bytes();
+    if s.len() % 2 != 0 {
+        return Err(CryptoError::InvalidHex);
+    }
+    let nibble = |c: u8| -> Result<u8, CryptoError> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            _ => Err(CryptoError::InvalidHex),
+        }
+    };
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in s.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+/// Decodes a hex string into a fixed-size array.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidHex`] for malformed input and
+/// [`CryptoError::InvalidLength`] when the decoded length is not `N`.
+pub fn decode_array<const N: usize>(s: impl AsRef<str>) -> Result<[u8; N], CryptoError> {
+    let v = decode(s)?;
+    let got = v.len();
+    v.try_into()
+        .map_err(|_| CryptoError::InvalidLength { got, expected: N })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_empty() {
+        assert_eq!(encode([]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        assert_eq!(decode("abc"), Err(CryptoError::InvalidHex));
+    }
+
+    #[test]
+    fn rejects_non_hex() {
+        assert_eq!(decode("zz"), Err(CryptoError::InvalidHex));
+        assert_eq!(decode("0g"), Err(CryptoError::InvalidHex));
+    }
+
+    #[test]
+    fn decode_array_checks_length() {
+        assert!(decode_array::<2>("deadbeef").is_err());
+        assert_eq!(decode_array::<4>("deadbeef").unwrap(), [0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(data: Vec<u8>) {
+            let s = encode(&data);
+            prop_assert_eq!(decode(&s).unwrap(), data);
+        }
+
+        #[test]
+        fn uppercase_decodes_same(data: Vec<u8>) {
+            let s = encode(&data).to_uppercase();
+            prop_assert_eq!(decode(&s).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Implemented over 26-bit limbs with `u64`/`u128` intermediate products —
+//! the classic "five-limb" representation of arithmetic mod 2^130 - 5.
+
+/// Poly1305 key length (r || s) in bytes.
+pub const KEY_LEN: usize = 32;
+/// Poly1305 tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Streaming Poly1305 state.
+///
+/// A Poly1305 key must be used for **one** message only; the AEAD in
+/// [`crate::aead`] derives a fresh key per nonce as the RFC requires.
+#[derive(Clone)]
+pub struct Poly1305 {
+    r: [u64; 5],
+    s: [u64; 2],
+    acc: [u64; 5],
+    buffer: Vec<u8>,
+}
+
+impl std::fmt::Debug for Poly1305 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poly1305").finish_non_exhaustive()
+    }
+}
+
+impl Poly1305 {
+    /// Creates a new authenticator from a 32-byte one-time key.
+    #[must_use]
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        // Clamp r per the RFC.
+        let r0 = u32::from_le_bytes(key[0..4].try_into().expect("4 bytes")) & 0x0fff_ffff;
+        let r1 = u32::from_le_bytes(key[4..8].try_into().expect("4 bytes")) & 0x0fff_fffc;
+        let r2 = u32::from_le_bytes(key[8..12].try_into().expect("4 bytes")) & 0x0fff_fffc;
+        let r3 = u32::from_le_bytes(key[12..16].try_into().expect("4 bytes")) & 0x0fff_fffc;
+        // Repack the clamped 128-bit r into five 26-bit limbs.
+        let r128 = u128::from(r0)
+            | (u128::from(r1) << 32)
+            | (u128::from(r2) << 64)
+            | (u128::from(r3) << 96);
+        let mask = (1u128 << 26) - 1;
+        let r = [
+            (r128 & mask) as u64,
+            ((r128 >> 26) & mask) as u64,
+            ((r128 >> 52) & mask) as u64,
+            ((r128 >> 78) & mask) as u64,
+            ((r128 >> 104) & mask) as u64,
+        ];
+        let s = [
+            u64::from_le_bytes(key[16..24].try_into().expect("8 bytes")),
+            u64::from_le_bytes(key[24..32].try_into().expect("8 bytes")),
+        ];
+        Poly1305 { r, s, acc: [0; 5], buffer: Vec::with_capacity(16) }
+    }
+
+    fn process_block(&mut self, block: &[u8], final_partial: bool) {
+        // Interpret block as a little-endian number and add 2^(8*len).
+        let mut n = [0u8; 17];
+        n[..block.len()].copy_from_slice(block);
+        n[block.len()] = 1;
+        if !final_partial {
+            debug_assert_eq!(block.len(), 16);
+        }
+        let lo = u128::from_le_bytes(n[0..16].try_into().expect("16 bytes"));
+        let hi = u64::from(n[16]);
+        let mask = (1u128 << 26) - 1;
+        // The last limb holds bits 104..130: 24 bits from lo plus hi<<24.
+        let m = [
+            (lo & mask) as u64,
+            ((lo >> 26) & mask) as u64,
+            ((lo >> 52) & mask) as u64,
+            ((lo >> 78) & mask) as u64,
+            ((lo >> 104) as u64) | (hi << 24),
+        ];
+
+        // acc += m
+        for i in 0..5 {
+            self.acc[i] += m[i];
+        }
+        // acc *= r (mod 2^130 - 5)
+        let [r0, r1, r2, r3, r4] = self.r;
+        let [a0, a1, a2, a3, a4] = self.acc;
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+        let d0 = u128::from(a0) * u128::from(r0)
+            + u128::from(a1) * u128::from(s4)
+            + u128::from(a2) * u128::from(s3)
+            + u128::from(a3) * u128::from(s2)
+            + u128::from(a4) * u128::from(s1);
+        let d1 = u128::from(a0) * u128::from(r1)
+            + u128::from(a1) * u128::from(r0)
+            + u128::from(a2) * u128::from(s4)
+            + u128::from(a3) * u128::from(s3)
+            + u128::from(a4) * u128::from(s2);
+        let d2 = u128::from(a0) * u128::from(r2)
+            + u128::from(a1) * u128::from(r1)
+            + u128::from(a2) * u128::from(r0)
+            + u128::from(a3) * u128::from(s4)
+            + u128::from(a4) * u128::from(s3);
+        let d3 = u128::from(a0) * u128::from(r3)
+            + u128::from(a1) * u128::from(r2)
+            + u128::from(a2) * u128::from(r1)
+            + u128::from(a3) * u128::from(r0)
+            + u128::from(a4) * u128::from(s4);
+        let d4 = u128::from(a0) * u128::from(r4)
+            + u128::from(a1) * u128::from(r3)
+            + u128::from(a2) * u128::from(r2)
+            + u128::from(a3) * u128::from(r1)
+            + u128::from(a4) * u128::from(r0);
+        // Carry propagation back to 26-bit limbs.
+        let mask64 = (1u64 << 26) - 1;
+        let mut c: u128;
+        let mut h0 = (d0 as u64) & mask64;
+        c = d0 >> 26;
+        let d1 = d1 + c;
+        let mut h1 = (d1 as u64) & mask64;
+        c = d1 >> 26;
+        let d2 = d2 + c;
+        let h2 = (d2 as u64) & mask64;
+        c = d2 >> 26;
+        let d3 = d3 + c;
+        let h3 = (d3 as u64) & mask64;
+        c = d3 >> 26;
+        let d4 = d4 + c;
+        let h4 = (d4 as u64) & mask64;
+        c = d4 >> 26;
+        // Multiply overflow above 2^130 by 5 and fold back in.
+        let folded = h0 as u128 + c * 5;
+        h0 = (folded as u64) & mask64;
+        h1 += (folded >> 26) as u64;
+        self.acc = [h0, h1, h2, h3, h4];
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        // Complete a partially-buffered block first.
+        if !self.buffer.is_empty() {
+            let need = 16 - self.buffer.len();
+            let take = need.min(data.len());
+            self.buffer.extend_from_slice(&data[..take]);
+            data = &data[take..];
+            if self.buffer.len() < 16 {
+                return;
+            }
+            let block = std::mem::take(&mut self.buffer);
+            self.process_block(&block, false);
+        }
+        // Process whole blocks directly from the input — no buffering, no
+        // per-block allocation (a single large update stays O(n)).
+        let whole = data.len() / 16 * 16;
+        for block in data[..whole].chunks_exact(16) {
+            self.process_block(block, false);
+        }
+        self.buffer.extend_from_slice(&data[whole..]);
+    }
+
+    /// Finishes and returns the 16-byte tag.
+    #[must_use]
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if !self.buffer.is_empty() {
+            let block = std::mem::take(&mut self.buffer);
+            self.process_block(&block, true);
+        }
+        // Full carry, then compute acc mod 2^130-5 canonically.
+        let mask = (1u64 << 26) - 1;
+        let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.acc;
+        let mut c;
+        c = h1 >> 26; h1 &= mask; h2 += c;
+        c = h2 >> 26; h2 &= mask; h3 += c;
+        c = h3 >> 26; h3 &= mask; h4 += c;
+        c = h4 >> 26; h4 &= mask; h0 += c * 5;
+        c = h0 >> 26; h0 &= mask; h1 += c;
+
+        // Compute h - p by adding 5 and seeing if bit 130 sets.
+        let mut g0 = h0.wrapping_add(5);
+        c = g0 >> 26; g0 &= mask;
+        let mut g1 = h1.wrapping_add(c);
+        c = g1 >> 26; g1 &= mask;
+        let mut g2 = h2.wrapping_add(c);
+        c = g2 >> 26; g2 &= mask;
+        let mut g3 = h3.wrapping_add(c);
+        c = g3 >> 26; g3 &= mask;
+        let g4 = h4.wrapping_add(c);
+        let ge_p = g4 >> 26; // 1 if h >= p
+        let g4 = g4 & mask;
+
+        let sel = crate::ct::select_u64;
+        let f0 = sel(ge_p, g0, h0);
+        let f1 = sel(ge_p, g1, h1);
+        let f2 = sel(ge_p, g2, h2);
+        let f3 = sel(ge_p, g3, h3);
+        let f4 = sel(ge_p, g4, h4);
+
+        // Serialize to 128 bits and add s (mod 2^128).
+        let acc128 = u128::from(f0)
+            | (u128::from(f1) << 26)
+            | (u128::from(f2) << 52)
+            | (u128::from(f3) << 78)
+            | (u128::from(f4) << 104);
+        let s128 = u128::from(self.s[0]) | (u128::from(self.s[1]) << 64);
+        let tag = acc128.wrapping_add(s128);
+        tag.to_le_bytes()
+    }
+
+    /// One-shot MAC.
+    #[must_use]
+    pub fn mac(key: &[u8; KEY_LEN], message: &[u8]) -> [u8; TAG_LEN] {
+        let mut p = Poly1305::new(key);
+        p.update(message);
+        p.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rfc8439_vector() {
+        let key = hex::decode_array::<32>(
+            "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b",
+        )
+        .unwrap();
+        let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(hex::encode(tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    #[test]
+    fn empty_message() {
+        // With an empty message the tag is just `s`.
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&[9u8; 16]);
+        assert_eq!(Poly1305::mac(&key, b""), [9u8; 16]);
+    }
+
+    #[test]
+    fn partial_final_block() {
+        let key = [3u8; 32];
+        let t1 = Poly1305::mac(&key, b"12345");
+        let t2 = Poly1305::mac(&key, b"1234");
+        assert_ne!(t1, t2);
+    }
+
+    proptest! {
+        #[test]
+        fn streaming_split_invariance(key: [u8; 32], data: Vec<u8>, split in 0usize..64) {
+            let split = split.min(data.len());
+            let mut p = Poly1305::new(&key);
+            p.update(&data[..split]);
+            p.update(&data[split..]);
+            prop_assert_eq!(p.finalize(), Poly1305::mac(&key, &data));
+        }
+
+        #[test]
+        fn message_change_changes_tag(key: [u8; 32], mut data in proptest::collection::vec(any::<u8>(), 1..64), flip in 0usize..64) {
+            let orig = Poly1305::mac(&key, &data);
+            let idx = flip % data.len();
+            data[idx] ^= 1;
+            prop_assert_ne!(Poly1305::mac(&key, &data), orig);
+        }
+    }
+}

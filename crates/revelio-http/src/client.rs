@@ -1,0 +1,290 @@
+//! The HTTPS client: DNS resolution, TLS sessions, and the per-connection
+//! key introspection the web extension relies on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use revelio_crypto::ed25519::VerifyingKey;
+use revelio_crypto::hmac::Hmac;
+use revelio_crypto::sha2::Sha256;
+use revelio_net::dns::DnsZone;
+use revelio_net::net::SimNet;
+use revelio_tls::{TlsClient, TlsClientConfig, TlsSession};
+
+use crate::message::{Request, Response};
+use crate::HttpError;
+
+/// Splits `https://host/path` into `(host, path)`.
+///
+/// # Errors
+///
+/// Returns [`HttpError::BadUrl`] for anything else.
+pub fn parse_https_url(url: &str) -> Result<(&str, &str), HttpError> {
+    let rest = url
+        .strip_prefix("https://")
+        .ok_or_else(|| HttpError::BadUrl(url.to_owned()))?;
+    let (host, path) = match rest.find('/') {
+        Some(idx) => (&rest[..idx], &rest[idx..]),
+        None => (rest, "/"),
+    };
+    if host.is_empty() {
+        return Err(HttpError::BadUrl(url.to_owned()));
+    }
+    Ok((host, path))
+}
+
+/// An HTTPS client bound to a network, a DNS zone and a root store.
+pub struct HttpsClient {
+    net: SimNet,
+    dns: DnsZone,
+    tls: TlsClient,
+    entropy_seed: [u8; 32],
+    connection_counter: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for HttpsClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpsClient").finish_non_exhaustive()
+    }
+}
+
+impl HttpsClient {
+    /// Creates a client. `entropy_seed` drives per-connection ephemeral
+    /// keys (deterministic simulation stand-in for the browser CSPRNG).
+    #[must_use]
+    pub fn new(net: SimNet, dns: DnsZone, tls_config: TlsClientConfig, entropy_seed: [u8; 32]) -> Self {
+        HttpsClient {
+            net,
+            dns,
+            tls: TlsClient::new(tls_config),
+            entropy_seed,
+            connection_counter: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn next_ephemeral(&self) -> [u8; 32] {
+        let n = self.connection_counter.fetch_add(1, Ordering::Relaxed);
+        let mut mac = Hmac::<Sha256>::new(&self.entropy_seed);
+        mac.update(b"client-ephemeral");
+        mac.update(&n.to_le_bytes());
+        mac.finalize().try_into().expect("32 bytes")
+    }
+
+    /// Opens an HTTPS session to `host` (resolving via DNS and performing
+    /// the TLS handshake).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError`] on resolution, transport, or TLS failure.
+    pub fn open(&self, host: &str) -> Result<HttpsSession, HttpError> {
+        let address = self.dns.resolve(host)?;
+        let session = self.tls.connect(&self.net, &address, host, self.next_ephemeral())?;
+        Ok(HttpsSession { session, host: host.to_owned() })
+    }
+
+    /// One-shot GET of `url` over a fresh session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError`] on any failure.
+    pub fn get(&self, url: &str) -> Result<Response, HttpError> {
+        let (host, path) = parse_https_url(url)?;
+        let mut session = self.open(host)?;
+        session.send(&Request::get(path))
+    }
+
+    /// One-shot POST to `url` over a fresh session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError`] on any failure.
+    pub fn post(&self, url: &str, body: Vec<u8>) -> Result<Response, HttpError> {
+        let (host, path) = parse_https_url(url)?;
+        let mut session = self.open(host)?;
+        session.send(&Request::post(path, body))
+    }
+}
+
+/// An open HTTPS session (kept alive across requests, like a browser
+/// connection pool entry).
+pub struct HttpsSession {
+    session: TlsSession,
+    host: String,
+}
+
+impl std::fmt::Debug for HttpsSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpsSession").field("host", &self.host).finish_non_exhaustive()
+    }
+}
+
+impl HttpsSession {
+    /// Sends one request on this session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError`] on transport or parse failure.
+    pub fn send(&mut self, request: &Request) -> Result<Response, HttpError> {
+        let request = request.clone().with_header("Host", &self.host);
+        let bytes = self.session.request(&request.to_bytes())?;
+        Response::from_bytes(&bytes)
+    }
+
+    /// The host this session was opened for.
+    #[must_use]
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The public key the TLS connection terminates at — what the Revelio
+    /// extension checks against the attestation report on *every* request
+    /// (§5.3.2).
+    #[must_use]
+    pub fn peer_public_key(&self) -> VerifyingKey {
+        self.session.peer_public_key()
+    }
+
+    /// RA-TLS evidence delivered in the handshake, if the server sent any.
+    #[must_use]
+    pub fn peer_evidence(&self) -> Option<&[u8]> {
+        self.session.peer_evidence()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::Router;
+    use crate::server::serve_https;
+    use revelio_crypto::ed25519::SigningKey;
+    use revelio_net::clock::SimClock;
+    use revelio_net::net::NetConfig;
+    use revelio_pki::acme::{AcmeCa, AcmePolicy};
+    use revelio_pki::cert::CertificateSigningRequest;
+    use revelio_tls::TlsServerConfig;
+
+    struct World {
+        net: SimNet,
+        dns: DnsZone,
+        clock: SimClock,
+        ca: AcmeCa,
+    }
+
+    fn world() -> World {
+        let clock = SimClock::new();
+        let net = SimNet::new(clock.clone(), NetConfig::default());
+        let dns = DnsZone::new();
+        let ca = AcmeCa::new("SimEncrypt", [3; 32], AcmePolicy::default(), clock.clone(), dns.clone());
+        World { net, dns, clock, ca }
+    }
+
+    fn serve(w: &World, domain: &str, address: &str, key: &SigningKey, router: Router) {
+        let csr = CertificateSigningRequest::new(domain, key, "Org", "CH");
+        let chain = w.ca.order_certificate(&csr).unwrap();
+        serve_https(
+            &w.net,
+            address,
+            TlsServerConfig::new(chain, key.clone(), [8; 32]),
+            router,
+        )
+        .unwrap();
+        w.dns.set_address(domain, address);
+    }
+
+    fn client(w: &World) -> HttpsClient {
+        HttpsClient::new(
+            w.net.clone(),
+            w.dns.clone(),
+            TlsClientConfig {
+                trusted_roots: vec![w.ca.root_certificate()],
+                clock: w.clock.clone(),
+            },
+            [42; 32],
+        )
+    }
+
+    #[test]
+    fn https_get_roundtrip() {
+        let w = world();
+        let key = SigningKey::from_seed(&[1; 32]);
+        serve(
+            &w,
+            "pad.example.org",
+            "10.0.0.1:443",
+            &key,
+            Router::new().get("/", |_| Response::ok(b"welcome".to_vec())),
+        );
+        let res = client(&w).get("https://pad.example.org/").unwrap();
+        assert!(res.is_success());
+        assert_eq!(res.body, b"welcome");
+    }
+
+    #[test]
+    fn session_reuse_and_key_introspection() {
+        let w = world();
+        let key = SigningKey::from_seed(&[1; 32]);
+        serve(
+            &w,
+            "pad.example.org",
+            "10.0.0.1:443",
+            &key,
+            Router::new().get("/a", |_| Response::ok(b"a".to_vec())),
+        );
+        let client = client(&w);
+        let mut session = client.open("pad.example.org").unwrap();
+        assert_eq!(session.send(&Request::get("/a")).unwrap().body, b"a");
+        assert_eq!(session.send(&Request::get("/a")).unwrap().body, b"a");
+        assert_eq!(session.peer_public_key(), key.verifying_key());
+    }
+
+    #[test]
+    fn unresolvable_host_fails() {
+        let w = world();
+        assert!(matches!(
+            client(&w).get("https://ghost.example.org/"),
+            Err(HttpError::Net(_))
+        ));
+    }
+
+    #[test]
+    fn bad_urls_rejected() {
+        assert!(parse_https_url("http://insecure.example").is_err());
+        assert!(parse_https_url("https://").is_err());
+        assert_eq!(parse_https_url("https://h").unwrap(), ("h", "/"));
+        assert_eq!(parse_https_url("https://h/p/q").unwrap(), ("h", "/p/q"));
+    }
+
+    #[test]
+    fn post_reaches_handler() {
+        let w = world();
+        let key = SigningKey::from_seed(&[1; 32]);
+        serve(
+            &w,
+            "pad.example.org",
+            "10.0.0.1:443",
+            &key,
+            Router::new().post("/echo", |req| Response::ok(req.body.clone())),
+        );
+        let res = client(&w)
+            .post("https://pad.example.org/echo", b"payload".to_vec())
+            .unwrap();
+        assert_eq!(res.body, b"payload");
+    }
+
+    #[test]
+    fn host_header_is_set() {
+        let w = world();
+        let key = SigningKey::from_seed(&[1; 32]);
+        serve(
+            &w,
+            "pad.example.org",
+            "10.0.0.1:443",
+            &key,
+            Router::new().get("/host", |req| {
+                Response::ok(req.header("Host").unwrap_or("none").as_bytes().to_vec())
+            }),
+        );
+        let res = client(&w).get("https://pad.example.org/host").unwrap();
+        assert_eq!(res.body, b"pad.example.org");
+    }
+}

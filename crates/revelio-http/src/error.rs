@@ -1,0 +1,68 @@
+//! Error type for the HTTP layer.
+
+use std::error::Error;
+use std::fmt;
+
+use revelio_net::NetError;
+use revelio_tls::TlsError;
+
+/// Errors surfaced by HTTP clients and servers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HttpError {
+    /// The request or response text could not be parsed.
+    Malformed(String),
+    /// A URL was not of the form `https://host/path`.
+    BadUrl(String),
+    /// The TLS layer failed (handshake, certificate, records).
+    Tls(TlsError),
+    /// The transport failed.
+    Net(NetError),
+    /// The server answered with an error status the caller treats as fatal.
+    Status(u16),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Malformed(why) => write!(f, "malformed http message: {why}"),
+            HttpError::BadUrl(u) => write!(f, "bad url {u:?}"),
+            HttpError::Tls(e) => write!(f, "tls failure: {e}"),
+            HttpError::Net(e) => write!(f, "network failure: {e}"),
+            HttpError::Status(s) => write!(f, "unexpected http status {s}"),
+        }
+    }
+}
+
+impl Error for HttpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HttpError::Tls(e) => Some(e),
+            HttpError::Net(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TlsError> for HttpError {
+    fn from(e: TlsError) -> Self {
+        HttpError::Tls(e)
+    }
+}
+
+impl From<NetError> for HttpError {
+    fn from(e: NetError) -> Self {
+        HttpError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(HttpError::Status(404).to_string().contains("404"));
+        assert!(HttpError::BadUrl("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,319 @@
+//! HTTP request and response types with HTTP/1.1 textual encoding.
+//!
+//! Bodies are binary-safe: `Content-Length` delimits them exactly, so
+//! attestation reports and encrypted key blobs travel unmangled.
+
+use crate::HttpError;
+
+/// Parsed header fields, in order of appearance.
+pub type Headers = Vec<(String, String)>;
+
+/// Request methods the workspace uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Retrieve a resource.
+    Get,
+    /// Submit data.
+    Post,
+}
+
+impl Method {
+    /// The token on the request line.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, HttpError> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "POST" => Ok(Method::Post),
+            other => Err(HttpError::Malformed(format!("unsupported method {other}"))),
+        }
+    }
+}
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Path, beginning with `/`.
+    pub path: String,
+    /// Header fields, in order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A GET request for `path`.
+    #[must_use]
+    pub fn get(path: &str) -> Self {
+        Request { method: Method::Get, path: path.to_owned(), headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// A POST request with `body`.
+    #[must_use]
+    pub fn post(path: &str, body: Vec<u8>) -> Self {
+        Request { method: Method::Post, path: path.to_owned(), headers: Vec::new(), body }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// First header value with the given (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Encodes as HTTP/1.1 text.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("{} {} HTTP/1.1\r\n", self.method.as_str(), self.path).into_bytes();
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses HTTP/1.1 request text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Malformed`] with a reason on any syntax error.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, HttpError> {
+        let (head, body) = split_head(bytes)?;
+        let mut lines = head.split("\r\n");
+        let request_line = lines.next().unwrap_or_default();
+        let mut parts = request_line.split(' ');
+        let method = Method::parse(parts.next().unwrap_or_default())?;
+        let path = parts
+            .next()
+            .filter(|p| p.starts_with('/'))
+            .ok_or_else(|| HttpError::Malformed("missing path".into()))?
+            .to_owned();
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(HttpError::Malformed("missing version".into()));
+        }
+        let (headers, content_length) = parse_headers(lines)?;
+        check_body(body, content_length)?;
+        Ok(Request { method, path, headers, body: body.to_vec() })
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Header fields, in order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` with `body`.
+    #[must_use]
+    pub fn ok(body: Vec<u8>) -> Self {
+        Response { status: 200, headers: Vec::new(), body }
+    }
+
+    /// An empty response with `status`.
+    #[must_use]
+    pub fn status(status: u16) -> Self {
+        Response { status, headers: Vec::new(), body: Vec::new() }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+
+    /// First header value with the given (case-insensitive) name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// `true` for 2xx statuses.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            400 => "Bad Request",
+            403 => "Forbidden",
+            404 => "Not Found",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            _ => "Status",
+        }
+    }
+
+    /// Encodes as HTTP/1.1 text.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason()).into_bytes();
+        for (name, value) in &self.headers {
+            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+        }
+        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses HTTP/1.1 response text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Malformed`] with a reason on any syntax error.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, HttpError> {
+        let (head, body) = split_head(bytes)?;
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default();
+        let mut parts = status_line.splitn(3, ' ');
+        if parts.next() != Some("HTTP/1.1") {
+            return Err(HttpError::Malformed("missing version".into()));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| HttpError::Malformed("bad status".into()))?;
+        let (headers, content_length) = parse_headers(lines)?;
+        check_body(body, content_length)?;
+        Ok(Response { status, headers, body: body.to_vec() })
+    }
+}
+
+fn split_head(bytes: &[u8]) -> Result<(&str, &[u8]), HttpError> {
+    let sep = bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| HttpError::Malformed("no header terminator".into()))?;
+    let head = std::str::from_utf8(&bytes[..sep])
+        .map_err(|_| HttpError::Malformed("non-utf8 headers".into()))?;
+    Ok((head, &bytes[sep + 4..]))
+}
+
+fn parse_headers<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> Result<(Headers, Option<usize>), HttpError> {
+    let mut headers = Vec::new();
+    let mut content_length = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = Some(
+                value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length".into()))?,
+            );
+        } else {
+            headers.push((name.to_owned(), value.to_owned()));
+        }
+    }
+    Ok((headers, content_length))
+}
+
+fn check_body(body: &[u8], content_length: Option<usize>) -> Result<(), HttpError> {
+    match content_length {
+        Some(len) if len != body.len() => Err(HttpError::Malformed(format!(
+            "content-length {len} but body has {} bytes",
+            body.len()
+        ))),
+        None if !body.is_empty() => {
+            Err(HttpError::Malformed("body without content-length".into()))
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request::post("/api/report", b"binary\x00body".to_vec())
+            .with_header("Host", "pad.example.org")
+            .with_header("X-Custom", "1");
+        let parsed = Request::from_bytes(&req.to_bytes()).unwrap();
+        assert_eq!(parsed, req);
+        assert_eq!(parsed.header("host"), Some("pad.example.org"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let res = Response::ok(b"payload".to_vec()).with_header("Content-Type", "text/html");
+        assert_eq!(Response::from_bytes(&res.to_bytes()).unwrap(), res);
+    }
+
+    #[test]
+    fn wrong_content_length_rejected() {
+        let mut bytes = Request::post("/", b"12345".to_vec()).to_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(Request::from_bytes(&bytes), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn bad_method_rejected() {
+        assert!(Request::from_bytes(b"BREW /pot HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn missing_path_rejected() {
+        assert!(Request::from_bytes(b"GET no-slash HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn status_helpers() {
+        assert!(Response::ok(vec![]).is_success());
+        assert!(!Response::status(404).is_success());
+        assert_eq!(Response::status(429).reason(), "Too Many Requests");
+    }
+
+    proptest! {
+        #[test]
+        fn request_roundtrip_arbitrary_body(body: Vec<u8>) {
+            let req = Request::post("/p", body);
+            prop_assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
+        }
+
+        #[test]
+        fn response_roundtrip_arbitrary(status in 100u16..600, body: Vec<u8>) {
+            let res = Response { status, headers: vec![], body };
+            prop_assert_eq!(Response::from_bytes(&res.to_bytes()).unwrap(), res);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! A tiny exact-path router.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::message::{Method, Request, Response};
+
+/// A request handler.
+pub type Handler = dyn Fn(&Request) -> Response + Send + Sync;
+
+/// Routes requests by `(method, path)`; unmatched requests go to the
+/// fallback handler (404 by default).
+#[derive(Clone, Default)]
+pub struct Router {
+    routes: HashMap<(Method, String), Arc<Handler>>,
+    fallback: Option<Arc<Handler>>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router").field("routes", &self.routes.len()).finish_non_exhaustive()
+    }
+}
+
+impl Router {
+    /// Creates an empty router.
+    #[must_use]
+    pub fn new() -> Self {
+        Router::default()
+    }
+
+    /// Registers a GET handler.
+    #[must_use]
+    pub fn get(self, path: &str, handler: impl Fn(&Request) -> Response + Send + Sync + 'static) -> Self {
+        self.route(Method::Get, path, handler)
+    }
+
+    /// Registers a POST handler.
+    #[must_use]
+    pub fn post(self, path: &str, handler: impl Fn(&Request) -> Response + Send + Sync + 'static) -> Self {
+        self.route(Method::Post, path, handler)
+    }
+
+    /// Registers a handler for `method` + `path`.
+    #[must_use]
+    pub fn route(
+        mut self,
+        method: Method,
+        path: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        self.routes.insert((method, path.to_owned()), Arc::new(handler));
+        self
+    }
+
+    /// Sets the handler for unmatched requests (e.g. delegate to an inner
+    /// application router).
+    #[must_use]
+    pub fn with_fallback(
+        mut self,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        self.fallback = Some(Arc::new(handler));
+        self
+    }
+
+    /// Dispatches a request.
+    #[must_use]
+    pub fn dispatch(&self, request: &Request) -> Response {
+        match self.routes.get(&(request.method, request.path.clone())) {
+            Some(handler) => handler(request),
+            None => match &self.fallback {
+                Some(f) => f(request),
+                None => Response::status(404),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_matches_method_and_path() {
+        let router = Router::new()
+            .get("/", |_| Response::ok(b"index".to_vec()))
+            .post("/submit", |req| Response::ok(req.body.clone()));
+        assert_eq!(router.dispatch(&Request::get("/")).body, b"index");
+        assert_eq!(
+            router.dispatch(&Request::post("/submit", b"x".to_vec())).body,
+            b"x"
+        );
+    }
+
+    #[test]
+    fn unmatched_is_404() {
+        let router = Router::new().get("/", |_| Response::ok(vec![]));
+        assert_eq!(router.dispatch(&Request::get("/missing")).status, 404);
+        // Same path, wrong method:
+        assert_eq!(router.dispatch(&Request::post("/", vec![])).status, 404);
+    }
+
+    #[test]
+    fn handlers_see_request_state() {
+        let router = Router::new().post("/echo-header", |req| {
+            Response::ok(req.header("X-In").unwrap_or("none").as_bytes().to_vec())
+        });
+        let req = Request::post("/echo-header", vec![]).with_header("X-In", "v");
+        assert_eq!(router.dispatch(&req).body, b"v");
+    }
+}

@@ -1,0 +1,86 @@
+//! The shared virtual clock.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A cloneable handle to a virtual clock measured in microseconds.
+///
+/// The clock only moves when simulated work advances it — wall time never
+/// leaks in, so simulations are bit-reproducible across machines.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    micros: Arc<Mutex<u64>>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current time in microseconds.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        *self.micros.lock()
+    }
+
+    /// Current time in milliseconds (fractional).
+    #[must_use]
+    pub fn now_ms(&self) -> f64 {
+        self.now_us() as f64 / 1000.0
+    }
+
+    /// Advances the clock by `us` microseconds.
+    pub fn advance_us(&self, us: u64) {
+        *self.micros.lock() += us;
+    }
+
+    /// Advances the clock by (fractional) milliseconds.
+    pub fn advance_ms(&self, ms: f64) {
+        debug_assert!(ms >= 0.0, "clock cannot run backwards");
+        self.advance_us((ms * 1000.0) as u64);
+    }
+
+    /// Measures the simulated duration of `f` in milliseconds.
+    pub fn time_ms<T>(&self, f: impl FnOnce() -> T) -> (T, f64) {
+        let start = self.now_ms();
+        let out = f();
+        (out, self.now_ms() - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now_us(), 0);
+        c.advance_us(1500);
+        assert_eq!(c.now_us(), 1500);
+        assert!((c.now_ms() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance_ms(2.0);
+        assert_eq!(b.now_us(), 2000);
+    }
+
+    #[test]
+    fn time_ms_measures_inner_advances() {
+        let c = SimClock::new();
+        c.advance_ms(10.0);
+        let (val, elapsed) = c.time_ms(|| {
+            c.advance_ms(5.25);
+            42
+        });
+        assert_eq!(val, 42);
+        assert!((elapsed - 5.25).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,119 @@
+//! Simulated DNS: name → address records plus the TXT records the ACME
+//! DNS-01 challenge uses.
+//!
+//! DNS is *untrusted* in Revelio's threat model: a malicious service
+//! provider controls the domain and "can create a new certificate as they
+//! control access to DNS and use this new certificate to redirect users
+//! away from the secure VM" (§5.3.2). The zone therefore has explicit
+//! attacker operations; defenses live above (extension key pinning).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::NetError;
+
+/// A mutable DNS zone shared by clients, servers and attackers.
+#[derive(Debug, Clone, Default)]
+pub struct DnsZone {
+    records: Arc<Mutex<Records>>,
+}
+
+#[derive(Debug, Default)]
+struct Records {
+    a: HashMap<String, String>,
+    txt: HashMap<String, Vec<String>>,
+}
+
+impl DnsZone {
+    /// Creates an empty zone.
+    #[must_use]
+    pub fn new() -> Self {
+        DnsZone::default()
+    }
+
+    /// Sets the address record for `domain` (also the attack primitive: a
+    /// DNS-controlling adversary repoints the name).
+    pub fn set_address(&self, domain: &str, address: &str) {
+        self.records.lock().a.insert(domain.to_owned(), address.to_owned());
+    }
+
+    /// Resolves `domain` to a network address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::NameResolution`] for unknown names.
+    pub fn resolve(&self, domain: &str) -> Result<String, NetError> {
+        self.records
+            .lock()
+            .a
+            .get(domain)
+            .cloned()
+            .ok_or_else(|| NetError::NameResolution(domain.to_owned()))
+    }
+
+    /// Publishes a TXT record (ACME DNS-01 challenge tokens live at
+    /// `_acme-challenge.<domain>`).
+    pub fn set_txt(&self, name: &str, value: &str) {
+        self.records
+            .lock()
+            .txt
+            .entry(name.to_owned())
+            .or_default()
+            .push(value.to_owned());
+    }
+
+    /// Reads the TXT records at `name`.
+    #[must_use]
+    pub fn txt(&self, name: &str) -> Vec<String> {
+        self.records.lock().txt.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Clears the TXT records at `name` (challenge cleanup).
+    pub fn clear_txt(&self, name: &str) {
+        self.records.lock().txt.remove(name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_roundtrip_and_unknown() {
+        let zone = DnsZone::new();
+        zone.set_address("pad.example.org", "203.0.113.5:443");
+        assert_eq!(zone.resolve("pad.example.org").unwrap(), "203.0.113.5:443");
+        assert!(matches!(
+            zone.resolve("other.example.org"),
+            Err(NetError::NameResolution(_))
+        ));
+    }
+
+    #[test]
+    fn repointing_changes_resolution() {
+        let zone = DnsZone::new();
+        zone.set_address("pad.example.org", "honest:443");
+        zone.set_address("pad.example.org", "evil:443");
+        assert_eq!(zone.resolve("pad.example.org").unwrap(), "evil:443");
+    }
+
+    #[test]
+    fn txt_records_accumulate_and_clear() {
+        let zone = DnsZone::new();
+        zone.set_txt("_acme-challenge.pad.example.org", "token-1");
+        zone.set_txt("_acme-challenge.pad.example.org", "token-2");
+        assert_eq!(zone.txt("_acme-challenge.pad.example.org").len(), 2);
+        zone.clear_txt("_acme-challenge.pad.example.org");
+        assert!(zone.txt("_acme-challenge.pad.example.org").is_empty());
+    }
+
+    #[test]
+    fn clones_share_zone() {
+        let a = DnsZone::new();
+        let b = a.clone();
+        a.set_address("x", "y:1");
+        assert_eq!(b.resolve("x").unwrap(), "y:1");
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for the simulated network.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The address already has a bound listener.
+    AddressInUse(String),
+    /// Nothing is listening at the dialed address (closed port — e.g. the
+    /// SSH port of a Revelio VM).
+    ConnectionRefused(String),
+    /// A domain name did not resolve.
+    NameResolution(String),
+    /// The peer closed or reset the connection.
+    ConnectionClosed,
+    /// A protocol-level failure inside a connection handler.
+    Protocol(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::AddressInUse(a) => write!(f, "address {a} already in use"),
+            NetError::ConnectionRefused(a) => write!(f, "connection refused at {a}"),
+            NetError::NameResolution(d) => write!(f, "cannot resolve {d}"),
+            NetError::ConnectionClosed => write!(f, "connection closed by peer"),
+            NetError::Protocol(why) => write!(f, "protocol error: {why}"),
+        }
+    }
+}
+
+impl Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_address() {
+        assert!(NetError::ConnectionRefused("10.0.0.1:22".into()).to_string().contains(":22"));
+    }
+}

@@ -1,0 +1,55 @@
+//! A deterministic simulated network for the Revelio reproduction.
+//!
+//! The paper's client-side evaluation (Table 3) is dominated by network
+//! round trips: a plain HTTPS GET, the attestation-report fetch, the AMD
+//! KDS query for the VCEK, and per-request connection revalidation. To
+//! reproduce those *shapes* deterministically on any machine, this crate
+//! provides:
+//!
+//! * [`clock::SimClock`] — a shared virtual clock, advanced only by
+//!   simulated work (link latency, modelled server processing);
+//! * [`net::SimNet`] — a registry of listeners keyed by address, with a
+//!   per-link latency model; a [`net::Connection`] performs synchronous
+//!   message exchanges, each advancing the clock by one round trip;
+//! * [`dns::DnsZone`] — name resolution that attackers can repoint (the
+//!   paper's "malicious service provider controls DNS" threat, §5.3.2);
+//! * man-in-the-middle hooks — [`net::SimNet::redirect`] silently rewires
+//!   an address to an attacker's listener; higher layers (TLS, the web
+//!   extension) must detect this.
+//!
+//! Everything is synchronous and single-threaded by design: simulations
+//! and benches stay deterministic, and protocol state machines remain
+//! ordinary sequential code.
+//!
+//! ```
+//! use revelio_net::clock::SimClock;
+//! use revelio_net::net::{ConnectionHandler, Listener, NetConfig, SimNet};
+//!
+//! struct Echo;
+//! impl Listener for Echo {
+//!     fn accept(&self) -> Box<dyn ConnectionHandler> {
+//!         struct H;
+//!         impl ConnectionHandler for H {
+//!             fn on_message(&mut self, m: &[u8]) -> Result<Vec<u8>, revelio_net::NetError> {
+//!                 Ok(m.to_vec())
+//!             }
+//!         }
+//!         Box::new(H)
+//!     }
+//! }
+//!
+//! let clock = SimClock::new();
+//! let net = SimNet::new(clock.clone(), NetConfig::default());
+//! net.bind("203.0.113.1:7", std::sync::Arc::new(Echo))?;
+//! let mut conn = net.dial("203.0.113.1:7")?;
+//! assert_eq!(conn.exchange(b"ping")?, b"ping");
+//! assert!(clock.now_ms() > 0.0); // the exchange cost a round trip
+//! # Ok::<(), revelio_net::NetError>(())
+//! ```
+
+pub mod clock;
+pub mod dns;
+pub mod error;
+pub mod net;
+
+pub use error::NetError;

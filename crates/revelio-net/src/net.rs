@@ -1,0 +1,366 @@
+//! The simulated network fabric: listeners, connections, latency, and
+//! man-in-the-middle hooks.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::SimClock;
+use crate::NetError;
+
+/// Per-connection server-side state machine.
+///
+/// One handler instance exists per accepted connection; `on_message`
+/// receives each client message and returns the response — the synchronous
+/// exchange model every protocol in this workspace builds on.
+pub trait ConnectionHandler: Send {
+    /// Handles one client message, producing the response.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`NetError::Protocol`] (or
+    /// [`NetError::ConnectionClosed`]) to abort the connection.
+    fn on_message(&mut self, message: &[u8]) -> Result<Vec<u8>, NetError>;
+}
+
+/// A service bound to an address; accepts connections.
+pub trait Listener: Send + Sync {
+    /// Creates the per-connection handler state.
+    fn accept(&self) -> Box<dyn ConnectionHandler>;
+}
+
+/// Tampering hook: may rewrite a client→server message in flight.
+pub type TamperFn = dyn Fn(&[u8]) -> Vec<u8> + Send + Sync;
+
+/// Latency configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Default one-way link latency in microseconds.
+    pub default_one_way_us: u64,
+}
+
+impl Default for NetConfig {
+    /// 2.6 ms one way — the paper's 5.2 ms base round trip (Table 3).
+    fn default() -> Self {
+        NetConfig { default_one_way_us: 2600 }
+    }
+}
+
+#[derive(Default)]
+struct NetState {
+    listeners: HashMap<String, Arc<dyn Listener>>,
+    latency_overrides: HashMap<String, u64>,
+    redirects: HashMap<String, String>,
+    tamper: HashMap<String, Arc<TamperFn>>,
+}
+
+/// The shared network fabric.
+#[derive(Clone)]
+pub struct SimNet {
+    clock: SimClock,
+    config: NetConfig,
+    state: Arc<Mutex<NetState>>,
+}
+
+impl std::fmt::Debug for SimNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimNet").field("config", &self.config).finish_non_exhaustive()
+    }
+}
+
+impl SimNet {
+    /// Creates a network fabric on `clock`.
+    #[must_use]
+    pub fn new(clock: SimClock, config: NetConfig) -> Self {
+        SimNet { clock, config, state: Arc::new(Mutex::new(NetState::default())) }
+    }
+
+    /// The fabric's clock.
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Binds `listener` at `address` (e.g. `"203.0.113.7:443"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::AddressInUse`] when already bound.
+    pub fn bind(&self, address: &str, listener: Arc<dyn Listener>) -> Result<(), NetError> {
+        let mut state = self.state.lock();
+        if state.listeners.contains_key(address) {
+            return Err(NetError::AddressInUse(address.to_owned()));
+        }
+        state.listeners.insert(address.to_owned(), listener);
+        Ok(())
+    }
+
+    /// Removes the listener at `address` (service shutdown).
+    pub fn unbind(&self, address: &str) {
+        self.state.lock().listeners.remove(address);
+    }
+
+    /// Sets the one-way latency for dials *to* `address`, in microseconds —
+    /// e.g. a distant AMD KDS.
+    pub fn set_latency(&self, address: &str, one_way_us: u64) {
+        self.state.lock().latency_overrides.insert(address.to_owned(), one_way_us);
+    }
+
+    /// ATTACK: silently rewires future dials of `victim` to `attacker`
+    /// (BGP hijack / hostile middlebox). TLS endpoint checks must catch it.
+    pub fn redirect(&self, victim: &str, attacker: &str) {
+        self.state.lock().redirects.insert(victim.to_owned(), attacker.to_owned());
+    }
+
+    /// Removes a redirect.
+    pub fn clear_redirect(&self, victim: &str) {
+        self.state.lock().redirects.remove(victim);
+    }
+
+    /// ATTACK: installs a message-tampering hook on dials to `address`.
+    pub fn set_tamper(&self, address: &str, tamper: Arc<TamperFn>) {
+        self.state.lock().tamper.insert(address.to_owned(), tamper);
+    }
+
+    /// Opens a connection to `address`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::ConnectionRefused`] when nothing listens there —
+    /// which is exactly what connecting to a Revelio VM's SSH port yields.
+    pub fn dial(&self, address: &str) -> Result<Connection, NetError> {
+        let state = self.state.lock();
+        let effective = state
+            .redirects
+            .get(address)
+            .cloned()
+            .unwrap_or_else(|| address.to_owned());
+        let listener = state
+            .listeners
+            .get(&effective)
+            .ok_or_else(|| NetError::ConnectionRefused(address.to_owned()))?
+            .clone();
+        let one_way_us = state
+            .latency_overrides
+            .get(&effective)
+            .or_else(|| state.latency_overrides.get(address))
+            .copied()
+            .unwrap_or(self.config.default_one_way_us);
+        let tamper = state.tamper.get(&effective).or_else(|| state.tamper.get(address)).cloned();
+        drop(state);
+        Ok(Connection {
+            clock: self.clock.clone(),
+            handler: listener.accept(),
+            one_way_us,
+            tamper,
+            dialed: address.to_owned(),
+            closed: false,
+        })
+    }
+}
+
+/// A client-side connection performing synchronous exchanges.
+pub struct Connection {
+    clock: SimClock,
+    handler: Box<dyn ConnectionHandler>,
+    one_way_us: u64,
+    tamper: Option<Arc<TamperFn>>,
+    dialed: String,
+    closed: bool,
+}
+
+impl std::fmt::Debug for Connection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("dialed", &self.dialed)
+            .field("one_way_us", &self.one_way_us)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Connection {
+    /// Sends `message` and waits for the response. Advances the clock by
+    /// one round trip.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler errors; a closed connection returns
+    /// [`NetError::ConnectionClosed`].
+    pub fn exchange(&mut self, message: &[u8]) -> Result<Vec<u8>, NetError> {
+        if self.closed {
+            return Err(NetError::ConnectionClosed);
+        }
+        self.clock.advance_us(self.one_way_us);
+        let delivered = match &self.tamper {
+            Some(t) => t(message),
+            None => message.to_vec(),
+        };
+        let result = self.handler.on_message(&delivered);
+        self.clock.advance_us(self.one_way_us);
+        if result.is_err() {
+            self.closed = true;
+        }
+        result
+    }
+
+    /// The address this connection was dialed to (pre-redirect).
+    #[must_use]
+    pub fn dialed_address(&self) -> &str {
+        &self.dialed
+    }
+
+    /// Closes the connection; further exchanges fail.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Listener for Echo {
+        fn accept(&self) -> Box<dyn ConnectionHandler> {
+            struct H;
+            impl ConnectionHandler for H {
+                fn on_message(&mut self, m: &[u8]) -> Result<Vec<u8>, NetError> {
+                    Ok(m.to_vec())
+                }
+            }
+            Box::new(H)
+        }
+    }
+
+    struct Marker(&'static [u8]);
+    impl Listener for Marker {
+        fn accept(&self) -> Box<dyn ConnectionHandler> {
+            struct H(&'static [u8]);
+            impl ConnectionHandler for H {
+                fn on_message(&mut self, _m: &[u8]) -> Result<Vec<u8>, NetError> {
+                    Ok(self.0.to_vec())
+                }
+            }
+            Box::new(H(self.0))
+        }
+    }
+
+    fn fabric() -> (SimClock, SimNet) {
+        let clock = SimClock::new();
+        let net = SimNet::new(clock.clone(), NetConfig { default_one_way_us: 1000 });
+        (clock, net)
+    }
+
+    #[test]
+    fn exchange_advances_clock_by_round_trip() {
+        let (clock, net) = fabric();
+        net.bind("a:1", Arc::new(Echo)).unwrap();
+        let mut conn = net.dial("a:1").unwrap();
+        conn.exchange(b"x").unwrap();
+        assert_eq!(clock.now_us(), 2000);
+        conn.exchange(b"x").unwrap();
+        assert_eq!(clock.now_us(), 4000);
+    }
+
+    #[test]
+    fn unbound_port_refuses() {
+        let (_, net) = fabric();
+        assert_eq!(
+            net.dial("vm:22").unwrap_err(),
+            NetError::ConnectionRefused("vm:22".into())
+        );
+    }
+
+    #[test]
+    fn double_bind_rejected_and_unbind_frees() {
+        let (_, net) = fabric();
+        net.bind("a:1", Arc::new(Echo)).unwrap();
+        assert!(net.bind("a:1", Arc::new(Echo)).is_err());
+        net.unbind("a:1");
+        net.bind("a:1", Arc::new(Echo)).unwrap();
+    }
+
+    #[test]
+    fn per_address_latency_override() {
+        let (clock, net) = fabric();
+        net.bind("kds:443", Arc::new(Echo)).unwrap();
+        net.set_latency("kds:443", 100_000); // a distant service
+        let mut conn = net.dial("kds:443").unwrap();
+        conn.exchange(b"q").unwrap();
+        assert_eq!(clock.now_us(), 200_000);
+    }
+
+    #[test]
+    fn redirect_reroutes_to_attacker() {
+        let (_, net) = fabric();
+        net.bind("honest:443", Arc::new(Marker(b"honest"))).unwrap();
+        net.bind("evil:443", Arc::new(Marker(b"evil"))).unwrap();
+        net.redirect("honest:443", "evil:443");
+        let mut conn = net.dial("honest:443").unwrap();
+        assert_eq!(conn.exchange(b"hello").unwrap(), b"evil");
+        net.clear_redirect("honest:443");
+        let mut conn = net.dial("honest:443").unwrap();
+        assert_eq!(conn.exchange(b"hello").unwrap(), b"honest");
+    }
+
+    #[test]
+    fn tamper_rewrites_messages() {
+        let (_, net) = fabric();
+        net.bind("a:1", Arc::new(Echo)).unwrap();
+        net.set_tamper("a:1", Arc::new(|m: &[u8]| {
+            let mut v = m.to_vec();
+            if !v.is_empty() {
+                v[0] ^= 0xff;
+            }
+            v
+        }));
+        let mut conn = net.dial("a:1").unwrap();
+        assert_eq!(conn.exchange(&[1, 2]).unwrap(), vec![0xfe, 2]);
+    }
+
+    #[test]
+    fn handler_error_closes_connection() {
+        struct Fail;
+        impl Listener for Fail {
+            fn accept(&self) -> Box<dyn ConnectionHandler> {
+                struct H;
+                impl ConnectionHandler for H {
+                    fn on_message(&mut self, _m: &[u8]) -> Result<Vec<u8>, NetError> {
+                        Err(NetError::Protocol("boom".into()))
+                    }
+                }
+                Box::new(H)
+            }
+        }
+        let (_, net) = fabric();
+        net.bind("a:1", Arc::new(Fail)).unwrap();
+        let mut conn = net.dial("a:1").unwrap();
+        assert!(matches!(conn.exchange(b"x"), Err(NetError::Protocol(_))));
+        assert_eq!(conn.exchange(b"x"), Err(NetError::ConnectionClosed));
+    }
+
+    #[test]
+    fn connections_have_independent_handler_state() {
+        struct Counter;
+        impl Listener for Counter {
+            fn accept(&self) -> Box<dyn ConnectionHandler> {
+                struct H(u32);
+                impl ConnectionHandler for H {
+                    fn on_message(&mut self, _m: &[u8]) -> Result<Vec<u8>, NetError> {
+                        self.0 += 1;
+                        Ok(vec![self.0 as u8])
+                    }
+                }
+                Box::new(H(0))
+            }
+        }
+        let (_, net) = fabric();
+        net.bind("a:1", Arc::new(Counter)).unwrap();
+        let mut c1 = net.dial("a:1").unwrap();
+        let mut c2 = net.dial("a:1").unwrap();
+        assert_eq!(c1.exchange(b"").unwrap(), vec![1]);
+        assert_eq!(c1.exchange(b"").unwrap(), vec![2]);
+        assert_eq!(c2.exchange(b"").unwrap(), vec![1]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for the storage stack.
+
+use std::error::Error;
+use std::fmt;
+
+use revelio_crypto::wire::WireError;
+use revelio_crypto::CryptoError;
+
+/// Errors surfaced by block devices and device-mapper targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// A block index was past the end of the device.
+    OutOfRange {
+        /// Requested block index.
+        block: u64,
+        /// Device size in blocks.
+        device_blocks: u64,
+    },
+    /// A buffer did not match the device block size.
+    WrongBufferSize {
+        /// Caller's buffer length.
+        got: usize,
+        /// The device's block size.
+        expected: usize,
+    },
+    /// dm-verity detected corrupted data — the block's hash chain did not
+    /// reach the trusted root hash.
+    IntegrityViolation {
+        /// The data block whose verification failed.
+        block: u64,
+    },
+    /// A write was attempted on a read-only (verity-protected) device.
+    ReadOnly,
+    /// The expected root hash did not match the device's hash tree.
+    RootHashMismatch,
+    /// A crypt volume's superblock was missing or malformed.
+    BadSuperblock(String),
+    /// The unlock key failed the volume's key check.
+    WrongKey,
+    /// A partition definition did not fit the disk.
+    PartitionOverflow {
+        /// Blocks requested beyond what remains.
+        requested: u64,
+        /// Blocks remaining on the disk.
+        available: u64,
+    },
+    /// Malformed serialized metadata.
+    Wire(WireError),
+    /// An underlying cryptographic failure.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::OutOfRange { block, device_blocks } => {
+                write!(f, "block {block} out of range for device of {device_blocks} blocks")
+            }
+            StorageError::WrongBufferSize { got, expected } => {
+                write!(f, "buffer of {got} bytes does not match block size {expected}")
+            }
+            StorageError::IntegrityViolation { block } => {
+                write!(f, "integrity violation reading block {block}")
+            }
+            StorageError::ReadOnly => write!(f, "device is read-only"),
+            StorageError::RootHashMismatch => write!(f, "root hash does not match hash tree"),
+            StorageError::BadSuperblock(why) => write!(f, "bad superblock: {why}"),
+            StorageError::WrongKey => write!(f, "volume key check failed"),
+            StorageError::PartitionOverflow { requested, available } => {
+                write!(f, "partition of {requested} blocks exceeds {available} available")
+            }
+            StorageError::Wire(e) => write!(f, "wire format error: {e}"),
+            StorageError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl Error for StorageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StorageError::Wire(e) => Some(e),
+            StorageError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for StorageError {
+    fn from(e: WireError) -> Self {
+        StorageError::Wire(e)
+    }
+}
+
+impl From<CryptoError> for StorageError {
+    fn from(e: CryptoError) -> Self {
+        StorageError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_key_facts() {
+        let e = StorageError::OutOfRange { block: 9, device_blocks: 4 };
+        assert!(e.to_string().contains('9'));
+        assert!(StorageError::IntegrityViolation { block: 3 }.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,350 @@
+//! The TLS client and established session.
+
+use revelio_crypto::ed25519::VerifyingKey;
+use revelio_crypto::x25519;
+use revelio_net::clock::SimClock;
+use revelio_net::net::{Connection, SimNet};
+use revelio_pki::cert::{Certificate, CertificateChain};
+
+use crate::handshake::{transcript_hash, ClientHello, ServerHello};
+use crate::record::{derive_traffic_keys, TrafficKeys};
+use crate::TlsError;
+
+/// Client-side trust configuration.
+#[derive(Clone)]
+pub struct TlsClientConfig {
+    /// Trusted root certificates (the browser's root store).
+    pub trusted_roots: Vec<Certificate>,
+    /// Clock for validity-window checks.
+    pub clock: SimClock,
+}
+
+impl std::fmt::Debug for TlsClientConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TlsClientConfig")
+            .field("trusted_roots", &self.trusted_roots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A TLS client.
+#[derive(Debug, Clone)]
+pub struct TlsClient {
+    config: TlsClientConfig,
+}
+
+impl TlsClient {
+    /// Creates a client trusting `config.trusted_roots`.
+    #[must_use]
+    pub fn new(config: TlsClientConfig) -> Self {
+        TlsClient { config }
+    }
+
+    /// Connects to `address`, expecting a certificate for `server_name`.
+    ///
+    /// `ephemeral_seed` supplies the client's handshake entropy
+    /// (deterministic for reproducible simulations; a browser uses its
+    /// CSPRNG).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TlsError`] on transport failure, malformed flights,
+    /// certificate rejection (chain, validity, domain), or a bad
+    /// transcript signature.
+    pub fn connect(
+        &self,
+        net: &SimNet,
+        address: &str,
+        server_name: &str,
+        ephemeral_seed: [u8; 32],
+    ) -> Result<TlsSession, TlsError> {
+        let mut conn = net.dial(address)?;
+
+        let eph_secret = ephemeral_seed;
+        let mut random = [0u8; 32];
+        let pk = x25519::public_key(&eph_secret);
+        // Derive the client random from the seed (distinct from the key).
+        random.copy_from_slice(&revelio_crypto::sha2::Sha256::digest(pk));
+
+        let hello = ClientHello {
+            ephemeral_public: pk,
+            random,
+            server_name: server_name.to_owned(),
+        };
+        let reply_bytes = conn.exchange(&hello.to_bytes())?;
+        let reply = ServerHello::from_bytes(&reply_bytes)?;
+
+        // Certificate validation: chain to a trusted root, validity,
+        // domain coverage.
+        let now_ms = self.config.clock.now_us() / 1000;
+        reply.chain.validate(&self.config.trusted_roots, now_ms)?;
+        reply.chain.leaf().check_domain(server_name)?;
+
+        // Transcript signature: proves possession of the certified key and
+        // binds the ephemerals and any RA-TLS evidence (no signature ⇒
+        // MITM could swap them; unsigned evidence could be stripped).
+        let transcript = transcript_hash(
+            &hello,
+            &reply.ephemeral_public,
+            &reply.random,
+            &reply.chain,
+            reply.evidence.as_deref(),
+        );
+        reply
+            .chain
+            .leaf()
+            .public_key
+            .verify(&transcript, &reply.signature)
+            .map_err(|_| TlsError::Handshake("bad transcript signature".into()))?;
+
+        let shared = x25519::shared_secret(&eph_secret, &reply.ephemeral_public);
+        let keys = derive_traffic_keys(&shared, &hello.random, &reply.random);
+        Ok(TlsSession {
+            conn,
+            keys,
+            peer_chain: reply.chain,
+            peer_evidence: reply.evidence,
+        })
+    }
+}
+
+/// An established TLS session.
+pub struct TlsSession {
+    conn: Connection,
+    keys: TrafficKeys,
+    peer_chain: CertificateChain,
+    peer_evidence: Option<Vec<u8>>,
+}
+
+impl std::fmt::Debug for TlsSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TlsSession")
+            .field("peer", &self.peer_chain.leaf().subject)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TlsSession {
+    /// Sends one protected request and returns the protected response's
+    /// plaintext.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TlsError::Net`] on transport failure or
+    /// [`TlsError::RecordAuthentication`] on tampering.
+    pub fn request(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, TlsError> {
+        let sealed = self.keys.client_to_server.seal(plaintext);
+        let reply = self.conn.exchange(&sealed)?;
+        self.keys.server_to_client.open(&reply)
+    }
+
+    /// The server's certificate chain.
+    #[must_use]
+    pub fn peer_chain(&self) -> &CertificateChain {
+        &self.peer_chain
+    }
+
+    /// The public key this connection cryptographically terminates at —
+    /// the value the Revelio web extension compares against the
+    /// attestation report's `REPORT_DATA` (§5.3.2).
+    #[must_use]
+    pub fn peer_public_key(&self) -> VerifyingKey {
+        self.peer_chain.leaf().public_key
+    }
+
+    /// RA-TLS evidence the server delivered inside the handshake, if any
+    /// (signature-protected by the transcript; content validation is the
+    /// caller's job).
+    #[must_use]
+    pub fn peer_evidence(&self) -> Option<&[u8]> {
+        self.peer_evidence.as_deref()
+    }
+
+    /// Closes the session.
+    pub fn close(&mut self) {
+        self.conn.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{TlsListener, TlsServerConfig};
+    use revelio_crypto::ed25519::SigningKey;
+    use revelio_net::net::{NetConfig, SimNet};
+    use revelio_pki::acme::{AcmeCa, AcmePolicy};
+    use revelio_pki::cert::CertificateSigningRequest;
+    use revelio_net::dns::DnsZone;
+    use std::sync::Arc;
+
+    struct World {
+        net: SimNet,
+        clock: SimClock,
+        ca: AcmeCa,
+        server_key: SigningKey,
+    }
+
+    fn world() -> World {
+        let clock = SimClock::new();
+        let net = SimNet::new(clock.clone(), NetConfig::default());
+        let dns = DnsZone::new();
+        let ca = AcmeCa::new("SimEncrypt", [3; 32], AcmePolicy::default(), clock.clone(), dns);
+        World { net, clock, ca, server_key: SigningKey::from_seed(&[10; 32]) }
+    }
+
+    fn serve(w: &World, domain: &str, address: &str, key: &SigningKey, body: &'static [u8]) {
+        let csr = CertificateSigningRequest::new(domain, key, "Org", "CH");
+        let chain = w.ca.order_certificate(&csr).unwrap();
+        let listener = TlsListener::new(
+            TlsServerConfig::new(chain, key.clone(), [9; 32]),
+            Arc::new(move |_req: &[u8]| body.to_vec()),
+        );
+        w.net.bind(address, Arc::new(listener)).unwrap();
+    }
+
+    fn client(w: &World) -> TlsClient {
+        TlsClient::new(TlsClientConfig {
+            trusted_roots: vec![w.ca.root_certificate()],
+            clock: w.clock.clone(),
+        })
+    }
+
+    #[test]
+    fn handshake_and_request_roundtrip() {
+        let w = world();
+        serve(&w, "pad.example.org", "10.0.0.1:443", &w.server_key, b"hello end-user");
+        let mut session = client(&w)
+            .connect(&w.net, "10.0.0.1:443", "pad.example.org", [1; 32])
+            .unwrap();
+        assert_eq!(session.request(b"GET /").unwrap(), b"hello end-user");
+        assert_eq!(session.request(b"GET /again").unwrap(), b"hello end-user");
+        assert_eq!(
+            session.peer_public_key(),
+            w.server_key.verifying_key()
+        );
+    }
+
+    #[test]
+    fn untrusted_ca_rejected() {
+        let w = world();
+        serve(&w, "pad.example.org", "10.0.0.1:443", &w.server_key, b"x");
+        // A client that trusts a *different* root store.
+        let rogue_ca = AcmeCa::new(
+            "RogueTrust",
+            [77; 32],
+            AcmePolicy::default(),
+            w.clock.clone(),
+            DnsZone::new(),
+        );
+        let client = TlsClient::new(TlsClientConfig {
+            trusted_roots: vec![rogue_ca.root_certificate()],
+            clock: w.clock.clone(),
+        });
+        assert!(matches!(
+            client.connect(&w.net, "10.0.0.1:443", "pad.example.org", [1; 32]),
+            Err(TlsError::Certificate(_))
+        ));
+    }
+
+    #[test]
+    fn domain_mismatch_rejected() {
+        let w = world();
+        serve(&w, "other.example.org", "10.0.0.1:443", &w.server_key, b"x");
+        assert!(matches!(
+            client(&w).connect(&w.net, "10.0.0.1:443", "pad.example.org", [1; 32]),
+            Err(TlsError::Certificate(revelio_pki::PkiError::DomainMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn expired_certificate_rejected() {
+        let w = world();
+        serve(&w, "pad.example.org", "10.0.0.1:443", &w.server_key, b"x");
+        // Advance past the 90-day lifetime.
+        w.clock.advance_ms(91.0 * 24.0 * 3600.0 * 1000.0);
+        assert!(matches!(
+            client(&w).connect(&w.net, "10.0.0.1:443", "pad.example.org", [1; 32]),
+            Err(TlsError::Certificate(revelio_pki::PkiError::Expired { .. }))
+        ));
+    }
+
+    #[test]
+    fn server_without_matching_private_key_rejected() {
+        // An attacker replays the honest chain but holds a different key:
+        // the transcript signature fails.
+        let w = world();
+        let honest_key = w.server_key.clone();
+        let csr = CertificateSigningRequest::new("pad.example.org", &honest_key, "O", "C");
+        let chain = w.ca.order_certificate(&csr).unwrap();
+        let attacker_key = SigningKey::from_seed(&[66; 32]);
+        let listener = TlsListener::new(
+            TlsServerConfig::new(chain, attacker_key, [9; 32]),
+            Arc::new(|_req: &[u8]| b"evil".to_vec()),
+        );
+        w.net.bind("10.0.0.1:443", Arc::new(listener)).unwrap();
+        assert!(matches!(
+            client(&w).connect(&w.net, "10.0.0.1:443", "pad.example.org", [1; 32]),
+            Err(TlsError::Handshake(_))
+        ));
+    }
+
+    #[test]
+    fn mitm_with_dns_issued_cert_succeeds_but_key_differs() {
+        // §5.3.2's residual threat: the attacker controls DNS, obtains a
+        // *valid* certificate for the same domain with their own key, and
+        // redirects traffic. TLS accepts — only Revelio's pinning catches
+        // the key change.
+        let w = world();
+        serve(&w, "pad.example.org", "10.0.0.1:443", &w.server_key, b"honest");
+        let attacker_key = SigningKey::from_seed(&[66; 32]);
+        serve(&w, "pad.example.org", "10.6.6.6:443", &attacker_key, b"evil");
+        w.net.redirect("10.0.0.1:443", "10.6.6.6:443");
+
+        let mut session = client(&w)
+            .connect(&w.net, "10.0.0.1:443", "pad.example.org", [1; 32])
+            .unwrap();
+        assert_eq!(session.request(b"GET /").unwrap(), b"evil");
+        // The extension-visible signal: the connection's key changed.
+        assert_ne!(session.peer_public_key(), w.server_key.verifying_key());
+        assert_eq!(session.peer_public_key(), attacker_key.verifying_key());
+    }
+
+    #[test]
+    fn tampered_record_detected() {
+        let w = world();
+        serve(&w, "pad.example.org", "10.0.0.1:443", &w.server_key, b"x");
+        // A middlebox that passes the handshake flight untouched but flips
+        // a bit in every later (record) message.
+        let seen = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let counter = Arc::clone(&seen);
+        w.net.set_tamper("10.0.0.1:443", Arc::new(move |m: &[u8]| {
+            let n = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let mut v = m.to_vec();
+            if n > 0 {
+                v[0] ^= 1;
+            }
+            v
+        }));
+        let mut session = client(&w)
+            .connect(&w.net, "10.0.0.1:443", "pad.example.org", [1; 32])
+            .unwrap();
+        // Tampered request record: server rejects; connection dies.
+        assert!(session.request(b"GET /").is_err());
+    }
+
+    #[test]
+    fn handshake_costs_one_round_trip_requests_one_each() {
+        let w = world();
+        serve(&w, "pad.example.org", "10.0.0.1:443", &w.server_key, b"x");
+        let t0 = w.clock.now_ms();
+        let mut session = client(&w)
+            .connect(&w.net, "10.0.0.1:443", "pad.example.org", [1; 32])
+            .unwrap();
+        let after_handshake = w.clock.now_ms();
+        session.request(b"GET /").unwrap();
+        let after_request = w.clock.now_ms();
+        let rtt = 5.2;
+        assert!((after_handshake - t0 - rtt).abs() < 0.1);
+        assert!((after_request - after_handshake - rtt).abs() < 0.1);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for the TLS simulation.
+
+use std::error::Error;
+use std::fmt;
+
+use revelio_crypto::wire::WireError;
+use revelio_crypto::CryptoError;
+use revelio_net::NetError;
+use revelio_pki::PkiError;
+
+/// Errors surfaced by handshakes and record protection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TlsError {
+    /// The handshake failed; the message names the step.
+    Handshake(String),
+    /// Certificate validation failed.
+    Certificate(PkiError),
+    /// A record failed authentication (tampering or key mismatch).
+    RecordAuthentication,
+    /// Transport failure.
+    Net(NetError),
+    /// Malformed message.
+    Wire(WireError),
+    /// Cryptographic failure.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for TlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TlsError::Handshake(why) => write!(f, "handshake failed: {why}"),
+            TlsError::Certificate(e) => write!(f, "certificate validation failed: {e}"),
+            TlsError::RecordAuthentication => write!(f, "record authentication failed"),
+            TlsError::Net(e) => write!(f, "transport error: {e}"),
+            TlsError::Wire(e) => write!(f, "wire format error: {e}"),
+            TlsError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl Error for TlsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TlsError::Certificate(e) => Some(e),
+            TlsError::Net(e) => Some(e),
+            TlsError::Wire(e) => Some(e),
+            TlsError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PkiError> for TlsError {
+    fn from(e: PkiError) -> Self {
+        TlsError::Certificate(e)
+    }
+}
+
+impl From<NetError> for TlsError {
+    fn from(e: NetError) -> Self {
+        TlsError::Net(e)
+    }
+}
+
+impl From<WireError> for TlsError {
+    fn from(e: WireError) -> Self {
+        TlsError::Wire(e)
+    }
+}
+
+impl From<CryptoError> for TlsError {
+    fn from(e: CryptoError) -> Self {
+        TlsError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_propagates_detail() {
+        let e = TlsError::Handshake("bad server hello".into());
+        assert!(e.to_string().contains("bad server hello"));
+    }
+}

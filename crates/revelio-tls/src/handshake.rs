@@ -1,0 +1,219 @@
+//! Handshake messages and transcript hashing.
+
+use revelio_crypto::ed25519::{Signature, SIGNATURE_LEN};
+use revelio_crypto::sha2::Sha256;
+use revelio_crypto::wire::{ByteReader, ByteWriter};
+use revelio_pki::cert::CertificateChain;
+
+use crate::TlsError;
+
+/// The client's first flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientHello {
+    /// Client ephemeral X25519 public key.
+    pub ephemeral_public: [u8; 32],
+    /// Client random.
+    pub random: [u8; 32],
+    /// Server name indication — which certificate the client expects.
+    pub server_name: String,
+}
+
+impl ClientHello {
+    /// Encodes the flight.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(b"TLSCH1");
+        w.put_bytes(&self.ephemeral_public);
+        w.put_bytes(&self.random);
+        w.put_str(&self.server_name);
+        w.into_bytes()
+    }
+
+    /// Decodes the flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TlsError::Wire`] / [`TlsError::Handshake`] on malformed
+    /// input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TlsError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_array::<6>()?;
+        if &magic != b"TLSCH1" {
+            return Err(TlsError::Handshake("not a client hello".into()));
+        }
+        let ephemeral_public = r.get_array::<32>()?;
+        let random = r.get_array::<32>()?;
+        let server_name = r.get_str()?;
+        r.finish()?;
+        Ok(ClientHello { ephemeral_public, random, server_name })
+    }
+}
+
+/// The server's reply flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerHello {
+    /// Server ephemeral X25519 public key.
+    pub ephemeral_public: [u8; 32],
+    /// Server random.
+    pub random: [u8; 32],
+    /// Certificate chain (leaf first).
+    pub chain: CertificateChain,
+    /// Optional RA-TLS attestation evidence (opaque to the TLS layer;
+    /// Revelio puts a serialized evidence bundle here so clients can
+    /// attest without a separate fetch — the integration the paper's §7
+    /// suggests via RATLS).
+    pub evidence: Option<Vec<u8>>,
+    /// Signature by the leaf certificate's key over the transcript hash —
+    /// proves the server controls the certified private key and binds the
+    /// ephemeral exchange (and any evidence) to it.
+    pub signature: Signature,
+}
+
+impl ServerHello {
+    /// Encodes the flight.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(b"TLSSH2");
+        w.put_bytes(&self.ephemeral_public);
+        w.put_bytes(&self.random);
+        w.put_var_bytes(&self.chain.to_bytes());
+        match &self.evidence {
+            None => {
+                w.put_u8(0);
+            }
+            Some(e) => {
+                w.put_u8(1);
+                w.put_var_bytes(e);
+            }
+        }
+        w.put_bytes(&self.signature.to_bytes());
+        w.into_bytes()
+    }
+
+    /// Decodes the flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TlsError::Wire`] / [`TlsError::Handshake`] on malformed
+    /// input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TlsError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_array::<6>()?;
+        if &magic != b"TLSSH2" {
+            return Err(TlsError::Handshake("not a server hello".into()));
+        }
+        let ephemeral_public = r.get_array::<32>()?;
+        let random = r.get_array::<32>()?;
+        let chain = CertificateChain::from_bytes(r.get_var_bytes()?)?;
+        let evidence = match r.get_u8()? {
+            0 => None,
+            1 => Some(r.get_var_bytes()?.to_vec()),
+            t => return Err(TlsError::Handshake(format!("unknown evidence tag {t}"))),
+        };
+        let signature = Signature::from_bytes(r.get_array::<SIGNATURE_LEN>()?);
+        r.finish()?;
+        Ok(ServerHello { ephemeral_public, random, chain, evidence, signature })
+    }
+}
+
+/// The transcript hash the server signs: everything both sides saw before
+/// key derivation, including any RA-TLS evidence (so evidence cannot be
+/// stripped or swapped by a middlebox).
+#[must_use]
+pub fn transcript_hash(
+    client_hello: &ClientHello,
+    server_ephemeral: &[u8; 32],
+    server_random: &[u8; 32],
+    chain: &CertificateChain,
+    evidence: Option<&[u8]>,
+) -> [u8; 32] {
+    let mut w = ByteWriter::new();
+    w.put_bytes(b"tls-transcript/v2");
+    w.put_var_bytes(&client_hello.to_bytes());
+    w.put_bytes(server_ephemeral);
+    w.put_bytes(server_random);
+    w.put_var_bytes(&chain.to_bytes());
+    match evidence {
+        None => {
+            w.put_u8(0);
+        }
+        Some(e) => {
+            w.put_u8(1);
+            w.put_var_bytes(e);
+        }
+    }
+    Sha256::digest(w.into_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revelio_crypto::ed25519::SigningKey;
+    use revelio_pki::ca::CertificateAuthority;
+    use revelio_pki::cert::CertificateSigningRequest;
+
+    fn chain() -> CertificateChain {
+        let ca = CertificateAuthority::new_root("R", [1; 32]);
+        let key = SigningKey::from_seed(&[2; 32]);
+        let csr = CertificateSigningRequest::new("a.example", &key, "O", "C");
+        CertificateChain { certificates: vec![ca.issue_for_csr(&csr, 0, 100).unwrap()] }
+    }
+
+    #[test]
+    fn client_hello_roundtrip() {
+        let ch = ClientHello {
+            ephemeral_public: [1; 32],
+            random: [2; 32],
+            server_name: "a.example".into(),
+        };
+        assert_eq!(ClientHello::from_bytes(&ch.to_bytes()).unwrap(), ch);
+    }
+
+    #[test]
+    fn server_hello_roundtrip() {
+        let sh = ServerHello {
+            ephemeral_public: [3; 32],
+            random: [4; 32],
+            chain: chain(),
+            evidence: None,
+            signature: SigningKey::from_seed(&[5; 32]).sign(b"t"),
+        };
+        assert_eq!(ServerHello::from_bytes(&sh.to_bytes()).unwrap(), sh);
+
+        let with_evidence = ServerHello { evidence: Some(b"bundle".to_vec()), ..sh };
+        assert_eq!(
+            ServerHello::from_bytes(&with_evidence.to_bytes()).unwrap(),
+            with_evidence
+        );
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        assert!(ClientHello::from_bytes(b"XXXXXXrest").is_err());
+        assert!(ServerHello::from_bytes(b"YYYYYYrest").is_err());
+    }
+
+    #[test]
+    fn transcript_covers_every_input() {
+        let ch = ClientHello {
+            ephemeral_public: [1; 32],
+            random: [2; 32],
+            server_name: "a.example".into(),
+        };
+        let base = transcript_hash(&ch, &[3; 32], &[4; 32], &chain(), None);
+        let mut ch2 = ch.clone();
+        ch2.server_name = "b.example".into();
+        assert_ne!(base, transcript_hash(&ch2, &[3; 32], &[4; 32], &chain(), None));
+        assert_ne!(base, transcript_hash(&ch, &[9; 32], &[4; 32], &chain(), None));
+        assert_ne!(base, transcript_hash(&ch, &[3; 32], &[9; 32], &chain(), None));
+        // Evidence is covered too: adding or changing it changes the hash.
+        let with_e = transcript_hash(&ch, &[3; 32], &[4; 32], &chain(), Some(b"ev"));
+        assert_ne!(base, with_e);
+        assert_ne!(
+            with_e,
+            transcript_hash(&ch, &[3; 32], &[4; 32], &chain(), Some(b"EV"))
+        );
+    }
+}

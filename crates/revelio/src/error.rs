@@ -1,0 +1,142 @@
+//! Error type for the Revelio core.
+
+use std::error::Error;
+use std::fmt;
+
+use revelio_boot::BootError;
+use revelio_build::BuildError;
+use revelio_crypto::wire::WireError;
+use revelio_crypto::CryptoError;
+use revelio_http::HttpError;
+use revelio_net::NetError;
+use revelio_pki::PkiError;
+use sev_snp::SnpError;
+
+/// Errors surfaced by Revelio provisioning, distribution and verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RevelioError {
+    /// A node's attestation did not pass the SP node's checks; names the
+    /// node and the reason.
+    NodeRejected {
+        /// Bootstrap address of the offending node.
+        node: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A peer's report was rejected during mutual attestation.
+    MutualAttestationFailed(String),
+    /// The evidence bundle failed verification; names the failing check.
+    EvidenceRejected(String),
+    /// The measurement is not among the registered golden values.
+    UnknownMeasurement(String),
+    /// The TLS connection's public key does not match the key bound in the
+    /// attestation report — the man-in-the-middle signal.
+    TlsBindingMismatch,
+    /// The site serves no Revelio evidence at the well-known URL.
+    NotRevelioSite(String),
+    /// The decrypted TLS key does not match the distributed certificate.
+    KeyCertificateMismatch,
+    /// Hardware attestation error.
+    Snp(SnpError),
+    /// Boot failure.
+    Boot(BootError),
+    /// Image build failure.
+    Build(BuildError),
+    /// PKI failure (issuance, validation, rate limit).
+    Pki(PkiError),
+    /// HTTP failure.
+    Http(HttpError),
+    /// Network failure.
+    Net(NetError),
+    /// Wire-format failure.
+    Wire(WireError),
+    /// Cryptographic failure.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for RevelioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RevelioError::NodeRejected { node, reason } => {
+                write!(f, "node {node} rejected: {reason}")
+            }
+            RevelioError::MutualAttestationFailed(why) => {
+                write!(f, "mutual attestation failed: {why}")
+            }
+            RevelioError::EvidenceRejected(why) => write!(f, "evidence rejected: {why}"),
+            RevelioError::UnknownMeasurement(m) => {
+                write!(f, "measurement {m} is not a registered golden value")
+            }
+            RevelioError::TlsBindingMismatch => {
+                write!(f, "tls connection key does not match attested key")
+            }
+            RevelioError::NotRevelioSite(d) => write!(f, "{d} serves no revelio evidence"),
+            RevelioError::KeyCertificateMismatch => {
+                write!(f, "distributed key does not match certificate")
+            }
+            RevelioError::Snp(e) => write!(f, "attestation error: {e}"),
+            RevelioError::Boot(e) => write!(f, "boot error: {e}"),
+            RevelioError::Build(e) => write!(f, "build error: {e}"),
+            RevelioError::Pki(e) => write!(f, "pki error: {e}"),
+            RevelioError::Http(e) => write!(f, "http error: {e}"),
+            RevelioError::Net(e) => write!(f, "network error: {e}"),
+            RevelioError::Wire(e) => write!(f, "wire format error: {e}"),
+            RevelioError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl Error for RevelioError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RevelioError::Snp(e) => Some(e),
+            RevelioError::Boot(e) => Some(e),
+            RevelioError::Build(e) => Some(e),
+            RevelioError::Pki(e) => Some(e),
+            RevelioError::Http(e) => Some(e),
+            RevelioError::Net(e) => Some(e),
+            RevelioError::Wire(e) => Some(e),
+            RevelioError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($($source:ty => $variant:ident),* $(,)?) => {
+        $(impl From<$source> for RevelioError {
+            fn from(e: $source) -> Self { RevelioError::$variant(e) }
+        })*
+    };
+}
+
+impl_from! {
+    SnpError => Snp,
+    BootError => Boot,
+    BuildError => Build,
+    PkiError => Pki,
+    HttpError => Http,
+    NetError => Net,
+    WireError => Wire,
+    CryptoError => Crypto,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_nodes_and_reasons() {
+        let e = RevelioError::NodeRejected { node: "10.0.0.1:8080".into(), reason: "bad csr".into() };
+        assert!(e.to_string().contains("10.0.0.1:8080"));
+        assert!(e.to_string().contains("bad csr"));
+    }
+
+    #[test]
+    fn from_conversions_work() {
+        let e: RevelioError = SnpError::SignatureInvalid.into();
+        assert!(matches!(e, RevelioError::Snp(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

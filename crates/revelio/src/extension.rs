@@ -1,0 +1,376 @@
+//! The Revelio web extension: seamless end-user remote attestation
+//! (paper §5.3.2).
+//!
+//! For every **registered** domain the extension intercepts the first
+//! access in a browser context: it fetches the evidence from the
+//! well-known URL, queries the AMD KDS for the VCEK chain (cached across
+//! sites — the paper's §6.4 optimization), validates the certificate
+//! chain, the report signature, the launch measurement against the
+//! registered golden values, and finally that the **TLS connection's
+//! public key is the key bound inside `REPORT_DATA`** — only then is the
+//! page trusted. Afterwards every request keeps being monitored: if the
+//! connection is reset and re-established against a different key (the
+//! DNS-controlling service provider's redirect attack), the extension
+//! flags it even though the browser itself would accept the attacker's
+//! valid certificate.
+
+use std::collections::BTreeMap;
+
+use revelio_crypto::ed25519::VerifyingKey;
+use revelio_http::client::{HttpsClient, HttpsSession};
+use revelio_http::message::{Request, Response};
+use revelio_http::WELL_KNOWN_ATTESTATION_PATH;
+use revelio_net::clock::SimClock;
+use revelio_net::dns::DnsZone;
+use revelio_net::net::SimNet;
+use revelio_pki::cert::Certificate;
+use revelio_tls::TlsClientConfig;
+use sev_snp::measurement::Measurement;
+use sev_snp::verify::ReportVerifier;
+
+use crate::evidence::EvidenceBundle;
+use crate::kds_http::KdsHttpClient;
+use crate::registry::GoldenSet;
+use crate::RevelioError;
+
+/// Extension policy and modelled client-side costs.
+#[derive(Debug, Clone)]
+pub struct ExtensionConfig {
+    /// Pinned AMD root key.
+    pub trusted_ark: VerifyingKey,
+    /// Browser root store.
+    pub tls_roots: Vec<Certificate>,
+    /// Modelled cost of in-extension evidence validation, ms (fitted to
+    /// Table 3; JavaScript crypto is slow).
+    pub validation_ms: f64,
+    /// Modelled cost of querying the browser's connection context per
+    /// monitored request, ms (Table 3: ~14 ms).
+    pub connection_validation_ms: f64,
+}
+
+/// Timing breakdown of one attested page access (Table 3's raw material).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BrowseTiming {
+    /// End-to-end simulated time, ms.
+    pub total_ms: f64,
+    /// Time spent fetching+validating evidence (includes KDS), ms.
+    pub attestation_ms: f64,
+    /// Of which: the KDS round trip, ms (0 on a cache hit).
+    pub kds_ms: f64,
+}
+
+/// A successfully attested page access.
+#[derive(Debug)]
+pub struct BrowseOutcome {
+    /// The application response.
+    pub response: Response,
+    /// Timing breakdown.
+    pub timing: BrowseTiming,
+    /// The validated evidence (for UI display: measurement, chip, TCB).
+    pub evidence: EvidenceBundle,
+}
+
+/// The web extension.
+pub struct WebExtension {
+    clock: SimClock,
+    kds: KdsHttpClient,
+    config: ExtensionConfig,
+    client: HttpsClient,
+    registered: BTreeMap<String, GoldenSet>,
+}
+
+impl std::fmt::Debug for WebExtension {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WebExtension")
+            .field("registered_sites", &self.registered.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl WebExtension {
+    /// Creates an extension instance (one per browser profile).
+    #[must_use]
+    pub fn new(
+        net: SimNet,
+        dns: DnsZone,
+        kds: KdsHttpClient,
+        config: ExtensionConfig,
+        entropy_seed: [u8; 32],
+    ) -> Self {
+        let client = HttpsClient::new(
+            net.clone(),
+            dns,
+            TlsClientConfig {
+                trusted_roots: config.tls_roots.clone(),
+                clock: net.clock().clone(),
+            },
+            entropy_seed,
+        );
+        WebExtension {
+            clock: net.clock().clone(),
+            kds,
+            config,
+            client,
+            registered: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a domain with its acceptable measurements (manual
+    /// registration — the secure path, §5.3.2).
+    pub fn register_site(
+        &mut self,
+        domain: &str,
+        golden: impl IntoIterator<Item = Measurement>,
+    ) {
+        self.registered
+            .insert(domain.to_owned(), GoldenSet::from_measurements(golden));
+    }
+
+    /// Whether `domain` is registered for validation.
+    #[must_use]
+    pub fn is_registered(&self, domain: &str) -> bool {
+        self.registered.contains_key(domain)
+    }
+
+    /// Revokes a golden measurement for a registered domain (image
+    /// rollout: prevents rollback, §6.1.4).
+    pub fn revoke_measurement(&mut self, domain: &str, measurement: Measurement) {
+        if let Some(set) = self.registered.get_mut(domain) {
+            set.revoke(measurement);
+        }
+    }
+
+    fn validate_evidence(
+        &self,
+        domain: &str,
+        session: &HttpsSession,
+        evidence: &EvidenceBundle,
+    ) -> Result<f64, RevelioError> {
+        let golden = self
+            .registered
+            .get(domain)
+            .ok_or_else(|| RevelioError::NotRevelioSite(domain.to_owned()))?;
+
+        // 1. Fetch the VCEK chain ourselves from the KDS (don't trust the
+        //    bundled copy's provenance), measuring the round trip.
+        let (chain, kds_ms) = {
+            let t0 = self.clock.now_ms();
+            let chain = self.kds.vcek_chain(
+                &evidence.report.report.chip_id,
+                &evidence.report.report.reported_tcb,
+            )?;
+            (chain, self.clock.now_ms() - t0)
+        };
+
+        // 2. Chain, signature, policy.
+        ReportVerifier::new(self.config.trusted_ark)
+            .verify(&evidence.report, &chain)
+            .map_err(|e| RevelioError::EvidenceRejected(e.to_string()))?;
+
+        // 3. Measurement against the user's golden values.
+        let measurement = evidence.report.report.measurement;
+        if !golden.is_trusted(&measurement) {
+            return Err(RevelioError::UnknownMeasurement(measurement.to_hex()));
+        }
+
+        // 4. The TLS binding: this very connection must terminate at the
+        //    attested key.
+        evidence.check_tls_binding(&session.peer_public_key())?;
+
+        self.clock.advance_ms(self.config.validation_ms);
+        Ok(kds_ms)
+    }
+
+    /// Accesses `path` on a registered Revelio site with full attestation
+    /// (a fresh browser context: handshake, evidence, KDS, validation,
+    /// then the page).
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`RevelioError`] for the failing check — these
+    /// are the alerts the extension UI shows the user.
+    pub fn browse(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
+        let t_start = self.clock.now_ms();
+        let mut session = self.client.open(domain)?;
+
+        let t_attest = self.clock.now_ms();
+        let evidence_response = session.send(&Request::get(WELL_KNOWN_ATTESTATION_PATH))?;
+        if !evidence_response.is_success() {
+            return Err(RevelioError::NotRevelioSite(domain.to_owned()));
+        }
+        let evidence = EvidenceBundle::from_bytes(&evidence_response.body)?;
+        let kds_ms = self.validate_evidence(domain, &session, &evidence)?;
+        let attestation_ms = self.clock.now_ms() - t_attest;
+
+        let response = session.send(&Request::get(path))?;
+        Ok(BrowseOutcome {
+            response,
+            timing: BrowseTiming {
+                total_ms: self.clock.now_ms() - t_start,
+                attestation_ms,
+                kds_ms,
+            },
+            evidence,
+        })
+    }
+
+    /// RA-TLS access (paper §7's suggested RATLS integration): the
+    /// evidence bundle arrives *inside the TLS handshake*, so attestation
+    /// needs no separate well-known fetch — one round trip less than
+    /// [`WebExtension::browse`]. The handshake signature covers the
+    /// evidence, so it cannot be stripped or substituted in flight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RevelioError::NotRevelioSite`] when the handshake carried
+    /// no evidence, plus every failure mode of [`WebExtension::browse`].
+    pub fn browse_ratls(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
+        let t_start = self.clock.now_ms();
+        let mut session = self.client.open(domain)?;
+
+        let t_attest = self.clock.now_ms();
+        let evidence_bytes = session
+            .peer_evidence()
+            .ok_or_else(|| RevelioError::NotRevelioSite(domain.to_owned()))?
+            .to_vec();
+        let evidence = EvidenceBundle::from_bytes(&evidence_bytes)?;
+        let kds_ms = self.validate_evidence(domain, &session, &evidence)?;
+        let attestation_ms = self.clock.now_ms() - t_attest;
+
+        let response = session.send(&Request::get(path))?;
+        Ok(BrowseOutcome {
+            response,
+            timing: BrowseTiming {
+                total_ms: self.clock.now_ms() - t_start,
+                attestation_ms,
+                kds_ms,
+            },
+            evidence,
+        })
+    }
+
+    /// Accesses a page **without** attestation (what a user without the
+    /// extension gets; Table 3's "plain HTTP GET" row).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RevelioError::Http`] on transport/TLS failure.
+    pub fn browse_unprotected(&self, domain: &str, path: &str) -> Result<Response, RevelioError> {
+        let mut session = self.client.open(domain)?;
+        Ok(session.send(&Request::get(path))?)
+    }
+
+    /// Attests `domain` and returns a monitored session for subsequent
+    /// requests (the long-lived browsing case).
+    ///
+    /// # Errors
+    ///
+    /// As for [`WebExtension::browse`].
+    pub fn open_monitored(&self, domain: &str) -> Result<MonitoredSession, RevelioError> {
+        let mut session = self.client.open(domain)?;
+        let evidence_response = session.send(&Request::get(WELL_KNOWN_ATTESTATION_PATH))?;
+        if !evidence_response.is_success() {
+            return Err(RevelioError::NotRevelioSite(domain.to_owned()));
+        }
+        let evidence = EvidenceBundle::from_bytes(&evidence_response.body)?;
+        self.validate_evidence(domain, &session, &evidence)?;
+        Ok(MonitoredSession {
+            pinned_key: session.peer_public_key(),
+            domain: domain.to_owned(),
+            session,
+            clock: self.clock.clone(),
+            connection_validation_ms: self.config.connection_validation_ms,
+        })
+    }
+
+    /// Opportunistic discovery (§5.3.2's second mode): probe the
+    /// well-known URL; `Ok(Some(m))` means the site offers Revelio
+    /// evidence with measurement `m` that the user must now vet
+    /// out-of-band.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RevelioError::Http`] on transport failure (an unreachable
+    /// site is an error; a reachable non-Revelio site is `Ok(None)`).
+    pub fn discover(&self, domain: &str) -> Result<Option<Measurement>, RevelioError> {
+        let mut session = self.client.open(domain)?;
+        let response = session.send(&Request::get(WELL_KNOWN_ATTESTATION_PATH))?;
+        if !response.is_success() {
+            return Ok(None);
+        }
+        Ok(EvidenceBundle::from_bytes(&response.body)
+            .ok()
+            .map(|e| e.report.report.measurement))
+    }
+
+    /// Reconnects a monitored session after a connection reset and
+    /// re-validates the endpoint key — the defense against the redirect
+    /// attack (§5.3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RevelioError::TlsBindingMismatch`] when the re-established
+    /// connection terminates at a different key.
+    pub fn reconnect(&self, monitored: &mut MonitoredSession) -> Result<(), RevelioError> {
+        let session = self.client.open(&monitored.domain)?;
+        if session.peer_public_key() != monitored.pinned_key {
+            return Err(RevelioError::TlsBindingMismatch);
+        }
+        monitored.session = session;
+        Ok(())
+    }
+}
+
+/// An attested session whose every request re-validates the connection.
+pub struct MonitoredSession {
+    session: HttpsSession,
+    pinned_key: VerifyingKey,
+    domain: String,
+    clock: SimClock,
+    connection_validation_ms: f64,
+}
+
+impl std::fmt::Debug for MonitoredSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitoredSession").field("domain", &self.domain).finish_non_exhaustive()
+    }
+}
+
+impl MonitoredSession {
+    /// Performs one monitored GET: query the connection context, verify
+    /// the key is still the pinned one, then send.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RevelioError::TlsBindingMismatch`] if the connection no
+    /// longer terminates at the attested key, or transport errors.
+    pub fn request(&mut self, path: &str) -> Result<Response, RevelioError> {
+        self.send(&Request::get(path))
+    }
+
+    /// Performs an arbitrary monitored request (POST bodies etc.) with the
+    /// same per-request connection validation.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MonitoredSession::request`].
+    pub fn send(&mut self, request: &Request) -> Result<Response, RevelioError> {
+        self.clock.advance_ms(self.connection_validation_ms);
+        if self.session.peer_public_key() != self.pinned_key {
+            return Err(RevelioError::TlsBindingMismatch);
+        }
+        Ok(self.session.send(request)?)
+    }
+
+    /// The key pinned at attestation time.
+    #[must_use]
+    pub fn pinned_key(&self) -> VerifyingKey {
+        self.pinned_key
+    }
+
+    /// The monitored domain.
+    #[must_use]
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+}

@@ -1,0 +1,198 @@
+//! The AMD Key Distribution Service mounted on the simulated network, and
+//! the caching client verifiers use.
+//!
+//! Table 3's dominant cost is the KDS round trip (427.3 ms of the 778.9 ms
+//! attestation path); "since the VCEK is the same until the SEV-SNP
+//! firmware is updated, it can be cached" (§6.4). The client's cache is
+//! therefore explicit and shareable, and the bench harness toggles it.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use revelio_crypto::wire::{ByteReader, ByteWriter};
+use revelio_http::message::{Request, Response};
+use revelio_http::router::Router;
+use revelio_http::server::{plain_request, serve_http};
+use revelio_net::net::SimNet;
+use sev_snp::ids::{ChipId, TcbVersion};
+use sev_snp::kds::{KeyDistributionService, VcekCertChain};
+
+use crate::RevelioError;
+
+/// Conventional address the simulated KDS is mounted at.
+pub const KDS_ADDRESS: &str = "kds.amd.test:443";
+
+fn encode_query(chip_id: &ChipId, tcb: &TcbVersion) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bytes(chip_id.as_bytes());
+    w.put_u64(tcb.to_u64());
+    w.into_bytes()
+}
+
+fn decode_query(bytes: &[u8]) -> Result<(ChipId, TcbVersion), RevelioError> {
+    let mut r = ByteReader::new(bytes);
+    let chip = ChipId::from_bytes(r.get_array::<64>()?);
+    let tcb = TcbVersion::from_u64(r.get_u64()?);
+    r.finish()?;
+    Ok((chip, tcb))
+}
+
+/// Mounts `kds` at `address` on `net` (plain HTTP; the real KDS is public
+/// data over HTTPS — confidentiality is irrelevant, the chain is
+/// self-authenticating).
+///
+/// # Errors
+///
+/// Returns [`RevelioError::Http`] when the address is taken.
+pub fn serve_kds(
+    net: &SimNet,
+    address: &str,
+    kds: KeyDistributionService,
+) -> Result<(), RevelioError> {
+    let router = Router::new().post("/vcek", move |req: &Request| {
+        match decode_query(&req.body).and_then(|(chip, tcb)| {
+            kds.vcek_chain(&chip, &tcb).map_err(RevelioError::Snp)
+        }) {
+            Ok(chain) => Response::ok(chain.to_bytes()),
+            Err(_) => Response::status(400),
+        }
+    });
+    serve_http(net, address, router)?;
+    Ok(())
+}
+
+/// Cache of fetched VCEK chains, keyed by (chip id, packed TCB).
+type VcekCache = Arc<Mutex<HashMap<(ChipId, u64), VcekCertChain>>>;
+
+/// A KDS client with an optional shared VCEK-chain cache.
+#[derive(Clone)]
+pub struct KdsHttpClient {
+    net: SimNet,
+    address: String,
+    cache: Option<VcekCache>,
+}
+
+impl std::fmt::Debug for KdsHttpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KdsHttpClient")
+            .field("address", &self.address)
+            .field("caching", &self.cache.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl KdsHttpClient {
+    /// A caching client (the recommended configuration).
+    #[must_use]
+    pub fn new(net: SimNet, address: &str) -> Self {
+        KdsHttpClient {
+            net,
+            address: address.to_owned(),
+            cache: Some(Arc::new(Mutex::new(HashMap::new()))),
+        }
+    }
+
+    /// A cache-less client (every verification pays the KDS round trip —
+    /// Table 3's worst case).
+    #[must_use]
+    pub fn without_cache(net: SimNet, address: &str) -> Self {
+        KdsHttpClient { net, address: address.to_owned(), cache: None }
+    }
+
+    /// Fetches (or serves from cache) the VCEK chain for `(chip, tcb)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RevelioError`] on transport failure or a malformed
+    /// response.
+    pub fn vcek_chain(
+        &self,
+        chip_id: &ChipId,
+        tcb: &TcbVersion,
+    ) -> Result<VcekCertChain, RevelioError> {
+        if let Some(cache) = &self.cache {
+            if let Some(chain) = cache.lock().get(&(*chip_id, tcb.to_u64())) {
+                return Ok(chain.clone());
+            }
+        }
+        let response = plain_request(
+            &self.net,
+            &self.address,
+            &Request::post("/vcek", encode_query(chip_id, tcb)),
+        )?;
+        if !response.is_success() {
+            return Err(RevelioError::EvidenceRejected(format!(
+                "kds returned status {}",
+                response.status
+            )));
+        }
+        let chain = VcekCertChain::from_bytes(&response.body)?;
+        if let Some(cache) = &self.cache {
+            cache.lock().insert((*chip_id, tcb.to_u64()), chain.clone());
+        }
+        Ok(chain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revelio_net::clock::SimClock;
+    use revelio_net::net::NetConfig;
+    use sev_snp::platform::AmdRootOfTrust;
+
+    fn setup() -> (SimClock, SimNet, Arc<AmdRootOfTrust>) {
+        let clock = SimClock::new();
+        let net = SimNet::new(clock.clone(), NetConfig::default());
+        let amd = Arc::new(AmdRootOfTrust::from_seed([4; 32]));
+        serve_kds(&net, KDS_ADDRESS, KeyDistributionService::new(Arc::clone(&amd))).unwrap();
+        (clock, net, amd)
+    }
+
+    #[test]
+    fn fetch_returns_valid_chain() {
+        let (_, net, amd) = setup();
+        let client = KdsHttpClient::new(net, KDS_ADDRESS);
+        let chip = ChipId::from_seed(1);
+        let tcb = TcbVersion::new(1, 0, 8, 115);
+        let chain = client.vcek_chain(&chip, &tcb).unwrap();
+        chain.validate(&amd.ark_public_key()).unwrap();
+    }
+
+    #[test]
+    fn cache_eliminates_second_round_trip() {
+        let (clock, net, _) = setup();
+        net.set_latency(KDS_ADDRESS, 213_650); // paper: 427.3 ms round trip
+        let client = KdsHttpClient::new(net, KDS_ADDRESS);
+        let chip = ChipId::from_seed(1);
+        let tcb = TcbVersion::default();
+
+        let (_, first) = clock.time_ms(|| client.vcek_chain(&chip, &tcb).unwrap());
+        let (_, second) = clock.time_ms(|| client.vcek_chain(&chip, &tcb).unwrap());
+        assert!(first > 400.0, "first fetch {first} ms");
+        assert_eq!(second, 0.0, "cached fetch should be free");
+    }
+
+    #[test]
+    fn cacheless_client_pays_every_time() {
+        let (clock, net, _) = setup();
+        let client = KdsHttpClient::without_cache(net, KDS_ADDRESS);
+        let chip = ChipId::from_seed(1);
+        let tcb = TcbVersion::default();
+        let (_, first) = clock.time_ms(|| client.vcek_chain(&chip, &tcb).unwrap());
+        let (_, second) = clock.time_ms(|| client.vcek_chain(&chip, &tcb).unwrap());
+        assert!(first > 0.0);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn different_tcbs_are_distinct_cache_entries() {
+        let (_, net, _) = setup();
+        let client = KdsHttpClient::new(net, KDS_ADDRESS);
+        let chip = ChipId::from_seed(1);
+        let a = client.vcek_chain(&chip, &TcbVersion::new(1, 0, 7, 100)).unwrap();
+        let b = client.vcek_chain(&chip, &TcbVersion::new(1, 0, 8, 100)).unwrap();
+        assert_ne!(a.vcek.public_key, b.vcek.public_key);
+    }
+}

@@ -1,0 +1,248 @@
+//! The service provider's SP node (paper §5.3.1, Fig. 4).
+//!
+//! An isolated machine on the provider's premises holding the DNS API
+//! credentials and the ACME account. It attests the whole fleet, rejects
+//! impostors (allowlisted chip↔address pairs), picks a leader among the
+//! validated nodes, obtains **one** certificate for the leader's CSR
+//! (respecting the CA's rate limits, §3.4.6) and triggers the encrypted
+//! key distribution. Every phase's simulated latency is recorded — the
+//! raw material of the paper's Table 2.
+
+use revelio_crypto::ed25519::VerifyingKey;
+use revelio_http::message::Request;
+use revelio_http::server::plain_request;
+use revelio_net::net::SimNet;
+use revelio_pki::acme::AcmeCa;
+use revelio_pki::cert::CertificateChain;
+use sev_snp::ids::ChipId;
+use sev_snp::verify::ReportVerifier;
+
+use crate::kds_http::KdsHttpClient;
+use crate::node::CsrBundle;
+use crate::registry::GoldenSet;
+use crate::RevelioError;
+
+/// SP-node policy and modelled costs.
+#[derive(Debug, Clone)]
+pub struct SpConfig {
+    /// Pinned AMD root key.
+    pub trusted_ark: VerifyingKey,
+    /// The service domain every node's CSR must name — the SP's ACME
+    /// account must never be tricked into ordering a certificate for a
+    /// domain smuggled into a node's configuration.
+    pub expected_domain: String,
+    /// Acceptable launch measurements (from the registry or own build).
+    pub golden: GoldenSet,
+    /// Approved `(chip id, bootstrap address)` pairs — an impostor with a
+    /// *valid* report on the wrong machine or address is rejected
+    /// (§5.3.1).
+    pub allowlist: Vec<(ChipId, String)>,
+    /// Modelled cryptographic-validation cost per node, ms (Table 2:
+    /// 13 ms).
+    pub validation_ms: f64,
+    /// Modelled CA-side processing for certificate issuance, ms (the bulk
+    /// of Table 2's 2996 ms generation row).
+    pub ca_processing_ms: f64,
+}
+
+/// Per-phase simulated latencies (Table 2's rows).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpTimings {
+    /// Average per-node evidence retrieval, ms.
+    pub evidence_retrieval_ms: f64,
+    /// Average per-node evidence validation, ms.
+    pub evidence_validation_ms: f64,
+    /// Certificate generation (ACME order), ms.
+    pub certificate_generation_ms: f64,
+    /// Average per-node certificate distribution, ms.
+    pub certificate_distribution_ms: f64,
+}
+
+/// Outcome of a fleet provisioning run.
+#[derive(Debug, Clone)]
+pub struct ProvisionReport {
+    /// Bootstrap address of the chosen leader.
+    pub leader_bootstrap: String,
+    /// The shared certificate chain.
+    pub chain: CertificateChain,
+    /// Phase latencies.
+    pub timings: SpTimings,
+}
+
+/// The SP node.
+pub struct ServiceProviderNode {
+    net: SimNet,
+    kds: KdsHttpClient,
+    acme: AcmeCa,
+    config: SpConfig,
+}
+
+impl std::fmt::Debug for ServiceProviderNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceProviderNode")
+            .field("allowlist", &self.config.allowlist.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceProviderNode {
+    /// Creates an SP node.
+    #[must_use]
+    pub fn new(net: SimNet, kds: KdsHttpClient, acme: AcmeCa, config: SpConfig) -> Self {
+        ServiceProviderNode { net, kds, acme, config }
+    }
+
+    fn fetch_bundle(&self, bootstrap: &str) -> Result<CsrBundle, RevelioError> {
+        let response = plain_request(&self.net, bootstrap, &Request::get("/revelio/csr-bundle"))?;
+        if !response.is_success() {
+            return Err(RevelioError::NodeRejected {
+                node: bootstrap.to_owned(),
+                reason: format!("csr-bundle fetch returned {}", response.status),
+            });
+        }
+        CsrBundle::from_bytes(&response.body)
+    }
+
+    /// Validates one node's bundle (§5.3.1): VCEK chain, report signature,
+    /// golden measurement, CSR binding, proof of possession, and the
+    /// chip↔address allowlist.
+    fn validate_bundle(&self, bootstrap: &str, bundle: &CsrBundle) -> Result<(), RevelioError> {
+        let reject = |reason: &str| RevelioError::NodeRejected {
+            node: bootstrap.to_owned(),
+            reason: reason.to_owned(),
+        };
+
+        let chain = self
+            .kds
+            .vcek_chain(&bundle.report.report.chip_id, &bundle.report.report.reported_tcb)?;
+        ReportVerifier::new(self.config.trusted_ark)
+            .verify(&bundle.report, &chain)
+            .map_err(|e| reject(&format!("report verification: {e}")))?;
+
+        if !self.config.golden.is_trusted(&bundle.report.report.measurement) {
+            return Err(reject(&format!(
+                "measurement {} not golden",
+                bundle.report.report.measurement
+            )));
+        }
+
+        if bundle.csr.domain != self.config.expected_domain {
+            return Err(reject(&format!(
+                "csr names domain {:?}, expected {:?}",
+                bundle.csr.domain, self.config.expected_domain
+            )));
+        }
+        let csr_digest = bundle.csr.digest();
+        if !revelio_crypto::ct::eq(
+            &bundle.report.report.report_data.as_bytes()[..32],
+            &csr_digest,
+        ) {
+            return Err(reject("report does not bind the csr"));
+        }
+        bundle.csr.verify().map_err(|_| reject("csr proof of possession"))?;
+
+        let allowed = self
+            .config
+            .allowlist
+            .iter()
+            .any(|(chip, addr)| *chip == bundle.report.report.chip_id && addr == bootstrap);
+        if !allowed {
+            return Err(reject("chip or address not in allowlist"));
+        }
+        // Modelled crypto cost of the above (Table 2's validation row).
+        self.net.clock().advance_ms(self.config.validation_ms);
+        Ok(())
+    }
+
+    /// Runs the full provisioning protocol over the fleet's bootstrap
+    /// addresses: retrieve → validate → issue (leader = first valid) →
+    /// distribute. The leader receives its certificate first so peers'
+    /// key requests find it ready.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first rejected node (a production SP would quarantine
+    /// and continue; the strictness keeps the security tests sharp), on CA
+    /// refusal (rate limits!), or on any transport error.
+    pub fn provision(&self, bootstrap_addrs: &[String]) -> Result<ProvisionReport, RevelioError> {
+        if bootstrap_addrs.is_empty() {
+            return Err(RevelioError::NodeRejected {
+                node: String::new(),
+                reason: "empty fleet".into(),
+            });
+        }
+        let clock = self.net.clock().clone();
+        let n = bootstrap_addrs.len() as f64;
+
+        // Phase 1: retrieval, per node.
+        let mut bundles = Vec::with_capacity(bootstrap_addrs.len());
+        let mut retrieval_total = 0.0;
+        for addr in bootstrap_addrs {
+            let t0 = clock.now_ms();
+            bundles.push(self.fetch_bundle(addr)?);
+            retrieval_total += clock.now_ms() - t0;
+        }
+
+        // Endorsement prefetch: the SP keeps a warm VCEK mirror for its
+        // own fleet (the chips are known in advance), so KDS round trips
+        // are not part of the per-node validation cost the paper reports.
+        for bundle in &bundles {
+            let _ = self
+                .kds
+                .vcek_chain(&bundle.report.report.chip_id, &bundle.report.report.reported_tcb)?;
+        }
+
+        // Phase 2: validation, per node (pure crypto + policy checks).
+        let mut validation_total = 0.0;
+        for (addr, bundle) in bootstrap_addrs.iter().zip(&bundles) {
+            let t0 = clock.now_ms();
+            self.validate_bundle(addr, bundle)?;
+            validation_total += clock.now_ms() - t0;
+        }
+
+        // Phase 3: one certificate for the leader's CSR.
+        let leader_bootstrap = bootstrap_addrs[0].clone();
+        let leader_csr = &bundles[0].csr;
+        let t0 = clock.now_ms();
+        clock.advance_ms(self.config.ca_processing_ms);
+        let chain = self.acme.order_certificate(leader_csr)?;
+        let certificate_generation_ms = clock.now_ms() - t0;
+
+        // Phase 4: distribute, leader first.
+        let mut distribution_total = 0.0;
+        let approved_chips: Vec<ChipId> =
+            self.config.allowlist.iter().map(|(chip, _)| *chip).collect();
+        let payload =
+            crate::node::encode_install_cert(&chain, &leader_bootstrap, &approved_chips);
+        for addr in bootstrap_addrs {
+            let t0 = clock.now_ms();
+            let response = plain_request(
+                &self.net,
+                addr,
+                &Request::post("/revelio/install-cert", payload.clone()),
+            )?;
+            if !response.is_success() {
+                return Err(RevelioError::NodeRejected {
+                    node: addr.clone(),
+                    reason: format!(
+                        "install-cert returned {} ({})",
+                        response.status,
+                        response.header("X-Revelio-Error").unwrap_or("no detail")
+                    ),
+                });
+            }
+            distribution_total += clock.now_ms() - t0;
+        }
+
+        Ok(ProvisionReport {
+            leader_bootstrap,
+            chain,
+            timings: SpTimings {
+                evidence_retrieval_ms: retrieval_total / n,
+                evidence_validation_ms: validation_total / n,
+                certificate_generation_ms,
+                certificate_distribution_ms: distribution_total / n,
+            },
+        })
+    }
+}

@@ -1,0 +1,236 @@
+//! Full attestation-report verification, as the paper's web extension
+//! performs it (§5.3.2): certificate chain, report↔certificate binding,
+//! signature, and policy sanity.
+//!
+//! Measurement comparison against golden values is deliberately *not* here:
+//! which measurements are acceptable is Revelio policy (trusted registry,
+//! user-supplied values) and lives in the `revelio` crate.
+
+use revelio_crypto::ed25519::VerifyingKey;
+
+use crate::ids::TcbVersion;
+use crate::kds::VcekCertChain;
+use crate::report::SignedReport;
+use crate::SnpError;
+
+/// Verifies signed reports against a pinned AMD root key.
+#[derive(Debug, Clone)]
+pub struct ReportVerifier {
+    trusted_ark: VerifyingKey,
+    reject_debug_policy: bool,
+    minimum_tcb: Option<TcbVersion>,
+}
+
+impl ReportVerifier {
+    /// Creates a verifier that pins `trusted_ark` (AMD's published root) and
+    /// rejects debug-enabled guests.
+    #[must_use]
+    pub fn new(trusted_ark: VerifyingKey) -> Self {
+        ReportVerifier { trusted_ark, reject_debug_policy: true, minimum_tcb: None }
+    }
+
+    /// Permits debug-enabled guest policies (useful only in development
+    /// pipelines; never in production verification).
+    #[must_use]
+    pub fn allow_debug_policy(mut self) -> Self {
+        self.reject_debug_policy = false;
+        self
+    }
+
+    /// Rejects reports whose reported TCB has *any* component below
+    /// `minimum` — the defense against firmware-downgrade attacks: a valid
+    /// VCEK chain for an old, vulnerable firmware otherwise verifies.
+    #[must_use]
+    pub fn require_minimum_tcb(mut self, minimum: TcbVersion) -> Self {
+        self.minimum_tcb = Some(minimum);
+        self
+    }
+
+    /// Verifies `signed` against `chain`:
+    ///
+    /// 1. the chain terminates at the pinned ARK,
+    /// 2. the VCEK certificate endorses exactly the chip and TCB named in
+    ///    the report,
+    /// 3. the VCEK signature over the report body verifies,
+    /// 4. the guest policy does not permit debugging (host memory access).
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`SnpError`] for whichever check fails first.
+    pub fn verify(&self, signed: &SignedReport, chain: &VcekCertChain) -> Result<(), SnpError> {
+        let (vcek_public, (bound_chip, bound_tcb)) = chain.validate(&self.trusted_ark)?;
+        if bound_chip != signed.report.chip_id || bound_tcb != signed.report.reported_tcb {
+            return Err(SnpError::ReportBindingMismatch);
+        }
+        signed.verify_signature(&vcek_public)?;
+        if self.reject_debug_policy && signed.report.policy.debug_allowed {
+            return Err(SnpError::PolicyRejected("debug access enabled".into()));
+        }
+        if let Some(min) = self.minimum_tcb {
+            let t = signed.report.reported_tcb;
+            let ok = t.bootloader >= min.bootloader
+                && t.tee >= min.tee
+                && t.snp >= min.snp
+                && t.microcode >= min.microcode;
+            if !ok {
+                return Err(SnpError::PolicyRejected(format!(
+                    "reported tcb {t} below required minimum {min}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ChipId, GuestPolicy, TcbVersion};
+    use crate::kds::KeyDistributionService;
+    use crate::platform::{AmdRootOfTrust, SnpPlatform};
+    use crate::report::ReportData;
+    use std::sync::Arc;
+
+    struct World {
+        amd: Arc<AmdRootOfTrust>,
+        kds: KeyDistributionService,
+        platform: SnpPlatform,
+    }
+
+    fn world() -> World {
+        let amd = Arc::new(AmdRootOfTrust::from_seed([11; 32]));
+        let kds = KeyDistributionService::new(Arc::clone(&amd));
+        let platform = SnpPlatform::new(
+            Arc::clone(&amd),
+            ChipId::from_seed(1),
+            TcbVersion::new(1, 0, 8, 115),
+        );
+        World { amd, kds, platform }
+    }
+
+    #[test]
+    fn end_to_end_verification_succeeds() {
+        let w = world();
+        let guest = w.platform.launch(b"fw", GuestPolicy::default()).unwrap();
+        let report = guest.attestation_report(ReportData::from_slice(b"nonce"));
+        let chain = w
+            .kds
+            .vcek_chain(&w.platform.chip_id(), &w.platform.tcb_version())
+            .unwrap();
+        ReportVerifier::new(w.amd.ark_public_key())
+            .verify(&report, &chain)
+            .unwrap();
+    }
+
+    #[test]
+    fn chain_for_wrong_chip_rejected() {
+        let w = world();
+        let guest = w.platform.launch(b"fw", GuestPolicy::default()).unwrap();
+        let report = guest.attestation_report(ReportData::default());
+        // KDS chain fetched for a *different* chip: binding mismatch.
+        let chain = w
+            .kds
+            .vcek_chain(&ChipId::from_seed(99), &w.platform.tcb_version())
+            .unwrap();
+        assert_eq!(
+            ReportVerifier::new(w.amd.ark_public_key()).verify(&report, &chain),
+            Err(SnpError::ReportBindingMismatch)
+        );
+    }
+
+    #[test]
+    fn chain_for_wrong_tcb_rejected() {
+        let w = world();
+        let guest = w.platform.launch(b"fw", GuestPolicy::default()).unwrap();
+        let report = guest.attestation_report(ReportData::default());
+        let chain = w
+            .kds
+            .vcek_chain(&w.platform.chip_id(), &TcbVersion::new(0, 0, 1, 1))
+            .unwrap();
+        assert!(ReportVerifier::new(w.amd.ark_public_key())
+            .verify(&report, &chain)
+            .is_err());
+    }
+
+    #[test]
+    fn tampered_report_rejected() {
+        let w = world();
+        let guest = w.platform.launch(b"fw", GuestPolicy::default()).unwrap();
+        let mut report = guest.attestation_report(ReportData::default());
+        report.report.guest_svn += 1;
+        let chain = w
+            .kds
+            .vcek_chain(&w.platform.chip_id(), &w.platform.tcb_version())
+            .unwrap();
+        assert_eq!(
+            ReportVerifier::new(w.amd.ark_public_key()).verify(&report, &chain),
+            Err(SnpError::SignatureInvalid)
+        );
+    }
+
+    #[test]
+    fn debug_policy_rejected_by_default_but_optional() {
+        let w = world();
+        let policy = GuestPolicy { debug_allowed: true, ..GuestPolicy::default() };
+        let guest = w.platform.launch(b"fw", policy).unwrap();
+        let report = guest.attestation_report(ReportData::default());
+        let chain = w
+            .kds
+            .vcek_chain(&w.platform.chip_id(), &w.platform.tcb_version())
+            .unwrap();
+        let verifier = ReportVerifier::new(w.amd.ark_public_key());
+        assert!(matches!(
+            verifier.verify(&report, &chain),
+            Err(SnpError::PolicyRejected(_))
+        ));
+        verifier.allow_debug_policy().verify(&report, &chain).unwrap();
+    }
+
+    #[test]
+    fn tcb_downgrade_rejected_with_minimum() {
+        let w = world(); // platform at tcb (1,0,8,115)
+        let guest = w.platform.launch(b"fw", GuestPolicy::default()).unwrap();
+        let report = guest.attestation_report(ReportData::default());
+        let chain = w
+            .kds
+            .vcek_chain(&w.platform.chip_id(), &w.platform.tcb_version())
+            .unwrap();
+        let verifier = ReportVerifier::new(w.amd.ark_public_key());
+        // Without a minimum, the report verifies.
+        verifier.verify(&report, &chain).unwrap();
+        // Requiring a newer SNP firmware rejects it (downgrade defense)...
+        assert!(matches!(
+            verifier
+                .clone()
+                .require_minimum_tcb(TcbVersion::new(1, 0, 9, 115))
+                .verify(&report, &chain),
+            Err(SnpError::PolicyRejected(_))
+        ));
+        // ...while the platform's own level (or older) passes.
+        verifier
+            .require_minimum_tcb(TcbVersion::new(1, 0, 8, 100))
+            .verify(&report, &chain)
+            .unwrap();
+    }
+
+    #[test]
+    fn report_from_impostor_amd_rejected() {
+        let w = world();
+        // A fake "AMD" manufactures a lookalike platform and chain.
+        let fake_amd = Arc::new(AmdRootOfTrust::from_seed([99; 32]));
+        let fake_platform = SnpPlatform::new(
+            Arc::clone(&fake_amd),
+            w.platform.chip_id(),
+            w.platform.tcb_version(),
+        );
+        let guest = fake_platform.launch(b"fw", GuestPolicy::default()).unwrap();
+        let report = guest.attestation_report(ReportData::default());
+        let fake_chain = KeyDistributionService::new(fake_amd)
+            .vcek_chain(&w.platform.chip_id(), &w.platform.tcb_version())
+            .unwrap();
+        // Verifier pins the real ARK: the impostor chain cannot validate.
+        assert!(ReportVerifier::new(w.amd.ark_public_key())
+            .verify(&report, &fake_chain)
+            .is_err());
+    }
+}

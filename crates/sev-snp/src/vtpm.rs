@@ -1,0 +1,240 @@
+//! A minimal virtual TPM: PCR banks and hardware-rooted quotes.
+//!
+//! The paper's related work (§7, Narayanan et al.) points out that an
+//! SEV-SNP-backed vTPM would give Revelio a *runtime* measurement channel
+//! on top of the load-time launch digest. This module implements that
+//! extension: a bank of SHA-256 PCRs with the classic extend semantics
+//! (`PCR ← H(PCR || event)`), an event log for replay, and quotes that are
+//! bound to the hardware by riding in the `REPORT_DATA` of a regular
+//! attestation report — so a verifier gets launch-time *and* runtime state
+//! in one evidence bundle.
+
+use revelio_crypto::sha2::Sha256;
+use revelio_crypto::wire::{ByteReader, ByteWriter};
+
+use crate::SnpError;
+
+/// Number of PCRs in the bank (enough for the boot pipeline's event
+/// classes; real TPMs have 24).
+pub const PCR_COUNT: usize = 8;
+
+/// Well-known PCR assignments used by the Revelio boot sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PcrIndex {
+    /// Firmware identity.
+    Firmware = 0,
+    /// Kernel blob.
+    Kernel = 1,
+    /// Initrd blob.
+    Initrd = 2,
+    /// Kernel command line.
+    Cmdline = 3,
+    /// Rootfs root hash.
+    RootFs = 4,
+    /// Started services, in order.
+    Services = 5,
+    /// Application-defined events.
+    Application = 6,
+    /// Debug/reserved.
+    Reserved = 7,
+}
+
+/// One entry of the replayable event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcrEvent {
+    /// The PCR that was extended.
+    pub index: u8,
+    /// Human-readable event description.
+    pub description: String,
+    /// SHA-256 of the event data that was extended.
+    pub digest: [u8; 32],
+}
+
+/// The vTPM state: PCR bank plus event log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Vtpm {
+    pcrs: [[u8; 32]; PCR_COUNT],
+    log: Vec<PcrEvent>,
+}
+
+impl Default for Vtpm {
+    fn default() -> Self {
+        Vtpm { pcrs: [[0; 32]; PCR_COUNT], log: Vec::new() }
+    }
+}
+
+impl Vtpm {
+    /// A fresh vTPM with all PCRs zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Vtpm::default()
+    }
+
+    /// Extends `index` with `data`: `PCR ← SHA-256(PCR || SHA-256(data))`,
+    /// recording the event in the log.
+    pub fn extend(&mut self, index: PcrIndex, description: &str, data: &[u8]) {
+        let digest = Sha256::digest(data);
+        let i = index as usize;
+        let mut concat = self.pcrs[i].to_vec();
+        concat.extend_from_slice(&digest);
+        self.pcrs[i] = Sha256::digest(&concat);
+        self.log.push(PcrEvent { index: index as u8, description: description.to_owned(), digest });
+    }
+
+    /// Current value of a PCR.
+    #[must_use]
+    pub fn pcr(&self, index: PcrIndex) -> [u8; 32] {
+        self.pcrs[index as usize]
+    }
+
+    /// The replayable event log.
+    #[must_use]
+    pub fn event_log(&self) -> &[PcrEvent] {
+        &self.log
+    }
+
+    /// The composite digest over all PCRs plus a verifier nonce — the
+    /// value to place in `REPORT_DATA` so a single SNP report covers
+    /// runtime state ("quote").
+    #[must_use]
+    pub fn quote_digest(&self, nonce: &[u8]) -> [u8; 32] {
+        let mut w = ByteWriter::new();
+        w.put_bytes(b"vtpm-quote/v1");
+        for pcr in &self.pcrs {
+            w.put_bytes(pcr);
+        }
+        w.put_var_bytes(nonce);
+        Sha256::digest(w.into_bytes())
+    }
+
+    /// Replays an event log and checks it reproduces this bank's values —
+    /// what a verifier does with the log shipped alongside a quote.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnpError::ReportBindingMismatch`] if the log does not
+    /// replay to the same PCR values.
+    pub fn verify_log_replay(&self, log: &[PcrEvent]) -> Result<(), SnpError> {
+        let mut replay = [[0u8; 32]; PCR_COUNT];
+        for event in log {
+            let i = event.index as usize;
+            if i >= PCR_COUNT {
+                return Err(SnpError::ReportBindingMismatch);
+            }
+            let mut concat = replay[i].to_vec();
+            concat.extend_from_slice(&event.digest);
+            replay[i] = Sha256::digest(&concat);
+        }
+        if replay == self.pcrs {
+            Ok(())
+        } else {
+            Err(SnpError::ReportBindingMismatch)
+        }
+    }
+
+    /// Serializes the event log.
+    #[must_use]
+    pub fn log_to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.log.len() as u32);
+        for event in &self.log {
+            w.put_u8(event.index);
+            w.put_str(&event.description);
+            w.put_bytes(&event.digest);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes an event log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnpError::Wire`] on malformed input.
+    pub fn log_from_bytes(bytes: &[u8]) -> Result<Vec<PcrEvent>, SnpError> {
+        let mut r = ByteReader::new(bytes);
+        let n = r.get_count(37)?; // index + name prefix + digest
+        let mut log = Vec::with_capacity(n);
+        for _ in 0..n {
+            log.push(PcrEvent {
+                index: r.get_u8()?,
+                description: r.get_str()?,
+                digest: r.get_array::<32>()?,
+            });
+        }
+        r.finish()?;
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn booted_vtpm() -> Vtpm {
+        let mut t = Vtpm::new();
+        t.extend(PcrIndex::Firmware, "ovmf", b"fw bytes");
+        t.extend(PcrIndex::Kernel, "kernel", b"kernel bytes");
+        t.extend(PcrIndex::Services, "svc:nginx", b"nginx");
+        t.extend(PcrIndex::Services, "svc:proxy", b"proxy");
+        t
+    }
+
+    #[test]
+    fn extend_is_order_sensitive() {
+        let mut a = Vtpm::new();
+        a.extend(PcrIndex::Services, "x", b"x");
+        a.extend(PcrIndex::Services, "y", b"y");
+        let mut b = Vtpm::new();
+        b.extend(PcrIndex::Services, "y", b"y");
+        b.extend(PcrIndex::Services, "x", b"x");
+        assert_ne!(a.pcr(PcrIndex::Services), b.pcr(PcrIndex::Services));
+    }
+
+    #[test]
+    fn pcrs_are_independent() {
+        let mut t = Vtpm::new();
+        t.extend(PcrIndex::Kernel, "k", b"k");
+        assert_eq!(t.pcr(PcrIndex::Initrd), [0u8; 32]);
+        assert_ne!(t.pcr(PcrIndex::Kernel), [0u8; 32]);
+    }
+
+    #[test]
+    fn log_replays_to_bank() {
+        let t = booted_vtpm();
+        t.verify_log_replay(t.event_log()).unwrap();
+    }
+
+    #[test]
+    fn tampered_log_fails_replay() {
+        let t = booted_vtpm();
+        let mut log = t.event_log().to_vec();
+        log[1].digest[0] ^= 1;
+        assert!(t.verify_log_replay(&log).is_err());
+        // Dropping an event fails too.
+        let mut log = t.event_log().to_vec();
+        log.pop();
+        assert!(t.verify_log_replay(&log).is_err());
+        // Out-of-range index is rejected.
+        let mut log = t.event_log().to_vec();
+        log[0].index = 99;
+        assert!(t.verify_log_replay(&log).is_err());
+    }
+
+    #[test]
+    fn quote_binds_nonce_and_state() {
+        let t = booted_vtpm();
+        let q1 = t.quote_digest(b"nonce-1");
+        assert_ne!(q1, t.quote_digest(b"nonce-2"));
+        let mut t2 = booted_vtpm();
+        t2.extend(PcrIndex::Application, "late event", b"runtime change");
+        assert_ne!(q1, t2.quote_digest(b"nonce-1"));
+    }
+
+    #[test]
+    fn log_serialization_roundtrip() {
+        let t = booted_vtpm();
+        let decoded = Vtpm::log_from_bytes(&t.log_to_bytes()).unwrap();
+        assert_eq!(decoded, t.event_log());
+        t.verify_log_replay(&decoded).unwrap();
+    }
+}

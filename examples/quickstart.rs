@@ -1,0 +1,67 @@
+//! Quickstart: deploy a Revelio fleet and attest it as an end-user.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks the paper's whole story on the simulated substrate: reproducible
+//! image build → measured direct boot on (simulated) SEV-SNP → SP-node
+//! certificate and key distribution → browser-side remote attestation.
+
+use revelio::node::demo_app;
+use revelio::world::SimWorld;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Revelio quickstart ==\n");
+
+    // 1. A world: AMD root of trust, KDS, ACME CA, DNS, network.
+    let mut world = SimWorld::new(42);
+
+    // 2. The service provider builds one reproducible image and deploys a
+    //    three-node fleet for the domain. The SP node attests every node,
+    //    orders ONE certificate and distributes the TLS key to mutually
+    //    attested peers.
+    let fleet = world.deploy_fleet("pad.example.org", 3, demo_app())?;
+    println!("fleet deployed: {} nodes serving https://pad.example.org", fleet.nodes.len());
+    println!("golden measurement (what auditors reproduce from sources):");
+    println!("  {}\n", fleet.golden_measurement);
+    let t = fleet.provision.timings;
+    println!("SP-node provisioning latencies (paper Table 2):");
+    println!("  evidence retrieval    {:>8.1} ms/node", t.evidence_retrieval_ms);
+    println!("  evidence validation   {:>8.1} ms/node", t.evidence_validation_ms);
+    println!("  certificate generation{:>8.1} ms", t.certificate_generation_ms);
+    println!("  certificate distribution{:>6.1} ms/node\n", t.certificate_distribution_ms);
+
+    // 3. An end-user installs the extension and registers the site with
+    //    the golden measurement (obtained from an auditor or reproduced
+    //    themselves).
+    let mut extension = world.extension();
+    extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
+
+    // 4. First visit: full remote attestation before the page is trusted.
+    let outcome = extension.browse("pad.example.org", "/")?;
+    println!("attested page access:");
+    println!("  status        {}", outcome.response.status);
+    println!("  total         {:>8.1} ms (paper: 778.9 ms)", outcome.timing.total_ms);
+    println!("  of which KDS  {:>8.1} ms (paper: 427.3 ms)", outcome.timing.kds_ms);
+    println!("  measurement   {}", outcome.evidence.report.report.measurement);
+
+    // 5. Second visit: the VCEK is cached.
+    let warm = extension.browse("pad.example.org", "/")?;
+    println!("  warm revisit  {:>8.1} ms (VCEK cache)\n", warm.timing.total_ms);
+
+    // 6. Continuous monitoring: every request re-checks the connection.
+    let mut session = extension.open_monitored("pad.example.org")?;
+    let response = session.request("/healthz")?;
+    println!("monitored request: {} {:?}", response.status, String::from_utf8_lossy(&response.body));
+
+    // 7. Management access is structurally impossible.
+    let ssh = fleet.nodes[0].public_address().replace(":443", ":22");
+    match world.net.dial(&ssh) {
+        Err(e) => println!("ssh attempt to the VM: {e}"),
+        Ok(_) => unreachable!("revelio VMs accept no management connections"),
+    }
+
+    println!("\nquickstart complete: the user verified the service without trusting the provider");
+    Ok(())
+}

@@ -1,0 +1,169 @@
+//! Integration suite for the end-user attestation experience (§5.3.2) and
+//! the delegation paths of §3.4.7.
+
+use revelio::node::demo_app;
+use revelio::registry::{Vote, VoteKind, VotingRegistry};
+use revelio::world::SimWorld;
+use revelio::RevelioError;
+use revelio_crypto::ed25519::SigningKey;
+
+#[test]
+fn first_contact_full_attestation_then_cached() {
+    let mut world = SimWorld::new(20);
+    let fleet = world.deploy_fleet("pad.example.org", 2, demo_app()).unwrap();
+    let mut extension = world.extension();
+    extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
+
+    let cold = extension.browse("pad.example.org", "/").unwrap();
+    assert!(cold.response.is_success());
+    assert!(cold.timing.kds_ms > 400.0, "cold KDS fetch dominates: {:?}", cold.timing);
+
+    let warm = extension.browse("pad.example.org", "/").unwrap();
+    assert_eq!(warm.timing.kds_ms, 0.0, "VCEK cached per §6.4");
+    assert!(warm.timing.total_ms < cold.timing.total_ms);
+}
+
+#[test]
+fn evidence_binds_the_exact_tls_connection() {
+    let mut world = SimWorld::new(21);
+    let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+    let mut extension = world.extension();
+    extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
+    let outcome = extension.browse("pad.example.org", "/").unwrap();
+    // The evidence's REPORT_DATA holds the hash of the fleet's shared key.
+    outcome
+        .evidence
+        .check_tls_binding(&fleet.nodes[0].tls_public_key().unwrap())
+        .unwrap();
+    let stranger = SigningKey::from_seed(&[1; 32]);
+    assert_eq!(
+        outcome.evidence.check_tls_binding(&stranger.verifying_key()),
+        Err(RevelioError::TlsBindingMismatch)
+    );
+}
+
+#[test]
+fn unregistered_user_can_discover_then_register() {
+    let mut world = SimWorld::new(22);
+    let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+    let mut extension = world.extension();
+
+    // Opportunistic discovery (§5.3.2): the extension notices the site
+    // offers evidence; the user vets the measurement out-of-band.
+    let discovered = extension.discover("pad.example.org").unwrap().unwrap();
+    assert_eq!(discovered, fleet.golden_measurement);
+
+    // After registration, full attestation succeeds.
+    extension.register_site("pad.example.org", vec![discovered]);
+    assert!(extension.browse("pad.example.org", "/").is_ok());
+}
+
+#[test]
+fn community_voting_delegation_path() {
+    // §3.4.7: the user delegates golden-value selection to an on-chain
+    // community registry with quorum voting.
+    let mut world = SimWorld::new(23);
+    let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+
+    let auditors: Vec<SigningKey> = (0..5u8).map(|i| SigningKey::from_seed(&[i + 10; 32])).collect();
+    let mut registry = VotingRegistry::new(auditors.iter().map(SigningKey::verifying_key), 3);
+    for auditor in &auditors[..3] {
+        registry
+            .submit(&Vote::sign(fleet.golden_measurement, VoteKind::Approve, auditor))
+            .unwrap();
+    }
+    assert!(registry.is_trusted(&fleet.golden_measurement));
+
+    // The user imports the registry snapshot instead of hand-computing.
+    let mut extension = world.extension();
+    extension.register_site("pad.example.org", registry.snapshot().trusted());
+    assert!(extension.browse("pad.example.org", "/").is_ok());
+
+    // The community later revokes; a fresh snapshot refuses the site.
+    for auditor in &auditors[2..5] {
+        registry
+            .submit(&Vote::sign(fleet.golden_measurement, VoteKind::Revoke, auditor))
+            .unwrap();
+    }
+    let mut extension = world.extension();
+    extension.register_site("pad.example.org", registry.snapshot().trusted());
+    assert!(matches!(
+        extension.browse("pad.example.org", "/"),
+        Err(RevelioError::UnknownMeasurement(_) | RevelioError::NotRevelioSite(_))
+    ));
+}
+
+#[test]
+fn monitored_session_survives_benign_traffic_catches_redirect() {
+    let mut world = SimWorld::new(24);
+    let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+    let mut extension = world.extension();
+    extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
+    let mut session = extension.open_monitored("pad.example.org").unwrap();
+    for _ in 0..5 {
+        assert!(session.request("/healthz").unwrap().is_success());
+    }
+
+    // Redirect to an attacker with a CA-valid certificate for the domain.
+    let attacker = SigningKey::from_seed(&[66; 32]);
+    let csr = revelio_pki::cert::CertificateSigningRequest::new(
+        "pad.example.org",
+        &attacker,
+        "Evil",
+        "XX",
+    );
+    let chain = world.acme.order_certificate(&csr).unwrap();
+    revelio_http::server::serve_https(
+        &world.net,
+        "10.6.6.6:443",
+        revelio_tls::TlsServerConfig::new(chain, attacker, [6; 32]),
+        demo_app(),
+    )
+    .unwrap();
+    world.net.redirect(fleet.nodes[0].public_address(), "10.6.6.6:443");
+    assert_eq!(
+        extension.reconnect(&mut session).unwrap_err(),
+        RevelioError::TlsBindingMismatch
+    );
+}
+
+#[test]
+fn two_sites_with_distinct_golden_values() {
+    let mut world = SimWorld::new(25);
+    let pads = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+    let store = revelio_cryptpad::server::PadStore::new();
+    let docs = world
+        .deploy_fleet("docs.example.org", 1, revelio_cryptpad::server::pad_router(store))
+        .unwrap();
+    assert_ne!(pads.golden_measurement, docs.golden_measurement);
+
+    let mut extension = world.extension();
+    extension.register_site("pad.example.org", vec![pads.golden_measurement]);
+    extension.register_site("docs.example.org", vec![docs.golden_measurement]);
+    assert!(extension.browse("pad.example.org", "/").is_ok());
+    // Cross-registering the wrong value fails closed.
+    let mut confused = world.extension();
+    confused.register_site("docs.example.org", vec![pads.golden_measurement]);
+    assert!(matches!(
+        confused.browse("docs.example.org", "/pad/fetch"),
+        Err(RevelioError::UnknownMeasurement(_))
+    ));
+}
+
+#[test]
+fn extension_timing_shape_matches_table3() {
+    let mut world = SimWorld::new(26);
+    let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+    let mut extension = world.extension();
+    extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
+
+    let (_, plain_ms) = world
+        .clock
+        .time_ms(|| extension.browse_unprotected("pad.example.org", "/").unwrap());
+    let cold = extension.browse("pad.example.org", "/").unwrap().timing;
+
+    // Paper Table 3: 100.9 ms plain vs 778.9 ms attested, KDS 427.3.
+    assert!((90.0..120.0).contains(&plain_ms), "plain {plain_ms}");
+    assert!((600.0..1000.0).contains(&cold.total_ms), "attested {:?}", cold);
+    assert!(cold.kds_ms > 0.5 * cold.attestation_ms, "KDS dominates: {cold:?}");
+}

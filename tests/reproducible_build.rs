@@ -1,0 +1,161 @@
+//! Integration suite for requirement F5: reproducible builds as the basis
+//! of practical attestation (§3.4.1, §5.1.1), across the whole pipeline —
+//! sources → image → firmware → launch measurement.
+
+use revelio_boot::firmware::{expected_measurement, FirmwareKind};
+use revelio_boot::loader::{BootOptions, Hypervisor};
+use revelio_build::fstree::FsTree;
+use revelio_build::hermetic::{BuildStep, NonHermeticContext};
+use revelio_build::image::{build_image, ImageSpec};
+use revelio_build::packages::{BaseImage, PackageRegistry, PackageVersion};
+use revelio_build::scrub::{scrub, ScrubPolicy};
+use revelio::world::SimWorld;
+use sev_snp::ids::GuestPolicy;
+
+fn registry() -> PackageRegistry {
+    let mut reg = PackageRegistry::new();
+    reg.publish(
+        "nginx",
+        PackageVersion {
+            version: "1.18.0".into(),
+            files: vec![("/usr/sbin/nginx".into(), b"nginx binary".to_vec(), 0o755)],
+        },
+    );
+    reg
+}
+
+/// Two independent "build machines" (different hostnames, clocks, package
+/// mirrors pulled at different times) produce bit-identical images and
+/// therefore identical launch measurements.
+#[test]
+fn independent_builders_reproduce_the_measurement() {
+    // A pinned base image is snapshotted once in protected CI.
+    let base = BaseImage::snapshot("ubuntu-20.04-base", &registry(), &["nginx"]).unwrap();
+    let digest = base.digest();
+
+    let build_on_machine = |hostname: &str, wall_clock: u64| {
+        // The machine compiles the service hermetically…
+        let mut step = BuildStep::new("compile-service", "rustc 1.70.0");
+        step.source("main.rs", b"fn main() { serve(); }");
+        let binary = step.run_hermetic();
+        // …(a non-hermetic build would already diverge here)…
+        let _divergent = step.run_non_hermetic(&NonHermeticContext {
+            wall_clock,
+            hostname: hostname.to_owned(),
+            build_path: format!("/home/ci/{hostname}"),
+        });
+        // …assembles the rootfs from the pinned base plus the binary, with
+        // machine-specific residue that scrubbing removes…
+        let mut rootfs = FsTree::new();
+        base.apply_pinned(&digest, &mut rootfs).unwrap();
+        rootfs.add_file("/usr/bin/service", binary, 0o755).unwrap();
+        rootfs
+            .add_file("/etc/machine-id", hostname.as_bytes().to_vec(), 0o444)
+            .unwrap();
+        rootfs
+            .add_file_with_mtime("/usr/share/doc/README", b"doc".to_vec(), 0o644, wall_clock)
+            .unwrap();
+        scrub(&mut rootfs, &ScrubPolicy::default());
+        // …and builds the image.
+        let image = build_image(&ImageSpec::new("service", rootfs)).unwrap();
+        expected_measurement(
+            FirmwareKind::MeasuredDirectBoot,
+            &image.kernel,
+            &image.initrd,
+            &image.cmdline,
+        )
+    };
+
+    let m1 = build_on_machine("ci-runner-1", 1_690_000_000);
+    let m2 = build_on_machine("ci-runner-7", 1_699_999_999);
+    assert_eq!(m1, m2, "independent builds must agree on the measurement");
+}
+
+/// The auditor's measurement (computed offline from sources) equals the
+/// measurement the hardware reports for the deployed VM.
+#[test]
+fn auditor_measurement_matches_hardware_report() {
+    let mut world = SimWorld::new(50);
+    let spec = world.image_spec("svc.example", &["svc"]);
+    let (image, auditor_value) = world.build(&spec).unwrap();
+    let platform = world.new_platform();
+    let vm = Hypervisor::new(FirmwareKind::MeasuredDirectBoot)
+        .boot(&platform, &image, GuestPolicy::default(), BootOptions::default())
+        .unwrap();
+    assert_eq!(vm.measurement(), auditor_value);
+    // And the attestation report carries exactly that value.
+    let report = vm.report_with_data(b"nonce");
+    assert_eq!(report.report.measurement, auditor_value);
+}
+
+/// Floating package versions break reproducibility — the exact failure
+/// mode the pinned-base-image design exists to prevent.
+#[test]
+fn floating_versions_break_reproducibility() {
+    let mut reg = registry();
+    let build = |reg: &PackageRegistry| {
+        let mut rootfs = FsTree::new();
+        reg.install_latest("nginx", &mut rootfs).unwrap();
+        build_image(&ImageSpec::new("svc", rootfs)).unwrap().root_hash
+    };
+    let before = build(&reg);
+    // The mirror publishes an update between the two builds.
+    reg.publish(
+        "nginx",
+        PackageVersion {
+            version: "1.18.1".into(),
+            files: vec![("/usr/sbin/nginx".into(), b"nginx binary v2".to_vec(), 0o755)],
+        },
+    );
+    let after = build(&reg);
+    assert_ne!(before, after);
+}
+
+/// Every artifact difference — kernel flag, init service, rootfs byte —
+/// produces a different measurement (nothing escapes the envelope).
+#[test]
+fn measurement_covers_every_artifact() {
+    let world = SimWorld::new(51);
+    let base_spec = world.image_spec("svc.example", &["svc"]);
+    let (_, base) = world.build(&base_spec).unwrap();
+
+    // Different kernel config flag.
+    let mut spec = world.image_spec("svc.example", &["svc"]);
+    spec.kernel.config_flags.push("CONFIG_DEBUG_BACKDOOR".into());
+    assert_ne!(world.build(&spec).unwrap().1, base);
+
+    // Different init services.
+    let (_, with_extra_service) = world
+        .build(&world.image_spec("svc.example", &["svc", "telemetry"]))
+        .unwrap();
+    assert_ne!(with_extra_service, base);
+
+    // Different rootfs content (one byte in one file).
+    let mut spec = world.image_spec("svc.example", &["svc"]);
+    spec.rootfs
+        .add_file("/etc/nginx/nginx.conf", b"server { listen 443 ssl;}".to_vec(), 0o644)
+        .unwrap();
+    assert_ne!(world.build(&spec).unwrap().1, base);
+
+    // Disabled network policy (ssh on!) changes the initrd, hence the
+    // measurement — a quietly-weakened image cannot pass attestation.
+    let mut spec = world.image_spec("svc.example", &["svc"]);
+    spec.init.network.ssh_enabled = true;
+    assert_ne!(world.build(&spec).unwrap().1, base);
+}
+
+/// The same spec built repeatedly yields the same launch measurement —
+/// including the partition UUIDs and verity salt embedded in the disk.
+#[test]
+fn repeated_builds_are_bit_stable() {
+    let world = SimWorld::new(52);
+    let spec = world.image_spec("svc.example", &["svc"]);
+    let measurements: Vec<_> = (0..3).map(|_| world.build(&spec).unwrap().1).collect();
+    assert!(measurements.windows(2).all(|w| w[0] == w[1]));
+
+    let images: Vec<_> = (0..2).map(|_| world.build(&spec).unwrap().0).collect();
+    assert_eq!(images[0].kernel, images[1].kernel);
+    assert_eq!(images[0].initrd, images[1].initrd);
+    assert_eq!(images[0].cmdline, images[1].cmdline);
+    assert_eq!(images[0].root_hash, images[1].root_hash);
+}
