@@ -30,7 +30,9 @@ fn bench_vcek_cache(c: &mut Criterion) {
     group.bench_function("cold_then_warm_browse", |b| {
         b.iter(|| {
             let mut world = SimWorld::new(77);
-            let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+            let fleet = world
+                .deploy_fleet("pad.example.org", 1, demo_app())
+                .unwrap();
             let mut extension = world.extension();
             extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
             let cold = extension.browse("pad.example.org", "/").unwrap().timing;
@@ -61,7 +63,10 @@ fn bench_crypt_format(c: &mut Criterion) {
     group.bench_function("format_and_open_1MiB", |b| {
         b.iter(|| {
             let backing = Arc::new(MemBlockDevice::new(4096, 257));
-            let params = CryptParams { iterations: 1000, salt: [7; 32] };
+            let params = CryptParams {
+                iterations: 1000,
+                salt: [7; 32],
+            };
             CryptDevice::format(Arc::clone(&backing) as _, b"key", &params).unwrap();
             black_box(CryptDevice::open(backing as _, b"key", &params).unwrap());
         });

@@ -13,7 +13,10 @@ const BLOCK: usize = 4096;
 fn devices(blocks: u64) -> (Arc<MemBlockDevice>, CryptDevice) {
     let plain = Arc::new(MemBlockDevice::new(BLOCK, blocks));
     let backing = Arc::new(MemBlockDevice::new(BLOCK, blocks + 1));
-    let params = CryptParams { iterations: 1000, salt: [7; 32] };
+    let params = CryptParams {
+        iterations: 1000,
+        salt: [7; 32],
+    };
     CryptDevice::format(Arc::clone(&backing) as _, b"bench key", &params).unwrap();
     let crypt = CryptDevice::open(backing as _, b"bench key", &params).unwrap();
     (plain, crypt)

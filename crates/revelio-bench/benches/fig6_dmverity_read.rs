@@ -27,7 +27,10 @@ fn bench_fig6(c: &mut Criterion) {
     }
     let tree = VerityTree::build(
         data.as_ref(),
-        VerityParams { hash_block_size: BLOCK, salt: [3; 32] },
+        VerityParams {
+            hash_block_size: BLOCK,
+            salt: [3; 32],
+        },
     )
     .unwrap();
     let root = tree.root_hash();

@@ -13,7 +13,6 @@
 //! `EXPERIMENTS.md` records paper-vs-reproduced values.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use revelio::node::demo_app;
 use revelio::world::SimWorld;
@@ -23,13 +22,28 @@ use revelio_boot::timing::{BootReport, CostModel};
 use revelio_build::artifacts::CryptVolumeConfig;
 use revelio_build::fstree::FsTree;
 use revelio_build::image::{build_image, ImageSpec};
+use revelio_net::clock::SimClock;
 use revelio_storage::block::{BlockDevice, MemBlockDevice};
 use revelio_storage::crypt::{CryptDevice, CryptParams};
+use revelio_storage::probed::ProbedDevice;
 use revelio_storage::verity::{VerityDevice, VerityParams, VerityTree};
+use revelio_telemetry::{DeviceProbe, Telemetry};
 use sev_snp::ids::GuestPolicy;
 
 /// Size scale factor: simulated bytes × `SCALE` = paper bytes.
 pub const SCALE: u64 = 64;
+
+/// Modelled raw-disk sequential read cost, ns per byte (≈55 MB/s — the
+/// paper testbed's virtio disk). The I/O experiments charge a sim clock
+/// with these instead of reading the wall clock, so results are
+/// machine-independent and reproducible byte-for-byte.
+pub const DISK_READ_NS_PER_BYTE: f64 = 18.0;
+/// Modelled raw-disk sequential write cost, ns per byte (≈27 MB/s).
+pub const DISK_WRITE_NS_PER_BYTE: f64 = 36.0;
+/// Modelled dm-verity hash verification cost per tree level touched, ns
+/// per byte. Fitted so a depth-3 tree reads ≈9× slower than plain —
+/// the paper's Fig. 6 average slowdown is 9.35×.
+pub const VERITY_VERIFY_NS_PER_BYTE: f64 = 36.0;
 
 /// The paper's cost model with per-byte constants multiplied by [`SCALE`]
 /// (so a 1/64-size disk yields paper-scale modelled latencies).
@@ -107,10 +121,16 @@ pub fn run_table1() -> Vec<Table1Variant> {
                 &platform,
                 &image,
                 GuestPolicy::default(),
-                BootOptions { cost_model: scaled_cost_model(), ..BootOptions::default() },
+                BootOptions {
+                    cost_model: scaled_cost_model(),
+                    ..BootOptions::default()
+                },
             )
             .expect("boot succeeds");
-        variants.push(Table1Variant { label, report: vm.boot_report().clone() });
+        variants.push(Table1Variant {
+            label,
+            report: vm.boot_report().clone(),
+        });
     }
     variants
 }
@@ -154,6 +174,10 @@ fn dd_read(device: &dyn BlockDevice, total: usize) {
 /// over a plain device vs a dm-crypt volume, for each size in
 /// `total_sizes`. `write` selects the write or read sweep.
 ///
+/// Timings are read off a sim clock charged by [`DeviceProbe`]s (disk
+/// cost on both paths, AES cost on top of the crypt path), not the wall
+/// clock — the sweep is deterministic.
+///
 /// # Panics
 ///
 /// Panics on device setup failure.
@@ -161,13 +185,39 @@ fn dd_read(device: &dyn BlockDevice, total: usize) {
 pub fn run_fig5(total_sizes: &[usize], write: bool) -> Vec<Fig5Point> {
     let max = total_sizes.iter().copied().max().unwrap_or(FIG5_BLOCK);
     let blocks = (max / FIG5_BLOCK + 2) as u64;
+    let clock = SimClock::new();
+    let telemetry = Telemetry::new(clock.clone());
+    let cipher_ns = CostModel::default().cipher_ns_per_byte;
 
-    let plain = MemBlockDevice::new(FIG5_BLOCK, blocks);
-    let backing = Arc::new(MemBlockDevice::new(FIG5_BLOCK, blocks + 1));
+    let plain = ProbedDevice::new(
+        Arc::new(MemBlockDevice::new(FIG5_BLOCK, blocks)),
+        DeviceProbe::new(
+            telemetry.clone(),
+            "fig5_plain",
+            DISK_READ_NS_PER_BYTE,
+            DISK_WRITE_NS_PER_BYTE,
+        ),
+    );
+    let backing: Arc<dyn BlockDevice> = Arc::new(ProbedDevice::new(
+        Arc::new(MemBlockDevice::new(FIG5_BLOCK, blocks + 1)),
+        DeviceProbe::new(
+            telemetry.clone(),
+            "fig5_crypt_backing",
+            DISK_READ_NS_PER_BYTE,
+            DISK_WRITE_NS_PER_BYTE,
+        ),
+    ));
     // Paper config: aes-xts-plain64 + pbkdf2(1000).
-    let params = CryptParams { iterations: 1000, salt: [7; 32] };
-    CryptDevice::format(Arc::clone(&backing) as _, b"bench key", &params).expect("format");
-    let crypt = CryptDevice::open(backing as _, b"bench key", &params).expect("open");
+    let params = CryptParams {
+        iterations: 1000,
+        salt: [7; 32],
+    };
+    CryptDevice::format(Arc::clone(&backing), b"bench key", &params).expect("format");
+    // The crypt path pays the backing disk cost plus the cipher cost.
+    let crypt = ProbedDevice::new(
+        Arc::new(CryptDevice::open(backing, b"bench key", &params).expect("open")),
+        DeviceProbe::new(telemetry.clone(), "fig5_crypt", cipher_ns, cipher_ns),
+    );
     // Pre-fill for the read sweep.
     if !write {
         dd_write(&plain, max);
@@ -177,21 +227,25 @@ pub fn run_fig5(total_sizes: &[usize], write: bool) -> Vec<Fig5Point> {
     total_sizes
         .iter()
         .map(|&total| {
-            let t0 = Instant::now();
-            if write {
-                dd_write(&plain, total);
-            } else {
-                dd_read(&plain, total);
+            let (_, plain_ms) = clock.time_ms(|| {
+                if write {
+                    dd_write(&plain, total);
+                } else {
+                    dd_read(&plain, total);
+                }
+            });
+            let (_, crypt_ms) = clock.time_ms(|| {
+                if write {
+                    dd_write(&crypt, total);
+                } else {
+                    dd_read(&crypt, total);
+                }
+            });
+            Fig5Point {
+                total_bytes: total,
+                plain_ms,
+                crypt_ms,
             }
-            let plain_ms = t0.elapsed().as_secs_f64() * 1000.0;
-            let t0 = Instant::now();
-            if write {
-                dd_write(&crypt, total);
-            } else {
-                dd_read(&crypt, total);
-            }
-            let crypt_ms = t0.elapsed().as_secs_f64() * 1000.0;
-            Fig5Point { total_bytes: total, plain_ms, crypt_ms }
         })
         .collect()
 }
@@ -218,6 +272,10 @@ impl Fig6Point {
 /// Runs the Fig. 6 experiment: reading files of the given sizes from a
 /// verity-protected volume vs a plain one.
 ///
+/// Timings are read off a sim clock: both paths pay the modelled disk
+/// cost, and the verity path pays an extra hash-verify cost per tree
+/// level touched.
+///
 /// # Panics
 ///
 /// Panics on device setup failure.
@@ -225,26 +283,49 @@ impl Fig6Point {
 pub fn run_fig6(file_sizes: &[usize]) -> Vec<Fig6Point> {
     let max = file_sizes.iter().copied().max().unwrap_or(4096);
     let blocks = (max / 4096 + 2) as u64;
-    let data = Arc::new(MemBlockDevice::new(4096, blocks));
-    dd_write(data.as_ref(), max);
+    let clock = SimClock::new();
+    let telemetry = Telemetry::new(clock.clone());
+    let raw = Arc::new(MemBlockDevice::new(4096, blocks));
+    dd_write(raw.as_ref(), max);
+    let data = Arc::new(ProbedDevice::new(
+        raw,
+        DeviceProbe::new(
+            telemetry.clone(),
+            "fig6_data",
+            DISK_READ_NS_PER_BYTE,
+            DISK_WRITE_NS_PER_BYTE,
+        ),
+    ));
     let tree = VerityTree::build(
         data.as_ref(),
-        VerityParams { hash_block_size: 4096, salt: [3; 32] },
+        VerityParams {
+            hash_block_size: 4096,
+            salt: [3; 32],
+        },
     )
     .expect("tree builds");
+    let depth = tree.depth();
     let root = tree.root_hash();
-    let verity = VerityDevice::open(Arc::clone(&data) as _, tree, &root).expect("opens");
+    let verity = ProbedDevice::new(
+        Arc::new(VerityDevice::open(Arc::clone(&data) as _, tree, &root).expect("opens")),
+        DeviceProbe::new(
+            telemetry.clone(),
+            "fig6_verity",
+            VERITY_VERIFY_NS_PER_BYTE * (depth as f64 + 1.0),
+            0.0,
+        ),
+    );
 
     file_sizes
         .iter()
         .map(|&size| {
-            let t0 = Instant::now();
-            dd_read(data.as_ref(), size);
-            let plain_ms = t0.elapsed().as_secs_f64() * 1000.0;
-            let t0 = Instant::now();
-            dd_read(&verity, size);
-            let verity_ms = t0.elapsed().as_secs_f64() * 1000.0;
-            Fig6Point { file_bytes: size, plain_ms, verity_ms }
+            let (_, plain_ms) = clock.time_ms(|| dd_read(data.as_ref(), size));
+            let (_, verity_ms) = clock.time_ms(|| dd_read(&verity, size));
+            Fig6Point {
+                file_bytes: size,
+                plain_ms,
+                verity_ms,
+            }
         })
         .collect()
 }
@@ -292,15 +373,23 @@ pub fn run_table3() -> Table3 {
 
     let network_latency_ms = 2.0 * world.tuning.link_one_way_us as f64 / 1000.0;
 
-    let (_, plain_get_ms) = world
-        .clock
-        .time_ms(|| extension.browse_unprotected("pad.example.org", "/").expect("plain get"));
+    let (_, plain_get_ms) = world.clock.time_ms(|| {
+        extension
+            .browse_unprotected("pad.example.org", "/")
+            .expect("plain get")
+    });
 
-    let cold = extension.browse("pad.example.org", "/").expect("attested get");
+    let cold = extension
+        .browse("pad.example.org", "/")
+        .expect("attested get");
     let warm = extension.browse("pad.example.org", "/").expect("warm get");
 
-    let mut session = extension.open_monitored("pad.example.org").expect("monitored session");
-    let (_, monitored_get_ms) = world.clock.time_ms(|| session.request("/").expect("request"));
+    let mut session = extension
+        .open_monitored("pad.example.org")
+        .expect("monitored session");
+    let (_, monitored_get_ms) = world
+        .clock
+        .time_ms(|| session.request("/").expect("request"));
 
     Table3 {
         network_latency_ms,
@@ -331,25 +420,46 @@ pub struct VerityAblationPoint {
 #[must_use]
 pub fn run_verity_ablation(hash_block_sizes: &[usize]) -> Vec<VerityAblationPoint> {
     let total = 8 << 20;
-    let data = Arc::new(MemBlockDevice::new(4096, (total / 4096) as u64));
-    dd_write(data.as_ref(), total);
+    let clock = SimClock::new();
+    let telemetry = Telemetry::new(clock.clone());
+    let raw = Arc::new(MemBlockDevice::new(4096, (total / 4096) as u64));
+    dd_write(raw.as_ref(), total);
     hash_block_sizes
         .iter()
         .map(|&hbs| {
+            let data = Arc::new(ProbedDevice::new(
+                Arc::clone(&raw) as _,
+                DeviceProbe::new(
+                    telemetry.clone(),
+                    &format!("ablation_data_{hbs}"),
+                    DISK_READ_NS_PER_BYTE,
+                    DISK_WRITE_NS_PER_BYTE,
+                ),
+            ));
             let tree = VerityTree::build(
                 data.as_ref(),
-                VerityParams { hash_block_size: hbs, salt: [1; 32] },
+                VerityParams {
+                    hash_block_size: hbs,
+                    salt: [1; 32],
+                },
             )
             .expect("tree builds");
             let depth = tree.depth();
             let root = tree.root_hash();
-            let verity = VerityDevice::open(Arc::clone(&data) as _, tree, &root).expect("opens");
-            let t0 = Instant::now();
-            dd_read(&verity, total);
+            let verity = ProbedDevice::new(
+                Arc::new(VerityDevice::open(Arc::clone(&data) as _, tree, &root).expect("opens")),
+                DeviceProbe::new(
+                    telemetry.clone(),
+                    &format!("ablation_verity_{hbs}"),
+                    VERITY_VERIFY_NS_PER_BYTE * (depth as f64 + 1.0),
+                    0.0,
+                ),
+            );
+            let (_, read_all_ms) = clock.time_ms(|| dd_read(&verity, total));
             VerityAblationPoint {
                 hash_block_size: hbs,
                 depth,
-                read_all_ms: t0.elapsed().as_secs_f64() * 1000.0,
+                read_all_ms,
             }
         })
         .collect()
@@ -380,9 +490,15 @@ pub fn run_ratls_ablation() -> (f64, f64) {
     let mut extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     // Warm the VCEK cache so both paths are KDS-free.
-    extension.browse("pad.example.org", "/").expect("warms cache");
-    let well_known = extension.browse("pad.example.org", "/").expect("fetch path");
-    let ratls = extension.browse_ratls("pad.example.org", "/").expect("ratls path");
+    extension
+        .browse("pad.example.org", "/")
+        .expect("warms cache");
+    let well_known = extension
+        .browse("pad.example.org", "/")
+        .expect("fetch path");
+    let ratls = extension
+        .browse_ratls("pad.example.org", "/")
+        .expect("ratls path");
     (well_known.timing.total_ms, ratls.timing.total_ms)
 }
 
@@ -406,6 +522,40 @@ pub fn run_fleet_scaling(sizes: &[usize]) -> Vec<(usize, f64)> {
             (n, clock.now_ms() - t0)
         })
         .collect()
+}
+
+/// Runs a full end-to-end scenario — deploy and provision a two-node
+/// fleet, browse it cold, warm and over RA-TLS, one monitored request —
+/// and returns the world's telemetry registry for export.
+///
+/// Everything is driven by the sim clock, so equal seeds yield
+/// byte-identical exports.
+///
+/// # Panics
+///
+/// Panics if deployment or attestation fails.
+#[must_use]
+pub fn run_telemetry(seed: u64) -> Telemetry {
+    let mut world = SimWorld::new(seed);
+    let fleet = world
+        .deploy_fleet("pad.example.org", 2, demo_app())
+        .expect("fleet deploys");
+    let mut extension = world.extension();
+    extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
+    extension
+        .browse("pad.example.org", "/")
+        .expect("cold attested browse");
+    extension
+        .browse("pad.example.org", "/")
+        .expect("warm attested browse");
+    extension
+        .browse_ratls("pad.example.org", "/")
+        .expect("ratls browse");
+    let mut session = extension
+        .open_monitored("pad.example.org")
+        .expect("monitored session");
+    session.request("/").expect("monitored request");
+    world.telemetry
 }
 
 #[cfg(test)]
@@ -441,6 +591,16 @@ mod tests {
     }
 
     #[test]
+    fn fig5_is_deterministic() {
+        let a = run_fig5(&[64 * 1024, 128 * 1024], false);
+        let b = run_fig5(&[64 * 1024, 128 * 1024], false);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.plain_ms, y.plain_ms);
+            assert_eq!(x.crypt_ms, y.crypt_ms);
+        }
+    }
+
+    #[test]
     fn fig6_verity_slower_than_plain() {
         let points = run_fig6(&[256 * 1024, 1 << 20]);
         for p in &points {
@@ -462,6 +622,25 @@ mod tests {
         assert!(t.kds_ms > 0.5 * (t.attested_get_ms - t.plain_get_ms));
         assert!(t.attested_get_warm_ms < t.attested_get_ms - t.kds_ms + 50.0);
         assert!(t.monitored_get_ms > t.plain_get_ms - t.network_latency_ms);
+    }
+
+    #[test]
+    fn telemetry_scenario_covers_the_pipeline() {
+        let telemetry = run_telemetry(42);
+        let breakdown = telemetry.breakdown();
+        for span in [
+            "boot",
+            "kds.fetch",
+            "acme.order",
+            "tls.handshake",
+            "browse",
+            "sp.provision",
+        ] {
+            assert!(
+                breakdown.contains(span),
+                "missing {span} in breakdown:\n{breakdown}"
+            );
+        }
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl fmt::Display for BootError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BootError::HashMismatch(c) => {
-                write!(f, "firmware measurement of {c} does not match injected hash table")
+                write!(
+                    f,
+                    "firmware measurement of {c} does not match injected hash table"
+                )
             }
             BootError::MissingHashTable => write!(f, "firmware has no measured boot hash table"),
             BootError::MissingRootHash => {
@@ -112,6 +115,8 @@ mod tests {
 
     #[test]
     fn display_names_component() {
-        assert!(BootError::HashMismatch(BootComponent::Initrd).to_string().contains("initrd"));
+        assert!(BootError::HashMismatch(BootComponent::Initrd)
+            .to_string()
+            .contains("initrd"));
     }
 }

@@ -139,7 +139,10 @@ impl FirmwareImage {
         if !self.kind.verifies() {
             return Ok(());
         }
-        let table = self.hash_table.as_ref().ok_or(BootError::MissingHashTable)?;
+        let table = self
+            .hash_table
+            .as_ref()
+            .ok_or(BootError::MissingHashTable)?;
         let actual = HashTable::of(kernel, initrd, cmdline);
         if !revelio_crypto::ct::eq(&actual.kernel, &table.kernel) {
             return Err(BootError::HashMismatch(BootComponent::Kernel));
@@ -226,9 +229,18 @@ mod tests {
     #[test]
     fn measured_boot_measurement_covers_all_blobs() {
         let base = expected_measurement(FirmwareKind::MeasuredDirectBoot, b"k", b"i", "c");
-        assert_ne!(base, expected_measurement(FirmwareKind::MeasuredDirectBoot, b"K", b"i", "c"));
-        assert_ne!(base, expected_measurement(FirmwareKind::MeasuredDirectBoot, b"k", b"I", "c"));
-        assert_ne!(base, expected_measurement(FirmwareKind::MeasuredDirectBoot, b"k", b"i", "C"));
+        assert_ne!(
+            base,
+            expected_measurement(FirmwareKind::MeasuredDirectBoot, b"K", b"i", "c")
+        );
+        assert_ne!(
+            base,
+            expected_measurement(FirmwareKind::MeasuredDirectBoot, b"k", b"I", "c")
+        );
+        assert_ne!(
+            base,
+            expected_measurement(FirmwareKind::MeasuredDirectBoot, b"k", b"i", "C")
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! host lie in every way §6.1.1 analyses — loading different blobs than it
 //! hashed, injecting a bogus table, or booting a different firmware build.
 
+use revelio_telemetry::Telemetry;
 use sev_snp::ids::GuestPolicy;
 use sev_snp::platform::SnpPlatform;
 
@@ -35,6 +36,11 @@ pub struct BootOptions {
     pub identity_seed: [u8; 32],
     /// Cost model for the boot timeline.
     pub cost_model: CostModel,
+    /// When set, the boot timeline is mirrored into this registry as a
+    /// `boot` span with one modelled child per [`BootReport`] step.
+    ///
+    /// [`BootReport`]: crate::timing::BootReport
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for BootOptions {
@@ -46,6 +52,7 @@ impl Default for BootOptions {
             hash_table_override: None,
             identity_seed: [0x42; 32],
             cost_model: CostModel::default(),
+            telemetry: None,
         }
     }
 }
@@ -72,9 +79,10 @@ impl Hypervisor {
     /// Boots `image` on `platform`:
     ///
     /// 1. hash the (claimed) kernel/initrd/cmdline into the firmware's
-    ///    table, 2. let the AMD-SP measure the firmware volume and launch,
-    /// 3. firmware re-verifies the actually-loaded blobs, 4. hand off to
-    /// the in-guest init sequence ([`BootedVm`]).
+    ///    table,
+    /// 2. let the AMD-SP measure the firmware volume and launch,
+    /// 3. firmware re-verifies the actually-loaded blobs,
+    /// 4. hand off to the in-guest init sequence ([`BootedVm`]).
     ///
     /// # Errors
     ///
@@ -98,8 +106,14 @@ impl Hypervisor {
         let guest = platform.launch(&firmware.to_bytes(), policy)?;
 
         // …and what the host *actually* loads.
-        let kernel = options.kernel_override.clone().unwrap_or_else(|| image.kernel.clone());
-        let initrd = options.initrd_override.clone().unwrap_or_else(|| image.initrd.clone());
+        let kernel = options
+            .kernel_override
+            .clone()
+            .unwrap_or_else(|| image.kernel.clone());
+        let initrd = options
+            .initrd_override
+            .clone()
+            .unwrap_or_else(|| image.initrd.clone());
         let cmdline = options
             .cmdline_override
             .clone()
@@ -129,14 +143,21 @@ mod tests {
 
     fn image() -> VmImage {
         let mut rootfs = FsTree::new();
-        rootfs.add_file("/usr/bin/svc", b"svc".to_vec(), 0o755).unwrap();
+        rootfs
+            .add_file("/usr/bin/svc", b"svc".to_vec(), 0o755)
+            .unwrap();
         build_image(&ImageSpec::new("t", rootfs)).unwrap()
     }
 
     #[test]
     fn honest_boot_succeeds() {
         let vm = Hypervisor::new(FirmwareKind::MeasuredDirectBoot)
-            .boot(&platform(), &image(), GuestPolicy::default(), BootOptions::default())
+            .boot(
+                &platform(),
+                &image(),
+                GuestPolicy::default(),
+                BootOptions::default(),
+            )
             .unwrap();
         assert!(vm.rootfs().get("/usr/bin/svc").is_some());
     }
@@ -171,7 +192,10 @@ mod tests {
                 &platform(),
                 &img,
                 GuestPolicy::default(),
-                BootOptions { cmdline_override: Some(evil_cmdline), ..BootOptions::default() },
+                BootOptions {
+                    cmdline_override: Some(evil_cmdline),
+                    ..BootOptions::default()
+                },
             )
             .unwrap_err();
         assert_eq!(err, BootError::HashMismatch(BootComponent::Cmdline));
@@ -207,7 +231,12 @@ mod tests {
         let evil_img = image();
         let evil_kernel = b"malicious kernel".to_vec();
         let honest_vm = Hypervisor::new(FirmwareKind::MeasuredDirectBoot)
-            .boot(&platform(), &honest_img, GuestPolicy::default(), BootOptions::default())
+            .boot(
+                &platform(),
+                &honest_img,
+                GuestPolicy::default(),
+                BootOptions::default(),
+            )
             .unwrap();
         let evil_vm = Hypervisor::new(FirmwareKind::MeasuredDirectBoot)
             .boot(
@@ -231,7 +260,12 @@ mod tests {
     #[test]
     fn malicious_firmware_boots_anything_but_measures_differently() {
         let honest = Hypervisor::new(FirmwareKind::MeasuredDirectBoot)
-            .boot(&platform(), &image(), GuestPolicy::default(), BootOptions::default())
+            .boot(
+                &platform(),
+                &image(),
+                GuestPolicy::default(),
+                BootOptions::default(),
+            )
             .unwrap();
         let evil = Hypervisor::new(FirmwareKind::MaliciousSkipVerify)
             .boot(

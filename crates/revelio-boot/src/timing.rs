@@ -89,7 +89,10 @@ pub struct BootReport {
 
 impl BootReport {
     pub(crate) fn record(&mut self, name: &str, modelled_ms: f64) {
-        self.steps.push(BootStep { name: name.to_owned(), modelled_ms });
+        self.steps.push(BootStep {
+            name: name.to_owned(),
+            modelled_ms,
+        });
     }
 
     /// Total modelled boot time in ms.
@@ -101,7 +104,10 @@ impl BootReport {
     /// Looks up a step's modelled duration by name.
     #[must_use]
     pub fn step_ms(&self, name: &str) -> Option<f64> {
-        self.steps.iter().find(|s| s.name == name).map(|s| s.modelled_ms)
+        self.steps
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.modelled_ms)
     }
 
     /// A step's share of the total boot time, in percent (Table 1's

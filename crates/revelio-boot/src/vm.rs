@@ -30,6 +30,26 @@ use crate::loader::BootOptions;
 use crate::timing::BootReport;
 use crate::BootError;
 
+/// Boot-step name → span-name segment: ASCII alphanumerics kept
+/// (lowercased), every other run of characters collapsed to one `_`, so
+/// `"kernel+init base"` becomes `"kernel_init_base"`.
+fn span_segment(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut gap = false;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            if gap && !out.is_empty() {
+                out.push('_');
+            }
+            gap = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            gap = true;
+        }
+    }
+    out
+}
+
 /// A fully booted Revelio guest.
 pub struct BootedVm {
     guest: GuestContext,
@@ -93,10 +113,12 @@ impl BootedVm {
         // 1. Verity-mount the rootfs.
         let (rootfs, rootfs_device) = if init.verity_rootfs {
             let root_hash = cmdline.verity_root_hash.ok_or(BootError::MissingRootHash)?;
-            let rootfs_part = find(PartitionKind::RootFs)
-                .ok_or_else(|| BootError::Storage(StorageError::BadSuperblock("no rootfs partition".into())))?;
-            let meta_part = find(PartitionKind::VerityMeta)
-                .ok_or_else(|| BootError::Storage(StorageError::BadSuperblock("no verity partition".into())))?;
+            let rootfs_part = find(PartitionKind::RootFs).ok_or_else(|| {
+                BootError::Storage(StorageError::BadSuperblock("no rootfs partition".into()))
+            })?;
+            let meta_part = find(PartitionKind::VerityMeta).ok_or_else(|| {
+                BootError::Storage(StorageError::BadSuperblock("no verity partition".into()))
+            })?;
             let tree = VerityTree::read_from_device(meta_part.device.as_ref())
                 .map_err(BootError::RootfsIntegrity)?;
             report.record("dm-verity setup", model.dm_setup_ms);
@@ -114,14 +136,17 @@ impl BootedVm {
             })?;
             let mut buf = vec![0u8; verity.block_size()];
             for i in 0..verity.block_count() {
-                verity.read_block(i, &mut buf).map_err(BootError::RootfsIntegrity)?;
+                verity
+                    .read_block(i, &mut buf)
+                    .map_err(BootError::RootfsIntegrity)?;
             }
             report.record("dm-verity verify", model.hash_ms(verified_bytes));
             vtpm.extend(PcrIndex::RootFs, "verity root hash", &root_hash);
             (rootfs, Some(verity))
         } else {
-            let rootfs_part = find(PartitionKind::RootFs)
-                .ok_or_else(|| BootError::Storage(StorageError::BadSuperblock("no rootfs partition".into())))?;
+            let rootfs_part = find(PartitionKind::RootFs).ok_or_else(|| {
+                BootError::Storage(StorageError::BadSuperblock("no rootfs partition".into()))
+            })?;
             (read_rootfs(rootfs_part.device.as_ref())?, None)
         };
 
@@ -142,7 +167,10 @@ impl BootedVm {
             ));
             let mut salt = [0u8; 32];
             salt[..16].copy_from_slice(&part.partition.uuid);
-            let params = CryptParams { iterations: crypt_cfg.kdf_iterations, salt };
+            let params = CryptParams {
+                iterations: crypt_cfg.kdf_iterations,
+                salt,
+            };
             // First boot is a *pristine* (all-zero) superblock region. Any
             // other unreadable superblock means tampering or a foreign
             // volume: fail closed — silently reformatting would destroy
@@ -192,7 +220,31 @@ impl BootedVm {
         // 5. Services.
         for service in &init.services {
             report.record(&format!("service:{service}"), model.service_start_ms);
-            vtpm.extend(PcrIndex::Services, &format!("svc:{service}"), service.as_bytes());
+            vtpm.extend(
+                PcrIndex::Services,
+                &format!("svc:{service}"),
+                service.as_bytes(),
+            );
+        }
+
+        // Mirror the boot timeline into the telemetry registry: a `boot`
+        // root span with one modelled child per recorded step. Boot work is
+        // costed by the model, not the sim clock, so the spans are emitted
+        // after the fact with modelled durations.
+        if let Some(telemetry) = &options.telemetry {
+            let span = telemetry.span_with(
+                "boot",
+                &[("first_boot", if first_boot { "true" } else { "false" })],
+            );
+            for step in &report.steps {
+                telemetry.modelled_span(
+                    &format!("boot.{}", span_segment(&step.name)),
+                    step.modelled_ms,
+                );
+            }
+            span.finish_modelled_ms(report.total_ms());
+            telemetry.counter_add("revelio_boot_boots_total", 1);
+            telemetry.observe("revelio_boot_total_ms", report.total_ms());
         }
 
         Ok(BootedVm {
@@ -277,7 +329,8 @@ impl BootedVm {
     pub fn identity_report(&self) -> SignedReport {
         let public = self.identity_public_key().expect("identity enabled");
         let digest = Sha256::digest(public.to_bytes());
-        self.guest.attestation_report(ReportData::from_slice(&digest))
+        self.guest
+            .attestation_report(ReportData::from_slice(&digest))
     }
 
     /// An attestation report over arbitrary `REPORT_DATA` (e.g. a CSR hash,
@@ -331,7 +384,8 @@ impl BootedVm {
     pub fn runtime_quote(&self, nonce: &[u8]) -> (SignedReport, Vec<PcrEvent>) {
         let digest = self.vtpm.quote_digest(nonce);
         (
-            self.guest.attestation_report(ReportData::from_slice(&digest)),
+            self.guest
+                .attestation_report(ReportData::from_slice(&digest)),
             self.vtpm.event_log().to_vec(),
         )
     }
@@ -354,14 +408,19 @@ mod tests {
 
     fn spec(services: &[&str]) -> ImageSpec {
         let mut rootfs = FsTree::new();
-        rootfs.add_file("/usr/bin/svc", b"svc".to_vec(), 0o755).unwrap();
+        rootfs
+            .add_file("/usr/bin/svc", b"svc".to_vec(), 0o755)
+            .unwrap();
         rootfs
             .add_file("/etc/golden", b"value".to_vec(), 0o644)
             .unwrap();
         let mut s = ImageSpec::new("t", rootfs);
         s.init = InitConfig {
             services: services.iter().map(|s| (*s).to_string()).collect(),
-            crypt_volume: Some(CryptVolumeConfig { partition_name: "data".into(), kdf_iterations: 3 }),
+            crypt_volume: Some(CryptVolumeConfig {
+                partition_name: "data".into(),
+                kdf_iterations: 3,
+            }),
             ..InitConfig::default()
         };
         s
@@ -369,7 +428,12 @@ mod tests {
 
     fn boot(platform: &SnpPlatform, image: &VmImage) -> BootedVm {
         Hypervisor::new(FirmwareKind::MeasuredDirectBoot)
-            .boot(platform, image, GuestPolicy::default(), BootOptions::default())
+            .boot(
+                platform,
+                image,
+                GuestPolicy::default(),
+                BootOptions::default(),
+            )
             .unwrap()
     }
 
@@ -379,7 +443,12 @@ mod tests {
         let image = build_image(&spec(&["nginx", "proxy"])).unwrap();
         let vm = boot(&p, &image);
         let r = vm.boot_report();
-        for step in ["dm-verity setup", "dm-verity verify", "dm-crypt setup", "identity creation"] {
+        for step in [
+            "dm-verity setup",
+            "dm-verity verify",
+            "dm-crypt setup",
+            "identity creation",
+        ] {
             assert!(r.step_ms(step).is_some(), "missing step {step}");
         }
         assert!(vm.is_first_boot());
@@ -410,7 +479,11 @@ mod tests {
         let again = boot(&p, &image);
         assert!(!again.is_first_boot());
         let mut buf = vec![0u8; 4096];
-        again.data_volume().unwrap().read_block(0, &mut buf).unwrap();
+        again
+            .data_volume()
+            .unwrap()
+            .read_block(0, &mut buf)
+            .unwrap();
         assert_eq!(buf, vec![9u8; 4096]);
     }
 
@@ -419,7 +492,11 @@ mod tests {
         let p = platform_from(1);
         let image = build_image(&spec(&[])).unwrap();
         let first = boot(&p, &image);
-        first.data_volume().unwrap().write_block(0, &vec![9u8; 4096]).unwrap();
+        first
+            .data_volume()
+            .unwrap()
+            .write_block(0, &vec![9u8; 4096])
+            .unwrap();
         drop(first);
 
         // An attacker boots a *different* VM against the victim's disk:
@@ -477,17 +554,27 @@ mod tests {
         let image = build_image(&spec(&[])).unwrap();
         let hv = Hypervisor::new(FirmwareKind::MeasuredDirectBoot);
         let a = hv
-            .boot(&p, &image, GuestPolicy::default(), BootOptions {
-                identity_seed: [1; 32],
-                ..BootOptions::default()
-            })
+            .boot(
+                &p,
+                &image,
+                GuestPolicy::default(),
+                BootOptions {
+                    identity_seed: [1; 32],
+                    ..BootOptions::default()
+                },
+            )
             .unwrap();
         let image2 = build_image(&spec(&[])).unwrap();
         let b = hv
-            .boot(&p, &image2, GuestPolicy::default(), BootOptions {
-                identity_seed: [2; 32],
-                ..BootOptions::default()
-            })
+            .boot(
+                &p,
+                &image2,
+                GuestPolicy::default(),
+                BootOptions {
+                    identity_seed: [2; 32],
+                    ..BootOptions::default()
+                },
+            )
             .unwrap();
         assert_ne!(a.identity_public_key(), b.identity_public_key());
         // Identical images on the same platform still share a measurement.

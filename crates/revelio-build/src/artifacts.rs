@@ -27,7 +27,10 @@ pub struct NetworkPolicy {
 impl Default for NetworkPolicy {
     /// Revelio's policy: HTTPS only, no SSH.
     fn default() -> Self {
-        NetworkPolicy { allowed_inbound_ports: vec![443], ssh_enabled: false }
+        NetworkPolicy {
+            allowed_inbound_ports: vec![443],
+            ssh_enabled: false,
+        }
     }
 }
 
@@ -42,7 +45,10 @@ pub struct CryptVolumeConfig {
 
 impl Default for CryptVolumeConfig {
     fn default() -> Self {
-        CryptVolumeConfig { partition_name: "data".to_owned(), kdf_iterations: 1000 }
+        CryptVolumeConfig {
+            partition_name: "data".to_owned(),
+            kdf_iterations: 1000,
+        }
     }
 }
 
@@ -117,7 +123,9 @@ impl InitConfig {
         let mut r = ByteReader::new(bytes);
         let magic = r.get_array::<6>()?;
         if &magic != b"RVIRD1" {
-            return Err(BuildError::Wire(revelio_crypto::wire::WireError::UnknownTag(magic[0])));
+            return Err(BuildError::Wire(
+                revelio_crypto::wire::WireError::UnknownTag(magic[0]),
+            ));
         }
         let verity_rootfs = r.get_u8()? != 0;
         let crypt_volume = match r.get_u8()? {
@@ -126,7 +134,11 @@ impl InitConfig {
                 partition_name: r.get_str()?,
                 kdf_iterations: r.get_u32()?,
             }),
-            t => return Err(BuildError::Wire(revelio_crypto::wire::WireError::UnknownTag(t))),
+            t => {
+                return Err(BuildError::Wire(
+                    revelio_crypto::wire::WireError::UnknownTag(t),
+                ))
+            }
         };
         let n_ports = r.get_count(2)?; // u16 per port
         let mut allowed_inbound_ports = Vec::with_capacity(n_ports);
@@ -144,7 +156,10 @@ impl InitConfig {
         Ok(InitConfig {
             verity_rootfs,
             crypt_volume,
-            network: NetworkPolicy { allowed_inbound_ports, ssh_enabled },
+            network: NetworkPolicy {
+                allowed_inbound_ports,
+                ssh_enabled,
+            },
             create_identity,
             services,
         })
@@ -202,7 +217,9 @@ impl KernelSpec {
         let mut r = ByteReader::new(bytes);
         let magic = r.get_array::<6>()?;
         if &magic != b"RVKRN1" {
-            return Err(BuildError::Wire(revelio_crypto::wire::WireError::UnknownTag(magic[0])));
+            return Err(BuildError::Wire(
+                revelio_crypto::wire::WireError::UnknownTag(magic[0]),
+            ));
         }
         let version = r.get_str()?;
         let n = r.get_count(4)?; // string prefix
@@ -211,7 +228,10 @@ impl KernelSpec {
             config_flags.push(r.get_str()?);
         }
         r.finish()?;
-        Ok(KernelSpec { version, config_flags })
+        Ok(KernelSpec {
+            version,
+            config_flags,
+        })
     }
 }
 
@@ -279,13 +299,19 @@ mod tests {
 
     #[test]
     fn init_config_without_crypt_roundtrip() {
-        let cfg = InitConfig { crypt_volume: None, ..InitConfig::default() };
+        let cfg = InitConfig {
+            crypt_volume: None,
+            ..InitConfig::default()
+        };
         assert_eq!(InitConfig::from_initrd(&cfg.to_initrd()).unwrap(), cfg);
     }
 
     #[test]
     fn initrd_encoding_is_deterministic() {
-        assert_eq!(InitConfig::default().to_initrd(), InitConfig::default().to_initrd());
+        assert_eq!(
+            InitConfig::default().to_initrd(),
+            InitConfig::default().to_initrd()
+        );
     }
 
     #[test]

@@ -80,8 +80,13 @@ mod tests {
 
     #[test]
     fn display_names_the_problem() {
-        assert!(BuildError::InvalidPath("a/../b".into()).to_string().contains("a/../b"));
-        let e = BuildError::PackageNotFound { name: "nginx".into(), version: Some("1.2".into()) };
+        assert!(BuildError::InvalidPath("a/../b".into())
+            .to_string()
+            .contains("a/../b"));
+        let e = BuildError::PackageNotFound {
+            name: "nginx".into(),
+            version: Some("1.2".into()),
+        };
         assert!(e.to_string().contains("nginx"));
         assert!(e.to_string().contains("1.2"));
     }

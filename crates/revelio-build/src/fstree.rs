@@ -123,8 +123,14 @@ impl FsTree {
             return Err(BuildError::PathConflict(path.to_owned()));
         }
         self.ensure_parents(path);
-        self.entries
-            .insert(path.to_owned(), FsEntry::File { content, mode, mtime });
+        self.entries.insert(
+            path.to_owned(),
+            FsEntry::File {
+                content,
+                mode,
+                mtime,
+            },
+        );
         Ok(self)
     }
 
@@ -157,8 +163,12 @@ impl FsTree {
             return Err(BuildError::PathConflict(path.to_owned()));
         }
         self.ensure_parents(path);
-        self.entries
-            .insert(path.to_owned(), FsEntry::Symlink { target: target.to_owned() });
+        self.entries.insert(
+            path.to_owned(),
+            FsEntry::Symlink {
+                target: target.to_owned(),
+            },
+        );
         Ok(self)
     }
 
@@ -208,7 +218,12 @@ impl FsTree {
     /// Applies `f` to every file entry (the scrubber's timestamp squash).
     pub fn for_each_file_mut(&mut self, mut f: impl FnMut(&str, &mut Vec<u8>, &mut u16, &mut u64)) {
         for (path, entry) in &mut self.entries {
-            if let FsEntry::File { content, mode, mtime } = entry {
+            if let FsEntry::File {
+                content,
+                mode,
+                mtime,
+            } = entry
+            {
                 f(path, content, mode, mtime);
             }
         }
@@ -231,7 +246,11 @@ impl FsTree {
         for (path, entry) in &self.entries {
             w.put_str(path);
             match entry {
-                FsEntry::File { content, mode, mtime } => {
+                FsEntry::File {
+                    content,
+                    mode,
+                    mtime,
+                } => {
                     w.put_u8(0);
                     w.put_u16(*mode);
                     w.put_u64(*mtime);
@@ -259,7 +278,9 @@ impl FsTree {
         let mut r = ByteReader::new(bytes);
         let magic = r.get_array::<4>()?;
         if &magic != b"RVFS" {
-            return Err(BuildError::Wire(revelio_crypto::wire::WireError::UnknownTag(magic[0])));
+            return Err(BuildError::Wire(
+                revelio_crypto::wire::WireError::UnknownTag(magic[0]),
+            ));
         }
         let n = r.get_u32()?;
         let mut entries = BTreeMap::new();
@@ -270,11 +291,21 @@ impl FsTree {
                     let mode = r.get_u16()?;
                     let mtime = r.get_u64()?;
                     let content = r.get_var_bytes()?.to_vec();
-                    FsEntry::File { content, mode, mtime }
+                    FsEntry::File {
+                        content,
+                        mode,
+                        mtime,
+                    }
                 }
                 1 => FsEntry::Dir { mode: r.get_u16()? },
-                2 => FsEntry::Symlink { target: r.get_str()? },
-                t => return Err(BuildError::Wire(revelio_crypto::wire::WireError::UnknownTag(t))),
+                2 => FsEntry::Symlink {
+                    target: r.get_str()?,
+                },
+                t => {
+                    return Err(BuildError::Wire(
+                        revelio_crypto::wire::WireError::UnknownTag(t),
+                    ))
+                }
             };
             entries.insert(path, entry);
         }
@@ -309,16 +340,19 @@ mod tests {
     fn mtime_changes_hash() {
         // This is the nondeterminism the scrubber exists to kill.
         let mut a = FsTree::new();
-        a.add_file_with_mtime("/f", b"x".to_vec(), 0o644, 1_690_000_000).unwrap();
+        a.add_file_with_mtime("/f", b"x".to_vec(), 0o644, 1_690_000_000)
+            .unwrap();
         let mut b = FsTree::new();
-        b.add_file_with_mtime("/f", b"x".to_vec(), 0o644, 1_690_000_001).unwrap();
+        b.add_file_with_mtime("/f", b"x".to_vec(), 0o644, 1_690_000_001)
+            .unwrap();
         assert_ne!(a.content_hash(), b.content_hash());
     }
 
     #[test]
     fn parents_are_created_implicitly() {
         let mut t = FsTree::new();
-        t.add_file("/usr/local/bin/tool", b"x".to_vec(), 0o755).unwrap();
+        t.add_file("/usr/local/bin/tool", b"x".to_vec(), 0o755)
+            .unwrap();
         assert!(matches!(t.get("/usr"), Some(FsEntry::Dir { .. })));
         assert!(matches!(t.get("/usr/local/bin"), Some(FsEntry::Dir { .. })));
     }
@@ -350,8 +384,10 @@ mod tests {
     #[test]
     fn remove_subtree_removes_children() {
         let mut t = FsTree::new();
-        t.add_file("/var/lib/apt/lists/archive1", b"a".to_vec(), 0o644).unwrap();
-        t.add_file("/var/lib/apt/lists/archive2", b"b".to_vec(), 0o644).unwrap();
+        t.add_file("/var/lib/apt/lists/archive1", b"a".to_vec(), 0o644)
+            .unwrap();
+        t.add_file("/var/lib/apt/lists/archive2", b"b".to_vec(), 0o644)
+            .unwrap();
         t.add_file("/var/lib/keep", b"k".to_vec(), 0o644).unwrap();
         let removed = t.remove_subtree("/var/lib/apt");
         assert_eq!(removed, 4); // apt, lists, 2 files

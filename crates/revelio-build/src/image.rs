@@ -94,7 +94,9 @@ impl VmImage {
     ///
     /// Propagates storage errors (a well-formed image always opens).
     pub fn partitions(&self) -> Result<Vec<PartitionView>, BuildError> {
-        Ok(PartitionTable::open(Arc::clone(&self.disk) as Arc<dyn BlockDevice>)?)
+        Ok(PartitionTable::open(
+            Arc::clone(&self.disk) as Arc<dyn BlockDevice>
+        )?)
     }
 }
 
@@ -140,9 +142,14 @@ pub fn build_image(spec: &ImageSpec) -> Result<VmImage, BuildError> {
     // 2. Compute the verity tree over the (padded) rootfs partition image.
     let staged_rootfs = MemBlockDevice::new(bs, rootfs_blocks);
     write_at(&staged_rootfs, 0, &rootfs_payload)?;
-    let params = VerityParams { hash_block_size: bs, salt: spec.verity_salt };
+    let params = VerityParams {
+        hash_block_size: bs,
+        salt: spec.verity_salt,
+    };
     let tree = VerityTree::build(&staged_rootfs, params)?;
-    let meta_blocks = (tree.to_bytes().len() as u64 + 8).div_ceil(bs as u64).max(1);
+    let meta_blocks = (tree.to_bytes().len() as u64 + 8)
+        .div_ceil(bs as u64)
+        .max(1);
 
     // 3. Lay out the disk.
     let total_blocks = 1 + rootfs_blocks + meta_blocks + spec.data_blocks.max(2);
@@ -182,8 +189,10 @@ mod tests {
 
     fn sample_rootfs() -> FsTree {
         let mut t = FsTree::new();
-        t.add_file("/usr/sbin/nginx", vec![7u8; 10_000], 0o755).unwrap();
-        t.add_file("/etc/nginx/nginx.conf", b"server {}".to_vec(), 0o644).unwrap();
+        t.add_file("/usr/sbin/nginx", vec![7u8; 10_000], 0o755)
+            .unwrap();
+        t.add_file("/etc/nginx/nginx.conf", b"server {}".to_vec(), 0o644)
+            .unwrap();
         t.add_file_with_mtime("/etc/build-stamp", b"stamp".to_vec(), 0o644, 1_690_000_000)
             .unwrap();
         t
@@ -204,7 +213,9 @@ mod tests {
     fn different_rootfs_different_root_hash() {
         let a = build_image(&ImageSpec::new("a", sample_rootfs())).unwrap();
         let mut other = sample_rootfs();
-        other.add_file("/usr/sbin/backdoor", b"evil".to_vec(), 0o755).unwrap();
+        other
+            .add_file("/usr/sbin/backdoor", b"evil".to_vec(), 0o755)
+            .unwrap();
         let b = build_image(&ImageSpec::new("b", other)).unwrap();
         assert_ne!(a.root_hash, b.root_hash);
     }
@@ -212,9 +223,11 @@ mod tests {
     #[test]
     fn scrubbing_makes_timestamped_builds_converge() {
         let mut t1 = sample_rootfs();
-        t1.add_file_with_mtime("/app", b"bin".to_vec(), 0o755, 111).unwrap();
+        t1.add_file_with_mtime("/app", b"bin".to_vec(), 0o755, 111)
+            .unwrap();
         let mut t2 = sample_rootfs();
-        t2.add_file_with_mtime("/app", b"bin".to_vec(), 0o755, 222).unwrap();
+        t2.add_file_with_mtime("/app", b"bin".to_vec(), 0o755, 222)
+            .unwrap();
         let a = build_image(&ImageSpec::new("x", t1)).unwrap();
         let b = build_image(&ImageSpec::new("x", t2)).unwrap();
         assert_eq!(a.root_hash, b.root_hash);

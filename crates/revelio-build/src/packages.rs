@@ -44,7 +44,10 @@ impl PackageRegistry {
 
     /// Publishes a new version of `name` (becomes the new latest).
     pub fn publish(&mut self, name: &str, version: PackageVersion) {
-        self.packages.entry(name.to_owned()).or_default().push(version);
+        self.packages
+            .entry(name.to_owned())
+            .or_default()
+            .push(version);
     }
 
     /// Installs the latest version of `name` into `tree` — the
@@ -58,7 +61,10 @@ impl PackageRegistry {
             .packages
             .get(name)
             .filter(|v| !v.is_empty())
-            .ok_or_else(|| BuildError::PackageNotFound { name: name.to_owned(), version: None })?;
+            .ok_or_else(|| BuildError::PackageNotFound {
+                name: name.to_owned(),
+                version: None,
+            })?;
         let latest = versions.last().expect("nonempty");
         Self::install(latest, tree)?;
         Ok(latest.version.clone())
@@ -129,7 +135,12 @@ impl BaseImage {
             manifest.push(((*pkg).to_owned(), version));
         }
         let digest = Self::compute_digest(name, &tree);
-        Ok(BaseImage { name: name.to_owned(), manifest, tree, digest })
+        Ok(BaseImage {
+            name: name.to_owned(),
+            manifest,
+            tree,
+            digest,
+        })
     }
 
     fn compute_digest(name: &str, tree: &FsTree) -> [u8; 32] {
@@ -218,7 +229,10 @@ mod tests {
         reg.install_pinned("nginx", "1.18.0", &mut before).unwrap();
         reg.publish(
             "nginx",
-            PackageVersion { version: "1.18.1".into(), files: vec![] },
+            PackageVersion {
+                version: "1.18.1".into(),
+                files: vec![],
+            },
         );
         let mut after = FsTree::new();
         reg.install_pinned("nginx", "1.18.0", &mut after).unwrap();
@@ -244,7 +258,10 @@ mod tests {
         // Registry moves on; the snapshot does not.
         reg.publish(
             "nginx",
-            PackageVersion { version: "2.0".into(), files: vec![] },
+            PackageVersion {
+                version: "2.0".into(),
+                files: vec![],
+            },
         );
         let mut a = FsTree::new();
         base.apply_pinned(&digest, &mut a).unwrap();

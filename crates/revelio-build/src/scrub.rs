@@ -83,12 +83,20 @@ mod tests {
 
     fn dirty_tree(machine_id: &[u8], mtime: u64) -> FsTree {
         let mut t = FsTree::new();
-        t.add_file_with_mtime("/usr/bin/app", b"app".to_vec(), 0o755, mtime).unwrap();
-        t.add_file("/etc/machine-id", machine_id.to_vec(), 0o444).unwrap();
-        t.add_file("/var/lib/apt/lists/archive.ubuntu.com_dists", b"index".to_vec(), 0o644)
+        t.add_file_with_mtime("/usr/bin/app", b"app".to_vec(), 0o755, mtime)
             .unwrap();
-        t.add_file("/var/log/dpkg.log", b"log".to_vec(), 0o644).unwrap();
-        t.add_file("/usr/lib/python/__pycache__/m.pyc", b"pyc".to_vec(), 0o644).unwrap();
+        t.add_file("/etc/machine-id", machine_id.to_vec(), 0o444)
+            .unwrap();
+        t.add_file(
+            "/var/lib/apt/lists/archive.ubuntu.com_dists",
+            b"index".to_vec(),
+            0o644,
+        )
+        .unwrap();
+        t.add_file("/var/log/dpkg.log", b"log".to_vec(), 0o644)
+            .unwrap();
+        t.add_file("/usr/lib/python/__pycache__/m.pyc", b"pyc".to_vec(), 0o644)
+            .unwrap();
         t
     }
 
@@ -136,7 +144,10 @@ mod tests {
     #[test]
     fn custom_policy_can_keep_logs() {
         let mut t = dirty_tree(b"id", 42);
-        let policy = ScrubPolicy { remove_subtrees: vec![], ..ScrubPolicy::default() };
+        let policy = ScrubPolicy {
+            remove_subtrees: vec![],
+            ..ScrubPolicy::default()
+        };
         scrub(&mut t, &policy);
         assert!(t.get("/var/log/dpkg.log").is_some());
     }

@@ -43,12 +43,7 @@ impl ChaCha20Poly1305 {
         block[..32].try_into().expect("32 bytes")
     }
 
-    fn compute_tag(
-        &self,
-        nonce: &[u8; NONCE_LEN],
-        aad: &[u8],
-        ciphertext: &[u8],
-    ) -> [u8; TAG_LEN] {
+    fn compute_tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
         let otk = self.poly_key(nonce);
         let mut mac = Poly1305::new(&otk);
         mac.update(aad);
@@ -169,7 +164,10 @@ mod tests {
         let aead = ChaCha20Poly1305::new(&[1u8; 32]);
         assert_eq!(
             aead.open(&[0u8; 12], b"", &[0u8; 5]),
-            Err(CryptoError::InvalidLength { got: 5, expected: 16 })
+            Err(CryptoError::InvalidLength {
+                got: 5,
+                expected: 16
+            })
         );
     }
 

@@ -117,7 +117,9 @@ pub struct Aes {
 
 impl std::fmt::Debug for Aes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Aes").field("size", &self.size).finish_non_exhaustive()
+        f.debug_struct("Aes")
+            .field("size", &self.size)
+            .finish_non_exhaustive()
     }
 }
 
@@ -213,7 +215,12 @@ impl Aes {
 
     fn mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
             state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
             state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
             state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
@@ -223,7 +230,12 @@ impl Aes {
 
     fn inv_mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
             state[4 * c] =
                 gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
             state[4 * c + 1] =
@@ -333,7 +345,10 @@ mod tests {
     #[test]
     fn invalid_key_sizes_rejected() {
         for n in [0usize, 8, 15, 17, 24, 31, 33] {
-            assert_eq!(Aes::new(&vec![0u8; n]).unwrap_err(), CryptoError::InvalidKeySize(n));
+            assert_eq!(
+                Aes::new(&vec![0u8; n]).unwrap_err(),
+                CryptoError::InvalidKeySize(n)
+            );
         }
     }
 

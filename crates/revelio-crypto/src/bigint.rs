@@ -227,14 +227,14 @@ impl BigUint {
             return BigUint::zero();
         }
         let mut out = vec![0u64; self.limbs.len() - limb_shift];
-        for i in 0..out.len() {
+        for (i, o) in out.iter_mut().enumerate() {
             let lo = self.limbs[i + limb_shift] >> bit_shift;
             let hi = if bit_shift != 0 && i + limb_shift + 1 < self.limbs.len() {
                 self.limbs[i + limb_shift + 1] << (64 - bit_shift)
             } else {
                 0
             };
-            out[i] = lo | hi;
+            *o = lo | hi;
         }
         let mut r = BigUint { limbs: out };
         r.normalize();

@@ -106,8 +106,7 @@ impl std::fmt::Debug for EdwardsPoint {
 impl PartialEq for EdwardsPoint {
     fn eq(&self, other: &Self) -> bool {
         // X1/Z1 == X2/Z2 and Y1/Z1 == Y2/Z2, cross-multiplied.
-        self.x.mul(&other.z) == other.x.mul(&self.z)
-            && self.y.mul(&other.z) == other.y.mul(&self.z)
+        self.x.mul(&other.z) == other.x.mul(&self.z) && self.y.mul(&other.z) == other.y.mul(&self.z)
     }
 }
 
@@ -245,7 +244,11 @@ pub struct Signature {
 
 impl std::fmt::Debug for Signature {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Signature(0x{}..)", &crate::hex::encode(self.bytes)[..16])
+        write!(
+            f,
+            "Signature(0x{}..)",
+            &crate::hex::encode(self.bytes)[..16]
+        )
     }
 }
 
@@ -278,7 +281,11 @@ pub struct VerifyingKey {
 
 impl std::fmt::Debug for VerifyingKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "VerifyingKey(0x{}..)", &crate::hex::encode(self.bytes)[..16])
+        write!(
+            f,
+            "VerifyingKey(0x{}..)",
+            &crate::hex::encode(self.bytes)[..16]
+        )
     }
 }
 
@@ -309,16 +316,12 @@ impl VerifyingKey {
     pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), CryptoError> {
         let r_bytes: [u8; 32] = signature.bytes[..32].try_into().expect("32 bytes");
         let s_bytes: [u8; 32] = signature.bytes[32..].try_into().expect("32 bytes");
-        let s = Scalar::from_canonical_bytes(&s_bytes)
-            .map_err(|_| CryptoError::InvalidSignature)?;
-        let r = EdwardsPoint::decompress(&r_bytes)
-            .map_err(|_| CryptoError::InvalidSignature)?;
-        let a = EdwardsPoint::decompress(&self.bytes)
-            .map_err(|_| CryptoError::InvalidSignature)?;
+        let s =
+            Scalar::from_canonical_bytes(&s_bytes).map_err(|_| CryptoError::InvalidSignature)?;
+        let r = EdwardsPoint::decompress(&r_bytes).map_err(|_| CryptoError::InvalidSignature)?;
+        let a = EdwardsPoint::decompress(&self.bytes).map_err(|_| CryptoError::InvalidSignature)?;
 
-        let mut h = Sha512::digest(
-            [&r_bytes[..], &self.bytes[..], message].concat(),
-        );
+        let mut h = Sha512::digest([&r_bytes[..], &self.bytes[..], message].concat());
         let k = Scalar::from_bytes_wide(&h);
         h.fill(0);
 
@@ -344,7 +347,9 @@ pub struct SigningKey {
 
 impl std::fmt::Debug for SigningKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SigningKey").field("public", &self.verifying).finish_non_exhaustive()
+        f.debug_struct("SigningKey")
+            .field("public", &self.verifying)
+            .finish_non_exhaustive()
     }
 }
 
@@ -360,8 +365,15 @@ impl SigningKey {
         let scalar = Scalar::from_bytes_reduced(&scalar_bytes);
         let prefix: [u8; 32] = h[32..].try_into().expect("32 bytes");
         let public_point = EdwardsPoint::basepoint().scalar_mul(&scalar);
-        let verifying = VerifyingKey { bytes: public_point.compress() };
-        SigningKey { seed: *seed, scalar, prefix, verifying }
+        let verifying = VerifyingKey {
+            bytes: public_point.compress(),
+        };
+        SigningKey {
+            seed: *seed,
+            scalar,
+            prefix,
+            verifying,
+        }
     }
 
     /// The seed this key was derived from.
@@ -384,9 +396,7 @@ impl SigningKey {
         let r_point = EdwardsPoint::basepoint().scalar_mul(&r);
         let r_bytes = r_point.compress();
 
-        let k_hash = Sha512::digest(
-            [&r_bytes[..], &self.verifying.bytes[..], message].concat(),
-        );
+        let k_hash = Sha512::digest([&r_bytes[..], &self.verifying.bytes[..], message].concat());
         let k = Scalar::from_bytes_wide(&k_hash);
         let s = r.add(&k.mul(&self.scalar));
 
@@ -495,7 +505,10 @@ mod tests {
         for b in bytes[32..].iter_mut() {
             *b = 0xff;
         }
-        assert!(key.verifying_key().verify(b"m", &Signature::from_bytes(bytes)).is_err());
+        assert!(key
+            .verifying_key()
+            .verify(b"m", &Signature::from_bytes(bytes))
+            .is_err());
     }
 
     #[test]

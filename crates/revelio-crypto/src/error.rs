@@ -58,7 +58,10 @@ mod tests {
         let variants = [
             CryptoError::AuthenticationFailed,
             CryptoError::InvalidSignature,
-            CryptoError::InvalidLength { got: 3, expected: 4 },
+            CryptoError::InvalidLength {
+                got: 3,
+                expected: 4,
+            },
             CryptoError::InvalidPoint,
             CryptoError::InvalidScalar,
             CryptoError::InvalidHex,

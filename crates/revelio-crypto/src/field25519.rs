@@ -112,8 +112,8 @@ impl FieldElement {
     #[must_use]
     pub fn add(&self, rhs: &FieldElement) -> FieldElement {
         let mut out = [0u64; 5];
-        for i in 0..5 {
-            out[i] = self.0[i] + rhs.0[i];
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(&rhs.0)) {
+            *o = a + b;
         }
         FieldElement(out).weak_reduce()
     }
@@ -154,8 +154,10 @@ impl FieldElement {
         let b3_19 = b[3] * 19;
         let b4_19 = b[4] * 19;
         let c0 = m(a[0], b[0]) + m(a[4], b1_19) + m(a[3], b2_19) + m(a[2], b3_19) + m(a[1], b4_19);
-        let mut c1 = m(a[1], b[0]) + m(a[0], b[1]) + m(a[4], b2_19) + m(a[3], b3_19) + m(a[2], b4_19);
-        let mut c2 = m(a[2], b[0]) + m(a[1], b[1]) + m(a[0], b[2]) + m(a[4], b3_19) + m(a[3], b4_19);
+        let mut c1 =
+            m(a[1], b[0]) + m(a[0], b[1]) + m(a[4], b2_19) + m(a[3], b3_19) + m(a[2], b4_19);
+        let mut c2 =
+            m(a[2], b[0]) + m(a[1], b[1]) + m(a[0], b[2]) + m(a[4], b3_19) + m(a[3], b4_19);
         let mut c3 = m(a[3], b[0]) + m(a[2], b[1]) + m(a[1], b[2]) + m(a[0], b[3]) + m(a[4], b4_19);
         let mut c4 = m(a[4], b[0]) + m(a[3], b[1]) + m(a[2], b[2]) + m(a[1], b[3]) + m(a[0], b[4]);
 
@@ -212,7 +214,11 @@ impl FieldElement {
     pub fn pow_p58(&self) -> FieldElement {
         static EXP: OnceLock<Vec<u8>> = OnceLock::new();
         let exp = EXP.get_or_init(|| {
-            prime().sub(&BigUint::from_u64(5)).div_rem(&BigUint::from_u64(8)).0.to_bytes_le()
+            prime()
+                .sub(&BigUint::from_u64(5))
+                .div_rem(&BigUint::from_u64(8))
+                .0
+                .to_bytes_le()
         });
         self.pow_bytes_le(exp)
     }
@@ -334,10 +340,7 @@ mod tests {
     #[test]
     fn edwards_d_satisfies_definition() {
         // d * 121666 == -121665
-        assert_eq!(
-            edwards_d().mul(&fe(121_666)),
-            fe(121_665).neg()
-        );
+        assert_eq!(edwards_d().mul(&fe(121_666)), fe(121_665).neg());
     }
 
     #[test]

@@ -92,7 +92,10 @@ mod tests {
     #[test]
     fn decode_array_checks_length() {
         assert!(decode_array::<2>("deadbeef").is_err());
-        assert_eq!(decode_array::<4>("deadbeef").unwrap(), [0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(
+            decode_array::<4>("deadbeef").unwrap(),
+            [0xde, 0xad, 0xbe, 0xef]
+        );
     }
 
     proptest! {

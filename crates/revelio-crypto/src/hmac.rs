@@ -31,7 +31,11 @@ impl<H: HashFunction> Hmac<H> {
     /// the hash block are pre-hashed per the RFC).
     #[must_use]
     pub fn new(key: &[u8]) -> Self {
-        let key = if key.len() > H::BLOCK_LEN { H::hash(key) } else { key.to_vec() };
+        let key = if key.len() > H::BLOCK_LEN {
+            H::hash(key)
+        } else {
+            key.to_vec()
+        };
         let mut ipad = vec![0x36u8; H::BLOCK_LEN];
         let mut opad = vec![0x5cu8; H::BLOCK_LEN];
         for (i, &b) in key.iter().enumerate() {

@@ -87,7 +87,9 @@ pub fn pbkdf2<H: HashFunction>(
             }
         }
         out.extend_from_slice(&t);
-        block_index = block_index.checked_add(1).expect("pbkdf2 block counter overflow");
+        block_index = block_index
+            .checked_add(1)
+            .expect("pbkdf2 block counter overflow");
     }
     out.truncate(len);
     out

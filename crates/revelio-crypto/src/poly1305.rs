@@ -52,7 +52,12 @@ impl Poly1305 {
             u64::from_le_bytes(key[16..24].try_into().expect("8 bytes")),
             u64::from_le_bytes(key[24..32].try_into().expect("8 bytes")),
         ];
-        Poly1305 { r, s, acc: [0; 5], buffer: Vec::with_capacity(16) }
+        Poly1305 {
+            r,
+            s,
+            acc: [0; 5],
+            buffer: Vec::with_capacity(16),
+        }
     }
 
     fn process_block(&mut self, block: &[u8], final_partial: bool) {
@@ -76,8 +81,8 @@ impl Poly1305 {
         ];
 
         // acc += m
-        for i in 0..5 {
-            self.acc[i] += m[i];
+        for (a, v) in self.acc.iter_mut().zip(&m) {
+            *a += v;
         }
         // acc *= r (mod 2^130 - 5)
         let [r0, r1, r2, r3, r4] = self.r;
@@ -169,21 +174,35 @@ impl Poly1305 {
         let mask = (1u64 << 26) - 1;
         let [mut h0, mut h1, mut h2, mut h3, mut h4] = self.acc;
         let mut c;
-        c = h1 >> 26; h1 &= mask; h2 += c;
-        c = h2 >> 26; h2 &= mask; h3 += c;
-        c = h3 >> 26; h3 &= mask; h4 += c;
-        c = h4 >> 26; h4 &= mask; h0 += c * 5;
-        c = h0 >> 26; h0 &= mask; h1 += c;
+        c = h1 >> 26;
+        h1 &= mask;
+        h2 += c;
+        c = h2 >> 26;
+        h2 &= mask;
+        h3 += c;
+        c = h3 >> 26;
+        h3 &= mask;
+        h4 += c;
+        c = h4 >> 26;
+        h4 &= mask;
+        h0 += c * 5;
+        c = h0 >> 26;
+        h0 &= mask;
+        h1 += c;
 
         // Compute h - p by adding 5 and seeing if bit 130 sets.
         let mut g0 = h0.wrapping_add(5);
-        c = g0 >> 26; g0 &= mask;
+        c = g0 >> 26;
+        g0 &= mask;
         let mut g1 = h1.wrapping_add(c);
-        c = g1 >> 26; g1 &= mask;
+        c = g1 >> 26;
+        g1 &= mask;
         let mut g2 = h2.wrapping_add(c);
-        c = g2 >> 26; g2 &= mask;
+        c = g2 >> 26;
+        g2 &= mask;
         let mut g3 = h3.wrapping_add(c);
-        c = g3 >> 26; g3 &= mask;
+        c = g3 >> 26;
+        g3 &= mask;
         let g4 = h4.wrapping_add(c);
         let ge_p = g4 >> 26; // 1 if h >= p
         let g4 = g4 & mask;

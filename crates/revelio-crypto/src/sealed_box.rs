@@ -39,7 +39,10 @@ pub fn seal(
 /// [`CryptoError::AuthenticationFailed`] for a wrong key or tampering.
 pub fn open(recipient_secret: &[u8; 32], sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
     if sealed.len() < PUBLIC_KEY_LEN {
-        return Err(CryptoError::InvalidLength { got: sealed.len(), expected: PUBLIC_KEY_LEN });
+        return Err(CryptoError::InvalidLength {
+            got: sealed.len(),
+            expected: PUBLIC_KEY_LEN,
+        });
     }
     let eph_public: [u8; 32] = sealed[..32].try_into().expect("32 bytes");
     let recipient_public = x25519::public_key(recipient_secret);
@@ -66,7 +69,10 @@ mod tests {
         let recipient_secret = [5u8; 32];
         let recipient_public = x25519::public_key(&recipient_secret);
         let sealed = seal(&recipient_public, b"tls private key", &[9u8; 32]);
-        assert_eq!(open(&recipient_secret, &sealed).unwrap(), b"tls private key");
+        assert_eq!(
+            open(&recipient_secret, &sealed).unwrap(),
+            b"tls private key"
+        );
     }
 
     #[test]

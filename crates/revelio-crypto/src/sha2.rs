@@ -162,7 +162,9 @@ pub struct Sha256 {
 
 impl std::fmt::Debug for Sha256 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Sha256").field("length", &self.length).finish_non_exhaustive()
+        f.debug_struct("Sha256")
+            .field("length", &self.length)
+            .finish_non_exhaustive()
     }
 }
 
@@ -230,7 +232,11 @@ impl HashFunction for Sha256 {
     const NAME: &'static str = "sha256";
 
     fn new() -> Self {
-        Sha256 { state: *h256(), buffer: Vec::with_capacity(64), length: 0 }
+        Sha256 {
+            state: *h256(),
+            buffer: Vec::with_capacity(64),
+            length: 0,
+        }
     }
 
     fn update(&mut self, data: &[u8]) {
@@ -266,7 +272,11 @@ struct Sha512Core {
 
 impl Sha512Core {
     fn new(iv: [u64; 8]) -> Self {
-        Sha512Core { state: iv, buffer: Vec::with_capacity(128), length: 0 }
+        Sha512Core {
+            state: iv,
+            buffer: Vec::with_capacity(128),
+            length: 0,
+        }
     }
 
     fn compress(&mut self, block: &[u8]) {
@@ -349,7 +359,9 @@ pub struct Sha512(Sha512Core);
 
 impl std::fmt::Debug for Sha512 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Sha512").field("length", &self.0.length).finish_non_exhaustive()
+        f.debug_struct("Sha512")
+            .field("length", &self.0.length)
+            .finish_non_exhaustive()
     }
 }
 
@@ -398,7 +410,9 @@ pub struct Sha384(Sha512Core);
 
 impl std::fmt::Debug for Sha384 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Sha384").field("length", &self.0.length).finish_non_exhaustive()
+        f.debug_struct("Sha384")
+            .field("length", &self.0.length)
+            .finish_non_exhaustive()
     }
 }
 
@@ -522,7 +536,9 @@ mod tests {
     fn padding_edge_cases() {
         // Lengths straddling the padding boundary (55/56/57 for SHA-256,
         // 111/112/113 for SHA-512) exercise the two-block padding path.
-        for len in [0usize, 1, 55, 56, 57, 63, 64, 65, 111, 112, 113, 127, 128, 129] {
+        for len in [
+            0usize, 1, 55, 56, 57, 63, 64, 65, 111, 112, 113, 127, 128, 129,
+        ] {
             let data = vec![0xabu8; len];
             // Consistency between one-shot and byte-at-a-time streaming.
             let mut s = <Sha256 as HashFunction>::new();

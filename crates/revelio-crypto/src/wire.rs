@@ -161,7 +161,9 @@ impl<'a> ByteReader<'a> {
     /// # Errors
     /// Returns [`WireError::UnexpectedEnd`] if the input is exhausted.
     pub fn get_u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u32`.
@@ -169,7 +171,9 @@ impl<'a> ByteReader<'a> {
     /// # Errors
     /// Returns [`WireError::UnexpectedEnd`] if the input is exhausted.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u64`.
@@ -177,7 +181,9 @@ impl<'a> ByteReader<'a> {
     /// # Errors
     /// Returns [`WireError::UnexpectedEnd`] if the input is exhausted.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads exactly `N` bytes into an array.
@@ -297,7 +303,10 @@ mod tests {
         let mut w = ByteWriter::new();
         w.put_var_bytes(&[0xff, 0xfe]);
         let bytes = w.into_bytes();
-        assert_eq!(ByteReader::new(&bytes).get_str(), Err(WireError::InvalidUtf8));
+        assert_eq!(
+            ByteReader::new(&bytes).get_str(),
+            Err(WireError::InvalidUtf8)
+        );
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub struct Xts {
 
 impl std::fmt::Debug for Xts {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Xts").field("key_size", &self.data_cipher.key_size()).finish_non_exhaustive()
+        f.debug_struct("Xts")
+            .field("key_size", &self.data_cipher.key_size())
+            .finish_non_exhaustive()
     }
 }
 
@@ -176,7 +178,10 @@ mod tests {
 
     #[test]
     fn invalid_key_length_rejected() {
-        assert_eq!(Xts::new(&[0u8; 48]).unwrap_err(), CryptoError::InvalidKeySize(48));
+        assert_eq!(
+            Xts::new(&[0u8; 48]).unwrap_err(),
+            CryptoError::InvalidKeySize(48)
+        );
     }
 
     #[test]

@@ -51,14 +51,22 @@ impl PadSecret {
                 .expect("32 bytes");
         let author = revelio_crypto::ed25519::SigningKey::from_seed(&author_seed);
         let author_public = author.verifying_key();
-        PadSecret { key, author: Some(author), author_public }
+        PadSecret {
+            key,
+            author: Some(author),
+            author_public,
+        }
     }
 
     /// The view-only capability: can decrypt and verify, cannot author.
     /// This is what a "read-only link" carries.
     #[must_use]
     pub fn view_only(&self) -> Self {
-        PadSecret { key: self.key, author: None, author_public: self.author_public }
+        PadSecret {
+            key: self.key,
+            author: None,
+            author_public: self.author_public,
+        }
     }
 
     /// Whether this capability can author edits.
@@ -86,7 +94,10 @@ impl PadSecret {
     /// the edit secret. Check [`PadSecret::can_edit`] first.
     #[must_use]
     pub fn encrypt_edit(&self, edit_index: u64, plaintext: &[u8]) -> Vec<u8> {
-        let author = self.author.as_ref().expect("view-only capability cannot author edits");
+        let author = self
+            .author
+            .as_ref()
+            .expect("view-only capability cannot author edits");
         let ciphertext = self
             .aead()
             .seal(&Self::nonce(edit_index), b"pad-edit", plaintext);
@@ -155,8 +166,12 @@ mod tests {
         let secret = PadSecret::from_fragment("u/#abc123");
         let store = PadStore::new();
         let id = store.create_pad();
-        store.append(id, secret.encrypt_edit(0, b"draft one")).unwrap();
-        store.append(id, secret.encrypt_edit(1, b"draft two")).unwrap();
+        store
+            .append(id, secret.encrypt_edit(0, b"draft one"))
+            .unwrap();
+        store
+            .append(id, secret.encrypt_edit(1, b"draft two"))
+            .unwrap();
         let history = store.fetch(id).unwrap();
         assert_eq!(
             secret.decrypt_history(&history).unwrap(),
@@ -170,12 +185,12 @@ mod tests {
         let secret = PadSecret::from_fragment("u/#abc123");
         let store = PadStore::new();
         let id = store.create_pad();
-        store.append(id, secret.encrypt_edit(0, b"medical record")).unwrap();
+        store
+            .append(id, secret.encrypt_edit(0, b"medical record"))
+            .unwrap();
         for (_, pad) in store.operator_view() {
             for edit in &pad.edits {
-                assert!(!edit
-                    .windows(b"medical".len())
-                    .any(|w| w == b"medical"));
+                assert!(!edit.windows(b"medical".len()).any(|w| w == b"medical"));
             }
         }
     }
@@ -184,7 +199,9 @@ mod tests {
     fn wrong_secret_cannot_read() {
         let secret = PadSecret::from_fragment("u/#abc123");
         let other = PadSecret::from_fragment("u/#wrong");
-        let history = PadHistory { edits: vec![secret.encrypt_edit(0, b"private")] };
+        let history = PadHistory {
+            edits: vec![secret.encrypt_edit(0, b"private")],
+        };
         assert_eq!(
             other.decrypt_history(&history).unwrap_err(),
             PadError::DecryptionFailed { edit_index: 0 }
@@ -196,9 +213,13 @@ mod tests {
         let secret = PadSecret::from_fragment("u/#abc123");
         let store = PadStore::new();
         let id = store.create_pad();
-        store.append(id, secret.encrypt_edit(0, b"agreed: 100 CHF")).unwrap();
+        store
+            .append(id, secret.encrypt_edit(0, b"agreed: 100 CHF"))
+            .unwrap();
         // Malicious operator swaps the ciphertext.
-        store.tamper_edit(id, 0, b"forged ciphertext".to_vec()).unwrap();
+        store
+            .tamper_edit(id, 0, b"forged ciphertext".to_vec())
+            .unwrap();
         let history = store.fetch(id).unwrap();
         assert!(matches!(
             secret.decrypt_history(&history),
@@ -212,7 +233,9 @@ mod tests {
         let e0 = secret.encrypt_edit(0, b"first");
         let e1 = secret.encrypt_edit(1, b"second");
         // Server swaps the history order.
-        let history = PadHistory { edits: vec![e1, e0] };
+        let history = PadHistory {
+            edits: vec![e1, e0],
+        };
         assert!(secret.decrypt_history(&history).is_err());
     }
 
@@ -223,7 +246,9 @@ mod tests {
         assert!(editor.can_edit());
         assert!(!viewer.can_edit());
 
-        let history = PadHistory { edits: vec![editor.encrypt_edit(0, b"shared doc")] };
+        let history = PadHistory {
+            edits: vec![editor.encrypt_edit(0, b"shared doc")],
+        };
         assert_eq!(
             viewer.decrypt_history(&history).unwrap(),
             vec![b"shared doc".to_vec()]
@@ -244,7 +269,9 @@ mod tests {
         // the authorship signature fails.
         let editor = PadSecret::from_fragment("#edit-link");
         let forger = PadSecret::from_fragment("#another-link");
-        let mut history = PadHistory { edits: vec![editor.encrypt_edit(0, b"honest")] };
+        let mut history = PadHistory {
+            edits: vec![editor.encrypt_edit(0, b"honest")],
+        };
         history.edits.push(forger.encrypt_edit(1, b"forged"));
         assert_eq!(
             editor.decrypt_history(&history).unwrap_err(),
@@ -255,14 +282,19 @@ mod tests {
     #[test]
     fn short_edit_blob_rejected() {
         let secret = PadSecret::from_fragment("#x");
-        let history = PadHistory { edits: vec![vec![1, 2, 3]] };
+        let history = PadHistory {
+            edits: vec![vec![1, 2, 3]],
+        };
         assert!(secret.decrypt_history(&history).is_err());
     }
 
     #[test]
     fn empty_history_renders_empty_document() {
         let secret = PadSecret::from_fragment("u/#x");
-        assert_eq!(secret.render_document(&PadHistory::default()).unwrap(), Vec::<u8>::new());
+        assert_eq!(
+            secret.render_document(&PadHistory::default()).unwrap(),
+            Vec::<u8>::new()
+        );
     }
 
     proptest! {

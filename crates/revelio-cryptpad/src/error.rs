@@ -33,7 +33,10 @@ impl fmt::Display for PadError {
         match self {
             PadError::PadNotFound(id) => write!(f, "pad {id} not found"),
             PadError::DecryptionFailed { edit_index } => {
-                write!(f, "edit {edit_index} failed to decrypt (wrong key or tampering)")
+                write!(
+                    f,
+                    "edit {edit_index} failed to decrypt (wrong key or tampering)"
+                )
             }
             PadError::ServerStatus(s) => write!(f, "server returned status {s}"),
             PadError::Wire(e) => write!(f, "wire format error: {e}"),
@@ -79,6 +82,8 @@ mod tests {
     #[test]
     fn displays_carry_detail() {
         assert!(PadError::PadNotFound(9).to_string().contains('9'));
-        assert!(PadError::DecryptionFailed { edit_index: 3 }.to_string().contains('3'));
+        assert!(PadError::DecryptionFailed { edit_index: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

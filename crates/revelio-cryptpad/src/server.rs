@@ -55,7 +55,10 @@ impl PadStore {
     /// Returns [`PadError::PadNotFound`] for unknown ids.
     pub fn append(&self, pad_id: u64, ciphertext: Vec<u8>) -> Result<usize, PadError> {
         let mut state = self.inner.lock();
-        let pad = state.pads.get_mut(&pad_id).ok_or(PadError::PadNotFound(pad_id))?;
+        let pad = state
+            .pads
+            .get_mut(&pad_id)
+            .ok_or(PadError::PadNotFound(pad_id))?;
         pad.edits.push(ciphertext);
         Ok(pad.edits.len())
     }
@@ -90,9 +93,17 @@ impl PadStore {
     /// # Errors
     ///
     /// Returns [`PadError::PadNotFound`] when the pad or edit is missing.
-    pub fn tamper_edit(&self, pad_id: u64, edit_index: usize, new_bytes: Vec<u8>) -> Result<(), PadError> {
+    pub fn tamper_edit(
+        &self,
+        pad_id: u64,
+        edit_index: usize,
+        new_bytes: Vec<u8>,
+    ) -> Result<(), PadError> {
         let mut state = self.inner.lock();
-        let pad = state.pads.get_mut(&pad_id).ok_or(PadError::PadNotFound(pad_id))?;
+        let pad = state
+            .pads
+            .get_mut(&pad_id)
+            .ok_or(PadError::PadNotFound(pad_id))?;
         let slot = pad
             .edits
             .get_mut(edit_index)
@@ -128,7 +139,9 @@ impl PadStore {
         let mut r = ByteReader::new(bytes);
         let magic = r.get_array::<5>()?;
         if &magic != b"PADS1" {
-            return Err(PadError::Wire(revelio_crypto::wire::WireError::UnknownTag(magic[0])));
+            return Err(PadError::Wire(revelio_crypto::wire::WireError::UnknownTag(
+                magic[0],
+            )));
         }
         let next_id = r.get_u64()?;
         let n = r.get_u32()?;
@@ -143,7 +156,9 @@ impl PadStore {
             pads.insert(id, PadHistory { edits });
         }
         r.finish()?;
-        Ok(PadStore { inner: Arc::new(Mutex::new(StoreState { pads, next_id })) })
+        Ok(PadStore {
+            inner: Arc::new(Mutex::new(StoreState { pads, next_id })),
+        })
     }
 
     /// Persists the store to a sealed data volume (length-prefixed at
@@ -169,7 +184,9 @@ impl PadStore {
         let len_bytes = revelio_storage::block::read_at(volume, 0, 8)?;
         let len = u64::from_le_bytes(len_bytes.try_into().expect("8 bytes"));
         if len == 0 || len + 8 > volume.len_bytes() {
-            return Err(PadError::Wire(revelio_crypto::wire::WireError::UnexpectedEnd));
+            return Err(PadError::Wire(
+                revelio_crypto::wire::WireError::UnexpectedEnd,
+            ));
         }
         let bytes = revelio_storage::block::read_at(volume, 8, len as usize)?;
         Self::from_bytes(&bytes)
@@ -254,7 +271,10 @@ mod tests {
     #[test]
     fn unknown_pad_rejected() {
         let store = PadStore::new();
-        assert_eq!(store.append(7, vec![]).unwrap_err(), PadError::PadNotFound(7));
+        assert_eq!(
+            store.append(7, vec![]).unwrap_err(),
+            PadError::PadNotFound(7)
+        );
         assert_eq!(store.fetch(7).unwrap_err(), PadError::PadNotFound(7));
     }
 
@@ -262,12 +282,12 @@ mod tests {
     fn router_roundtrip() {
         let store = PadStore::new();
         let router = pad_router(store);
-        let id_bytes = router
-            .dispatch(&Request::post("/pad/create", vec![]))
-            .body;
+        let id_bytes = router.dispatch(&Request::post("/pad/create", vec![])).body;
         let mut append_body = id_bytes.clone();
         append_body.extend_from_slice(b"ciphertext");
-        let count = router.dispatch(&Request::post("/pad/append", append_body)).body;
+        let count = router
+            .dispatch(&Request::post("/pad/append", append_body))
+            .body;
         assert_eq!(count, 1u64.to_le_bytes().to_vec());
         let fetched = router.dispatch(&Request::post("/pad/fetch", id_bytes));
         let history = decode_fetch_response(&fetched.body).unwrap();
@@ -277,8 +297,18 @@ mod tests {
     #[test]
     fn router_guards_malformed_bodies() {
         let router = pad_router(PadStore::new());
-        assert_eq!(router.dispatch(&Request::post("/pad/append", vec![1, 2])).status, 400);
-        assert_eq!(router.dispatch(&Request::post("/pad/fetch", vec![1])).status, 400);
+        assert_eq!(
+            router
+                .dispatch(&Request::post("/pad/append", vec![1, 2]))
+                .status,
+            400
+        );
+        assert_eq!(
+            router
+                .dispatch(&Request::post("/pad/fetch", vec![1]))
+                .status,
+            400
+        );
         assert_eq!(
             router
                 .dispatch(&Request::post("/pad/fetch", 99u64.to_le_bytes().to_vec()))
@@ -306,9 +336,13 @@ mod tests {
         use revelio_storage::crypt::{CryptDevice, CryptParams};
 
         let backing = StdArc::new(MemBlockDevice::new(512, 64));
-        let params = CryptParams { iterations: 2, salt: [1; 32] };
+        let params = CryptParams {
+            iterations: 2,
+            salt: [1; 32],
+        };
         CryptDevice::format(StdArc::clone(&backing) as _, b"sealing key", &params).unwrap();
-        let volume = CryptDevice::open(StdArc::clone(&backing) as _, b"sealing key", &params).unwrap();
+        let volume =
+            CryptDevice::open(StdArc::clone(&backing) as _, b"sealing key", &params).unwrap();
 
         let store = PadStore::new();
         let id = store.create_pad();
@@ -317,9 +351,13 @@ mod tests {
         drop(volume);
 
         // "Reboot": reopen the sealed volume with the same key.
-        let volume = CryptDevice::open(StdArc::clone(&backing) as _, b"sealing key", &params).unwrap();
+        let volume =
+            CryptDevice::open(StdArc::clone(&backing) as _, b"sealing key", &params).unwrap();
         let restored = PadStore::restore(&volume).unwrap();
-        assert_eq!(restored.fetch(id).unwrap().edits, vec![b"persistent ciphertext".to_vec()]);
+        assert_eq!(
+            restored.fetch(id).unwrap().edits,
+            vec![b"persistent ciphertext".to_vec()]
+        );
 
         // The wrong key cannot even open the volume.
         assert!(CryptDevice::open(backing as _, b"other key", &params).is_err());

@@ -52,7 +52,12 @@ impl HttpsClient {
     /// Creates a client. `entropy_seed` drives per-connection ephemeral
     /// keys (deterministic simulation stand-in for the browser CSPRNG).
     #[must_use]
-    pub fn new(net: SimNet, dns: DnsZone, tls_config: TlsClientConfig, entropy_seed: [u8; 32]) -> Self {
+    pub fn new(
+        net: SimNet,
+        dns: DnsZone,
+        tls_config: TlsClientConfig,
+        entropy_seed: [u8; 32],
+    ) -> Self {
         HttpsClient {
             net,
             dns,
@@ -78,8 +83,13 @@ impl HttpsClient {
     /// Returns [`HttpError`] on resolution, transport, or TLS failure.
     pub fn open(&self, host: &str) -> Result<HttpsSession, HttpError> {
         let address = self.dns.resolve(host)?;
-        let session = self.tls.connect(&self.net, &address, host, self.next_ephemeral())?;
-        Ok(HttpsSession { session, host: host.to_owned() })
+        let session = self
+            .tls
+            .connect(&self.net, &address, host, self.next_ephemeral())?;
+        Ok(HttpsSession {
+            session,
+            host: host.to_owned(),
+        })
     }
 
     /// One-shot GET of `url` over a fresh session.
@@ -114,7 +124,9 @@ pub struct HttpsSession {
 
 impl std::fmt::Debug for HttpsSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HttpsSession").field("host", &self.host).finish_non_exhaustive()
+        f.debug_struct("HttpsSession")
+            .field("host", &self.host)
+            .finish_non_exhaustive()
     }
 }
 
@@ -174,8 +186,19 @@ mod tests {
         let clock = SimClock::new();
         let net = SimNet::new(clock.clone(), NetConfig::default());
         let dns = DnsZone::new();
-        let ca = AcmeCa::new("SimEncrypt", [3; 32], AcmePolicy::default(), clock.clone(), dns.clone());
-        World { net, dns, clock, ca }
+        let ca = AcmeCa::new(
+            "SimEncrypt",
+            [3; 32],
+            AcmePolicy::default(),
+            clock.clone(),
+            dns.clone(),
+        );
+        World {
+            net,
+            dns,
+            clock,
+            ca,
+        }
     }
 
     fn serve(w: &World, domain: &str, address: &str, key: &SigningKey, router: Router) {
@@ -198,6 +221,7 @@ mod tests {
             TlsClientConfig {
                 trusted_roots: vec![w.ca.root_certificate()],
                 clock: w.clock.clone(),
+                telemetry: None,
             },
             [42; 32],
         )

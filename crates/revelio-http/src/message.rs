@@ -53,13 +53,23 @@ impl Request {
     /// A GET request for `path`.
     #[must_use]
     pub fn get(path: &str) -> Self {
-        Request { method: Method::Get, path: path.to_owned(), headers: Vec::new(), body: Vec::new() }
+        Request {
+            method: Method::Get,
+            path: path.to_owned(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
     }
 
     /// A POST request with `body`.
     #[must_use]
     pub fn post(path: &str, body: Vec<u8>) -> Self {
-        Request { method: Method::Post, path: path.to_owned(), headers: Vec::new(), body }
+        Request {
+            method: Method::Post,
+            path: path.to_owned(),
+            headers: Vec::new(),
+            body,
+        }
     }
 
     /// Adds a header.
@@ -111,7 +121,12 @@ impl Request {
         }
         let (headers, content_length) = parse_headers(lines)?;
         check_body(body, content_length)?;
-        Ok(Request { method, path, headers, body: body.to_vec() })
+        Ok(Request {
+            method,
+            path,
+            headers,
+            body: body.to_vec(),
+        })
     }
 }
 
@@ -130,13 +145,21 @@ impl Response {
     /// A `200 OK` with `body`.
     #[must_use]
     pub fn ok(body: Vec<u8>) -> Self {
-        Response { status: 200, headers: Vec::new(), body }
+        Response {
+            status: 200,
+            headers: Vec::new(),
+            body,
+        }
     }
 
     /// An empty response with `status`.
     #[must_use]
     pub fn status(status: u16) -> Self {
-        Response { status, headers: Vec::new(), body: Vec::new() }
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
     }
 
     /// Adds a header.
@@ -205,7 +228,11 @@ impl Response {
             .ok_or_else(|| HttpError::Malformed("bad status".into()))?;
         let (headers, content_length) = parse_headers(lines)?;
         check_body(body, content_length)?;
-        Ok(Response { status, headers, body: body.to_vec() })
+        Ok(Response {
+            status,
+            headers,
+            body: body.to_vec(),
+        })
     }
 }
 
@@ -251,9 +278,7 @@ fn check_body(body: &[u8], content_length: Option<usize>) -> Result<(), HttpErro
             "content-length {len} but body has {} bytes",
             body.len()
         ))),
-        None if !body.is_empty() => {
-            Err(HttpError::Malformed("body without content-length".into()))
-        }
+        None if !body.is_empty() => Err(HttpError::Malformed("body without content-length".into())),
         _ => Ok(()),
     }
 }
@@ -283,7 +308,10 @@ mod tests {
     fn wrong_content_length_rejected() {
         let mut bytes = Request::post("/", b"12345".to_vec()).to_bytes();
         bytes.truncate(bytes.len() - 1);
-        assert!(matches!(Request::from_bytes(&bytes), Err(HttpError::Malformed(_))));
+        assert!(matches!(
+            Request::from_bytes(&bytes),
+            Err(HttpError::Malformed(_))
+        ));
     }
 
     #[test]

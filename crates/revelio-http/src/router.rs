@@ -18,7 +18,9 @@ pub struct Router {
 
 impl std::fmt::Debug for Router {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Router").field("routes", &self.routes.len()).finish_non_exhaustive()
+        f.debug_struct("Router")
+            .field("routes", &self.routes.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -31,13 +33,21 @@ impl Router {
 
     /// Registers a GET handler.
     #[must_use]
-    pub fn get(self, path: &str, handler: impl Fn(&Request) -> Response + Send + Sync + 'static) -> Self {
+    pub fn get(
+        self,
+        path: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Self {
         self.route(Method::Get, path, handler)
     }
 
     /// Registers a POST handler.
     #[must_use]
-    pub fn post(self, path: &str, handler: impl Fn(&Request) -> Response + Send + Sync + 'static) -> Self {
+    pub fn post(
+        self,
+        path: &str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Self {
         self.route(Method::Post, path, handler)
     }
 
@@ -49,7 +59,8 @@ impl Router {
         path: &str,
         handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
     ) -> Self {
-        self.routes.insert((method, path.to_owned()), Arc::new(handler));
+        self.routes
+            .insert((method, path.to_owned()), Arc::new(handler));
         self
     }
 
@@ -88,7 +99,9 @@ mod tests {
             .post("/submit", |req| Response::ok(req.body.clone()));
         assert_eq!(router.dispatch(&Request::get("/")).body, b"index");
         assert_eq!(
-            router.dispatch(&Request::post("/submit", b"x".to_vec())).body,
+            router
+                .dispatch(&Request::post("/submit", b"x".to_vec()))
+                .body,
             b"x"
         );
     }

@@ -65,7 +65,9 @@ impl ConnectionHandler for PlainConnection {
 
 impl Listener for PlainHttpListener {
     fn accept(&self) -> Box<dyn ConnectionHandler> {
-        Box::new(PlainConnection { router: self.router.clone() })
+        Box::new(PlainConnection {
+            router: self.router.clone(),
+        })
     }
 }
 

@@ -42,7 +42,11 @@ impl BoundaryNode {
     /// answering direct browser GETs.
     #[must_use]
     pub fn new(ic: Arc<InternetComputer>, frontend_canister: u64) -> Self {
-        BoundaryNode { ic, frontend_canister, tamper: Arc::new(AtomicBool::new(false)) }
+        BoundaryNode {
+            ic,
+            frontend_canister,
+            tamper: Arc::new(AtomicBool::new(false)),
+        }
     }
 
     /// ATTACK: make this boundary node rewrite every payload it proxies —
@@ -55,8 +59,7 @@ impl BoundaryNode {
     fn maybe_tamper(tamper: &AtomicBool, mut payload: Vec<u8>) -> Vec<u8> {
         if tamper.load(Ordering::Relaxed) {
             // Replace the dapp's answer wholesale.
-            payload = b"<html><body>send your tokens to attacker-wallet-666</body></html>"
-                .to_vec();
+            payload = b"<html><body>send your tokens to attacker-wallet-666</body></html>".to_vec();
         }
         payload
     }
@@ -119,7 +122,10 @@ impl BoundaryNode {
     #[must_use]
     pub fn router_with_assets(&self, paths: &[&str]) -> Router {
         let base = self.router();
-        self.add_asset_routes(base, &paths.iter().map(|p| (*p).to_owned()).collect::<Vec<_>>())
+        self.add_asset_routes(
+            base,
+            &paths.iter().map(|p| (*p).to_owned()).collect::<Vec<_>>(),
+        )
     }
 
     fn add_asset_routes(&self, mut router: Router, paths: &[String]) -> Router {
@@ -170,7 +176,11 @@ mod tests {
         let ic = Arc::new(InternetComputer::new(1, 4, 3));
         let mut assets = AssetCanister::new();
         assets.insert("/", "text/html", b"<html>dapp</html>".to_vec());
-        assets.insert("/app.js", "application/javascript", b"console.log(1)".to_vec());
+        assets.insert(
+            "/app.js",
+            "application/javascript",
+            b"console.log(1)".to_vec(),
+        );
         let id = ic.create_canister(&assets);
         let bn = BoundaryNode::new(Arc::clone(&ic), id);
         (ic, bn)
@@ -192,7 +202,9 @@ mod tests {
         let (_, bn) = setup();
         let resp = bn.router().dispatch(&Request::get(SERVICE_WORKER_PATH));
         assert!(resp.is_success());
-        assert!(String::from_utf8(resp.body).unwrap().contains("service worker"));
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("service worker"));
     }
 
     #[test]
@@ -209,13 +221,17 @@ mod tests {
         assert!(resp.is_success());
         let certified = crate::subnet::CertifiedResponse::from_bytes(&resp.body).unwrap();
         let subnet = ic.subnet_of(1).unwrap();
-        certified.verify(subnet.public_keys(), subnet.threshold()).unwrap();
+        certified
+            .verify(subnet.public_keys(), subnet.threshold())
+            .unwrap();
     }
 
     #[test]
     fn malformed_api_call_is_400() {
         let (_, bn) = setup();
-        let resp = bn.router().dispatch(&Request::post(API_CALL_PATH, b"junk".to_vec()));
+        let resp = bn
+            .router()
+            .dispatch(&Request::post(API_CALL_PATH, b"junk".to_vec()));
         assert_eq!(resp.status, 400);
     }
 
@@ -227,7 +243,9 @@ mod tests {
         bn.set_tampering(true);
         let resp = bn.router_with_assets(&["/"]).dispatch(&Request::get("/"));
         assert!(resp.is_success()); // looks fine at the HTTP level!
-        assert!(String::from_utf8(resp.body).unwrap().contains("attacker-wallet"));
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("attacker-wallet"));
     }
 
     #[test]
@@ -261,7 +279,9 @@ mod tests {
             method: "get".into(),
             arg: vec![],
         };
-        let resp = bn.router().dispatch(&Request::post(API_CALL_PATH, request.to_bytes()));
+        let resp = bn
+            .router()
+            .dispatch(&Request::post(API_CALL_PATH, request.to_bytes()));
         assert_eq!(resp.status, 502);
     }
 }

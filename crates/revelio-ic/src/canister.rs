@@ -64,9 +64,9 @@ impl Canister for KeyValueCanister {
                 self.entries.insert(key, value);
                 Ok(Vec::new())
             }
-            (CallKind::Query, "put") => {
-                Err(IcError::CanisterRejected("put requires an update call".into()))
-            }
+            (CallKind::Query, "put") => Err(IcError::CanisterRejected(
+                "put requires an update call".into(),
+            )),
             _ => Err(IcError::CanisterRejected(format!("no method {method}"))),
         }
     }
@@ -121,8 +121,7 @@ impl Canister for AssetCanister {
                 match self.assets.get(path) {
                     Some((content_type, body)) => {
                         // content_type_len(u32) || content_type || body
-                        let mut out =
-                            (content_type.len() as u32).to_le_bytes().to_vec();
+                        let mut out = (content_type.len() as u32).to_le_bytes().to_vec();
                         out.extend_from_slice(content_type.as_bytes());
                         out.extend_from_slice(body);
                         Ok(out)
@@ -130,9 +129,9 @@ impl Canister for AssetCanister {
                     None => Err(IcError::CanisterRejected(format!("no asset {path}"))),
                 }
             }
-            (CallKind::Update, "store") => {
-                Err(IcError::CanisterRejected("store not exposed in simulation".into()))
-            }
+            (CallKind::Update, "store") => Err(IcError::CanisterRejected(
+                "store not exposed in simulation".into(),
+            )),
             _ => Err(IcError::CanisterRejected(format!("no method {method}"))),
         }
     }
@@ -167,7 +166,8 @@ mod tests {
     #[test]
     fn kv_put_get_roundtrip() {
         let mut kv = KeyValueCanister::new();
-        kv.handle(CallKind::Update, "put", &encode_put(b"k", b"v")).unwrap();
+        kv.handle(CallKind::Update, "put", &encode_put(b"k", b"v"))
+            .unwrap();
         assert_eq!(kv.handle(CallKind::Query, "get", b"k").unwrap(), b"v");
         assert_eq!(kv.handle(CallKind::Query, "get", b"missing").unwrap(), b"");
         assert_eq!(
@@ -179,7 +179,9 @@ mod tests {
     #[test]
     fn kv_rejects_put_as_query() {
         let mut kv = KeyValueCanister::new();
-        assert!(kv.handle(CallKind::Query, "put", &encode_put(b"k", b"v")).is_err());
+        assert!(kv
+            .handle(CallKind::Query, "put", &encode_put(b"k", b"v"))
+            .is_err());
     }
 
     #[test]
@@ -194,9 +196,11 @@ mod tests {
     #[test]
     fn replicas_are_independent() {
         let mut a = KeyValueCanister::new();
-        a.handle(CallKind::Update, "put", &encode_put(b"k", b"v")).unwrap();
+        a.handle(CallKind::Update, "put", &encode_put(b"k", b"v"))
+            .unwrap();
         let mut b = a.replicate();
-        b.handle(CallKind::Update, "put", &encode_put(b"k", b"other")).unwrap();
+        b.handle(CallKind::Update, "put", &encode_put(b"k", b"other"))
+            .unwrap();
         assert_eq!(a.handle(CallKind::Query, "get", b"k").unwrap(), b"v");
     }
 
@@ -204,11 +208,15 @@ mod tests {
     fn asset_canister_serves_and_rejects() {
         let mut assets = AssetCanister::new();
         assets.insert("/", "text/html", b"<html>dapp</html>".to_vec());
-        let raw = assets.handle(CallKind::Query, "http_request", b"/").unwrap();
+        let raw = assets
+            .handle(CallKind::Query, "http_request", b"/")
+            .unwrap();
         let (ct, body) = decode_asset_response(&raw).unwrap();
         assert_eq!(ct, "text/html");
         assert_eq!(body, b"<html>dapp</html>");
-        assert!(assets.handle(CallKind::Query, "http_request", b"/missing").is_err());
+        assert!(assets
+            .handle(CallKind::Query, "http_request", b"/missing")
+            .is_err());
         assert_eq!(assets.paths(), vec!["/".to_owned()]);
     }
 

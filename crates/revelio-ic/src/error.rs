@@ -63,7 +63,10 @@ mod tests {
     #[test]
     fn displays_are_specific() {
         assert!(IcError::CanisterNotFound(7).to_string().contains('7'));
-        let e = IcError::NoConsensus { agreeing: 1, needed: 3 };
+        let e = IcError::NoConsensus {
+            agreeing: 1,
+            needed: 3,
+        };
         assert!(e.to_string().contains('3'));
     }
 }

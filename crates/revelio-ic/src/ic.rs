@@ -48,18 +48,29 @@ impl IcRequest {
         let mut r = ByteReader::new(bytes);
         let magic = r.get_array::<5>()?;
         if &magic != b"ICRQ1" {
-            return Err(IcError::Wire(revelio_crypto::wire::WireError::UnknownTag(magic[0])));
+            return Err(IcError::Wire(revelio_crypto::wire::WireError::UnknownTag(
+                magic[0],
+            )));
         }
         let canister_id = r.get_u64()?;
         let kind = match r.get_u8()? {
             0 => CallKind::Query,
             1 => CallKind::Update,
-            t => return Err(IcError::Wire(revelio_crypto::wire::WireError::UnknownTag(t))),
+            t => {
+                return Err(IcError::Wire(revelio_crypto::wire::WireError::UnknownTag(
+                    t,
+                )))
+            }
         };
         let method = r.get_str()?;
         let arg = r.get_var_bytes()?.to_vec();
         r.finish()?;
-        Ok(IcRequest { canister_id, kind, method, arg })
+        Ok(IcRequest {
+            canister_id,
+            kind,
+            method,
+            arg,
+        })
     }
 }
 
@@ -151,7 +162,12 @@ impl InternetComputer {
     /// Propagates routing, consensus and canister errors.
     pub fn execute(&self, request: &IcRequest) -> Result<CertifiedResponse, IcError> {
         let subnet = self.subnet_of(request.canister_id)?;
-        subnet.execute(request.canister_id, request.kind, &request.method, &request.arg)
+        subnet.execute(
+            request.canister_id,
+            request.kind,
+            &request.method,
+            &request.arg,
+        )
     }
 }
 
@@ -174,7 +190,9 @@ mod tests {
     #[test]
     fn canisters_spread_across_subnets() {
         let ic = InternetComputer::new(3, 4, 1);
-        let ids: Vec<u64> = (0..6).map(|_| ic.create_canister(&KeyValueCanister::new())).collect();
+        let ids: Vec<u64> = (0..6)
+            .map(|_| ic.create_canister(&KeyValueCanister::new()))
+            .collect();
         let mut per_subnet = vec![0usize; 3];
         for id in &ids {
             let subnet = ic.subnet_of(*id).unwrap();
@@ -209,7 +227,8 @@ mod tests {
             .unwrap();
         assert_eq!(resp.payload, b"v");
         let subnet = ic.subnet_of(id).unwrap();
-        resp.verify(subnet.public_keys(), subnet.threshold()).unwrap();
+        resp.verify(subnet.public_keys(), subnet.threshold())
+            .unwrap();
     }
 
     #[test]

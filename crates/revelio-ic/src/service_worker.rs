@@ -50,7 +50,10 @@ impl ServiceWorker {
     /// Creates a worker pinning the target subnet's keys and threshold.
     #[must_use]
     pub fn new(subnet_keys: Vec<VerifyingKey>, threshold: usize) -> Self {
-        ServiceWorker { subnet_keys, threshold }
+        ServiceWorker {
+            subnet_keys,
+            threshold,
+        }
     }
 
     /// Performs a verified IC call through the boundary node.
@@ -120,7 +123,10 @@ mod tests {
             if resp.is_success() {
                 Ok(resp.body)
             } else {
-                Err(IcError::CanisterRejected(format!("boundary status {}", resp.status)))
+                Err(IcError::CanisterRejected(format!(
+                    "boundary status {}",
+                    resp.status
+                )))
             }
         }
     }
@@ -139,7 +145,9 @@ mod tests {
     #[test]
     fn verified_fetch_through_honest_boundary() {
         let (worker, bn, id) = setup();
-        let mut transport = DirectTransport { router: bn.router() };
+        let mut transport = DirectTransport {
+            router: bn.router(),
+        };
         let (ct, body) = worker.fetch_asset(&mut transport, id, "/").unwrap();
         assert_eq!(ct, "text/html");
         assert_eq!(body, b"<html>verified dapp</html>");
@@ -149,7 +157,9 @@ mod tests {
     fn tampering_boundary_detected_by_worker() {
         let (worker, bn, id) = setup();
         bn.set_tampering(true);
-        let mut transport = DirectTransport { router: bn.router() };
+        let mut transport = DirectTransport {
+            router: bn.router(),
+        };
         assert_eq!(
             worker.fetch_asset(&mut transport, id, "/").unwrap_err(),
             IcError::CertificateInvalid
@@ -161,15 +171,22 @@ mod tests {
         let (_, bn, id) = setup();
         let other_ic = InternetComputer::new(1, 4, 999);
         let other_subnet = &other_ic.subnets()[0];
-        let worker = ServiceWorker::new(other_subnet.public_keys().to_vec(), other_subnet.threshold());
-        let mut transport = DirectTransport { router: bn.router() };
+        let worker = ServiceWorker::new(
+            other_subnet.public_keys().to_vec(),
+            other_subnet.threshold(),
+        );
+        let mut transport = DirectTransport {
+            router: bn.router(),
+        };
         assert!(worker.fetch_asset(&mut transport, id, "/").is_err());
     }
 
     #[test]
     fn mismatched_canister_id_rejected() {
         let (worker, bn, _) = setup();
-        let mut transport = DirectTransport { router: bn.router() };
+        let mut transport = DirectTransport {
+            router: bn.router(),
+        };
         // Ask for canister 1 but the transport returns a response for it;
         // now forge a request claiming canister 7 — id mismatch triggers.
         let req = IcRequest {

@@ -93,7 +93,11 @@ impl CertifiedResponse {
             signatures.push((index, sig));
         }
         r.finish()?;
-        Ok(CertifiedResponse { canister_id, payload, signatures })
+        Ok(CertifiedResponse {
+            canister_id,
+            payload,
+            signatures,
+        })
     }
 }
 
@@ -139,7 +143,10 @@ impl Subnet {
     /// Panics unless `0 < threshold <= n`.
     #[must_use]
     pub fn new(n: usize, threshold: usize, seed: u64) -> Self {
-        assert!(threshold > 0 && threshold <= n, "threshold must be in 1..=n");
+        assert!(
+            threshold > 0 && threshold <= n,
+            "threshold must be in 1..=n"
+        );
         let replicas: Vec<Replica> = (0..n)
             .map(|i| {
                 let mut key_seed = [0u8; 32];
@@ -153,7 +160,11 @@ impl Subnet {
             })
             .collect();
         let public_keys = replicas.iter().map(|r| r.key.verifying_key()).collect();
-        Subnet { replicas: Mutex::new(replicas), threshold, public_keys }
+        Subnet {
+            replicas: Mutex::new(replicas),
+            threshold,
+            public_keys,
+        }
     }
 
     /// The replicas' public keys (what verifiers pin).
@@ -200,7 +211,10 @@ impl Subnet {
         arg: &[u8],
     ) -> Result<CertifiedResponse, IcError> {
         let mut replicas = self.replicas.lock();
-        if !replicas.iter().any(|r| r.canisters.contains_key(&canister_id)) {
+        if !replicas
+            .iter()
+            .any(|r| r.canisters.contains_key(&canister_id))
+        {
             return Err(IcError::CanisterNotFound(canister_id));
         }
 
@@ -280,7 +294,8 @@ mod tests {
     #[test]
     fn certified_query_roundtrip() {
         let s = subnet();
-        s.execute(1, CallKind::Update, "put", &encode_put(b"k", b"v")).unwrap();
+        s.execute(1, CallKind::Update, "put", &encode_put(b"k", b"v"))
+            .unwrap();
         let resp = s.execute(1, CallKind::Query, "get", b"k").unwrap();
         assert_eq!(resp.payload, b"v");
         resp.verify(s.public_keys(), s.threshold()).unwrap();
@@ -289,7 +304,8 @@ mod tests {
     #[test]
     fn one_byzantine_replica_tolerated() {
         let s = subnet();
-        s.execute(1, CallKind::Update, "put", &encode_put(b"k", b"v")).unwrap();
+        s.execute(1, CallKind::Update, "put", &encode_put(b"k", b"v"))
+            .unwrap();
         s.set_fault(2, ReplicaFault::CorruptPayload);
         let resp = s.execute(1, CallKind::Query, "get", b"k").unwrap();
         assert_eq!(resp.payload, b"v");
@@ -299,7 +315,8 @@ mod tests {
     #[test]
     fn too_many_faults_block_consensus() {
         let s = subnet();
-        s.execute(1, CallKind::Update, "put", &encode_put(b"k", b"v")).unwrap();
+        s.execute(1, CallKind::Update, "put", &encode_put(b"k", b"v"))
+            .unwrap();
         s.set_fault(1, ReplicaFault::CorruptPayload);
         s.set_fault(2, ReplicaFault::Silent);
         assert!(matches!(
@@ -351,7 +368,8 @@ mod tests {
     fn unanimous_rejection_propagates() {
         let s = subnet();
         assert!(matches!(
-            s.execute(1, CallKind::Query, "no-such-method", b"").unwrap_err(),
+            s.execute(1, CallKind::Query, "no-such-method", b"")
+                .unwrap_err(),
             IcError::CanisterRejected(_)
         ));
     }
@@ -368,7 +386,8 @@ mod tests {
     #[test]
     fn updates_replicate_to_all() {
         let s = subnet();
-        s.execute(1, CallKind::Update, "put", &encode_put(b"a", b"1")).unwrap();
+        s.execute(1, CallKind::Update, "put", &encode_put(b"a", b"1"))
+            .unwrap();
         // Silence one replica; the remaining three still agree on state.
         s.set_fault(0, ReplicaFault::Silent);
         let resp = s.execute(1, CallKind::Query, "get", b"a").unwrap();

@@ -32,14 +32,23 @@ impl SimClock {
         self.now_us() as f64 / 1000.0
     }
 
-    /// Advances the clock by `us` microseconds.
+    /// Advances the clock by `us` microseconds, saturating at the end of
+    /// simulated time rather than panicking (long fuzz runs feed this
+    /// arbitrary deltas).
     pub fn advance_us(&self, us: u64) {
-        *self.micros.lock() += us;
+        let mut micros = self.micros.lock();
+        *micros = micros.saturating_add(us);
     }
 
     /// Advances the clock by (fractional) milliseconds.
+    ///
+    /// The clock cannot run backwards: negative and NaN deltas are clamped
+    /// to zero instead of being debug-asserted, so release builds fed
+    /// adversarial input behave identically to debug builds.
     pub fn advance_ms(&self, ms: f64) {
-        debug_assert!(ms >= 0.0, "clock cannot run backwards");
+        if ms.is_nan() || ms <= 0.0 {
+            return;
+        }
         self.advance_us((ms * 1000.0) as u64);
     }
 
@@ -70,6 +79,25 @@ mod tests {
         let b = a.clone();
         a.advance_ms(2.0);
         assert_eq!(b.now_us(), 2000);
+    }
+
+    #[test]
+    fn advance_us_saturates_instead_of_panicking() {
+        let c = SimClock::new();
+        c.advance_us(u64::MAX - 10);
+        c.advance_us(u64::MAX);
+        c.advance_us(1);
+        assert_eq!(c.now_us(), u64::MAX);
+    }
+
+    #[test]
+    fn advance_ms_clamps_negative_and_nan() {
+        let c = SimClock::new();
+        c.advance_ms(3.0);
+        c.advance_ms(-250.0);
+        c.advance_ms(f64::NAN);
+        c.advance_ms(-0.0);
+        assert_eq!(c.now_us(), 3000);
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl DnsZone {
     /// Sets the address record for `domain` (also the attack primitive: a
     /// DNS-controlling adversary repoints the name).
     pub fn set_address(&self, domain: &str, address: &str) {
-        self.records.lock().a.insert(domain.to_owned(), address.to_owned());
+        self.records
+            .lock()
+            .a
+            .insert(domain.to_owned(), address.to_owned());
     }
 
     /// Resolves `domain` to a network address.
@@ -67,7 +70,12 @@ impl DnsZone {
     /// Reads the TXT records at `name`.
     #[must_use]
     pub fn txt(&self, name: &str) -> Vec<String> {
-        self.records.lock().txt.get(name).cloned().unwrap_or_default()
+        self.records
+            .lock()
+            .txt
+            .get(name)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Clears the TXT records at `name` (challenge cleanup).

@@ -40,6 +40,8 @@ mod tests {
 
     #[test]
     fn display_includes_address() {
-        assert!(NetError::ConnectionRefused("10.0.0.1:22".into()).to_string().contains(":22"));
+        assert!(NetError::ConnectionRefused("10.0.0.1:22".into())
+            .to_string()
+            .contains(":22"));
     }
 }

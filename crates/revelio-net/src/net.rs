@@ -43,7 +43,9 @@ pub struct NetConfig {
 impl Default for NetConfig {
     /// 2.6 ms one way — the paper's 5.2 ms base round trip (Table 3).
     fn default() -> Self {
-        NetConfig { default_one_way_us: 2600 }
+        NetConfig {
+            default_one_way_us: 2600,
+        }
     }
 }
 
@@ -65,7 +67,9 @@ pub struct SimNet {
 
 impl std::fmt::Debug for SimNet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimNet").field("config", &self.config).finish_non_exhaustive()
+        f.debug_struct("SimNet")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
     }
 }
 
@@ -73,7 +77,11 @@ impl SimNet {
     /// Creates a network fabric on `clock`.
     #[must_use]
     pub fn new(clock: SimClock, config: NetConfig) -> Self {
-        SimNet { clock, config, state: Arc::new(Mutex::new(NetState::default())) }
+        SimNet {
+            clock,
+            config,
+            state: Arc::new(Mutex::new(NetState::default())),
+        }
     }
 
     /// The fabric's clock.
@@ -104,13 +112,19 @@ impl SimNet {
     /// Sets the one-way latency for dials *to* `address`, in microseconds —
     /// e.g. a distant AMD KDS.
     pub fn set_latency(&self, address: &str, one_way_us: u64) {
-        self.state.lock().latency_overrides.insert(address.to_owned(), one_way_us);
+        self.state
+            .lock()
+            .latency_overrides
+            .insert(address.to_owned(), one_way_us);
     }
 
     /// ATTACK: silently rewires future dials of `victim` to `attacker`
     /// (BGP hijack / hostile middlebox). TLS endpoint checks must catch it.
     pub fn redirect(&self, victim: &str, attacker: &str) {
-        self.state.lock().redirects.insert(victim.to_owned(), attacker.to_owned());
+        self.state
+            .lock()
+            .redirects
+            .insert(victim.to_owned(), attacker.to_owned());
     }
 
     /// Removes a redirect.
@@ -147,7 +161,11 @@ impl SimNet {
             .or_else(|| state.latency_overrides.get(address))
             .copied()
             .unwrap_or(self.config.default_one_way_us);
-        let tamper = state.tamper.get(&effective).or_else(|| state.tamper.get(address)).cloned();
+        let tamper = state
+            .tamper
+            .get(&effective)
+            .or_else(|| state.tamper.get(address))
+            .cloned();
         drop(state);
         Ok(Connection {
             clock: self.clock.clone(),
@@ -248,7 +266,12 @@ mod tests {
 
     fn fabric() -> (SimClock, SimNet) {
         let clock = SimClock::new();
-        let net = SimNet::new(clock.clone(), NetConfig { default_one_way_us: 1000 });
+        let net = SimNet::new(
+            clock.clone(),
+            NetConfig {
+                default_one_way_us: 1000,
+            },
+        );
         (clock, net)
     }
 
@@ -308,13 +331,16 @@ mod tests {
     fn tamper_rewrites_messages() {
         let (_, net) = fabric();
         net.bind("a:1", Arc::new(Echo)).unwrap();
-        net.set_tamper("a:1", Arc::new(|m: &[u8]| {
-            let mut v = m.to_vec();
-            if !v.is_empty() {
-                v[0] ^= 0xff;
-            }
-            v
-        }));
+        net.set_tamper(
+            "a:1",
+            Arc::new(|m: &[u8]| {
+                let mut v = m.to_vec();
+                if !v.is_empty() {
+                    v[0] ^= 0xff;
+                }
+                v
+            }),
+        );
         let mut conn = net.dial("a:1").unwrap();
         assert_eq!(conn.exchange(&[1, 2]).unwrap(), vec![0xfe, 2]);
     }

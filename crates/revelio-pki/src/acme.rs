@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 use revelio_crypto::sha2::Sha256;
 use revelio_net::clock::SimClock;
 use revelio_net::dns::DnsZone;
+use revelio_telemetry::Telemetry;
 
 use crate::ca::CertificateAuthority;
 use crate::cert::{Certificate, CertificateChain, CertificateSigningRequest};
@@ -70,11 +71,14 @@ pub struct AcmeCa {
     clock: SimClock,
     dns: DnsZone,
     log: Arc<Mutex<IssuanceLog>>,
+    telemetry: Option<Telemetry>,
 }
 
 impl std::fmt::Debug for AcmeCa {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("AcmeCa").field("policy", &self.policy).finish_non_exhaustive()
+        f.debug_struct("AcmeCa")
+            .field("policy", &self.policy)
+            .finish_non_exhaustive()
     }
 }
 
@@ -82,7 +86,13 @@ impl AcmeCa {
     /// Creates an automated CA with a root and one intermediate (the Let's
     /// Encrypt structure browsers see).
     #[must_use]
-    pub fn new(name: &str, key_seed: [u8; 32], policy: AcmePolicy, clock: SimClock, dns: DnsZone) -> Self {
+    pub fn new(
+        name: &str,
+        key_seed: [u8; 32],
+        policy: AcmePolicy,
+        clock: SimClock,
+        dns: DnsZone,
+    ) -> Self {
         let ca = CertificateAuthority::new_root(&format!("{name} Root"), key_seed);
         let mut inter_seed = key_seed;
         inter_seed[0] ^= 0x77;
@@ -96,7 +106,16 @@ impl AcmeCa {
             clock,
             dns,
             log: Arc::new(Mutex::new(IssuanceLog::default())),
+            telemetry: None,
         }
+    }
+
+    /// Records an `acme.order` span and issuance counters for every
+    /// [`AcmeCa::order_certificate`] call.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// The root certificate browsers/clients pin.
@@ -145,7 +164,12 @@ impl AcmeCa {
         if challenge.domain != csr.domain {
             return Err(PkiError::ChallengeFailed(csr.domain.clone()));
         }
-        if !self.dns.txt(&challenge.record_name).iter().any(|t| t == &challenge.token) {
+        if !self
+            .dns
+            .txt(&challenge.record_name)
+            .iter()
+            .any(|t| t == &challenge.token)
+        {
             return Err(PkiError::ChallengeFailed(csr.domain.clone()));
         }
 
@@ -182,10 +206,27 @@ impl AcmeCa {
         &self,
         csr: &CertificateSigningRequest,
     ) -> Result<CertificateChain, PkiError> {
-        let challenge = self.begin_challenge(csr)?;
-        self.dns.set_txt(&challenge.record_name, &challenge.token);
-        let result = self.finish_challenge(csr, &challenge);
-        self.dns.clear_txt(&challenge.record_name);
+        let span = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.span_with("acme.order", &[("domain", &csr.domain)]));
+        let result = (|| {
+            let challenge = self.begin_challenge(csr)?;
+            self.dns.set_txt(&challenge.record_name, &challenge.token);
+            let result = self.finish_challenge(csr, &challenge);
+            self.dns.clear_txt(&challenge.record_name);
+            result
+        })();
+        if let Some(telemetry) = &self.telemetry {
+            let ms = span.expect("span exists when telemetry does").finish_ms();
+            telemetry.observe("revelio_pki_acme_order_ms", ms);
+            let outcome = match &result {
+                Ok(_) => "revelio_pki_acme_certificates_issued_total",
+                Err(PkiError::RateLimited { .. }) => "revelio_pki_acme_orders_rate_limited_total",
+                Err(_) => "revelio_pki_acme_order_failures_total",
+            };
+            telemetry.counter_add(outcome, 1);
+        }
         result
     }
 }
@@ -212,7 +253,9 @@ mod tests {
         let (ca, _, clock) = setup(AcmePolicy::default());
         let csr = csr("pad.example.org", 1);
         let chain = ca.order_certificate(&csr).unwrap();
-        chain.validate(&[ca.root_certificate()], clock.now_us() / 1000).unwrap();
+        chain
+            .validate(&[ca.root_certificate()], clock.now_us() / 1000)
+            .unwrap();
         assert_eq!(chain.leaf().subject, "pad.example.org");
         assert_eq!(chain.leaf().public_key, csr.public_key);
     }
@@ -240,7 +283,11 @@ mod tests {
 
     #[test]
     fn rate_limit_enforced_and_window_slides() {
-        let policy = AcmePolicy { certificates_per_window: 2, window_ms: 1000, lifetime_ms: 10_000 };
+        let policy = AcmePolicy {
+            certificates_per_window: 2,
+            window_ms: 1000,
+            lifetime_ms: 10_000,
+        };
         let (ca, _, clock) = setup(policy);
         let csr = csr("pad.example.org", 1);
         ca.order_certificate(&csr).unwrap();
@@ -255,7 +302,11 @@ mod tests {
 
     #[test]
     fn rate_limit_is_per_domain() {
-        let policy = AcmePolicy { certificates_per_window: 1, window_ms: 1000, lifetime_ms: 10_000 };
+        let policy = AcmePolicy {
+            certificates_per_window: 1,
+            window_ms: 1000,
+            lifetime_ms: 10_000,
+        };
         let (ca, _, _) = setup(policy);
         ca.order_certificate(&csr("a.example.org", 1)).unwrap();
         assert!(ca.order_certificate(&csr("a.example.org", 1)).is_err());
@@ -265,10 +316,15 @@ mod tests {
 
     #[test]
     fn certificate_expires_after_lifetime() {
-        let policy = AcmePolicy { lifetime_ms: 1000, ..AcmePolicy::default() };
+        let policy = AcmePolicy {
+            lifetime_ms: 1000,
+            ..AcmePolicy::default()
+        };
         let (ca, _, clock) = setup(policy);
         let chain = ca.order_certificate(&csr("a.example.org", 1)).unwrap();
-        chain.validate(&[ca.root_certificate()], clock.now_us() / 1000).unwrap();
+        chain
+            .validate(&[ca.root_certificate()], clock.now_us() / 1000)
+            .unwrap();
         clock.advance_ms(2000.0);
         assert!(matches!(
             chain.validate(&[ca.root_certificate()], clock.now_us() / 1000),

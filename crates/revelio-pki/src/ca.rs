@@ -19,7 +19,9 @@ pub struct CertificateAuthority {
 
 impl std::fmt::Debug for CertificateAuthority {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CertificateAuthority").field("name", &self.name).finish_non_exhaustive()
+        f.debug_struct("CertificateAuthority")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
     }
 }
 
@@ -28,15 +30,7 @@ impl CertificateAuthority {
     #[must_use]
     pub fn new_root(name: &str, key_seed: [u8; 32]) -> Self {
         let key = SigningKey::from_seed(&key_seed);
-        let payload = Certificate::payload(
-            name,
-            &key.verifying_key(),
-            name,
-            0,
-            0,
-            u64::MAX,
-            true,
-        );
+        let payload = Certificate::payload(name, &key.verifying_key(), name, 0, 0, u64::MAX, true);
         let certificate = Certificate {
             subject: name.to_owned(),
             public_key: key.verifying_key(),

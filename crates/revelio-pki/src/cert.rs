@@ -59,8 +59,12 @@ impl CertificateSigningRequest {
     ///
     /// Returns [`PkiError::SignatureInvalid`] when the self-signature fails.
     pub fn verify(&self) -> Result<(), PkiError> {
-        let payload =
-            Self::payload(&self.domain, &self.public_key, &self.organization, &self.country);
+        let payload = Self::payload(
+            &self.domain,
+            &self.public_key,
+            &self.organization,
+            &self.country,
+        );
         self.public_key
             .verify(&payload, &self.signature)
             .map_err(|_| PkiError::SignatureInvalid)
@@ -94,7 +98,9 @@ impl CertificateSigningRequest {
         let mut r = ByteReader::new(&payload);
         let magic = r.get_array::<4>()?;
         if &magic != b"CSR1" {
-            return Err(PkiError::Wire(revelio_crypto::wire::WireError::UnknownTag(magic[0])));
+            return Err(PkiError::Wire(revelio_crypto::wire::WireError::UnknownTag(
+                magic[0],
+            )));
         }
         let domain = r.get_str()?;
         let public_key = VerifyingKey::from_bytes(r.get_array::<32>()?)?;
@@ -194,7 +200,10 @@ impl Certificate {
     /// mismatch) or [`PkiError::SignatureInvalid`].
     pub fn verify_signature(&self, issuer: &Certificate) -> Result<(), PkiError> {
         if !issuer.is_ca {
-            return Err(PkiError::ChainInvalid(format!("{} is not a ca", issuer.subject)));
+            return Err(PkiError::ChainInvalid(format!(
+                "{} is not a ca",
+                issuer.subject
+            )));
         }
         if issuer.subject != self.issuer {
             return Err(PkiError::ChainInvalid(format!(
@@ -215,7 +224,10 @@ impl Certificate {
     /// Returns [`PkiError::Expired`] outside `[not_before, not_after]`.
     pub fn check_validity(&self, now_ms: u64) -> Result<(), PkiError> {
         if now_ms < self.not_before_ms || now_ms > self.not_after_ms {
-            return Err(PkiError::Expired { now_ms, not_after_ms: self.not_after_ms });
+            return Err(PkiError::Expired {
+                now_ms,
+                not_after_ms: self.not_after_ms,
+            });
         }
         Ok(())
     }
@@ -259,7 +271,9 @@ impl Certificate {
         let mut r = ByteReader::new(&payload);
         let magic = r.get_array::<4>()?;
         if &magic != b"CERT" {
-            return Err(PkiError::Wire(revelio_crypto::wire::WireError::UnknownTag(magic[0])));
+            return Err(PkiError::Wire(revelio_crypto::wire::WireError::UnknownTag(
+                magic[0],
+            )));
         }
         let subject = r.get_str()?;
         let public_key = VerifyingKey::from_bytes(r.get_array::<32>()?)?;
@@ -401,8 +415,14 @@ mod tests {
         let csr = CertificateSigningRequest::new("a.example", &key, "O", "CH");
         let cert = ca.issue_for_csr(&csr, 100, 200).unwrap();
         assert!(cert.check_validity(150).is_ok());
-        assert!(matches!(cert.check_validity(50), Err(PkiError::Expired { .. })));
-        assert!(matches!(cert.check_validity(201), Err(PkiError::Expired { .. })));
+        assert!(matches!(
+            cert.check_validity(50),
+            Err(PkiError::Expired { .. })
+        ));
+        assert!(matches!(
+            cert.check_validity(201),
+            Err(PkiError::Expired { .. })
+        ));
     }
 
     #[test]
@@ -425,7 +445,9 @@ mod tests {
         let key = SigningKey::from_seed(&[2; 32]);
         let csr = CertificateSigningRequest::new("a.example", &key, "O", "CH");
         let leaf = inter.0.issue_for_csr(&csr, 0, 10_000).unwrap();
-        let chain = CertificateChain { certificates: vec![leaf, inter.1] };
+        let chain = CertificateChain {
+            certificates: vec![leaf, inter.1],
+        };
         chain.validate(&[root.certificate()], 5).unwrap();
     }
 
@@ -436,7 +458,9 @@ mod tests {
         let key = SigningKey::from_seed(&[2; 32]);
         let csr = CertificateSigningRequest::new("a.example", &key, "O", "CH");
         let leaf = root.issue_for_csr(&csr, 0, 10_000).unwrap();
-        let chain = CertificateChain { certificates: vec![leaf] };
+        let chain = CertificateChain {
+            certificates: vec![leaf],
+        };
         assert!(chain.validate(&[other_root.certificate()], 5).is_err());
     }
 
@@ -457,6 +481,9 @@ mod tests {
             is_ca: false,
             signature: key.sign(b"whatever"),
         };
-        assert!(matches!(fake.verify_signature(&leaf), Err(PkiError::ChainInvalid(_))));
+        assert!(matches!(
+            fake.verify_signature(&leaf),
+            Err(PkiError::ChainInvalid(_))
+        ));
     }
 }

@@ -49,14 +49,23 @@ impl fmt::Display for PkiError {
         match self {
             PkiError::SignatureInvalid => write!(f, "certificate signature invalid"),
             PkiError::ChainInvalid(s) => write!(f, "certificate chain invalid at {s}"),
-            PkiError::Expired { now_ms, not_after_ms } => {
-                write!(f, "certificate expired: now {now_ms} ms, not-after {not_after_ms} ms")
+            PkiError::Expired {
+                now_ms,
+                not_after_ms,
+            } => {
+                write!(
+                    f,
+                    "certificate expired: now {now_ms} ms, not-after {not_after_ms} ms"
+                )
             }
             PkiError::DomainMismatch { requested, subject } => {
                 write!(f, "certificate for {subject} does not cover {requested}")
             }
             PkiError::ChallengeFailed(d) => write!(f, "dns-01 challenge failed for {d}"),
-            PkiError::RateLimited { domain, retry_at_ms } => {
+            PkiError::RateLimited {
+                domain,
+                retry_at_ms,
+            } => {
                 write!(f, "rate limit for {domain}; retry at {retry_at_ms} ms")
             }
             PkiError::Wire(e) => write!(f, "wire format error: {e}"),
@@ -93,7 +102,10 @@ mod tests {
 
     #[test]
     fn messages_name_subjects() {
-        let e = PkiError::DomainMismatch { requested: "a.com".into(), subject: "b.com".into() };
+        let e = PkiError::DomainMismatch {
+            requested: "a.com".into(),
+            subject: "b.com".into(),
+        };
         assert!(e.to_string().contains("a.com"));
         assert!(e.to_string().contains("b.com"));
     }

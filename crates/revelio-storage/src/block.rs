@@ -48,11 +48,7 @@ pub trait BlockDevice: Send + Sync {
 ///
 /// Propagates the device's errors; reads past the end are
 /// [`StorageError::OutOfRange`].
-pub fn read_at(
-    device: &dyn BlockDevice,
-    offset: u64,
-    len: usize,
-) -> Result<Vec<u8>, StorageError> {
+pub fn read_at(device: &dyn BlockDevice, offset: u64, len: usize) -> Result<Vec<u8>, StorageError> {
     let bs = device.block_size() as u64;
     let mut out = Vec::with_capacity(len);
     let mut buf = vec![0u8; device.block_size()];
@@ -76,11 +72,7 @@ pub fn read_at(
 /// # Errors
 ///
 /// Propagates the device's errors.
-pub fn write_at(
-    device: &dyn BlockDevice,
-    offset: u64,
-    data: &[u8],
-) -> Result<(), StorageError> {
+pub fn write_at(device: &dyn BlockDevice, offset: u64, data: &[u8]) -> Result<(), StorageError> {
     let bs = device.block_size() as u64;
     let mut buf = vec![0u8; device.block_size()];
     let mut pos = offset;
@@ -190,16 +182,25 @@ impl MemBlockDevice {
     pub fn corrupt_bit(&self, byte_offset: u64, bit: u8) {
         let mut data = self.data.write();
         let len = data.len() as u64;
-        assert!(byte_offset < len, "corruption offset {byte_offset} past device end {len}");
+        assert!(
+            byte_offset < len,
+            "corruption offset {byte_offset} past device end {len}"
+        );
         data[byte_offset as usize] ^= 1 << (bit % 8);
     }
 
     fn check(&self, index: u64, buf_len: usize) -> Result<(), StorageError> {
         if index >= self.block_count() {
-            return Err(StorageError::OutOfRange { block: index, device_blocks: self.block_count() });
+            return Err(StorageError::OutOfRange {
+                block: index,
+                device_blocks: self.block_count(),
+            });
         }
         if buf_len != self.block_size {
-            return Err(StorageError::WrongBufferSize { got: buf_len, expected: self.block_size });
+            return Err(StorageError::WrongBufferSize {
+                got: buf_len,
+                expected: self.block_size,
+            });
         }
         Ok(())
     }
@@ -250,7 +251,10 @@ mod tests {
         let mut buf = [0u8; 16];
         assert!(matches!(
             dev.read_block(4, &mut buf),
-            Err(StorageError::OutOfRange { block: 4, device_blocks: 4 })
+            Err(StorageError::OutOfRange {
+                block: 4,
+                device_blocks: 4
+            })
         ));
     }
 
@@ -260,7 +264,10 @@ mod tests {
         let mut buf = [0u8; 15];
         assert!(matches!(
             dev.read_block(0, &mut buf),
-            Err(StorageError::WrongBufferSize { got: 15, expected: 16 })
+            Err(StorageError::WrongBufferSize {
+                got: 15,
+                expected: 16
+            })
         ));
         assert!(dev.write_block(0, &[0u8; 17]).is_err());
     }
@@ -272,7 +279,13 @@ mod tests {
         dev.read_block(0, &mut buf).unwrap();
         dev.read_block(1, &mut buf).unwrap();
         dev.write_block(2, &buf).unwrap();
-        assert_eq!(dev.stats(), IoStats { reads: 2, writes: 1 });
+        assert_eq!(
+            dev.stats(),
+            IoStats {
+                reads: 2,
+                writes: 1
+            }
+        );
     }
 
     #[test]

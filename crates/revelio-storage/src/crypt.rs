@@ -30,7 +30,10 @@ pub struct CryptParams {
 
 impl Default for CryptParams {
     fn default() -> Self {
-        CryptParams { iterations: 1000, salt: [0x5a; 32] }
+        CryptParams {
+            iterations: 1000,
+            salt: [0x5a; 32],
+        }
     }
 }
 
@@ -153,7 +156,9 @@ impl CryptDevice {
         let mut r = ByteReader::new(&block0);
         let magic = r.get_array::<4>()?;
         if &magic != MAGIC {
-            return Err(StorageError::BadSuperblock("missing crypt volume magic".into()));
+            return Err(StorageError::BadSuperblock(
+                "missing crypt volume magic".into(),
+            ));
         }
         let version = r.get_u16()?;
         if version != VERSION {
@@ -193,7 +198,10 @@ impl BlockDevice for CryptDevice {
 
     fn read_block(&self, index: u64, buf: &mut [u8]) -> Result<(), StorageError> {
         if index >= self.block_count() {
-            return Err(StorageError::OutOfRange { block: index, device_blocks: self.block_count() });
+            return Err(StorageError::OutOfRange {
+                block: index,
+                device_blocks: self.block_count(),
+            });
         }
         self.backing.read_block(index + 1, buf)?;
         let plain = self.xts.decrypt_sector(index, buf)?;
@@ -203,10 +211,16 @@ impl BlockDevice for CryptDevice {
 
     fn write_block(&self, index: u64, data: &[u8]) -> Result<(), StorageError> {
         if index >= self.block_count() {
-            return Err(StorageError::OutOfRange { block: index, device_blocks: self.block_count() });
+            return Err(StorageError::OutOfRange {
+                block: index,
+                device_blocks: self.block_count(),
+            });
         }
         if data.len() != self.block_size() {
-            return Err(StorageError::WrongBufferSize { got: data.len(), expected: self.block_size() });
+            return Err(StorageError::WrongBufferSize {
+                got: data.len(),
+                expected: self.block_size(),
+            });
         }
         let cipher = self.xts.encrypt_sector(index, data)?;
         self.backing.write_block(index + 1, &cipher)
@@ -226,7 +240,10 @@ mod tests {
     }
 
     fn fast_params() -> CryptParams {
-        CryptParams { iterations: 2, salt: [1; 32] }
+        CryptParams {
+            iterations: 2,
+            salt: [1; 32],
+        }
     }
 
     #[test]
@@ -314,8 +331,24 @@ mod tests {
     fn iterations_affect_key() {
         let d1 = backing(4);
         let d2 = backing(4);
-        CryptDevice::format(Arc::clone(&d1) as _, b"k", &CryptParams { iterations: 2, salt: [1; 32] }).unwrap();
-        CryptDevice::format(Arc::clone(&d2) as _, b"k", &CryptParams { iterations: 3, salt: [1; 32] }).unwrap();
+        CryptDevice::format(
+            Arc::clone(&d1) as _,
+            b"k",
+            &CryptParams {
+                iterations: 2,
+                salt: [1; 32],
+            },
+        )
+        .unwrap();
+        CryptDevice::format(
+            Arc::clone(&d2) as _,
+            b"k",
+            &CryptParams {
+                iterations: 3,
+                salt: [1; 32],
+            },
+        )
+        .unwrap();
         let mut s1 = vec![0u8; BS];
         let mut s2 = vec![0u8; BS];
         d1.read_block(0, &mut s1).unwrap();

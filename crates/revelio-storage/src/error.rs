@@ -54,11 +54,20 @@ pub enum StorageError {
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::OutOfRange { block, device_blocks } => {
-                write!(f, "block {block} out of range for device of {device_blocks} blocks")
+            StorageError::OutOfRange {
+                block,
+                device_blocks,
+            } => {
+                write!(
+                    f,
+                    "block {block} out of range for device of {device_blocks} blocks"
+                )
             }
             StorageError::WrongBufferSize { got, expected } => {
-                write!(f, "buffer of {got} bytes does not match block size {expected}")
+                write!(
+                    f,
+                    "buffer of {got} bytes does not match block size {expected}"
+                )
             }
             StorageError::IntegrityViolation { block } => {
                 write!(f, "integrity violation reading block {block}")
@@ -67,8 +76,14 @@ impl fmt::Display for StorageError {
             StorageError::RootHashMismatch => write!(f, "root hash does not match hash tree"),
             StorageError::BadSuperblock(why) => write!(f, "bad superblock: {why}"),
             StorageError::WrongKey => write!(f, "volume key check failed"),
-            StorageError::PartitionOverflow { requested, available } => {
-                write!(f, "partition of {requested} blocks exceeds {available} available")
+            StorageError::PartitionOverflow {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "partition of {requested} blocks exceeds {available} available"
+                )
             }
             StorageError::Wire(e) => write!(f, "wire format error: {e}"),
             StorageError::Crypto(e) => write!(f, "crypto error: {e}"),
@@ -104,8 +119,13 @@ mod tests {
 
     #[test]
     fn displays_mention_key_facts() {
-        let e = StorageError::OutOfRange { block: 9, device_blocks: 4 };
+        let e = StorageError::OutOfRange {
+            block: 9,
+            device_blocks: 4,
+        };
         assert!(e.to_string().contains('9'));
-        assert!(StorageError::IntegrityViolation { block: 3 }.to_string().contains('3'));
+        assert!(StorageError::IntegrityViolation { block: 3 }
+            .to_string()
+            .contains('3'));
     }
 }

@@ -42,6 +42,7 @@ pub mod block;
 pub mod crypt;
 pub mod error;
 pub mod partition;
+pub mod probed;
 pub mod verity;
 
 pub use error::StorageError;

@@ -41,7 +41,11 @@ impl PartitionKind {
             1 => PartitionKind::VerityMeta,
             2 => PartitionKind::Data,
             3 => PartitionKind::Other,
-            t => return Err(StorageError::Wire(revelio_crypto::wire::WireError::UnknownTag(t))),
+            t => {
+                return Err(StorageError::Wire(
+                    revelio_crypto::wire::WireError::UnknownTag(t),
+                ))
+            }
         })
     }
 }
@@ -82,7 +86,9 @@ pub struct PartitionView {
 
 impl std::fmt::Debug for PartitionView {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PartitionView").field("partition", &self.partition).finish_non_exhaustive()
+        f.debug_struct("PartitionView")
+            .field("partition", &self.partition)
+            .finish_non_exhaustive()
     }
 }
 
@@ -114,7 +120,10 @@ impl PartitionTable {
         block_count: u64,
     ) -> Result<&mut Self, StorageError> {
         if block_count == 0 {
-            return Err(StorageError::PartitionOverflow { requested: 0, available: 0 });
+            return Err(StorageError::PartitionOverflow {
+                requested: 0,
+                available: 0,
+            });
         }
         let first_block = self
             .entries
@@ -157,7 +166,9 @@ impl PartitionTable {
         let mut r = ByteReader::new(bytes);
         let magic = r.get_array::<4>()?;
         if &magic != b"RVPT" {
-            return Err(StorageError::BadSuperblock("missing partition table magic".into()));
+            return Err(StorageError::BadSuperblock(
+                "missing partition table magic".into(),
+            ));
         }
         let n = r.get_count(4 + 1 + 8 + 8 + 16)?; // name prefix + kind + extents + uuid
         let mut entries = Vec::with_capacity(n);
@@ -167,7 +178,13 @@ impl PartitionTable {
             let first_block = r.get_u64()?;
             let block_count = r.get_u64()?;
             let uuid = r.get_array::<16>()?;
-            entries.push(Partition { name, kind, first_block, block_count, uuid });
+            entries.push(Partition {
+                name,
+                kind,
+                first_block,
+                block_count,
+                uuid,
+            });
         }
         Ok(PartitionTable { entries })
     }
@@ -180,10 +197,7 @@ impl PartitionTable {
     /// Returns [`StorageError::PartitionOverflow`] if the layout exceeds the
     /// disk, or [`StorageError::BadSuperblock`] if the encoded table does
     /// not fit in block 0.
-    pub fn apply(
-        &self,
-        disk: Arc<dyn BlockDevice>,
-    ) -> Result<Vec<PartitionView>, StorageError> {
+    pub fn apply(&self, disk: Arc<dyn BlockDevice>) -> Result<Vec<PartitionView>, StorageError> {
         let needed = self
             .entries
             .last()
@@ -221,16 +235,16 @@ impl PartitionTable {
         disk.read_block(0, &mut block0)?;
         let table = PartitionTable::from_bytes(&block0)?;
         for p in table.entries() {
-            let end = p
-                .first_block
-                .checked_add(p.block_count)
-                .ok_or_else(|| StorageError::BadSuperblock(format!(
-                    "partition {:?} extent overflows", p.name
-                )))?;
+            let end = p.first_block.checked_add(p.block_count).ok_or_else(|| {
+                StorageError::BadSuperblock(format!("partition {:?} extent overflows", p.name))
+            })?;
             if p.block_count == 0 || p.first_block == 0 || end > disk.block_count() {
                 return Err(StorageError::BadSuperblock(format!(
                     "partition {:?} extent [{}, {}) invalid for disk of {} blocks",
-                    p.name, p.first_block, end, disk.block_count()
+                    p.name,
+                    p.first_block,
+                    end,
+                    disk.block_count()
                 )));
             }
         }
@@ -262,11 +276,17 @@ struct RangeDevice {
 impl RangeDevice {
     fn translate(&self, index: u64) -> Result<u64, StorageError> {
         if index >= self.block_count {
-            return Err(StorageError::OutOfRange { block: index, device_blocks: self.block_count });
+            return Err(StorageError::OutOfRange {
+                block: index,
+                device_blocks: self.block_count,
+            });
         }
         self.first_block
             .checked_add(index)
-            .ok_or(StorageError::OutOfRange { block: index, device_blocks: self.block_count })
+            .ok_or(StorageError::OutOfRange {
+                block: index,
+                device_blocks: self.block_count,
+            })
     }
 }
 

@@ -36,7 +36,10 @@ pub struct VerityParams {
 
 impl Default for VerityParams {
     fn default() -> Self {
-        VerityParams { hash_block_size: 4096, salt: [0; 32] }
+        VerityParams {
+            hash_block_size: 4096,
+            salt: [0; 32],
+        }
     }
 }
 
@@ -108,7 +111,12 @@ impl VerityTree {
             level = parent;
         }
         let root_hash = salted_digest(&params.salt, levels.last().expect("nonempty"));
-        Ok(VerityTree { params, data_blocks, levels, root_hash })
+        Ok(VerityTree {
+            params,
+            data_blocks,
+            levels,
+            root_hash,
+        })
     }
 
     /// The root hash — the value Revelio puts on the kernel command line.
@@ -172,9 +180,14 @@ impl VerityTree {
         }
         r.finish()?;
         if levels.is_empty() {
-            return Err(StorageError::BadSuperblock("verity tree has no levels".into()));
+            return Err(StorageError::BadSuperblock(
+                "verity tree has no levels".into(),
+            ));
         }
-        let params = VerityParams { hash_block_size, salt };
+        let params = VerityParams {
+            hash_block_size,
+            salt,
+        };
 
         // Authenticate the whole geometry against the root: the root hash
         // only covers the top level directly, so recompute every parent
@@ -190,11 +203,13 @@ impl VerityTree {
                 return Err(bad());
             }
             if i + 1 < levels.len() {
-                let mut expected_parent = Vec::with_capacity(level.len() / hash_block_size * DIGEST_LEN);
+                let mut expected_parent =
+                    Vec::with_capacity(level.len() / hash_block_size * DIGEST_LEN);
                 for block in level.chunks_exact(hash_block_size) {
                     expected_parent.extend_from_slice(&salted_digest(&salt, block));
                 }
-                let padded = expected_parent.len().div_ceil(hash_block_size).max(1) * hash_block_size;
+                let padded =
+                    expected_parent.len().div_ceil(hash_block_size).max(1) * hash_block_size;
                 expected_parent.resize(padded, 0);
                 if expected_parent != levels[i + 1] {
                     return Err(bad());
@@ -218,7 +233,12 @@ impl VerityTree {
         }
 
         let root_hash = salted_digest(&params.salt, levels.last().expect("nonempty"));
-        Ok(VerityTree { params, data_blocks, levels, root_hash })
+        Ok(VerityTree {
+            params,
+            data_blocks,
+            levels,
+            root_hash,
+        })
     }
 }
 
@@ -246,7 +266,11 @@ impl VerityTree {
     pub fn read_from_device(device: &dyn BlockDevice) -> Result<Self, StorageError> {
         let len_bytes = crate::block::read_at(device, 0, 8)?;
         let len = u64::from_le_bytes(len_bytes.try_into().expect("8 bytes"));
-        if len == 0 || len.checked_add(8).is_none_or(|end| end > device.len_bytes()) {
+        if len == 0
+            || len
+                .checked_add(8)
+                .is_none_or(|end| end > device.len_bytes())
+        {
             return Err(StorageError::BadSuperblock(format!(
                 "verity metadata length {len} does not fit device"
             )));
@@ -321,9 +345,10 @@ impl VerityDevice {
             digest = salted_digest(&params.salt, block);
             entry_index = block_no;
             if level_no == self.tree.levels.len() - 1
-                && !revelio_crypto::ct::eq(&digest, &self.tree.root_hash) {
-                    return Err(violation());
-                }
+                && !revelio_crypto::ct::eq(&digest, &self.tree.root_hash)
+            {
+                return Err(violation());
+            }
         }
         Ok(())
     }
@@ -372,7 +397,10 @@ mod tests {
     }
 
     fn params() -> VerityParams {
-        VerityParams { hash_block_size: 256, salt: [7; 32] }
+        VerityParams {
+            hash_block_size: 256,
+            salt: [7; 32],
+        }
     }
 
     #[test]
@@ -440,7 +468,10 @@ mod tests {
         let tree = VerityTree::build(dev.as_ref(), params()).unwrap();
         let root = tree.root_hash();
         let verity = VerityDevice::open(dev, tree, &root).unwrap();
-        assert_eq!(verity.write_block(0, &[0u8; BS]), Err(StorageError::ReadOnly));
+        assert_eq!(
+            verity.write_block(0, &[0u8; BS]),
+            Err(StorageError::ReadOnly)
+        );
     }
 
     #[test]
@@ -465,8 +496,22 @@ mod tests {
     #[test]
     fn salt_changes_root() {
         let dev = data_device(4);
-        let t1 = VerityTree::build(dev.as_ref(), VerityParams { salt: [1; 32], ..params() }).unwrap();
-        let t2 = VerityTree::build(dev.as_ref(), VerityParams { salt: [2; 32], ..params() }).unwrap();
+        let t1 = VerityTree::build(
+            dev.as_ref(),
+            VerityParams {
+                salt: [1; 32],
+                ..params()
+            },
+        )
+        .unwrap();
+        let t2 = VerityTree::build(
+            dev.as_ref(),
+            VerityParams {
+                salt: [2; 32],
+                ..params()
+            },
+        )
+        .unwrap();
         assert_ne!(t1.root_hash(), t2.root_hash());
     }
 

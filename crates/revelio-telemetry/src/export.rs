@@ -1,0 +1,332 @@
+//! The three exporters: JSON-lines event log, Prometheus-style text
+//! exposition, and the per-span-tree latency-breakdown table.
+//!
+//! All output is deterministic: spans are emitted in id (creation) order,
+//! metrics in lexicographic name order, and floats through Rust's shortest
+//! round-trip formatter, so a fixed seed yields byte-identical bytes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::span::SpanRecord;
+use crate::Telemetry;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an f64 the way `{:?}` does (shortest round-trip), which is
+/// deterministic across platforms.
+fn fmt_f64(v: f64) -> String {
+    format!("{v:?}")
+}
+
+impl Telemetry {
+    /// Exports the full registry as a JSON-lines event log: one `span`
+    /// line per recorded span (id order), then `counter`, `gauge`, and
+    /// `histogram` lines in name order.
+    #[must_use]
+    pub fn export_json_lines(&self) -> String {
+        let state = self.inner.state.lock();
+        let mut out = String::new();
+        for span in &state.spans {
+            let _ = write!(
+                out,
+                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_us\":{},\"end_us\":{}",
+                span.id,
+                span.parent.map_or_else(|| "null".to_string(), |p| p.to_string()),
+                json_escape(&span.name),
+                span.start_us,
+                span.end_us.map_or_else(|| "null".to_string(), |e| e.to_string()),
+            );
+            if !span.attrs.is_empty() {
+                out.push_str(",\"attrs\":{");
+                for (i, (k, v)) in span.attrs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+                }
+                out.push('}');
+            }
+            out.push_str("}\n");
+        }
+        for (name, value) in &state.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+                json_escape(name)
+            );
+        }
+        for (name, value) in &state.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+                json_escape(name),
+                fmt_f64(*value)
+            );
+        }
+        for (name, hist) in &state.histograms {
+            let _ = write!(
+                out,
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":[",
+                json_escape(name),
+                hist.count(),
+                fmt_f64(hist.sum()),
+            );
+            let mut first = true;
+            for (idx, count) in hist.counts().iter().enumerate() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let le = hist
+                    .bounds()
+                    .get(idx)
+                    .map_or_else(|| "\"+Inf\"".to_string(), |b| fmt_f64(*b));
+                let _ = write!(out, "{{\"le\":{le},\"count\":{count}}}");
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+
+    /// Exports counters, gauges, and histograms in Prometheus text
+    /// exposition format.
+    #[must_use]
+    pub fn export_prometheus(&self) -> String {
+        let state = self.inner.state.lock();
+        let mut out = String::new();
+        for (name, value) in &state.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        for (name, value) in &state.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", fmt_f64(*value));
+        }
+        for (name, hist) in &state.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (idx, count) in hist.counts().iter().enumerate() {
+                cumulative += count;
+                let le = hist
+                    .bounds()
+                    .get(idx)
+                    .map_or_else(|| "+Inf".to_string(), |b| fmt_f64(*b));
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_sum {}", fmt_f64(hist.sum()));
+            let _ = writeln!(out, "{name}_count {}", hist.count());
+        }
+        out
+    }
+
+    /// Renders the latency-breakdown table: spans aggregated by their path
+    /// in the tree (`root > child > grandchild`), in first-occurrence
+    /// order, with count / total / mean columns and indentation showing
+    /// nesting depth.
+    #[must_use]
+    pub fn breakdown(&self) -> String {
+        let state = self.inner.state.lock();
+        breakdown_of(&state.spans)
+    }
+}
+
+/// Aggregation key: the chain of span names from the root.
+fn path_of(spans: &[SpanRecord], span: &SpanRecord) -> Vec<String> {
+    let mut path = vec![span.name.clone()];
+    let mut cursor = span.parent;
+    while let Some(pid) = cursor {
+        let parent = &spans[pid as usize];
+        path.push(parent.name.clone());
+        cursor = parent.parent;
+    }
+    path.reverse();
+    path
+}
+
+fn breakdown_of(spans: &[SpanRecord]) -> String {
+    struct Row {
+        depth: usize,
+        count: u64,
+        total_ms: f64,
+    }
+    // Path → row, in first-occurrence order.
+    let mut order: Vec<Vec<String>> = Vec::new();
+    let mut rows: BTreeMap<Vec<String>, Row> = BTreeMap::new();
+    for span in spans {
+        let Some(duration) = span.duration_ms() else {
+            continue;
+        };
+        let path = path_of(spans, span);
+        if !rows.contains_key(&path) {
+            order.push(path.clone());
+            rows.insert(
+                path.clone(),
+                Row {
+                    depth: path.len() - 1,
+                    count: 0,
+                    total_ms: 0.0,
+                },
+            );
+        }
+        let row = rows.get_mut(&path).expect("row just inserted");
+        row.count += 1;
+        row.total_ms += duration;
+    }
+
+    let mut label_width = "span".len();
+    for path in &order {
+        let row = &rows[path];
+        let label_len = row.depth * 2 + path.last().map_or(0, String::len);
+        label_width = label_width.max(label_len);
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<label_width$}  {:>7}  {:>12}  {:>12}",
+        "span", "count", "total ms", "mean ms"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(label_width + 37));
+    for path in &order {
+        let row = &rows[path];
+        let label = format!(
+            "{}{}",
+            "  ".repeat(row.depth),
+            path.last().map(String::as_str).unwrap_or_default()
+        );
+        let _ = writeln!(
+            out,
+            "{label:<label_width$}  {:>7}  {:>12.3}  {:>12.3}",
+            row.count,
+            row.total_ms,
+            row.total_ms / row.count as f64
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revelio_net::clock::SimClock;
+
+    fn fixture() -> (Telemetry, SimClock) {
+        let clock = SimClock::new();
+        (Telemetry::new(clock.clone()), clock)
+    }
+
+    fn scenario(t: &Telemetry, clock: &SimClock) {
+        let root = t.span_with("request", &[("path", "/pad")]);
+        let child = t.span("tls.handshake");
+        clock.advance_ms(3.0);
+        child.finish_ms();
+        let child = t.span("app");
+        clock.advance_ms(2.0);
+        child.finish_ms();
+        root.finish_ms();
+        t.counter_add("revelio_test_requests_total", 1);
+        t.gauge_set("revelio_test_depth", 2.0);
+        t.register_histogram("revelio_test_latency_ms", &[1.0, 5.0, 10.0]);
+        t.observe("revelio_test_latency_ms", 5.0);
+        t.observe("revelio_test_latency_ms", 50.0);
+    }
+
+    #[test]
+    fn json_lines_shape_and_determinism() {
+        let (t1, c1) = fixture();
+        scenario(&t1, &c1);
+        let (t2, c2) = fixture();
+        scenario(&t2, &c2);
+        let json = t1.export_json_lines();
+        assert_eq!(
+            json,
+            t2.export_json_lines(),
+            "same scenario must export identical bytes"
+        );
+
+        let lines: Vec<&str> = json.lines().collect();
+        assert_eq!(lines.len(), 6); // 3 spans + counter + gauge + histogram
+        assert!(lines[0]
+            .starts_with("{\"type\":\"span\",\"id\":0,\"parent\":null,\"name\":\"request\""));
+        assert!(lines[0].contains("\"attrs\":{\"path\":\"/pad\"}"));
+        assert!(lines[1].contains("\"parent\":0"));
+        assert!(lines[3].contains("\"type\":\"counter\""));
+        assert!(lines[5].contains("\"le\":\"+Inf\",\"count\":1"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let (t, _) = fixture();
+        let span = t.span_with("na\"me\n", &[("k\\", "v\t")]);
+        span.finish_ms();
+        let json = t.export_json_lines();
+        assert!(json.contains("na\\\"me\\n"));
+        assert!(json.contains("\"k\\\\\":\"v\\t\""));
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let (t, clock) = fixture();
+        scenario(&t, &clock);
+        let text = t.export_prometheus();
+        assert!(text.contains("# TYPE revelio_test_requests_total counter"));
+        assert!(text.contains("revelio_test_requests_total 1"));
+        assert!(text.contains("# TYPE revelio_test_depth gauge"));
+        assert!(text.contains("revelio_test_depth 2.0"));
+        assert!(text.contains("revelio_test_latency_ms_bucket{le=\"5.0\"} 1"));
+        assert!(text.contains("revelio_test_latency_ms_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("revelio_test_latency_ms_sum 55.0"));
+        assert!(text.contains("revelio_test_latency_ms_count 2"));
+    }
+
+    #[test]
+    fn breakdown_aggregates_by_tree_path() {
+        let (t, clock) = fixture();
+        for _ in 0..2 {
+            scenario(&t, &clock);
+        }
+        let table = t.breakdown();
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains("span") && lines[0].contains("mean ms"));
+        assert!(lines[2].starts_with("request"));
+        assert!(
+            lines[3].starts_with("  tls.handshake"),
+            "children indented: {table}"
+        );
+        assert!(lines[3].contains("2"), "two aggregated handshakes");
+        assert!(lines[3].contains("3.000"), "mean of two 3 ms spans");
+    }
+
+    #[test]
+    fn same_name_different_parent_rows_are_distinct() {
+        let (t, clock) = fixture();
+        let a = t.span("a");
+        let child = t.span("shared");
+        clock.advance_ms(1.0);
+        child.finish_ms();
+        a.finish_ms();
+        let b = t.span("b");
+        let child = t.span("shared");
+        clock.advance_ms(5.0);
+        child.finish_ms();
+        b.finish_ms();
+        let table = t.breakdown();
+        assert_eq!(table.matches("  shared").count(), 2, "{table}");
+    }
+}

@@ -1,0 +1,203 @@
+//! Deterministic telemetry for the Revelio simulation.
+//!
+//! Every duration in this crate comes from the shared [`SimClock`] — wall
+//! time never leaks in — so two runs with the same seed produce
+//! byte-identical exports. That property is what lets the bench harness
+//! publish machine-independent latency breakdowns and lets the tier-1
+//! suite assert reproducibility of the whole attestation pipeline.
+//!
+//! The crate provides:
+//!
+//! * a span API ([`Telemetry::span`]) for named, nested, attributed spans
+//!   whose durations are read off the sim clock;
+//! * counters, gauges, and fixed-bucket histograms with p50/p95/p99
+//!   queries ([`Telemetry::observe`], [`Histogram::percentile`]);
+//! * three exporters: a JSON-lines event log
+//!   ([`Telemetry::export_json_lines`]), Prometheus-style text exposition
+//!   ([`Telemetry::export_prometheus`]), and a per-span-tree latency
+//!   breakdown table ([`Telemetry::breakdown`]);
+//! * [`DeviceProbe`], a hook the storage layer uses to charge simulated
+//!   I/O time and record per-device metrics.
+
+mod export;
+mod metrics;
+mod probe;
+mod span;
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use revelio_net::clock::SimClock;
+
+pub use metrics::Histogram;
+pub use probe::DeviceProbe;
+pub use span::{SpanGuard, SpanRecord};
+
+// Re-exported so crates that don't otherwise depend on `revelio-net` (e.g.
+// `revelio-storage`) can construct a clock-driven registry.
+pub use revelio_net::clock::SimClock as TelemetryClock;
+
+/// Interior state behind the shared handle.
+#[derive(Debug, Default)]
+pub(crate) struct State {
+    pub(crate) spans: Vec<SpanRecord>,
+    /// Stack of open span ids; the top is the parent of the next span.
+    pub(crate) stack: Vec<u64>,
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) gauges: BTreeMap<String, f64>,
+    pub(crate) histograms: BTreeMap<String, Histogram>,
+}
+
+#[derive(Debug)]
+pub(crate) struct Inner {
+    pub(crate) clock: SimClock,
+    pub(crate) state: Mutex<State>,
+}
+
+/// A cloneable handle to a telemetry registry bound to one [`SimClock`].
+///
+/// Clones share state: `SimWorld` creates one handle and threads clones to
+/// every component it constructs, so all spans land in a single tree.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl Telemetry {
+    /// Creates an empty registry driven by `clock`.
+    #[must_use]
+    pub fn new(clock: SimClock) -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                clock,
+                state: Mutex::new(State::default()),
+            }),
+        }
+    }
+
+    /// The clock durations are read from.
+    #[must_use]
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// Adds `delta` to the named monotonic counter (created on first use).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut state = self.inner.state.lock();
+        match state.counters.get_mut(name) {
+            Some(value) => *value = value.saturating_add(delta),
+            None => {
+                state.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Sets the named gauge to `value` (created on first use).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.inner
+            .state
+            .lock()
+            .gauges
+            .insert(name.to_string(), value);
+    }
+
+    /// Registers a histogram with explicit bucket upper bounds (sorted,
+    /// exclusive of the implicit `+Inf` overflow bucket). Re-registering
+    /// an existing name keeps the original buckets.
+    pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
+        let mut state = self.inner.state.lock();
+        if !state.histograms.contains_key(name) {
+            state
+                .histograms
+                .insert(name.to_string(), Histogram::new(bounds));
+        }
+    }
+
+    /// Records `value` into the named histogram, auto-registering it with
+    /// the default latency buckets when absent.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut state = self.inner.state.lock();
+        state
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(metrics::DEFAULT_LATENCY_BOUNDS_MS))
+            .observe(value);
+    }
+
+    /// Reads a counter (0 when never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Reads a gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.state.lock().gauges.get(name).copied()
+    }
+
+    /// Snapshot of a histogram for percentile queries.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.state.lock().histograms.get(name).cloned()
+    }
+
+    /// Durations (ms) of every *finished* span with the given name, in
+    /// recording order. Used to derive timing structs from the span tree.
+    #[must_use]
+    pub fn span_durations_ms(&self, name: &str) -> Vec<f64> {
+        let state = self.inner.state.lock();
+        state
+            .spans
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(SpanRecord::duration_ms)
+            .collect()
+    }
+
+    /// Total recorded span count (finished or open).
+    #[must_use]
+    pub fn span_count(&self) -> usize {
+        self.inner.state.lock().spans.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let t = Telemetry::new(SimClock::new());
+        t.counter_add("revelio_test_ops_total", 2);
+        t.counter_add("revelio_test_ops_total", 3);
+        t.gauge_set("revelio_test_depth", 4.5);
+        assert_eq!(t.counter("revelio_test_ops_total"), 5);
+        assert_eq!(t.gauge("revelio_test_depth"), Some(4.5));
+        assert_eq!(t.counter("never_touched"), 0);
+        assert_eq!(t.gauge("never_touched"), None);
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let t = Telemetry::new(SimClock::new());
+        t.counter_add("c", u64::MAX - 1);
+        t.counter_add("c", 5);
+        assert_eq!(t.counter("c"), u64::MAX);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::new(SimClock::new());
+        let u = t.clone();
+        t.counter_add("shared", 1);
+        assert_eq!(u.counter("shared"), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Named, nested, attributed spans timed by the sim clock.
+
+use std::collections::BTreeMap;
+
+use crate::Telemetry;
+
+/// One recorded span. Spans form a tree via `parent`; ids are assigned in
+/// creation order, so the vector in the registry is a deterministic
+/// preorder-ish log of the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    pub id: u64,
+    pub parent: Option<u64>,
+    pub name: String,
+    pub start_us: u64,
+    /// `None` while the span is open.
+    pub end_us: Option<u64>,
+    pub attrs: BTreeMap<String, String>,
+}
+
+impl SpanRecord {
+    /// Duration in fractional milliseconds, `None` while open.
+    #[must_use]
+    pub fn duration_ms(&self) -> Option<f64> {
+        self.end_us
+            .map(|end| end.saturating_sub(self.start_us) as f64 / 1000.0)
+    }
+}
+
+/// RAII handle for an open span. Dropping it finishes the span at the
+/// current sim time; [`SpanGuard::finish_ms`] does the same and hands back
+/// the measured duration so callers can derive timing structs from spans
+/// instead of bookkeeping clock deltas by hand.
+#[derive(Debug)]
+pub struct SpanGuard {
+    telemetry: Telemetry,
+    id: u64,
+    finished: bool,
+}
+
+impl Telemetry {
+    /// Opens a span named `name`, child of the innermost open span.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.span_with(name, &[])
+    }
+
+    /// Opens a span with initial attributes.
+    pub fn span_with(&self, name: &str, attrs: &[(&str, &str)]) -> SpanGuard {
+        let start_us = self.inner.clock.now_us();
+        let mut state = self.inner.state.lock();
+        let id = state.spans.len() as u64;
+        let parent = state.stack.last().copied();
+        state.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_us,
+            end_us: None,
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
+        });
+        state.stack.push(id);
+        SpanGuard {
+            telemetry: self.clone(),
+            id,
+            finished: false,
+        }
+    }
+
+    /// Records an already-finished span of modelled duration `ms` without
+    /// advancing the clock. Used for costs the simulation models
+    /// analytically (e.g. boot-time hashing) rather than simulates.
+    pub fn modelled_span(&self, name: &str, ms: f64) -> u64 {
+        self.modelled_span_with(name, ms, &[])
+    }
+
+    /// [`Telemetry::modelled_span`] with attributes.
+    pub fn modelled_span_with(&self, name: &str, ms: f64, attrs: &[(&str, &str)]) -> u64 {
+        let start_us = self.inner.clock.now_us();
+        let mut state = self.inner.state.lock();
+        let id = state.spans.len() as u64;
+        let parent = state.stack.last().copied();
+        state.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_us,
+            end_us: Some(start_us.saturating_add((ms * 1000.0).max(0.0) as u64)),
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
+        });
+        id
+    }
+
+    /// Snapshot of one span by id.
+    #[must_use]
+    pub fn span_record(&self, id: u64) -> Option<SpanRecord> {
+        self.inner.state.lock().spans.get(id as usize).cloned()
+    }
+
+    fn finish_span(&self, id: u64, end_us: u64) -> f64 {
+        let mut state = self.inner.state.lock();
+        // Out-of-order drops are tolerated: remove the id wherever it sits.
+        if let Some(pos) = state.stack.iter().rposition(|&open| open == id) {
+            state.stack.remove(pos);
+        }
+        let span = &mut state.spans[id as usize];
+        span.end_us = Some(end_us);
+        end_us.saturating_sub(span.start_us) as f64 / 1000.0
+    }
+}
+
+impl SpanGuard {
+    /// The span's id in the registry.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Sets an attribute on the open span.
+    pub fn attr(&self, key: &str, value: &str) {
+        let mut state = self.telemetry.inner.state.lock();
+        let span = &mut state.spans[self.id as usize];
+        span.attrs.insert(key.to_string(), value.to_string());
+    }
+
+    /// Finishes the span at the current sim time and returns its duration
+    /// in milliseconds.
+    pub fn finish_ms(mut self) -> f64 {
+        self.finished = true;
+        let end = self.telemetry.inner.clock.now_us();
+        self.telemetry.finish_span(self.id, end)
+    }
+
+    /// Finishes the span with a *modelled* duration: the end time is
+    /// `start + ms` but the shared clock is not advanced.
+    pub fn finish_modelled_ms(mut self, ms: f64) -> f64 {
+        self.finished = true;
+        let start = self
+            .telemetry
+            .span_record(self.id)
+            .map(|s| s.start_us)
+            .unwrap_or_default();
+        let end = start.saturating_add((ms * 1000.0).max(0.0) as u64);
+        self.telemetry.finish_span(self.id, end)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            let end = self.telemetry.inner.clock.now_us();
+            self.telemetry.finish_span(self.id, end);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revelio_net::clock::SimClock;
+
+    fn fixture() -> (Telemetry, SimClock) {
+        let clock = SimClock::new();
+        (Telemetry::new(clock.clone()), clock)
+    }
+
+    #[test]
+    fn span_measures_clock_advance() {
+        let (t, clock) = fixture();
+        let span = t.span("work");
+        clock.advance_ms(12.5);
+        assert_eq!(span.finish_ms(), 12.5);
+        assert_eq!(t.span_durations_ms("work"), vec![12.5]);
+    }
+
+    #[test]
+    fn spans_nest_under_innermost_open() {
+        let (t, clock) = fixture();
+        let outer = t.span("outer");
+        clock.advance_ms(1.0);
+        let inner = t.span("inner");
+        clock.advance_ms(2.0);
+        inner.finish_ms();
+        outer.finish_ms();
+
+        let inner_rec = t.span_record(1).unwrap();
+        assert_eq!(inner_rec.name, "inner");
+        assert_eq!(inner_rec.parent, Some(0));
+        assert_eq!(inner_rec.start_us, 1000);
+        let outer_rec = t.span_record(0).unwrap();
+        assert_eq!(outer_rec.parent, None);
+        assert_eq!(outer_rec.duration_ms(), Some(3.0));
+    }
+
+    #[test]
+    fn attributes_recorded() {
+        let (t, _) = fixture();
+        let span = t.span_with("req", &[("path", "/x")]);
+        span.attr("status", "200");
+        span.finish_ms();
+        let rec = t.span_record(0).unwrap();
+        assert_eq!(rec.attrs["path"], "/x");
+        assert_eq!(rec.attrs["status"], "200");
+    }
+
+    #[test]
+    fn drop_finishes_open_span() {
+        let (t, clock) = fixture();
+        {
+            let _span = t.span("scoped");
+            clock.advance_ms(4.0);
+        }
+        assert_eq!(t.span_durations_ms("scoped"), vec![4.0]);
+    }
+
+    #[test]
+    fn modelled_finish_does_not_advance_clock() {
+        let (t, clock) = fixture();
+        let span = t.span("boot");
+        assert_eq!(span.finish_modelled_ms(250.0), 250.0);
+        assert_eq!(clock.now_us(), 0);
+        assert_eq!(t.span_durations_ms("boot"), vec![250.0]);
+    }
+
+    #[test]
+    fn modelled_span_records_child() {
+        let (t, clock) = fixture();
+        let parent = t.span("parent");
+        t.modelled_span("child", 7.0);
+        parent.finish_ms();
+        let child = t.span_record(1).unwrap();
+        assert_eq!(child.parent, Some(0));
+        assert_eq!(child.duration_ms(), Some(7.0));
+        assert_eq!(clock.now_us(), 0);
+    }
+
+    #[test]
+    fn out_of_order_drop_tolerated() {
+        let (t, clock) = fixture();
+        let a = t.span("a");
+        let b = t.span("b");
+        clock.advance_ms(1.0);
+        a.finish_ms(); // finished before its child b
+        clock.advance_ms(1.0);
+        b.finish_ms();
+        assert_eq!(t.span_durations_ms("a"), vec![1.0]);
+        assert_eq!(t.span_durations_ms("b"), vec![2.0]);
+        // The stack is fully unwound; the next span is a root.
+        let c = t.span("c");
+        c.finish_ms();
+        assert_eq!(t.span_record(2).unwrap().parent, None);
+    }
+}

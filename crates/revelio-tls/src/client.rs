@@ -5,6 +5,7 @@ use revelio_crypto::x25519;
 use revelio_net::clock::SimClock;
 use revelio_net::net::{Connection, SimNet};
 use revelio_pki::cert::{Certificate, CertificateChain};
+use revelio_telemetry::Telemetry;
 
 use crate::handshake::{transcript_hash, ClientHello, ServerHello};
 use crate::record::{derive_traffic_keys, TrafficKeys};
@@ -17,6 +18,9 @@ pub struct TlsClientConfig {
     pub trusted_roots: Vec<Certificate>,
     /// Clock for validity-window checks.
     pub clock: SimClock,
+    /// When set, each [`TlsClient::connect`] records a `tls.handshake`
+    /// span and handshake counters/latency metrics.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl std::fmt::Debug for TlsClientConfig {
@@ -52,6 +56,32 @@ impl TlsClient {
     /// certificate rejection (chain, validity, domain), or a bad
     /// transcript signature.
     pub fn connect(
+        &self,
+        net: &SimNet,
+        address: &str,
+        server_name: &str,
+        ephemeral_seed: [u8; 32],
+    ) -> Result<TlsSession, TlsError> {
+        let span = self
+            .config
+            .telemetry
+            .as_ref()
+            .map(|t| t.span_with("tls.handshake", &[("sni", server_name)]));
+        let result = self.connect_inner(net, address, server_name, ephemeral_seed);
+        if let Some(telemetry) = &self.config.telemetry {
+            let ms = span.expect("span exists when telemetry does").finish_ms();
+            telemetry.observe("revelio_tls_handshake_ms", ms);
+            let outcome = if result.is_ok() {
+                "revelio_tls_handshakes_total"
+            } else {
+                "revelio_tls_handshake_failures_total"
+            };
+            telemetry.counter_add(outcome, 1);
+        }
+        result
+    }
+
+    fn connect_inner(
         &self,
         net: &SimNet,
         address: &str,
@@ -171,10 +201,10 @@ mod tests {
     use super::*;
     use crate::server::{TlsListener, TlsServerConfig};
     use revelio_crypto::ed25519::SigningKey;
+    use revelio_net::dns::DnsZone;
     use revelio_net::net::{NetConfig, SimNet};
     use revelio_pki::acme::{AcmeCa, AcmePolicy};
     use revelio_pki::cert::CertificateSigningRequest;
-    use revelio_net::dns::DnsZone;
     use std::sync::Arc;
 
     struct World {
@@ -188,8 +218,19 @@ mod tests {
         let clock = SimClock::new();
         let net = SimNet::new(clock.clone(), NetConfig::default());
         let dns = DnsZone::new();
-        let ca = AcmeCa::new("SimEncrypt", [3; 32], AcmePolicy::default(), clock.clone(), dns);
-        World { net, clock, ca, server_key: SigningKey::from_seed(&[10; 32]) }
+        let ca = AcmeCa::new(
+            "SimEncrypt",
+            [3; 32],
+            AcmePolicy::default(),
+            clock.clone(),
+            dns,
+        );
+        World {
+            net,
+            clock,
+            ca,
+            server_key: SigningKey::from_seed(&[10; 32]),
+        }
     }
 
     fn serve(w: &World, domain: &str, address: &str, key: &SigningKey, body: &'static [u8]) {
@@ -206,22 +247,26 @@ mod tests {
         TlsClient::new(TlsClientConfig {
             trusted_roots: vec![w.ca.root_certificate()],
             clock: w.clock.clone(),
+            telemetry: None,
         })
     }
 
     #[test]
     fn handshake_and_request_roundtrip() {
         let w = world();
-        serve(&w, "pad.example.org", "10.0.0.1:443", &w.server_key, b"hello end-user");
+        serve(
+            &w,
+            "pad.example.org",
+            "10.0.0.1:443",
+            &w.server_key,
+            b"hello end-user",
+        );
         let mut session = client(&w)
             .connect(&w.net, "10.0.0.1:443", "pad.example.org", [1; 32])
             .unwrap();
         assert_eq!(session.request(b"GET /").unwrap(), b"hello end-user");
         assert_eq!(session.request(b"GET /again").unwrap(), b"hello end-user");
-        assert_eq!(
-            session.peer_public_key(),
-            w.server_key.verifying_key()
-        );
+        assert_eq!(session.peer_public_key(), w.server_key.verifying_key());
     }
 
     #[test]
@@ -239,6 +284,7 @@ mod tests {
         let client = TlsClient::new(TlsClientConfig {
             trusted_roots: vec![rogue_ca.root_certificate()],
             clock: w.clock.clone(),
+            telemetry: None,
         });
         assert!(matches!(
             client.connect(&w.net, "10.0.0.1:443", "pad.example.org", [1; 32]),
@@ -252,7 +298,9 @@ mod tests {
         serve(&w, "other.example.org", "10.0.0.1:443", &w.server_key, b"x");
         assert!(matches!(
             client(&w).connect(&w.net, "10.0.0.1:443", "pad.example.org", [1; 32]),
-            Err(TlsError::Certificate(revelio_pki::PkiError::DomainMismatch { .. }))
+            Err(TlsError::Certificate(
+                revelio_pki::PkiError::DomainMismatch { .. }
+            ))
         ));
     }
 
@@ -295,9 +343,21 @@ mod tests {
         // redirects traffic. TLS accepts — only Revelio's pinning catches
         // the key change.
         let w = world();
-        serve(&w, "pad.example.org", "10.0.0.1:443", &w.server_key, b"honest");
+        serve(
+            &w,
+            "pad.example.org",
+            "10.0.0.1:443",
+            &w.server_key,
+            b"honest",
+        );
         let attacker_key = SigningKey::from_seed(&[66; 32]);
-        serve(&w, "pad.example.org", "10.6.6.6:443", &attacker_key, b"evil");
+        serve(
+            &w,
+            "pad.example.org",
+            "10.6.6.6:443",
+            &attacker_key,
+            b"evil",
+        );
         w.net.redirect("10.0.0.1:443", "10.6.6.6:443");
 
         let mut session = client(&w)
@@ -317,14 +377,17 @@ mod tests {
         // a bit in every later (record) message.
         let seen = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let counter = Arc::clone(&seen);
-        w.net.set_tamper("10.0.0.1:443", Arc::new(move |m: &[u8]| {
-            let n = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let mut v = m.to_vec();
-            if n > 0 {
-                v[0] ^= 1;
-            }
-            v
-        }));
+        w.net.set_tamper(
+            "10.0.0.1:443",
+            Arc::new(move |m: &[u8]| {
+                let n = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let mut v = m.to_vec();
+                if n > 0 {
+                    v[0] ^= 1;
+                }
+                v
+            }),
+        );
         let mut session = client(&w)
             .connect(&w.net, "10.0.0.1:443", "pad.example.org", [1; 32])
             .unwrap();

@@ -46,7 +46,11 @@ impl ClientHello {
         let random = r.get_array::<32>()?;
         let server_name = r.get_str()?;
         r.finish()?;
-        Ok(ClientHello { ephemeral_public, random, server_name })
+        Ok(ClientHello {
+            ephemeral_public,
+            random,
+            server_name,
+        })
     }
 }
 
@@ -114,7 +118,13 @@ impl ServerHello {
         };
         let signature = Signature::from_bytes(r.get_array::<SIGNATURE_LEN>()?);
         r.finish()?;
-        Ok(ServerHello { ephemeral_public, random, chain, evidence, signature })
+        Ok(ServerHello {
+            ephemeral_public,
+            random,
+            chain,
+            evidence,
+            signature,
+        })
     }
 }
 
@@ -158,7 +168,9 @@ mod tests {
         let ca = CertificateAuthority::new_root("R", [1; 32]);
         let key = SigningKey::from_seed(&[2; 32]);
         let csr = CertificateSigningRequest::new("a.example", &key, "O", "C");
-        CertificateChain { certificates: vec![ca.issue_for_csr(&csr, 0, 100).unwrap()] }
+        CertificateChain {
+            certificates: vec![ca.issue_for_csr(&csr, 0, 100).unwrap()],
+        }
     }
 
     #[test]
@@ -182,7 +194,10 @@ mod tests {
         };
         assert_eq!(ServerHello::from_bytes(&sh.to_bytes()).unwrap(), sh);
 
-        let with_evidence = ServerHello { evidence: Some(b"bundle".to_vec()), ..sh };
+        let with_evidence = ServerHello {
+            evidence: Some(b"bundle".to_vec()),
+            ..sh
+        };
         assert_eq!(
             ServerHello::from_bytes(&with_evidence.to_bytes()).unwrap(),
             with_evidence
@@ -205,9 +220,18 @@ mod tests {
         let base = transcript_hash(&ch, &[3; 32], &[4; 32], &chain(), None);
         let mut ch2 = ch.clone();
         ch2.server_name = "b.example".into();
-        assert_ne!(base, transcript_hash(&ch2, &[3; 32], &[4; 32], &chain(), None));
-        assert_ne!(base, transcript_hash(&ch, &[9; 32], &[4; 32], &chain(), None));
-        assert_ne!(base, transcript_hash(&ch, &[3; 32], &[9; 32], &chain(), None));
+        assert_ne!(
+            base,
+            transcript_hash(&ch2, &[3; 32], &[4; 32], &chain(), None)
+        );
+        assert_ne!(
+            base,
+            transcript_hash(&ch, &[9; 32], &[4; 32], &chain(), None)
+        );
+        assert_ne!(
+            base,
+            transcript_hash(&ch, &[3; 32], &[9; 32], &chain(), None)
+        );
         // Evidence is covered too: adding or changing it changes the hash.
         let with_e = transcript_hash(&ch, &[3; 32], &[4; 32], &chain(), Some(b"ev"));
         assert_ne!(base, with_e);

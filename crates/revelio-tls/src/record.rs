@@ -14,7 +14,9 @@ pub struct RecordKey {
 
 impl std::fmt::Debug for RecordKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RecordKey").field("sequence", &self.sequence).finish_non_exhaustive()
+        f.debug_struct("RecordKey")
+            .field("sequence", &self.sequence)
+            .finish_non_exhaustive()
     }
 }
 
@@ -45,8 +47,14 @@ pub fn derive_traffic_keys(
         .try_into()
         .expect("32 bytes");
     TrafficKeys {
-        client_to_server: RecordKey { aead: ChaCha20Poly1305::new(&c2s), sequence: 0 },
-        server_to_client: RecordKey { aead: ChaCha20Poly1305::new(&s2c), sequence: 0 },
+        client_to_server: RecordKey {
+            aead: ChaCha20Poly1305::new(&c2s),
+            sequence: 0,
+        },
+        server_to_client: RecordKey {
+            aead: ChaCha20Poly1305::new(&s2c),
+            sequence: 0,
+        },
     }
 }
 

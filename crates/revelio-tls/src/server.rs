@@ -50,7 +50,12 @@ impl TlsServerConfig {
     /// A plain (evidence-free) server configuration.
     #[must_use]
     pub fn new(chain: CertificateChain, key: SigningKey, entropy_seed: [u8; 32]) -> Self {
-        TlsServerConfig { chain, key, entropy_seed, evidence: None }
+        TlsServerConfig {
+            chain,
+            key,
+            entropy_seed,
+            evidence: None,
+        }
     }
 }
 
@@ -71,7 +76,9 @@ pub struct TlsListener {
 
 impl std::fmt::Debug for TlsListener {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TlsListener").field("config", &self.config).finish_non_exhaustive()
+        f.debug_struct("TlsListener")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
     }
 }
 
@@ -79,7 +86,11 @@ impl TlsListener {
     /// Creates a TLS listener for `app` with the given identity.
     #[must_use]
     pub fn new(config: TlsServerConfig, app: Arc<dyn AppHandler>) -> Self {
-        TlsListener { config, app, connection_counter: AtomicU64::new(0) }
+        TlsListener {
+            config,
+            app,
+            connection_counter: AtomicU64::new(0),
+        }
     }
 }
 

@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn display_names_nodes_and_reasons() {
-        let e = RevelioError::NodeRejected { node: "10.0.0.1:8080".into(), reason: "bad csr".into() };
+        let e = RevelioError::NodeRejected {
+            node: "10.0.0.1:8080".into(),
+            reason: "bad csr".into(),
+        };
         assert!(e.to_string().contains("10.0.0.1:8080"));
         assert!(e.to_string().contains("bad csr"));
     }

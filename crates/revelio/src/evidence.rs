@@ -43,7 +43,9 @@ impl EvidenceBundle {
         let mut r = ByteReader::new(bytes);
         let magic = r.get_array::<5>().map_err(RevelioError::Wire)?;
         if &magic != b"RVEV1" {
-            return Err(RevelioError::EvidenceRejected("missing evidence magic".into()));
+            return Err(RevelioError::EvidenceRejected(
+                "missing evidence magic".into(),
+            ));
         }
         let report = SignedReport::from_bytes(r.get_var_bytes()?)?;
         let chain = VcekCertChain::from_bytes(r.get_var_bytes()?)?;
@@ -86,7 +88,11 @@ mod tests {
 
     fn bundle(tls_key: &SigningKey) -> EvidenceBundle {
         let amd = Arc::new(AmdRootOfTrust::from_seed([1; 32]));
-        let platform = SnpPlatform::new(Arc::clone(&amd), ChipId::from_seed(1), TcbVersion::default());
+        let platform = SnpPlatform::new(
+            Arc::clone(&amd),
+            ChipId::from_seed(1),
+            TcbVersion::default(),
+        );
         let guest = platform.launch(b"fw", GuestPolicy::default()).unwrap();
         let report = guest.attestation_report(ReportData::from_slice(&tls_binding_report_data(
             &tls_key.verifying_key(),
@@ -107,7 +113,9 @@ mod tests {
     #[test]
     fn tls_binding_accepts_bound_key() {
         let key = SigningKey::from_seed(&[2; 32]);
-        bundle(&key).check_tls_binding(&key.verifying_key()).unwrap();
+        bundle(&key)
+            .check_tls_binding(&key.verifying_key())
+            .unwrap();
     }
 
     #[test]

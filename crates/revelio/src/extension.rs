@@ -24,6 +24,7 @@ use revelio_net::clock::SimClock;
 use revelio_net::dns::DnsZone;
 use revelio_net::net::SimNet;
 use revelio_pki::cert::Certificate;
+use revelio_telemetry::Telemetry;
 use revelio_tls::TlsClientConfig;
 use sev_snp::measurement::Measurement;
 use sev_snp::verify::ReportVerifier;
@@ -77,6 +78,7 @@ pub struct WebExtension {
     config: ExtensionConfig,
     client: HttpsClient,
     registered: BTreeMap<String, GoldenSet>,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for WebExtension {
@@ -89,6 +91,10 @@ impl std::fmt::Debug for WebExtension {
 
 impl WebExtension {
     /// Creates an extension instance (one per browser profile).
+    ///
+    /// `BrowseTiming` is derived from recorded spans: pass the world's
+    /// [`Telemetry`] to have browse/attestation/TLS spans join its tree, or
+    /// `None` for a private per-extension registry.
     #[must_use]
     pub fn new(
         net: SimNet,
@@ -96,13 +102,16 @@ impl WebExtension {
         kds: KdsHttpClient,
         config: ExtensionConfig,
         entropy_seed: [u8; 32],
+        telemetry: Option<Telemetry>,
     ) -> Self {
+        let telemetry = telemetry.unwrap_or_else(|| Telemetry::new(net.clock().clone()));
         let client = HttpsClient::new(
             net.clone(),
             dns,
             TlsClientConfig {
                 trusted_roots: config.tls_roots.clone(),
                 clock: net.clock().clone(),
+                telemetry: Some(telemetry.clone()),
             },
             entropy_seed,
         );
@@ -112,16 +121,13 @@ impl WebExtension {
             config,
             client,
             registered: BTreeMap::new(),
+            telemetry,
         }
     }
 
     /// Registers a domain with its acceptable measurements (manual
     /// registration — the secure path, §5.3.2).
-    pub fn register_site(
-        &mut self,
-        domain: &str,
-        golden: impl IntoIterator<Item = Measurement>,
-    ) {
+    pub fn register_site(&mut self, domain: &str, golden: impl IntoIterator<Item = Measurement>) {
         self.registered
             .insert(domain.to_owned(), GoldenSet::from_measurements(golden));
     }
@@ -152,14 +158,16 @@ impl WebExtension {
             .ok_or_else(|| RevelioError::NotRevelioSite(domain.to_owned()))?;
 
         // 1. Fetch the VCEK chain ourselves from the KDS (don't trust the
-        //    bundled copy's provenance), measuring the round trip.
+        //    bundled copy's provenance). The round trip is measured by the
+        //    `browse.kds` span — a cache hit advances the clock by nothing,
+        //    so its duration is exactly 0.
         let (chain, kds_ms) = {
-            let t0 = self.clock.now_ms();
+            let span = self.telemetry.span("browse.kds");
             let chain = self.kds.vcek_chain(
                 &evidence.report.report.chip_id,
                 &evidence.report.report.reported_tcb,
             )?;
-            (chain, self.clock.now_ms() - t0)
+            (chain, span.finish_ms())
         };
 
         // 2. Chain, signature, policy.
@@ -181,6 +189,18 @@ impl WebExtension {
         Ok(kds_ms)
     }
 
+    fn record_browse(&self, total_ms: f64, attestation_ms: f64) {
+        self.telemetry
+            .counter_add("revelio_extension_browses_total", 1);
+        self.telemetry
+            .observe("revelio_extension_browse_ms", total_ms);
+        // The end-user-visible attestation latency of the most recent
+        // attested page access — surfaced via the nodes' `/metrics` route
+        // because the registry is shared world-wide.
+        self.telemetry
+            .gauge_set("revelio_extension_attestation_latency_ms", attestation_ms);
+    }
+
     /// Accesses `path` on a registered Revelio site with full attestation
     /// (a fresh browser context: handshake, evidence, KDS, validation,
     /// then the page).
@@ -190,23 +210,28 @@ impl WebExtension {
     /// Returns the specific [`RevelioError`] for the failing check — these
     /// are the alerts the extension UI shows the user.
     pub fn browse(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
-        let t_start = self.clock.now_ms();
+        let root = self.telemetry.span_with(
+            "browse",
+            &[("domain", domain), ("mode", "well_known"), ("path", path)],
+        );
         let mut session = self.client.open(domain)?;
 
-        let t_attest = self.clock.now_ms();
+        let attest = self.telemetry.span("browse.attestation");
         let evidence_response = session.send(&Request::get(WELL_KNOWN_ATTESTATION_PATH))?;
         if !evidence_response.is_success() {
             return Err(RevelioError::NotRevelioSite(domain.to_owned()));
         }
         let evidence = EvidenceBundle::from_bytes(&evidence_response.body)?;
         let kds_ms = self.validate_evidence(domain, &session, &evidence)?;
-        let attestation_ms = self.clock.now_ms() - t_attest;
+        let attestation_ms = attest.finish_ms();
 
         let response = session.send(&Request::get(path))?;
+        let total_ms = root.finish_ms();
+        self.record_browse(total_ms, attestation_ms);
         Ok(BrowseOutcome {
             response,
             timing: BrowseTiming {
-                total_ms: self.clock.now_ms() - t_start,
+                total_ms,
                 attestation_ms,
                 kds_ms,
             },
@@ -225,23 +250,28 @@ impl WebExtension {
     /// Returns [`RevelioError::NotRevelioSite`] when the handshake carried
     /// no evidence, plus every failure mode of [`WebExtension::browse`].
     pub fn browse_ratls(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
-        let t_start = self.clock.now_ms();
+        let root = self.telemetry.span_with(
+            "browse",
+            &[("domain", domain), ("mode", "ratls"), ("path", path)],
+        );
         let mut session = self.client.open(domain)?;
 
-        let t_attest = self.clock.now_ms();
+        let attest = self.telemetry.span("browse.attestation");
         let evidence_bytes = session
             .peer_evidence()
             .ok_or_else(|| RevelioError::NotRevelioSite(domain.to_owned()))?
             .to_vec();
         let evidence = EvidenceBundle::from_bytes(&evidence_bytes)?;
         let kds_ms = self.validate_evidence(domain, &session, &evidence)?;
-        let attestation_ms = self.clock.now_ms() - t_attest;
+        let attestation_ms = attest.finish_ms();
 
         let response = session.send(&Request::get(path))?;
+        let total_ms = root.finish_ms();
+        self.record_browse(total_ms, attestation_ms);
         Ok(BrowseOutcome {
             response,
             timing: BrowseTiming {
-                total_ms: self.clock.now_ms() - t_start,
+                total_ms,
                 attestation_ms,
                 kds_ms,
             },
@@ -280,6 +310,7 @@ impl WebExtension {
             session,
             clock: self.clock.clone(),
             connection_validation_ms: self.config.connection_validation_ms,
+            telemetry: self.telemetry.clone(),
         })
     }
 
@@ -328,11 +359,14 @@ pub struct MonitoredSession {
     domain: String,
     clock: SimClock,
     connection_validation_ms: f64,
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for MonitoredSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MonitoredSession").field("domain", &self.domain).finish_non_exhaustive()
+        f.debug_struct("MonitoredSession")
+            .field("domain", &self.domain)
+            .finish_non_exhaustive()
     }
 }
 
@@ -355,6 +389,8 @@ impl MonitoredSession {
     ///
     /// As for [`MonitoredSession::request`].
     pub fn send(&mut self, request: &Request) -> Result<Response, RevelioError> {
+        self.telemetry
+            .counter_add("revelio_extension_monitored_requests_total", 1);
         self.clock.advance_ms(self.connection_validation_ms);
         if self.session.peer_public_key() != self.pinned_key {
             return Err(RevelioError::TlsBindingMismatch);

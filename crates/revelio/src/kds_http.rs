@@ -15,6 +15,7 @@ use revelio_http::message::{Request, Response};
 use revelio_http::router::Router;
 use revelio_http::server::{plain_request, serve_http};
 use revelio_net::net::SimNet;
+use revelio_telemetry::Telemetry;
 use sev_snp::ids::{ChipId, TcbVersion};
 use sev_snp::kds::{KeyDistributionService, VcekCertChain};
 
@@ -51,9 +52,9 @@ pub fn serve_kds(
     kds: KeyDistributionService,
 ) -> Result<(), RevelioError> {
     let router = Router::new().post("/vcek", move |req: &Request| {
-        match decode_query(&req.body).and_then(|(chip, tcb)| {
-            kds.vcek_chain(&chip, &tcb).map_err(RevelioError::Snp)
-        }) {
+        match decode_query(&req.body)
+            .and_then(|(chip, tcb)| kds.vcek_chain(&chip, &tcb).map_err(RevelioError::Snp))
+        {
             Ok(chain) => Response::ok(chain.to_bytes()),
             Err(_) => Response::status(400),
         }
@@ -71,6 +72,7 @@ pub struct KdsHttpClient {
     net: SimNet,
     address: String,
     cache: Option<VcekCache>,
+    telemetry: Option<Telemetry>,
 }
 
 impl std::fmt::Debug for KdsHttpClient {
@@ -90,6 +92,7 @@ impl KdsHttpClient {
             net,
             address: address.to_owned(),
             cache: Some(Arc::new(Mutex::new(HashMap::new()))),
+            telemetry: None,
         }
     }
 
@@ -97,7 +100,20 @@ impl KdsHttpClient {
     /// Table 3's worst case).
     #[must_use]
     pub fn without_cache(net: SimNet, address: &str) -> Self {
-        KdsHttpClient { net, address: address.to_owned(), cache: None }
+        KdsHttpClient {
+            net,
+            address: address.to_owned(),
+            cache: None,
+            telemetry: None,
+        }
+    }
+
+    /// Records a `kds.fetch` span per network fetch plus cache hit/miss
+    /// counters and a fetch-latency histogram.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Fetches (or serves from cache) the VCEK chain for `(chip, tcb)`.
@@ -113,21 +129,35 @@ impl KdsHttpClient {
     ) -> Result<VcekCertChain, RevelioError> {
         if let Some(cache) = &self.cache {
             if let Some(chain) = cache.lock().get(&(*chip_id, tcb.to_u64())) {
+                if let Some(telemetry) = &self.telemetry {
+                    telemetry.counter_add("revelio_kds_client_cache_hits_total", 1);
+                }
                 return Ok(chain.clone());
             }
         }
-        let response = plain_request(
-            &self.net,
-            &self.address,
-            &Request::post("/vcek", encode_query(chip_id, tcb)),
-        )?;
-        if !response.is_success() {
-            return Err(RevelioError::EvidenceRejected(format!(
-                "kds returned status {}",
-                response.status
-            )));
+        let span = self.telemetry.as_ref().map(|t| {
+            t.counter_add("revelio_kds_client_cache_misses_total", 1);
+            t.span_with("kds.fetch", &[("address", &self.address)])
+        });
+        let result = (|| {
+            let response = plain_request(
+                &self.net,
+                &self.address,
+                &Request::post("/vcek", encode_query(chip_id, tcb)),
+            )?;
+            if !response.is_success() {
+                return Err(RevelioError::EvidenceRejected(format!(
+                    "kds returned status {}",
+                    response.status
+                )));
+            }
+            Ok(VcekCertChain::from_bytes(&response.body)?)
+        })();
+        if let Some(telemetry) = &self.telemetry {
+            let ms = span.expect("span exists when telemetry does").finish_ms();
+            telemetry.observe("revelio_kds_client_fetch_ms", ms);
         }
-        let chain = VcekCertChain::from_bytes(&response.body)?;
+        let chain = result?;
         if let Some(cache) = &self.cache {
             cache.lock().insert((*chip_id, tcb.to_u64()), chain.clone());
         }
@@ -146,7 +176,12 @@ mod tests {
         let clock = SimClock::new();
         let net = SimNet::new(clock.clone(), NetConfig::default());
         let amd = Arc::new(AmdRootOfTrust::from_seed([4; 32]));
-        serve_kds(&net, KDS_ADDRESS, KeyDistributionService::new(Arc::clone(&amd))).unwrap();
+        serve_kds(
+            &net,
+            KDS_ADDRESS,
+            KeyDistributionService::new(Arc::clone(&amd)),
+        )
+        .unwrap();
         (clock, net, amd)
     }
 
@@ -191,8 +226,12 @@ mod tests {
         let (_, net, _) = setup();
         let client = KdsHttpClient::new(net, KDS_ADDRESS);
         let chip = ChipId::from_seed(1);
-        let a = client.vcek_chain(&chip, &TcbVersion::new(1, 0, 7, 100)).unwrap();
-        let b = client.vcek_chain(&chip, &TcbVersion::new(1, 0, 8, 100)).unwrap();
+        let a = client
+            .vcek_chain(&chip, &TcbVersion::new(1, 0, 7, 100))
+            .unwrap();
+        let b = client
+            .vcek_chain(&chip, &TcbVersion::new(1, 0, 8, 100))
+            .unwrap();
         assert_ne!(a.vcek.public_key, b.vcek.public_key);
     }
 }

@@ -32,6 +32,7 @@ use revelio_http::server::{plain_request, serve_http, serve_https};
 use revelio_http::WELL_KNOWN_ATTESTATION_PATH;
 use revelio_net::net::SimNet;
 use revelio_pki::cert::{CertificateChain, CertificateSigningRequest};
+use revelio_telemetry::Telemetry;
 use revelio_tls::TlsServerConfig;
 use sev_snp::ids::ChipId;
 use sev_snp::measurement::Measurement;
@@ -137,9 +138,7 @@ fn encode_key_request(report: &SignedReport, box_public: &[u8; 32], nonce: &[u8;
     w.into_bytes()
 }
 
-fn decode_key_request(
-    bytes: &[u8],
-) -> Result<(SignedReport, [u8; 32], [u8; 32]), RevelioError> {
+fn decode_key_request(bytes: &[u8]) -> Result<(SignedReport, [u8; 32], [u8; 32]), RevelioError> {
     let mut r = ByteReader::new(bytes);
     let report = SignedReport::from_bytes(r.get_var_bytes()?)?;
     let box_public = r.get_array::<32>()?;
@@ -194,6 +193,9 @@ struct NodeShared {
     eph_counter: AtomicU64,
     /// The application router served behind the well-known endpoint.
     app: Router,
+    /// When set, the node records request counters and an evidence-build
+    /// span, and its public port serves `GET /metrics`.
+    telemetry: Option<Telemetry>,
 }
 
 /// A deployed Revelio node.
@@ -213,7 +215,9 @@ impl std::fmt::Debug for RevelioNode {
 
 impl NodeShared {
     fn identity(&self) -> &SigningKey {
-        self.vm.identity().expect("revelio images enable identity creation")
+        self.vm
+            .identity()
+            .expect("revelio images enable identity creation")
     }
 
     fn box_public(&self) -> [u8; 32] {
@@ -267,19 +271,16 @@ impl NodeShared {
         }
         let (tls_key, approved_chips) = {
             let state = self.state.lock();
-            let key = state
-                .tls_key
-                .clone()
-                .ok_or_else(|| RevelioError::MutualAttestationFailed("leader holds no key yet".into()))?;
+            let key = state.tls_key.clone().ok_or_else(|| {
+                RevelioError::MutualAttestationFailed("leader holds no key yet".into())
+            })?;
             (key, state.approved_chips.clone())
         };
         // Enforce the SP's chip allowlist at key distribution too (§5.3.1):
         // an extra clone of the public image on an unapproved chip presents
         // a valid report with the right measurement, but must not receive
         // the fleet's TLS key.
-        if !approved_chips.is_empty()
-            && !approved_chips.contains(&peer_report.report.chip_id)
-        {
+        if !approved_chips.is_empty() && !approved_chips.contains(&peer_report.report.chip_id) {
             return Err(RevelioError::MutualAttestationFailed(
                 "peer chip is not on the fleet allowlist".into(),
             ));
@@ -292,7 +293,9 @@ impl NodeShared {
         eph.copy_from_slice(&mixed);
         let encrypted = sealed_box::seal(&peer_box_public, tls_key.seed(), &eph);
         // The leader's own report binds nonce and payload (§5.3.1).
-        let leader_report = self.vm.report_with_data(&key_response_binding(&nonce, &encrypted));
+        let leader_report = self
+            .vm
+            .report_with_data(&key_response_binding(&nonce, &encrypted));
         Ok(encode_key_response(&leader_report, &encrypted))
     }
 
@@ -326,7 +329,10 @@ impl NodeShared {
         let (leader_report, encrypted) = decode_key_response(&response.body)?;
         self.validate_peer_report(&leader_report)?;
         let expected = key_response_binding(&nonce, &encrypted);
-        if !revelio_crypto::ct::eq(&leader_report.report.report_data.as_bytes()[..32], &expected) {
+        if !revelio_crypto::ct::eq(
+            &leader_report.report.report_data.as_bytes()[..32],
+            &expected,
+        ) {
             return Err(RevelioError::MutualAttestationFailed(
                 "leader report does not bind the key payload".into(),
             ));
@@ -341,29 +347,63 @@ impl NodeShared {
         Ok(key)
     }
 
-    fn start_https(self: &Arc<Self>, chain: CertificateChain, key: SigningKey) -> Result<(), RevelioError> {
+    fn start_https(
+        self: &Arc<Self>,
+        chain: CertificateChain,
+        key: SigningKey,
+    ) -> Result<(), RevelioError> {
         // Build the evidence bundle binding the (shared) TLS key to this
         // node's hardware identity.
+        let span = self.telemetry.as_ref().map(|t| {
+            t.span_with(
+                "node.evidence_build",
+                &[("node", &self.config.public_address)],
+            )
+        });
         let binding = tls_binding_report_data(&key.verifying_key());
         let report = self.vm.report_with_data(&binding);
         let vcek_chain = self
             .kds
             .vcek_chain(&report.report.chip_id, &report.report.reported_tcb)?;
-        let evidence = EvidenceBundle { report, chain: vcek_chain }.to_bytes();
+        let evidence = EvidenceBundle {
+            report,
+            chain: vcek_chain,
+        }
+        .to_bytes();
+        if let Some(telemetry) = &self.telemetry {
+            let ms = span.expect("span exists when telemetry does").finish_ms();
+            telemetry.gauge_set("revelio_node_evidence_build_ms", ms);
+        }
 
         let clock = self.net.clock().clone();
         let processing_ms = self.config.page_processing_ms;
         let app_shared = Arc::clone(self);
         let ratls_evidence = evidence.clone();
         let well_known_evidence = evidence.clone();
-        let router = Router::new()
-            .get(WELL_KNOWN_ATTESTATION_PATH, move |_req| {
-                Response::ok(well_known_evidence.clone())
-            })
-            .with_fallback(move |req| {
-                clock.advance_ms(processing_ms);
-                app_shared.vm_app_dispatch(req)
+        let evidence_telemetry = self.telemetry.clone();
+        let mut router = Router::new().get(WELL_KNOWN_ATTESTATION_PATH, move |_req| {
+            if let Some(telemetry) = &evidence_telemetry {
+                telemetry.counter_add("revelio_node_evidence_requests_total", 1);
+            }
+            Response::ok(well_known_evidence.clone())
+        });
+        if let Some(telemetry) = &self.telemetry {
+            // Prometheus text exposition of the whole (shared) registry —
+            // the operator-facing side of the deterministic telemetry.
+            let registry = telemetry.clone();
+            router = router.get("/metrics", move |_req| {
+                Response::ok(registry.export_prometheus().into_bytes())
+                    .with_header("Content-Type", "text/plain; version=0.0.4")
             });
+        }
+        let request_telemetry = self.telemetry.clone();
+        let router = router.with_fallback(move |req| {
+            if let Some(telemetry) = &request_telemetry {
+                telemetry.counter_add("revelio_node_requests_total", 1);
+            }
+            clock.advance_ms(processing_ms);
+            app_shared.vm_app_dispatch(req)
+        });
 
         let mut entropy_seed = [0u8; 32];
         entropy_seed.copy_from_slice(&Sha256::digest(
@@ -414,6 +454,26 @@ impl RevelioNode {
         config: NodeConfig,
         app: Router,
     ) -> Result<Self, RevelioError> {
+        Self::deploy_with_telemetry(net, kds, vm, config, app, None)
+    }
+
+    /// [`RevelioNode::deploy`] with a telemetry registry: the node records
+    /// request counters plus a `node.evidence_build` span, and its public
+    /// HTTPS port additionally serves `GET /metrics` (Prometheus text
+    /// exposition of the shared registry) alongside the well-known
+    /// attestation endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RevelioError::Http`] when an address is already bound.
+    pub fn deploy_with_telemetry(
+        net: SimNet,
+        kds: KdsHttpClient,
+        vm: BootedVm,
+        config: NodeConfig,
+        app: Router,
+        telemetry: Option<Telemetry>,
+    ) -> Result<Self, RevelioError> {
         let identity_seed = *vm.identity().expect("identity enabled").seed();
         let box_secret: [u8; 32] = Hmac::<Sha256>::mac(&identity_seed, b"box-encryption")
             .try_into()
@@ -433,6 +493,7 @@ impl RevelioNode {
             box_secret,
             eph_counter: AtomicU64::new(0),
             app,
+            telemetry,
         });
 
         let bootstrap_router = {
@@ -445,15 +506,23 @@ impl RevelioNode {
                     let report = s1.vm.report_with_data(&csr.digest());
                     Response::ok(CsrBundle { csr, report }.to_bytes())
                 })
-                .post("/revelio/install-cert", move |req| match s2.install_cert(&req.body) {
-                    Ok(()) => Response::ok(Vec::new()),
-                    Err(e) => Response::status(403)
-                        .with_header("X-Revelio-Error", &e.to_string().replace(['\r', '\n'], " ")),
+                .post("/revelio/install-cert", move |req| {
+                    match s2.install_cert(&req.body) {
+                        Ok(()) => Response::ok(Vec::new()),
+                        Err(e) => Response::status(403).with_header(
+                            "X-Revelio-Error",
+                            &e.to_string().replace(['\r', '\n'], " "),
+                        ),
+                    }
                 })
-                .post("/revelio/key-request", move |req| match s3.handle_key_request(&req.body) {
-                    Ok(body) => Response::ok(body),
-                    Err(e) => Response::status(403)
-                        .with_header("X-Revelio-Error", &e.to_string().replace(['\r', '\n'], " ")),
+                .post("/revelio/key-request", move |req| {
+                    match s3.handle_key_request(&req.body) {
+                        Ok(body) => Response::ok(body),
+                        Err(e) => Response::status(403).with_header(
+                            "X-Revelio-Error",
+                            &e.to_string().replace(['\r', '\n'], " "),
+                        ),
+                    }
                 })
         };
         serve_http(&net, &shared.config.bootstrap_address, bootstrap_router)?;
@@ -475,7 +544,12 @@ impl RevelioNode {
     /// The installed shared TLS public key, once provisioned.
     #[must_use]
     pub fn tls_public_key(&self) -> Option<VerifyingKey> {
-        self.shared.state.lock().tls_key.as_ref().map(SigningKey::verifying_key)
+        self.shared
+            .state
+            .lock()
+            .tls_key
+            .as_ref()
+            .map(SigningKey::verifying_key)
     }
 
     /// Whether the public HTTPS service is up.

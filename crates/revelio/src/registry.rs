@@ -36,7 +36,10 @@ impl GoldenSet {
     /// Builds from a list of trusted measurements.
     #[must_use]
     pub fn from_measurements(measurements: impl IntoIterator<Item = Measurement>) -> Self {
-        GoldenSet { trusted: measurements.into_iter().collect(), revoked: BTreeSet::new() }
+        GoldenSet {
+            trusted: measurements.into_iter().collect(),
+            revoked: BTreeSet::new(),
+        }
     }
 
     /// Adds a trusted measurement (new image rollout).
@@ -140,7 +143,10 @@ impl VotingRegistry {
     #[must_use]
     pub fn new(voters: impl IntoIterator<Item = VerifyingKey>, quorum: usize) -> Self {
         let voters: BTreeSet<VerifyingKey> = voters.into_iter().collect();
-        assert!(quorum > 0 && quorum <= voters.len(), "quorum must be in 1..=|voters|");
+        assert!(
+            quorum > 0 && quorum <= voters.len(),
+            "quorum must be in 1..=|voters|"
+        );
         VotingRegistry {
             voters,
             quorum,
@@ -159,7 +165,9 @@ impl VotingRegistry {
     pub fn submit(&mut self, vote: &Vote) -> Result<(), RevelioError> {
         vote.verify()?;
         if !self.voters.contains(&vote.voter) {
-            return Err(RevelioError::EvidenceRejected("voter not in electorate".into()));
+            return Err(RevelioError::EvidenceRejected(
+                "voter not in electorate".into(),
+            ));
         }
         let book = match vote.kind {
             VoteKind::Approve => &mut self.approvals,
@@ -169,7 +177,11 @@ impl VotingRegistry {
         Ok(())
     }
 
-    fn quorum_reached(&self, book: &BTreeMap<Measurement, BTreeSet<VerifyingKey>>, m: &Measurement) -> bool {
+    fn quorum_reached(
+        &self,
+        book: &BTreeMap<Measurement, BTreeSet<VerifyingKey>>,
+        m: &Measurement,
+    ) -> bool {
         book.get(m).is_some_and(|s| s.len() >= self.quorum)
     }
 
@@ -222,10 +234,12 @@ mod tests {
         let mut reg = VotingRegistry::new(keys.iter().map(SigningKey::verifying_key), 3);
         let target = m(b"image");
         for key in &keys[..2] {
-            reg.submit(&Vote::sign(target, VoteKind::Approve, key)).unwrap();
+            reg.submit(&Vote::sign(target, VoteKind::Approve, key))
+                .unwrap();
         }
         assert!(!reg.is_trusted(&target));
-        reg.submit(&Vote::sign(target, VoteKind::Approve, &keys[2])).unwrap();
+        reg.submit(&Vote::sign(target, VoteKind::Approve, &keys[2]))
+            .unwrap();
         assert!(reg.is_trusted(&target));
         assert!(reg.snapshot().is_trusted(&target));
     }
@@ -234,13 +248,11 @@ mod tests {
     fn duplicate_votes_do_not_inflate() {
         let key = SigningKey::from_seed(&[1; 32]);
         let other = SigningKey::from_seed(&[2; 32]);
-        let mut reg = VotingRegistry::new(
-            [key.verifying_key(), other.verifying_key()],
-            2,
-        );
+        let mut reg = VotingRegistry::new([key.verifying_key(), other.verifying_key()], 2);
         let target = m(b"image");
         for _ in 0..5 {
-            reg.submit(&Vote::sign(target, VoteKind::Approve, &key)).unwrap();
+            reg.submit(&Vote::sign(target, VoteKind::Approve, &key))
+                .unwrap();
         }
         assert!(!reg.is_trusted(&target));
     }
@@ -250,7 +262,9 @@ mod tests {
         let insider = SigningKey::from_seed(&[1; 32]);
         let outsider = SigningKey::from_seed(&[9; 32]);
         let mut reg = VotingRegistry::new([insider.verifying_key()], 1);
-        assert!(reg.submit(&Vote::sign(m(b"i"), VoteKind::Approve, &outsider)).is_err());
+        assert!(reg
+            .submit(&Vote::sign(m(b"i"), VoteKind::Approve, &outsider))
+            .is_err());
     }
 
     #[test]
@@ -269,12 +283,14 @@ mod tests {
         let mut reg = VotingRegistry::new(keys.iter().map(SigningKey::verifying_key), 2);
         let target = m(b"image");
         for key in &keys[..2] {
-            reg.submit(&Vote::sign(target, VoteKind::Approve, key)).unwrap();
+            reg.submit(&Vote::sign(target, VoteKind::Approve, key))
+                .unwrap();
         }
         assert!(reg.is_trusted(&target));
         // A vulnerability is found: the community revokes.
         for key in &keys[1..3] {
-            reg.submit(&Vote::sign(target, VoteKind::Revoke, key)).unwrap();
+            reg.submit(&Vote::sign(target, VoteKind::Revoke, key))
+                .unwrap();
         }
         assert!(!reg.is_trusted(&target));
         assert!(!reg.snapshot().is_trusted(&target));

@@ -14,6 +14,7 @@ use revelio_http::server::plain_request;
 use revelio_net::net::SimNet;
 use revelio_pki::acme::AcmeCa;
 use revelio_pki::cert::CertificateChain;
+use revelio_telemetry::Telemetry;
 use sev_snp::ids::ChipId;
 use sev_snp::verify::ReportVerifier;
 
@@ -75,6 +76,7 @@ pub struct ServiceProviderNode {
     kds: KdsHttpClient,
     acme: AcmeCa,
     config: SpConfig,
+    telemetry: Option<Telemetry>,
 }
 
 impl std::fmt::Debug for ServiceProviderNode {
@@ -89,7 +91,21 @@ impl ServiceProviderNode {
     /// Creates an SP node.
     #[must_use]
     pub fn new(net: SimNet, kds: KdsHttpClient, acme: AcmeCa, config: SpConfig) -> Self {
-        ServiceProviderNode { net, kds, acme, config }
+        ServiceProviderNode {
+            net,
+            kds,
+            acme,
+            config,
+            telemetry: None,
+        }
+    }
+
+    /// Records provisioning spans into `telemetry` instead of a private
+    /// registry, so they join the world's span tree.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     fn fetch_bundle(&self, bootstrap: &str) -> Result<CsrBundle, RevelioError> {
@@ -112,14 +128,19 @@ impl ServiceProviderNode {
             reason: reason.to_owned(),
         };
 
-        let chain = self
-            .kds
-            .vcek_chain(&bundle.report.report.chip_id, &bundle.report.report.reported_tcb)?;
+        let chain = self.kds.vcek_chain(
+            &bundle.report.report.chip_id,
+            &bundle.report.report.reported_tcb,
+        )?;
         ReportVerifier::new(self.config.trusted_ark)
             .verify(&bundle.report, &chain)
             .map_err(|e| reject(&format!("report verification: {e}")))?;
 
-        if !self.config.golden.is_trusted(&bundle.report.report.measurement) {
+        if !self
+            .config
+            .golden
+            .is_trusted(&bundle.report.report.measurement)
+        {
             return Err(reject(&format!(
                 "measurement {} not golden",
                 bundle.report.report.measurement
@@ -139,7 +160,10 @@ impl ServiceProviderNode {
         ) {
             return Err(reject("report does not bind the csr"));
         }
-        bundle.csr.verify().map_err(|_| reject("csr proof of possession"))?;
+        bundle
+            .csr
+            .verify()
+            .map_err(|_| reject("csr proof of possession"))?;
 
         let allowed = self
             .config
@@ -171,51 +195,70 @@ impl ServiceProviderNode {
                 reason: "empty fleet".into(),
             });
         }
-        let clock = self.net.clock().clone();
+        // Phase timings are *derived from recorded spans*: every phase
+        // opens a span per node and `SpTimings` sums the measured span
+        // durations. Without an attached registry a private one keeps the
+        // derivation identical.
+        let telemetry = self
+            .telemetry
+            .clone()
+            .unwrap_or_else(|| Telemetry::new(self.net.clock().clone()));
+        let fleet_size = bootstrap_addrs.len().to_string();
+        let provision_span = telemetry.span_with(
+            "sp.provision",
+            &[
+                ("domain", &self.config.expected_domain),
+                ("fleet", &fleet_size),
+            ],
+        );
         let n = bootstrap_addrs.len() as f64;
 
         // Phase 1: retrieval, per node.
         let mut bundles = Vec::with_capacity(bootstrap_addrs.len());
         let mut retrieval_total = 0.0;
         for addr in bootstrap_addrs {
-            let t0 = clock.now_ms();
+            let span = telemetry.span_with("sp.evidence_retrieval", &[("node", addr)]);
             bundles.push(self.fetch_bundle(addr)?);
-            retrieval_total += clock.now_ms() - t0;
+            retrieval_total += span.finish_ms();
         }
 
         // Endorsement prefetch: the SP keeps a warm VCEK mirror for its
         // own fleet (the chips are known in advance), so KDS round trips
         // are not part of the per-node validation cost the paper reports.
         for bundle in &bundles {
-            let _ = self
-                .kds
-                .vcek_chain(&bundle.report.report.chip_id, &bundle.report.report.reported_tcb)?;
+            let _ = self.kds.vcek_chain(
+                &bundle.report.report.chip_id,
+                &bundle.report.report.reported_tcb,
+            )?;
         }
 
         // Phase 2: validation, per node (pure crypto + policy checks).
         let mut validation_total = 0.0;
         for (addr, bundle) in bootstrap_addrs.iter().zip(&bundles) {
-            let t0 = clock.now_ms();
+            let span = telemetry.span_with("sp.evidence_validation", &[("node", addr)]);
             self.validate_bundle(addr, bundle)?;
-            validation_total += clock.now_ms() - t0;
+            validation_total += span.finish_ms();
         }
 
         // Phase 3: one certificate for the leader's CSR.
         let leader_bootstrap = bootstrap_addrs[0].clone();
         let leader_csr = &bundles[0].csr;
-        let t0 = clock.now_ms();
-        clock.advance_ms(self.config.ca_processing_ms);
+        let span = telemetry.span("sp.certificate_generation");
+        self.net.clock().advance_ms(self.config.ca_processing_ms);
         let chain = self.acme.order_certificate(leader_csr)?;
-        let certificate_generation_ms = clock.now_ms() - t0;
+        let certificate_generation_ms = span.finish_ms();
 
         // Phase 4: distribute, leader first.
         let mut distribution_total = 0.0;
-        let approved_chips: Vec<ChipId> =
-            self.config.allowlist.iter().map(|(chip, _)| *chip).collect();
-        let payload =
-            crate::node::encode_install_cert(&chain, &leader_bootstrap, &approved_chips);
+        let approved_chips: Vec<ChipId> = self
+            .config
+            .allowlist
+            .iter()
+            .map(|(chip, _)| *chip)
+            .collect();
+        let payload = crate::node::encode_install_cert(&chain, &leader_bootstrap, &approved_chips);
         for addr in bootstrap_addrs {
-            let t0 = clock.now_ms();
+            let span = telemetry.span_with("sp.certificate_distribution", &[("node", addr)]);
             let response = plain_request(
                 &self.net,
                 addr,
@@ -231,8 +274,13 @@ impl ServiceProviderNode {
                     ),
                 });
             }
-            distribution_total += clock.now_ms() - t0;
+            distribution_total += span.finish_ms();
         }
+
+        let total_ms = provision_span.finish_ms();
+        telemetry.observe("revelio_sp_provision_ms", total_ms);
+        telemetry.counter_add("revelio_sp_provisions_total", 1);
+        telemetry.gauge_set("revelio_sp_fleet_size", n);
 
         Ok(ProvisionReport {
             leader_bootstrap,

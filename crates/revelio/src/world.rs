@@ -17,6 +17,7 @@ use revelio_net::dns::DnsZone;
 use revelio_net::net::{NetConfig, SimNet};
 use revelio_pki::acme::{AcmeCa, AcmePolicy};
 use revelio_pki::cert::Certificate;
+use revelio_telemetry::Telemetry;
 use sev_snp::ids::{ChipId, GuestPolicy, TcbVersion};
 use sev_snp::kds::KeyDistributionService;
 use sev_snp::measurement::Measurement;
@@ -92,6 +93,11 @@ impl std::fmt::Debug for DeployedFleet {
 pub struct SimWorld {
     /// The virtual clock.
     pub clock: SimClock,
+    /// The world-wide telemetry registry: every component deployed through
+    /// this world records its spans and metrics here, so one export covers
+    /// the whole attestation pipeline. Driven by [`SimWorld::clock`], which
+    /// makes the export deterministic — same seed, same bytes.
+    pub telemetry: Telemetry,
     /// The network fabric.
     pub net: SimNet,
     /// The DNS zone (service-provider controlled — i.e. untrusted).
@@ -111,7 +117,9 @@ pub struct SimWorld {
 
 impl std::fmt::Debug for SimWorld {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimWorld").field("seed", &self.seed).finish_non_exhaustive()
+        f.debug_struct("SimWorld")
+            .field("seed", &self.seed)
+            .finish_non_exhaustive()
     }
 }
 
@@ -134,23 +142,38 @@ impl SimWorld {
     #[must_use]
     pub fn with_tuning(seed: u64, tuning: WorldTuning) -> Self {
         let clock = SimClock::new();
+        let telemetry = Telemetry::new(clock.clone());
         let net = SimNet::new(
             clock.clone(),
-            NetConfig { default_one_way_us: tuning.link_one_way_us },
+            NetConfig {
+                default_one_way_us: tuning.link_one_way_us,
+            },
         );
         let dns = DnsZone::new();
         let mut amd_seed = [0u8; 32];
         amd_seed[..8].copy_from_slice(&seed.to_le_bytes());
         let amd = Arc::new(AmdRootOfTrust::from_seed(amd_seed));
-        serve_kds(&net, KDS_ADDRESS, KeyDistributionService::new(Arc::clone(&amd)))
-            .expect("fresh kds address");
+        serve_kds(
+            &net,
+            KDS_ADDRESS,
+            KeyDistributionService::new(Arc::clone(&amd)).with_telemetry(telemetry.clone()),
+        )
+        .expect("fresh kds address");
         net.set_latency(KDS_ADDRESS, tuning.kds_one_way_us);
         let mut ca_seed = amd_seed;
         ca_seed[8] ^= 0x5c;
-        let acme = AcmeCa::new("SimEncrypt", ca_seed, AcmePolicy::default(), clock.clone(), dns.clone());
-        let kds = KdsHttpClient::new(net.clone(), KDS_ADDRESS);
+        let acme = AcmeCa::new(
+            "SimEncrypt",
+            ca_seed,
+            AcmePolicy::default(),
+            clock.clone(),
+            dns.clone(),
+        )
+        .with_telemetry(telemetry.clone());
+        let kds = KdsHttpClient::new(net.clone(), KDS_ADDRESS).with_telemetry(telemetry.clone());
         SimWorld {
             clock,
+            telemetry,
             net,
             dns,
             amd,
@@ -197,7 +220,11 @@ impl SimWorld {
             .expect("static path");
         for service in services {
             rootfs
-                .add_file(&format!("/usr/bin/{service}"), format!("bin:{service}").into_bytes(), 0o755)
+                .add_file(
+                    &format!("/usr/bin/{service}"),
+                    format!("bin:{service}").into_bytes(),
+                    0o755,
+                )
                 .expect("static path");
         }
         let mut spec = ImageSpec::new(name, rootfs);
@@ -243,9 +270,13 @@ impl SimWorld {
             &platform,
             image,
             GuestPolicy::default(),
-            BootOptions { identity_seed, ..BootOptions::default() },
+            BootOptions {
+                identity_seed,
+                telemetry: Some(self.telemetry.clone()),
+                ..BootOptions::default()
+            },
         )?;
-        RevelioNode::deploy(
+        RevelioNode::deploy_with_telemetry(
             self.net.clone(),
             self.kds.clone(),
             vm,
@@ -260,12 +291,17 @@ impl SimWorld {
                 trusted_tls_roots: vec![self.acme.root_certificate()],
             },
             app,
+            Some(self.telemetry.clone()),
         )
     }
 
     /// An SP node configured for `golden` and `allowlist`.
     #[must_use]
-    pub fn sp_node(&self, golden: GoldenSet, allowlist: Vec<(ChipId, String)>) -> ServiceProviderNode {
+    pub fn sp_node(
+        &self,
+        golden: GoldenSet,
+        allowlist: Vec<(ChipId, String)>,
+    ) -> ServiceProviderNode {
         self.sp_node_for_domain("pad.example.org", golden, allowlist)
     }
 
@@ -290,6 +326,7 @@ impl SimWorld {
                 ca_processing_ms: self.tuning.ca_processing_ms,
             },
         )
+        .with_telemetry(self.telemetry.clone())
     }
 
     /// Builds, boots, deploys and provisions an `n`-node fleet serving
@@ -304,6 +341,11 @@ impl SimWorld {
         n: usize,
         app: Router,
     ) -> Result<DeployedFleet, RevelioError> {
+        let fleet_size = n.to_string();
+        let _fleet_span = self.telemetry.span_with(
+            "world.deploy_fleet",
+            &[("domain", domain), ("nodes", &fleet_size)],
+        );
         let spec = self.image_spec(domain, &["web-service"]);
         let mut nodes = Vec::with_capacity(n);
         let mut golden_measurement = None;
@@ -321,12 +363,22 @@ impl SimWorld {
 
         let allowlist = nodes
             .iter()
-            .map(|node| (node.vm().guest().chip_id(), node.bootstrap_address().to_owned()))
+            .map(|node| {
+                (
+                    node.vm().guest().chip_id(),
+                    node.bootstrap_address().to_owned(),
+                )
+            })
             .collect();
-        let sp =
-            self.sp_node_for_domain(domain, GoldenSet::from_measurements([golden_measurement]), allowlist);
-        let bootstraps: Vec<String> =
-            nodes.iter().map(|n| n.bootstrap_address().to_owned()).collect();
+        let sp = self.sp_node_for_domain(
+            domain,
+            GoldenSet::from_measurements([golden_measurement]),
+            allowlist,
+        );
+        let bootstraps: Vec<String> = nodes
+            .iter()
+            .map(|n| n.bootstrap_address().to_owned())
+            .collect();
         let provision = sp.provision(&bootstraps)?;
 
         self.dns.set_address(domain, nodes[0].public_address());
@@ -349,7 +401,8 @@ impl SimWorld {
         WebExtension::new(
             self.net.clone(),
             self.dns.clone(),
-            KdsHttpClient::new(self.net.clone(), KDS_ADDRESS),
+            KdsHttpClient::new(self.net.clone(), KDS_ADDRESS)
+                .with_telemetry(self.telemetry.clone()),
             ExtensionConfig {
                 trusted_ark: self.amd.ark_public_key(),
                 tls_roots: vec![self.acme.root_certificate()],
@@ -357,6 +410,7 @@ impl SimWorld {
                 connection_validation_ms: self.tuning.extension_conn_validation_ms,
             },
             entropy,
+            Some(self.telemetry.clone()),
         )
     }
 
@@ -376,7 +430,9 @@ mod tests {
     #[test]
     fn fleet_nodes_share_one_tls_identity() {
         let mut world = SimWorld::new(1);
-        let fleet = world.deploy_fleet("pad.example.org", 3, demo_app()).unwrap();
+        let fleet = world
+            .deploy_fleet("pad.example.org", 3, demo_app())
+            .unwrap();
         let leader_key = fleet.nodes[0].tls_public_key().unwrap();
         for node in &fleet.nodes {
             assert!(node.is_serving());
@@ -394,12 +450,16 @@ mod tests {
     #[test]
     fn every_node_serves_https_with_the_shared_cert() {
         let mut world = SimWorld::new(2);
-        let fleet = world.deploy_fleet("pad.example.org", 3, demo_app()).unwrap();
+        let fleet = world
+            .deploy_fleet("pad.example.org", 3, demo_app())
+            .unwrap();
         let mut extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
         for node in &fleet.nodes {
             // Point DNS at each node in turn; all must attest and serve.
-            world.dns.set_address("pad.example.org", node.public_address());
+            world
+                .dns
+                .set_address("pad.example.org", node.public_address());
             let outcome = extension.browse("pad.example.org", "/healthz").unwrap();
             assert_eq!(outcome.response.body, b"ok");
         }
@@ -408,19 +468,29 @@ mod tests {
     #[test]
     fn table2_timings_have_paper_shape() {
         let mut world = SimWorld::new(3);
-        let fleet = world.deploy_fleet("pad.example.org", 4, demo_app()).unwrap();
+        let fleet = world
+            .deploy_fleet("pad.example.org", 4, demo_app())
+            .unwrap();
         let t = fleet.provision.timings;
         // Generation dominates everything else by orders of magnitude.
         assert!(t.certificate_generation_ms > 2_000.0, "{t:?}");
-        assert!(t.certificate_generation_ms > 50.0 * t.evidence_retrieval_ms, "{t:?}");
-        assert!(t.evidence_retrieval_ms > t.certificate_distribution_ms * 0.5, "{t:?}");
+        assert!(
+            t.certificate_generation_ms > 50.0 * t.evidence_retrieval_ms,
+            "{t:?}"
+        );
+        assert!(
+            t.evidence_retrieval_ms > t.certificate_distribution_ms * 0.5,
+            "{t:?}"
+        );
         assert!(t.evidence_validation_ms > 0.0);
     }
 
     #[test]
     fn table3_attestation_dominated_by_kds_then_cached() {
         let mut world = SimWorld::new(4);
-        let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+        let fleet = world
+            .deploy_fleet("pad.example.org", 1, demo_app())
+            .unwrap();
         let mut extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
 
@@ -437,7 +507,9 @@ mod tests {
     #[test]
     fn unknown_measurement_rejected() {
         let mut world = SimWorld::new(5);
-        let _fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+        let _fleet = world
+            .deploy_fleet("pad.example.org", 1, demo_app())
+            .unwrap();
         let mut extension = world.extension();
         // User registered the site with the WRONG golden value.
         extension.register_site(
@@ -453,7 +525,9 @@ mod tests {
     #[test]
     fn revoked_measurement_rejected_rollback_protection() {
         let mut world = SimWorld::new(6);
-        let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+        let fleet = world
+            .deploy_fleet("pad.example.org", 1, demo_app())
+            .unwrap();
         let mut extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
         extension.browse("pad.example.org", "/").unwrap();
@@ -476,9 +550,14 @@ mod tests {
         // SP's allowlist names a DIFFERENT chip for this address.
         let sp = world.sp_node(
             GoldenSet::from_measurements([golden]),
-            vec![(ChipId::from_seed(424_242), node.bootstrap_address().to_owned())],
+            vec![(
+                ChipId::from_seed(424_242),
+                node.bootstrap_address().to_owned(),
+            )],
         );
-        let err = sp.provision(&[node.bootstrap_address().to_owned()]).unwrap_err();
+        let err = sp
+            .provision(&[node.bootstrap_address().to_owned()])
+            .unwrap_err();
         assert!(matches!(err, RevelioError::NodeRejected { .. }), "{err}");
         assert!(err.to_string().contains("allowlist"));
     }
@@ -497,16 +576,23 @@ mod tests {
             .unwrap();
         let sp = world.sp_node(
             GoldenSet::from_measurements([golden]),
-            vec![(node.vm().guest().chip_id(), node.bootstrap_address().to_owned())],
+            vec![(
+                node.vm().guest().chip_id(),
+                node.bootstrap_address().to_owned(),
+            )],
         );
-        let err = sp.provision(&[node.bootstrap_address().to_owned()]).unwrap_err();
+        let err = sp
+            .provision(&[node.bootstrap_address().to_owned()])
+            .unwrap_err();
         assert!(err.to_string().contains("not golden"), "{err}");
     }
 
     #[test]
     fn redirect_attack_caught_on_reconnect() {
         let mut world = SimWorld::new(9);
-        let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+        let fleet = world
+            .deploy_fleet("pad.example.org", 1, demo_app())
+            .unwrap();
         let mut extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
         let mut session = extension.open_monitored("pad.example.org").unwrap();
@@ -571,13 +657,18 @@ mod tests {
             ext2.browse("plain.example.org", "/"),
             Err(RevelioError::NotRevelioSite(_))
         ));
-        assert!(extension.browse_unprotected("plain.example.org", "/").unwrap().is_success());
+        assert!(extension
+            .browse_unprotected("plain.example.org", "/")
+            .unwrap()
+            .is_success());
     }
 
     #[test]
     fn discovery_finds_revelio_sites() {
         let mut world = SimWorld::new(11);
-        let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+        let fleet = world
+            .deploy_fleet("pad.example.org", 1, demo_app())
+            .unwrap();
         let extension = world.extension();
         assert_eq!(
             extension.discover("pad.example.org").unwrap(),
@@ -588,7 +679,9 @@ mod tests {
     #[test]
     fn ssh_port_refuses_connections() {
         let mut world = SimWorld::new(12);
-        let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+        let fleet = world
+            .deploy_fleet("pad.example.org", 1, demo_app())
+            .unwrap();
         let ssh_addr = fleet.nodes[0].public_address().replace(":443", ":22");
         assert!(matches!(
             world.net.dial(&ssh_addr),
@@ -599,7 +692,9 @@ mod tests {
     #[test]
     fn monitored_requests_add_connection_validation_cost() {
         let mut world = SimWorld::new(13);
-        let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+        let fleet = world
+            .deploy_fleet("pad.example.org", 1, demo_app())
+            .unwrap();
         let mut extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
         let mut session = extension.open_monitored("pad.example.org").unwrap();
@@ -620,7 +715,9 @@ mod tests {
     #[test]
     fn ratls_browse_attests_in_the_handshake() {
         let mut world = SimWorld::new(14);
-        let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+        let fleet = world
+            .deploy_fleet("pad.example.org", 1, demo_app())
+            .unwrap();
         let mut extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
 
@@ -642,7 +739,9 @@ mod tests {
     #[test]
     fn ratls_rejects_wrong_measurement_and_plain_sites() {
         let mut world = SimWorld::new(15);
-        let _fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+        let _fleet = world
+            .deploy_fleet("pad.example.org", 1, demo_app())
+            .unwrap();
         let mut extension = world.extension();
         extension.register_site(
             "pad.example.org",
@@ -683,7 +782,9 @@ mod tests {
         // A middlebox that rewrites handshake flights (e.g. to strip the
         // evidence) breaks the signed transcript: no session forms.
         let mut world = SimWorld::new(16);
-        let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+        let fleet = world
+            .deploy_fleet("pad.example.org", 1, demo_app())
+            .unwrap();
         let victim = fleet.nodes[0].public_address().to_owned();
         world.net.set_tamper(
             &victim,

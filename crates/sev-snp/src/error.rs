@@ -72,8 +72,12 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(SnpError::PolicyRejected("debug".into()).to_string().contains("debug"));
-        assert!(SnpError::ChainInvalid("ask".into()).to_string().contains("ask"));
+        assert!(SnpError::PolicyRejected("debug".into())
+            .to_string()
+            .contains("debug"));
+        assert!(SnpError::ChainInvalid("ask".into())
+            .to_string()
+            .contains("ask"));
     }
 
     #[test]

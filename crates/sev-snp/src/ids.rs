@@ -87,7 +87,12 @@ impl TcbVersion {
     /// Creates a TCB version from its four components.
     #[must_use]
     pub fn new(bootloader: u8, tee: u8, snp: u8, microcode: u8) -> Self {
-        TcbVersion { bootloader, tee, snp, microcode }
+        TcbVersion {
+            bootloader,
+            tee,
+            snp,
+            microcode,
+        }
     }
 
     /// Packs into the on-report `u64` form.

@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use revelio_crypto::ed25519::{Signature, SigningKey, VerifyingKey, SIGNATURE_LEN};
 use revelio_crypto::wire::{ByteReader, ByteWriter};
+use revelio_telemetry::Telemetry;
 
 use crate::ids::{ChipId, TcbVersion};
 use crate::platform::AmdRootOfTrust;
@@ -127,7 +128,9 @@ impl AmdCert {
         let mut r = ByteReader::new(&payload);
         let magic = r.get_array::<8>()?;
         if &magic != b"AMDCERT1" {
-            return Err(SnpError::Wire(revelio_crypto::wire::WireError::UnknownTag(magic[0])));
+            return Err(SnpError::Wire(revelio_crypto::wire::WireError::UnknownTag(
+                magic[0],
+            )));
         }
         let subject = r.get_str()?;
         let issuer = r.get_str()?;
@@ -139,7 +142,11 @@ impl AmdCert {
                 let tcb = TcbVersion::from_u64(r.get_u64()?);
                 Some((chip, tcb))
             }
-            t => return Err(SnpError::Wire(revelio_crypto::wire::WireError::UnknownTag(t))),
+            t => {
+                return Err(SnpError::Wire(revelio_crypto::wire::WireError::UnknownTag(
+                    t,
+                )))
+            }
         };
         r.finish()?;
         Ok(AmdCert {
@@ -175,7 +182,9 @@ impl VcekCertChain {
         trusted_ark: &VerifyingKey,
     ) -> Result<(VerifyingKey, (ChipId, TcbVersion)), SnpError> {
         if self.ark.public_key != *trusted_ark {
-            return Err(SnpError::ChainInvalid("ark key is not the pinned root".into()));
+            return Err(SnpError::ChainInvalid(
+                "ark key is not the pinned root".into(),
+            ));
         }
         self.ark.verify(trusted_ark)?;
         self.ask.verify(&self.ark.public_key)?;
@@ -217,13 +226,25 @@ impl VcekCertChain {
 #[derive(Debug, Clone)]
 pub struct KeyDistributionService {
     amd: Arc<AmdRootOfTrust>,
+    telemetry: Option<Telemetry>,
 }
 
 impl KeyDistributionService {
     /// Creates a KDS backed by `amd`'s root of trust.
     #[must_use]
     pub fn new(amd: Arc<AmdRootOfTrust>) -> Self {
-        KeyDistributionService { amd }
+        KeyDistributionService {
+            amd,
+            telemetry: None,
+        }
+    }
+
+    /// Counts served VCEK queries in `telemetry`
+    /// (`revelio_sevsnp_kds_vcek_requests_total`).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// Answers the "give me the VCEK certificate for this chip at this TCB"
@@ -239,6 +260,9 @@ impl KeyDistributionService {
         chip_id: &ChipId,
         tcb: &TcbVersion,
     ) -> Result<VcekCertChain, SnpError> {
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.counter_add("revelio_sevsnp_kds_vcek_requests_total", 1);
+        }
         let ark_pub = self.amd.ark_public_key();
         let ark = AmdCert::issue("ARK", "ARK", ark_pub, None, self.amd.ark_key());
         let ask = AmdCert::issue(
@@ -276,8 +300,7 @@ mod tests {
         let chip = ChipId::from_seed(1);
         let tcb = TcbVersion::new(1, 0, 8, 115);
         let chain = kds.vcek_chain(&chip, &tcb).unwrap();
-        let (vcek_pub, (bound_chip, bound_tcb)) =
-            chain.validate(&amd.ark_public_key()).unwrap();
+        let (vcek_pub, (bound_chip, bound_tcb)) = chain.validate(&amd.ark_public_key()).unwrap();
         assert_eq!(bound_chip, chip);
         assert_eq!(bound_tcb, tcb);
         assert_eq!(vcek_pub, amd.vcek_for(&chip, &tcb).verifying_key());

@@ -49,7 +49,11 @@ impl AmdRootOfTrust {
     pub fn from_seed(master_seed: [u8; 32]) -> Self {
         let ark = SigningKey::from_seed(&derive_seed(&master_seed, "amd/ark", &[]));
         let ask = SigningKey::from_seed(&derive_seed(&master_seed, "amd/ask", &[]));
-        AmdRootOfTrust { master_seed, ark, ask }
+        AmdRootOfTrust {
+            master_seed,
+            ark,
+            ask,
+        }
     }
 
     /// The ARK public key — the single value remote verifiers must trust
@@ -270,8 +274,14 @@ mod tests {
     #[test]
     fn policy_abi_zero_rejected() {
         let p = SnpPlatform::new(amd(), ChipId::from_seed(1), TcbVersion::default());
-        let policy = GuestPolicy { abi_major: 0, ..GuestPolicy::default() };
-        assert!(matches!(p.launch(b"fw", policy), Err(SnpError::PolicyRejected(_))));
+        let policy = GuestPolicy {
+            abi_major: 0,
+            ..GuestPolicy::default()
+        };
+        assert!(matches!(
+            p.launch(b"fw", policy),
+            Err(SnpError::PolicyRejected(_))
+        ));
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl Default for ReportData {
 
 impl fmt::Debug for ReportData {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ReportData({}..)", &revelio_crypto::hex::encode(self.0)[..12])
+        write!(
+            f,
+            "ReportData({}..)",
+            &revelio_crypto::hex::encode(self.0)[..12]
+        )
     }
 }
 
@@ -116,7 +120,9 @@ impl AttestationReport {
         let mut r = ByteReader::new(bytes);
         let magic = r.get_array::<8>()?;
         if &magic != b"SNPREPRT" {
-            return Err(SnpError::Wire(revelio_crypto::wire::WireError::UnknownTag(magic[0])));
+            return Err(SnpError::Wire(revelio_crypto::wire::WireError::UnknownTag(
+                magic[0],
+            )));
         }
         let version = r.get_u32()?;
         let guest_svn = r.get_u32()?;

@@ -46,7 +46,10 @@ impl SealingKeyRequest {
     /// A measurement-bound request with a usage context label.
     #[must_use]
     pub fn for_context(context: &[u8]) -> Self {
-        SealingKeyRequest { context: context.to_vec(), ..SealingKeyRequest::default() }
+        SealingKeyRequest {
+            context: context.to_vec(),
+            ..SealingKeyRequest::default()
+        }
     }
 
     /// Performs the derivation. Called by
@@ -90,8 +93,16 @@ mod tests {
 
     fn guests() -> (crate::platform::GuestContext, crate::platform::GuestContext) {
         let amd = Arc::new(AmdRootOfTrust::from_seed([3; 32]));
-        let p1 = SnpPlatform::new(Arc::clone(&amd), ChipId::from_seed(1), TcbVersion::default());
-        let p2 = SnpPlatform::new(Arc::clone(&amd), ChipId::from_seed(2), TcbVersion::default());
+        let p1 = SnpPlatform::new(
+            Arc::clone(&amd),
+            ChipId::from_seed(1),
+            TcbVersion::default(),
+        );
+        let p2 = SnpPlatform::new(
+            Arc::clone(&amd),
+            ChipId::from_seed(2),
+            TcbVersion::default(),
+        );
         (
             p1.launch(b"fw", GuestPolicy::default()).unwrap(),
             p2.launch(b"fw", GuestPolicy::default()).unwrap(),
@@ -150,7 +161,10 @@ mod tests {
         let p = SnpPlatform::new(amd, ChipId::from_seed(1), TcbVersion::default());
         let g1 = p.launch(b"fw-v1", GuestPolicy::default()).unwrap();
         let g2 = p.launch(b"fw-v2", GuestPolicy::default()).unwrap();
-        let req = SealingKeyRequest { mix_measurement: false, ..SealingKeyRequest::default() };
+        let req = SealingKeyRequest {
+            mix_measurement: false,
+            ..SealingKeyRequest::default()
+        };
         assert_eq!(g1.derive_sealing_key(&req), g2.derive_sealing_key(&req));
     }
 }

@@ -26,7 +26,11 @@ impl ReportVerifier {
     /// rejects debug-enabled guests.
     #[must_use]
     pub fn new(trusted_ark: VerifyingKey) -> Self {
-        ReportVerifier { trusted_ark, reject_debug_policy: true, minimum_tcb: None }
+        ReportVerifier {
+            trusted_ark,
+            reject_debug_policy: true,
+            minimum_tcb: None,
+        }
     }
 
     /// Permits debug-enabled guest policies (useful only in development
@@ -171,7 +175,10 @@ mod tests {
     #[test]
     fn debug_policy_rejected_by_default_but_optional() {
         let w = world();
-        let policy = GuestPolicy { debug_allowed: true, ..GuestPolicy::default() };
+        let policy = GuestPolicy {
+            debug_allowed: true,
+            ..GuestPolicy::default()
+        };
         let guest = w.platform.launch(b"fw", policy).unwrap();
         let report = guest.attestation_report(ReportData::default());
         let chain = w
@@ -183,7 +190,10 @@ mod tests {
             verifier.verify(&report, &chain),
             Err(SnpError::PolicyRejected(_))
         ));
-        verifier.allow_debug_policy().verify(&report, &chain).unwrap();
+        verifier
+            .allow_debug_policy()
+            .verify(&report, &chain)
+            .unwrap();
     }
 
     #[test]

@@ -59,7 +59,10 @@ pub struct Vtpm {
 
 impl Default for Vtpm {
     fn default() -> Self {
-        Vtpm { pcrs: [[0; 32]; PCR_COUNT], log: Vec::new() }
+        Vtpm {
+            pcrs: [[0; 32]; PCR_COUNT],
+            log: Vec::new(),
+        }
     }
 }
 
@@ -78,7 +81,11 @@ impl Vtpm {
         let mut concat = self.pcrs[i].to_vec();
         concat.extend_from_slice(&digest);
         self.pcrs[i] = Sha256::digest(&concat);
-        self.log.push(PcrEvent { index: index as u8, description: description.to_owned(), digest });
+        self.log.push(PcrEvent {
+            index: index as u8,
+            description: description.to_owned(),
+            digest,
+        });
     }
 
     /// Current value of a PCR.

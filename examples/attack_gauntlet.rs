@@ -18,7 +18,11 @@ use revelio_boot::BootError;
 use sev_snp::ids::GuestPolicy;
 
 fn verdict(name: &str, defended: bool, detail: &str) {
-    let flag = if defended { "DEFENDED" } else { "!! BREACHED !!" };
+    let flag = if defended {
+        "DEFENDED"
+    } else {
+        "!! BREACHED !!"
+    };
     println!("{flag:>14}  {name}: {detail}");
 }
 
@@ -36,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &platform,
         &image,
         GuestPolicy::default(),
-        BootOptions { kernel_override: Some(b"malicious kernel".to_vec()), ..BootOptions::default() },
+        BootOptions {
+            kernel_override: Some(b"malicious kernel".to_vec()),
+            ..BootOptions::default()
+        },
     );
     verdict(
         "modified kernel",
@@ -50,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &platform,
         &image2,
         GuestPolicy::default(),
-        BootOptions { initrd_override: Some(b"initrd without dm-verity".to_vec()), ..BootOptions::default() },
+        BootOptions {
+            initrd_override: Some(b"initrd without dm-verity".to_vec()),
+            ..BootOptions::default()
+        },
     );
     verdict(
         "modified initrd",
@@ -68,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &platform,
         &image3,
         GuestPolicy::default(),
-        BootOptions { cmdline_override: Some(evil_cmdline), ..BootOptions::default() },
+        BootOptions {
+            cmdline_override: Some(evil_cmdline),
+            ..BootOptions::default()
+        },
     );
     verdict(
         "edited command line",
@@ -101,7 +114,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &platform,
         &image5,
         GuestPolicy::default(),
-        BootOptions { kernel_override: Some(b"evil".to_vec()), ..BootOptions::default() },
+        BootOptions {
+            kernel_override: Some(b"evil".to_vec()),
+            ..BootOptions::default()
+        },
     )?;
     verdict(
         "non-verifying firmware",
@@ -112,8 +128,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // §6.1.2 — tampering with the rootfs on disk.
     let (image6, _) = world.build(&spec)?;
     let views = image6.partitions()?;
-    image6.disk.corrupt_bit(views[0].partition.first_block * 4096 + 99, 4);
-    let result = hypervisor.boot(&platform, &image6, GuestPolicy::default(), BootOptions::default());
+    image6
+        .disk
+        .corrupt_bit(views[0].partition.first_block * 4096 + 99, 4);
+    let result = hypervisor.boot(
+        &platform,
+        &image6,
+        GuestPolicy::default(),
+        BootOptions::default(),
+    );
     verdict(
         "rootfs bit flip",
         matches!(result, Err(BootError::RootfsIntegrity(_))),
@@ -159,7 +182,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         revelio_tls::TlsServerConfig::new(chain, attacker_key, [9; 32]),
         demo_app(),
     )?;
-    world.net.redirect(fleet.nodes[0].public_address(), "10.99.9.9:443");
+    world
+        .net
+        .redirect(fleet.nodes[0].public_address(), "10.99.9.9:443");
     let result = extension.reconnect(&mut session);
     verdict(
         "tls redirect with valid cert",
@@ -171,10 +196,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Impostor node with authentic hardware but unapproved chip.
     let spec2 = world.image_spec("victim.example.org", &["web-service"]);
     let (impostor_image, impostor_golden) = world.build(&spec2)?;
-    let impostor = world.deploy_node("victim.example.org", &impostor_image, demo_app(), [77; 32])?;
+    let impostor =
+        world.deploy_node("victim.example.org", &impostor_image, demo_app(), [77; 32])?;
     let sp = world.sp_node(
         revelio::registry::GoldenSet::from_measurements([impostor_golden]),
-        vec![(sev_snp::ids::ChipId::from_seed(123_456), impostor.bootstrap_address().to_owned())],
+        vec![(
+            sev_snp::ids::ChipId::from_seed(123_456),
+            impostor.bootstrap_address().to_owned(),
+        )],
     );
     let result = sp.provision(&[impostor.bootstrap_address().to_owned()]);
     verdict(

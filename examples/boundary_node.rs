@@ -23,9 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The Internet Computer: 2 subnets × 4 replicas, BFT thresholds.
     let ic = Arc::new(InternetComputer::new(2, 4, 7));
     let mut dapp = AssetCanister::new();
-    dapp.insert("/", "text/html", b"<html>decentralized exchange</html>".to_vec());
+    dapp.insert(
+        "/",
+        "text/html",
+        b"<html>decentralized exchange</html>".to_vec(),
+    );
     let canister_id = ic.create_canister(&dapp);
-    println!("dapp canister {canister_id} installed on a {}-replica subnet", 4);
+    println!(
+        "dapp canister {canister_id} installed on a {}-replica subnet",
+        4
+    );
 
     // 2. A boundary node translating HTTP to IC protocol, deployed inside
     //    a Revelio VM fleet.
@@ -51,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let resp = evil
         .router_with_assets(&["/"])
         .dispatch(&revelio_http::message::Request::get("/"));
-    println!("\nmalicious boundary node, plain HTTP view (status {}):", resp.status);
+    println!(
+        "\nmalicious boundary node, plain HTTP view (status {}):",
+        resp.status
+    );
     println!("  {:?}", String::from_utf8_lossy(&resp.body));
 
     // 5. Defense A: the service worker verifies subnet certificates.
@@ -63,7 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     struct Direct(revelio_http::router::Router);
     impl revelio_ic::service_worker::BoundaryTransport for Direct {
         fn post(&mut self, path: &str, body: Vec<u8>) -> Result<Vec<u8>, revelio_ic::IcError> {
-            let r = self.0.dispatch(&revelio_http::message::Request::post(path, body));
+            let r = self
+                .0
+                .dispatch(&revelio_http::message::Request::post(path, body));
             Ok(r.body)
         }
     }

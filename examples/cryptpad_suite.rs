@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut extension = world.extension();
     extension.register_site("pads.example.org", vec![fleet.golden_measurement]);
     let mut session = extension.open_monitored("pads.example.org")?;
-    println!("server attested; measurement {}\n", fleet.golden_measurement);
+    println!(
+        "server attested; measurement {}\n",
+        fleet.golden_measurement
+    );
 
     // 3. Create a pad and write two encrypted drafts. The pad secret
     //    lives in the URL fragment and never reaches the server.
@@ -46,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pad_id = u64::from_le_bytes(id_bytes.clone().try_into().expect("8 bytes"));
     println!("created pad {pad_id}");
 
-    let drafts: [&[u8]; 2] = [b"Meeting notes: budget 100 CHF", b"Meeting notes: budget 250 CHF"];
+    let drafts: [&[u8]; 2] = [
+        b"Meeting notes: budget 100 CHF",
+        b"Meeting notes: budget 250 CHF",
+    ];
     for (i, draft) in drafts.iter().enumerate() {
         let mut body = pad_id.to_le_bytes().to_vec();
         body.extend_from_slice(&secret.encrypt_edit(i as u64, draft));
@@ -66,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fetched = post(&mut session, "/pad/fetch", pad_id.to_le_bytes().to_vec())?;
     let history = decode_fetch_response(&fetched)?;
     let document = secret.render_document(&history)?;
-    println!("\ncollaborator decrypts: {:?}", String::from_utf8_lossy(&document));
+    println!(
+        "\ncollaborator decrypts: {:?}",
+        String::from_utf8_lossy(&document)
+    );
 
     // 6. A tampering operator is caught by the client's AEAD.
     store.tamper_edit(pad_id, 0, b"swapped ciphertext".to_vec())?;

@@ -22,15 +22,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    orders ONE certificate and distributes the TLS key to mutually
     //    attested peers.
     let fleet = world.deploy_fleet("pad.example.org", 3, demo_app())?;
-    println!("fleet deployed: {} nodes serving https://pad.example.org", fleet.nodes.len());
+    println!(
+        "fleet deployed: {} nodes serving https://pad.example.org",
+        fleet.nodes.len()
+    );
     println!("golden measurement (what auditors reproduce from sources):");
     println!("  {}\n", fleet.golden_measurement);
     let t = fleet.provision.timings;
     println!("SP-node provisioning latencies (paper Table 2):");
-    println!("  evidence retrieval    {:>8.1} ms/node", t.evidence_retrieval_ms);
-    println!("  evidence validation   {:>8.1} ms/node", t.evidence_validation_ms);
-    println!("  certificate generation{:>8.1} ms", t.certificate_generation_ms);
-    println!("  certificate distribution{:>6.1} ms/node\n", t.certificate_distribution_ms);
+    println!(
+        "  evidence retrieval    {:>8.1} ms/node",
+        t.evidence_retrieval_ms
+    );
+    println!(
+        "  evidence validation   {:>8.1} ms/node",
+        t.evidence_validation_ms
+    );
+    println!(
+        "  certificate generation{:>8.1} ms",
+        t.certificate_generation_ms
+    );
+    println!(
+        "  certificate distribution{:>6.1} ms/node\n",
+        t.certificate_distribution_ms
+    );
 
     // 3. An end-user installs the extension and registers the site with
     //    the golden measurement (obtained from an auditor or reproduced
@@ -42,18 +57,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = extension.browse("pad.example.org", "/")?;
     println!("attested page access:");
     println!("  status        {}", outcome.response.status);
-    println!("  total         {:>8.1} ms (paper: 778.9 ms)", outcome.timing.total_ms);
-    println!("  of which KDS  {:>8.1} ms (paper: 427.3 ms)", outcome.timing.kds_ms);
-    println!("  measurement   {}", outcome.evidence.report.report.measurement);
+    println!(
+        "  total         {:>8.1} ms (paper: 778.9 ms)",
+        outcome.timing.total_ms
+    );
+    println!(
+        "  of which KDS  {:>8.1} ms (paper: 427.3 ms)",
+        outcome.timing.kds_ms
+    );
+    println!(
+        "  measurement   {}",
+        outcome.evidence.report.report.measurement
+    );
 
     // 5. Second visit: the VCEK is cached.
     let warm = extension.browse("pad.example.org", "/")?;
-    println!("  warm revisit  {:>8.1} ms (VCEK cache)\n", warm.timing.total_ms);
+    println!(
+        "  warm revisit  {:>8.1} ms (VCEK cache)\n",
+        warm.timing.total_ms
+    );
 
     // 6. Continuous monitoring: every request re-checks the connection.
     let mut session = extension.open_monitored("pad.example.org")?;
     let response = session.request("/healthz")?;
-    println!("monitored request: {} {:?}", response.status, String::from_utf8_lossy(&response.body));
+    println!(
+        "monitored request: {} {:?}",
+        response.status,
+        String::from_utf8_lossy(&response.body)
+    );
 
     // 7. Management access is structurally impossible.
     let ssh = fleet.nodes[0].public_address().replace(":443", ":22");

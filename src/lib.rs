@@ -15,5 +15,6 @@ pub use revelio_ic;
 pub use revelio_net;
 pub use revelio_pki;
 pub use revelio_storage;
+pub use revelio_telemetry;
 pub use revelio_tls;
 pub use sev_snp;

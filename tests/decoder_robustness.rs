@@ -22,19 +22,28 @@ use sev_snp::report::{AttestationReport, ReportData, SignedReport};
 /// Valid encodings of every message type, used as mutation bases.
 fn valid_encodings() -> Vec<Vec<u8>> {
     let amd = Arc::new(AmdRootOfTrust::from_seed([1; 32]));
-    let platform = SnpPlatform::new(Arc::clone(&amd), ChipId::from_seed(1), TcbVersion::default());
+    let platform = SnpPlatform::new(
+        Arc::clone(&amd),
+        ChipId::from_seed(1),
+        TcbVersion::default(),
+    );
     let guest = platform.launch(b"fw", GuestPolicy::default()).unwrap();
     let report = guest.attestation_report(ReportData::from_slice(b"x"));
     let chain = KeyDistributionService::new(amd)
         .vcek_chain(&platform.chip_id(), &platform.tcb_version())
         .unwrap();
-    let evidence = EvidenceBundle { report: report.clone(), chain: chain.clone() };
+    let evidence = EvidenceBundle {
+        report: report.clone(),
+        chain: chain.clone(),
+    };
 
     let key = revelio_crypto::ed25519::SigningKey::from_seed(&[2; 32]);
     let csr = CertificateSigningRequest::new("a.example", &key, "O", "C");
     let ca = revelio_pki::ca::CertificateAuthority::new_root("R", [3; 32]);
     let cert = ca.issue_for_csr(&csr, 0, 1000).unwrap();
-    let cert_chain = CertificateChain { certificates: vec![cert.clone()] };
+    let cert_chain = CertificateChain {
+        certificates: vec![cert.clone()],
+    };
 
     let mut tree = FsTree::new();
     tree.add_file("/bin/x", b"x".to_vec(), 0o755).unwrap();

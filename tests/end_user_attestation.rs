@@ -10,13 +10,19 @@ use revelio_crypto::ed25519::SigningKey;
 #[test]
 fn first_contact_full_attestation_then_cached() {
     let mut world = SimWorld::new(20);
-    let fleet = world.deploy_fleet("pad.example.org", 2, demo_app()).unwrap();
+    let fleet = world
+        .deploy_fleet("pad.example.org", 2, demo_app())
+        .unwrap();
     let mut extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
 
     let cold = extension.browse("pad.example.org", "/").unwrap();
     assert!(cold.response.is_success());
-    assert!(cold.timing.kds_ms > 400.0, "cold KDS fetch dominates: {:?}", cold.timing);
+    assert!(
+        cold.timing.kds_ms > 400.0,
+        "cold KDS fetch dominates: {:?}",
+        cold.timing
+    );
 
     let warm = extension.browse("pad.example.org", "/").unwrap();
     assert_eq!(warm.timing.kds_ms, 0.0, "VCEK cached per §6.4");
@@ -26,7 +32,9 @@ fn first_contact_full_attestation_then_cached() {
 #[test]
 fn evidence_binds_the_exact_tls_connection() {
     let mut world = SimWorld::new(21);
-    let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+    let fleet = world
+        .deploy_fleet("pad.example.org", 1, demo_app())
+        .unwrap();
     let mut extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     let outcome = extension.browse("pad.example.org", "/").unwrap();
@@ -37,7 +45,9 @@ fn evidence_binds_the_exact_tls_connection() {
         .unwrap();
     let stranger = SigningKey::from_seed(&[1; 32]);
     assert_eq!(
-        outcome.evidence.check_tls_binding(&stranger.verifying_key()),
+        outcome
+            .evidence
+            .check_tls_binding(&stranger.verifying_key()),
         Err(RevelioError::TlsBindingMismatch)
     );
 }
@@ -45,7 +55,9 @@ fn evidence_binds_the_exact_tls_connection() {
 #[test]
 fn unregistered_user_can_discover_then_register() {
     let mut world = SimWorld::new(22);
-    let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+    let fleet = world
+        .deploy_fleet("pad.example.org", 1, demo_app())
+        .unwrap();
     let mut extension = world.extension();
 
     // Opportunistic discovery (§5.3.2): the extension notices the site
@@ -63,13 +75,21 @@ fn community_voting_delegation_path() {
     // §3.4.7: the user delegates golden-value selection to an on-chain
     // community registry with quorum voting.
     let mut world = SimWorld::new(23);
-    let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+    let fleet = world
+        .deploy_fleet("pad.example.org", 1, demo_app())
+        .unwrap();
 
-    let auditors: Vec<SigningKey> = (0..5u8).map(|i| SigningKey::from_seed(&[i + 10; 32])).collect();
+    let auditors: Vec<SigningKey> = (0..5u8)
+        .map(|i| SigningKey::from_seed(&[i + 10; 32]))
+        .collect();
     let mut registry = VotingRegistry::new(auditors.iter().map(SigningKey::verifying_key), 3);
     for auditor in &auditors[..3] {
         registry
-            .submit(&Vote::sign(fleet.golden_measurement, VoteKind::Approve, auditor))
+            .submit(&Vote::sign(
+                fleet.golden_measurement,
+                VoteKind::Approve,
+                auditor,
+            ))
             .unwrap();
     }
     assert!(registry.is_trusted(&fleet.golden_measurement));
@@ -82,7 +102,11 @@ fn community_voting_delegation_path() {
     // The community later revokes; a fresh snapshot refuses the site.
     for auditor in &auditors[2..5] {
         registry
-            .submit(&Vote::sign(fleet.golden_measurement, VoteKind::Revoke, auditor))
+            .submit(&Vote::sign(
+                fleet.golden_measurement,
+                VoteKind::Revoke,
+                auditor,
+            ))
             .unwrap();
     }
     let mut extension = world.extension();
@@ -96,7 +120,9 @@ fn community_voting_delegation_path() {
 #[test]
 fn monitored_session_survives_benign_traffic_catches_redirect() {
     let mut world = SimWorld::new(24);
-    let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+    let fleet = world
+        .deploy_fleet("pad.example.org", 1, demo_app())
+        .unwrap();
     let mut extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     let mut session = extension.open_monitored("pad.example.org").unwrap();
@@ -120,7 +146,9 @@ fn monitored_session_survives_benign_traffic_catches_redirect() {
         demo_app(),
     )
     .unwrap();
-    world.net.redirect(fleet.nodes[0].public_address(), "10.6.6.6:443");
+    world
+        .net
+        .redirect(fleet.nodes[0].public_address(), "10.6.6.6:443");
     assert_eq!(
         extension.reconnect(&mut session).unwrap_err(),
         RevelioError::TlsBindingMismatch
@@ -130,10 +158,16 @@ fn monitored_session_survives_benign_traffic_catches_redirect() {
 #[test]
 fn two_sites_with_distinct_golden_values() {
     let mut world = SimWorld::new(25);
-    let pads = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+    let pads = world
+        .deploy_fleet("pad.example.org", 1, demo_app())
+        .unwrap();
     let store = revelio_cryptpad::server::PadStore::new();
     let docs = world
-        .deploy_fleet("docs.example.org", 1, revelio_cryptpad::server::pad_router(store))
+        .deploy_fleet(
+            "docs.example.org",
+            1,
+            revelio_cryptpad::server::pad_router(store),
+        )
         .unwrap();
     assert_ne!(pads.golden_measurement, docs.golden_measurement);
 
@@ -153,17 +187,28 @@ fn two_sites_with_distinct_golden_values() {
 #[test]
 fn extension_timing_shape_matches_table3() {
     let mut world = SimWorld::new(26);
-    let fleet = world.deploy_fleet("pad.example.org", 1, demo_app()).unwrap();
+    let fleet = world
+        .deploy_fleet("pad.example.org", 1, demo_app())
+        .unwrap();
     let mut extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
 
-    let (_, plain_ms) = world
-        .clock
-        .time_ms(|| extension.browse_unprotected("pad.example.org", "/").unwrap());
+    let (_, plain_ms) = world.clock.time_ms(|| {
+        extension
+            .browse_unprotected("pad.example.org", "/")
+            .unwrap()
+    });
     let cold = extension.browse("pad.example.org", "/").unwrap().timing;
 
     // Paper Table 3: 100.9 ms plain vs 778.9 ms attested, KDS 427.3.
     assert!((90.0..120.0).contains(&plain_ms), "plain {plain_ms}");
-    assert!((600.0..1000.0).contains(&cold.total_ms), "attested {:?}", cold);
-    assert!(cold.kds_ms > 0.5 * cold.attestation_ms, "KDS dominates: {cold:?}");
+    assert!(
+        (600.0..1000.0).contains(&cold.total_ms),
+        "attested {:?}",
+        cold
+    );
+    assert!(
+        cold.kds_ms > 0.5 * cold.attestation_ms,
+        "KDS dominates: {cold:?}"
+    );
 }

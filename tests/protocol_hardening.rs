@@ -73,7 +73,9 @@ fn key_request_endpoint_rejects_all_invalid_callers() {
 
     // 2. A correctly-measured report that does NOT bind the provided
     //    encryption key (stolen report + attacker's key).
-    let honest_report = fleet.nodes[1].vm().report_with_data(&Sha256::digest([1u8; 32]));
+    let honest_report = fleet.nodes[1]
+        .vm()
+        .report_with_data(&Sha256::digest([1u8; 32]));
     let response = plain_request(
         &world.net,
         &leader,
@@ -106,7 +108,9 @@ fn unprovisioned_node_holds_no_key() {
     let mut world = SimWorld::new(61);
     let spec = world.image_spec("s.example", &["web-service"]);
     let (image, golden) = world.build(&spec).unwrap();
-    let node = world.deploy_node("s.example", &image, demo_app(), [3; 32]).unwrap();
+    let node = world
+        .deploy_node("s.example", &image, demo_app(), [3; 32])
+        .unwrap();
     assert!(!node.is_serving());
     assert_eq!(node.tls_public_key(), None);
 
@@ -146,7 +150,9 @@ fn install_cert_checks_domain() {
     let mut world = SimWorld::new(62);
     let spec = world.image_spec("s.example", &["web-service"]);
     let (image, _) = world.build(&spec).unwrap();
-    let node = world.deploy_node("s.example", &image, demo_app(), [5; 32]).unwrap();
+    let node = world
+        .deploy_node("s.example", &image, demo_app(), [5; 32])
+        .unwrap();
 
     let key = SigningKey::from_seed(&[8; 32]);
     let csr = revelio_pki::cert::CertificateSigningRequest::new("other.example", &key, "O", "C");
@@ -222,7 +228,11 @@ fn evidence_replay_on_foreign_endpoint_detected() {
     // Steal the real evidence bundle.
     let mut extension = world.extension();
     extension.register_site("s.example", vec![fleet.golden_measurement]);
-    let stolen = extension.browse("s.example", "/").unwrap().evidence.to_bytes();
+    let stolen = extension
+        .browse("s.example", "/")
+        .unwrap()
+        .evidence
+        .to_bytes();
 
     // Attacker serves it from their own HTTPS endpoint (valid cert for
     // the SAME domain via DNS control, but their own TLS key).
@@ -230,10 +240,10 @@ fn evidence_replay_on_foreign_endpoint_detected() {
     let csr =
         revelio_pki::cert::CertificateSigningRequest::new("s.example", &attacker_key, "E", "X");
     let chain = world.acme.order_certificate(&csr).unwrap();
-    let router = revelio_http::router::Router::new().get(
-        revelio_http::WELL_KNOWN_ATTESTATION_PATH,
-        move |_req| revelio_http::message::Response::ok(stolen.clone()),
-    );
+    let router = revelio_http::router::Router::new()
+        .get(revelio_http::WELL_KNOWN_ATTESTATION_PATH, move |_req| {
+            revelio_http::message::Response::ok(stolen.clone())
+        });
     revelio_http::server::serve_https(
         &world.net,
         "10.3.3.3:443",
@@ -299,8 +309,14 @@ fn tcb_update_preserves_measurement_but_can_rotate_sealing() {
 
     use sev_snp::sealing::SealingKeyRequest;
     let plain = SealingKeyRequest::default();
-    assert_eq!(g_old.derive_sealing_key(&plain), g_new.derive_sealing_key(&plain));
-    let tcb_bound = SealingKeyRequest { mix_tcb: true, ..SealingKeyRequest::default() };
+    assert_eq!(
+        g_old.derive_sealing_key(&plain),
+        g_new.derive_sealing_key(&plain)
+    );
+    let tcb_bound = SealingKeyRequest {
+        mix_tcb: true,
+        ..SealingKeyRequest::default()
+    };
     assert_ne!(
         g_old.derive_sealing_key(&tcb_bound),
         g_new.derive_sealing_key(&tcb_bound)

@@ -2,6 +2,7 @@
 //! of practical attestation (§3.4.1, §5.1.1), across the whole pipeline —
 //! sources → image → firmware → launch measurement.
 
+use revelio::world::SimWorld;
 use revelio_boot::firmware::{expected_measurement, FirmwareKind};
 use revelio_boot::loader::{BootOptions, Hypervisor};
 use revelio_build::fstree::FsTree;
@@ -9,7 +10,6 @@ use revelio_build::hermetic::{BuildStep, NonHermeticContext};
 use revelio_build::image::{build_image, ImageSpec};
 use revelio_build::packages::{BaseImage, PackageRegistry, PackageVersion};
 use revelio_build::scrub::{scrub, ScrubPolicy};
-use revelio::world::SimWorld;
 use sev_snp::ids::GuestPolicy;
 
 fn registry() -> PackageRegistry {
@@ -80,7 +80,12 @@ fn auditor_measurement_matches_hardware_report() {
     let (image, auditor_value) = world.build(&spec).unwrap();
     let platform = world.new_platform();
     let vm = Hypervisor::new(FirmwareKind::MeasuredDirectBoot)
-        .boot(&platform, &image, GuestPolicy::default(), BootOptions::default())
+        .boot(
+            &platform,
+            &image,
+            GuestPolicy::default(),
+            BootOptions::default(),
+        )
         .unwrap();
     assert_eq!(vm.measurement(), auditor_value);
     // And the attestation report carries exactly that value.
@@ -96,7 +101,9 @@ fn floating_versions_break_reproducibility() {
     let build = |reg: &PackageRegistry| {
         let mut rootfs = FsTree::new();
         reg.install_latest("nginx", &mut rootfs).unwrap();
-        build_image(&ImageSpec::new("svc", rootfs)).unwrap().root_hash
+        build_image(&ImageSpec::new("svc", rootfs))
+            .unwrap()
+            .root_hash
     };
     let before = build(&reg);
     // The mirror publishes an update between the two builds.
@@ -121,7 +128,9 @@ fn measurement_covers_every_artifact() {
 
     // Different kernel config flag.
     let mut spec = world.image_spec("svc.example", &["svc"]);
-    spec.kernel.config_flags.push("CONFIG_DEBUG_BACKDOOR".into());
+    spec.kernel
+        .config_flags
+        .push("CONFIG_DEBUG_BACKDOOR".into());
     assert_ne!(world.build(&spec).unwrap().1, base);
 
     // Different init services.
@@ -133,7 +142,11 @@ fn measurement_covers_every_artifact() {
     // Different rootfs content (one byte in one file).
     let mut spec = world.image_spec("svc.example", &["svc"]);
     spec.rootfs
-        .add_file("/etc/nginx/nginx.conf", b"server { listen 443 ssl;}".to_vec(), 0o644)
+        .add_file(
+            "/etc/nginx/nginx.conf",
+            b"server { listen 443 ssl;}".to_vec(),
+            0o644,
+        )
         .unwrap();
     assert_ne!(world.build(&spec).unwrap().1, base);
 

@@ -22,11 +22,17 @@ fn host_lies_about_each_component() {
 
     let cases: Vec<(BootOptions, BootComponent)> = vec![
         (
-            BootOptions { kernel_override: Some(b"evil".to_vec()), ..BootOptions::default() },
+            BootOptions {
+                kernel_override: Some(b"evil".to_vec()),
+                ..BootOptions::default()
+            },
             BootComponent::Kernel,
         ),
         (
-            BootOptions { initrd_override: Some(b"evil".to_vec()), ..BootOptions::default() },
+            BootOptions {
+                initrd_override: Some(b"evil".to_vec()),
+                ..BootOptions::default()
+            },
             BootComponent::Initrd,
         ),
         (
@@ -62,7 +68,11 @@ fn consistent_lie_changes_measurement() {
             GuestPolicy::default(),
             BootOptions {
                 kernel_override: Some(evil_kernel.clone()),
-                hash_table_override: Some(HashTable::of(&evil_kernel, &image.initrd, &image.cmdline)),
+                hash_table_override: Some(HashTable::of(
+                    &evil_kernel,
+                    &image.initrd,
+                    &image.cmdline,
+                )),
                 ..BootOptions::default()
             },
         )
@@ -79,7 +89,12 @@ fn malicious_firmware_reflected_in_measurement() {
     let (image, golden) = world.build(&spec).unwrap();
     let platform = world.new_platform();
     let vm = Hypervisor::new(FirmwareKind::MaliciousSkipVerify)
-        .boot(&platform, &image, GuestPolicy::default(), BootOptions::default())
+        .boot(
+            &platform,
+            &image,
+            GuestPolicy::default(),
+            BootOptions::default(),
+        )
         .unwrap();
     assert_ne!(vm.measurement(), golden);
 }
@@ -99,7 +114,12 @@ fn rootfs_tampering_blocks_boot() {
         .corrupt_bit((rootfs.first_block + rootfs.block_count / 2) * 4096 + 17, 6);
     let platform = world.new_platform();
     let err = Hypervisor::new(FirmwareKind::MeasuredDirectBoot)
-        .boot(&platform, &image, GuestPolicy::default(), BootOptions::default())
+        .boot(
+            &platform,
+            &image,
+            GuestPolicy::default(),
+            BootOptions::default(),
+        )
         .unwrap_err();
     assert!(matches!(err, BootError::RootfsIntegrity(_)), "{err:?}");
 }
@@ -116,7 +136,12 @@ fn verity_metadata_tampering_blocks_boot() {
     image.disk.corrupt_bit(meta.first_block * 4096 + 64, 1);
     let platform = world.new_platform();
     let err = Hypervisor::new(FirmwareKind::MeasuredDirectBoot)
-        .boot(&platform, &image, GuestPolicy::default(), BootOptions::default())
+        .boot(
+            &platform,
+            &image,
+            GuestPolicy::default(),
+            BootOptions::default(),
+        )
         .unwrap_err();
     assert!(matches!(err, BootError::RootfsIntegrity(_)), "{err:?}");
 }
@@ -129,7 +154,9 @@ fn runtime_modification_paths_closed() {
     let fleet = world.deploy_fleet("s.example", 1, demo_app()).unwrap();
     // No SSH, no arbitrary ports.
     for port in [22, 2222, 8443] {
-        let addr = fleet.nodes[0].public_address().replace(":443", &format!(":{port}"));
+        let addr = fleet.nodes[0]
+            .public_address()
+            .replace(":443", &format!(":{port}"));
         assert!(world.net.dial(&addr).is_err(), "port {port} must refuse");
     }
     // The mounted rootfs is read-only at the device level.
@@ -174,18 +201,23 @@ fn sealed_volume_unreadable_after_decommission() {
     let (image, _) = world.build(&spec).unwrap();
     let platform = world.new_platform();
     let vm = Hypervisor::new(FirmwareKind::MeasuredDirectBoot)
-        .boot(&platform, &image, GuestPolicy::default(), BootOptions::default())
+        .boot(
+            &platform,
+            &image,
+            GuestPolicy::default(),
+            BootOptions::default(),
+        )
         .unwrap();
-    vm.data_volume().unwrap().write_block(0, &vec![0x55u8; 4096]).unwrap();
+    vm.data_volume()
+        .unwrap()
+        .write_block(0, &vec![0x55u8; 4096])
+        .unwrap();
     drop(vm);
 
     // The "next tenant" scrapes the raw disk: the data partition holds
     // only ciphertext, and no guessed key opens it.
     let views = image.partitions().unwrap();
-    let data = views
-        .iter()
-        .find(|v| v.partition.name == "data")
-        .unwrap();
+    let data = views.iter().find(|v| v.partition.name == "data").unwrap();
     let mut raw = vec![0u8; 4096];
     data.device.read_block(1, &mut raw).unwrap(); // +1: crypt superblock
     assert_ne!(raw, vec![0x55u8; 4096]);
@@ -201,7 +233,10 @@ fn debug_policy_rejected_by_extension_path() {
 
     let mut world = SimWorld::new(9);
     let platform = world.new_platform();
-    let policy = GuestPolicy { debug_allowed: true, ..GuestPolicy::default() };
+    let policy = GuestPolicy {
+        debug_allowed: true,
+        ..GuestPolicy::default()
+    };
     let guest = platform.launch(b"fw", policy).unwrap();
     let report = guest.attestation_report(sev_snp::report::ReportData::default());
     let chain = world

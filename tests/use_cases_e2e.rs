@@ -17,7 +17,9 @@ use revelio_ic::service_worker::{BoundaryTransport, ServiceWorker};
 use revelio_ic::IcError;
 
 fn post(session: &mut MonitoredSession, path: &str, body: Vec<u8>) -> Vec<u8> {
-    let response = session.send(&Request::post(path, body)).expect("request succeeds");
+    let response = session
+        .send(&Request::post(path, body))
+        .expect("request succeeds");
     assert!(response.is_success(), "{path} returned {}", response.status);
     response.body
 }
@@ -69,23 +71,38 @@ fn cryptpad_state_survives_reboot_via_sealed_volume() {
     let secret = PadSecret::from_fragment("#persist");
     {
         let vm = hv
-            .boot(&platform, &image, GuestPolicy::default(), BootOptions::default())
+            .boot(
+                &platform,
+                &image,
+                GuestPolicy::default(),
+                BootOptions::default(),
+            )
             .unwrap();
         let store = PadStore::new();
         let id = store.create_pad();
-        store.append(id, secret.encrypt_edit(0, b"survives reboots")).unwrap();
+        store
+            .append(id, secret.encrypt_edit(0, b"survives reboots"))
+            .unwrap();
         store.persist(vm.data_volume().unwrap()).unwrap();
     }
 
     // Reboot the same disk on the same platform: the measurement-derived
     // key re-derives, the volume unseals, the pads reload.
     let vm = hv
-        .boot(&platform, &image, GuestPolicy::default(), BootOptions::default())
+        .boot(
+            &platform,
+            &image,
+            GuestPolicy::default(),
+            BootOptions::default(),
+        )
         .unwrap();
     assert!(!vm.is_first_boot());
     let restored = PadStore::restore(vm.data_volume().unwrap()).unwrap();
     let history = restored.fetch(0).unwrap();
-    assert_eq!(secret.render_document(&history).unwrap(), b"survives reboots");
+    assert_eq!(
+        secret.render_document(&history).unwrap(),
+        b"survives reboots"
+    );
 }
 
 struct HttpsTransport<'a> {
@@ -101,7 +118,10 @@ impl BoundaryTransport for HttpsTransport<'_> {
         if response.is_success() {
             Ok(response.body)
         } else {
-            Err(IcError::CanisterRejected(format!("status {}", response.status)))
+            Err(IcError::CanisterRejected(format!(
+                "status {}",
+                response.status
+            )))
         }
     }
 }
@@ -134,8 +154,12 @@ fn boundary_node_full_stack_with_service_worker() {
     assert!(worker_js.is_success());
 
     let worker = ServiceWorker::new(subnet.public_keys().to_vec(), subnet.threshold());
-    let mut transport = HttpsTransport { session: &mut session };
-    let (content_type, body) = worker.fetch_asset(&mut transport, canister_id, "/").unwrap();
+    let mut transport = HttpsTransport {
+        session: &mut session,
+    };
+    let (content_type, body) = worker
+        .fetch_asset(&mut transport, canister_id, "/")
+        .unwrap();
     assert_eq!(content_type, "text/html");
     assert_eq!(body, b"<html>dex</html>");
 }
@@ -190,9 +214,13 @@ fn tampering_boundary_detected_by_worker_over_https() {
     // The service worker's certificate check catches it regardless.
     let worker = ServiceWorker::new(subnet.public_keys().to_vec(), subnet.threshold());
     let mut session = extension.open_monitored("ic.example.org").unwrap();
-    let mut transport = HttpsTransport { session: &mut session };
+    let mut transport = HttpsTransport {
+        session: &mut session,
+    };
     assert_eq!(
-        worker.fetch_asset(&mut transport, canister_id, "/").unwrap_err(),
+        worker
+            .fetch_asset(&mut transport, canister_id, "/")
+            .unwrap_err(),
         IcError::CertificateInvalid
     );
 }
@@ -207,13 +235,17 @@ fn update_calls_go_through_consensus_over_https() {
     let boundary = BoundaryNode::new(Arc::clone(&ic), canister_id);
 
     let mut world = SimWorld::new(43);
-    let fleet = world.deploy_fleet("ic.example.org", 1, boundary.router()).unwrap();
+    let fleet = world
+        .deploy_fleet("ic.example.org", 1, boundary.router())
+        .unwrap();
     let mut extension = world.extension();
     extension.register_site("ic.example.org", vec![fleet.golden_measurement]);
     let mut session = extension.open_monitored("ic.example.org").unwrap();
 
     let worker = ServiceWorker::new(subnet.public_keys().to_vec(), subnet.threshold());
-    let mut transport = HttpsTransport { session: &mut session };
+    let mut transport = HttpsTransport {
+        session: &mut session,
+    };
     worker
         .call(
             &mut transport,

@@ -1,0 +1,193 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements just enough of the criterion API for the workspace's bench
+//! targets to compile and produce readable timings: benchmark groups,
+//! `bench_function` / `bench_with_input`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` macros. Statistics are a plain
+//! mean over a fixed warm-up + measurement loop — no outlier analysis.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    #[must_use]
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Throughput annotation printed next to the mean time.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A named benchmark id, `BenchmarkId::new("fn", param)`.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Per-iteration timer handle given to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // One warm-up, then `iters` timed runs.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+
+    fn mean(&self) -> Option<Duration> {
+        let total: Duration = self.samples.iter().sum();
+        let runs = self.samples.len() as u32 * u32::try_from(self.iters).unwrap_or(1);
+        (runs > 0).then(|| total / runs.max(1))
+    }
+}
+
+/// A group of related benchmarks sharing sample-size / throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters: self.sample_size as u64,
+        };
+        f(&mut bencher);
+        match bencher.mean() {
+            Some(mean) => {
+                let rate = match (&self.throughput, mean.as_nanos()) {
+                    (Some(Throughput::Bytes(b)), ns) if ns > 0 => {
+                        let gib = (*b as f64) / (ns as f64 * 1.073_741_824);
+                        format!("  [{gib:.3} GiB/s]")
+                    }
+                    (Some(Throughput::Elements(e)), ns) if ns > 0 => {
+                        let meps = (*e as f64) * 1000.0 / ns as f64;
+                        format!("  [{meps:.3} Melem/s]")
+                    }
+                    _ => String::new(),
+                };
+                println!("  {name}: {mean:?}/iter{rate}");
+            }
+            None => println!("  {name}: no samples"),
+        }
+    }
+}
+
+/// `criterion_group!(benches, target_a, target_b)` — defines a function
+/// running each target against a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(benches)` — the bench binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("id", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        // warm-up + sample_size iterations.
+        assert_eq!(runs, 4);
+    }
+}
