@@ -14,22 +14,35 @@ use revelio_tls::{TlsClient, TlsClientConfig, TlsSession};
 use crate::message::{Request, Response};
 use crate::HttpError;
 
-/// Splits `https://host/path` into `(host, path)`.
+/// Splits `https://host/path?query` into `(host, path)`.
+///
+/// The host ends at the first `/`, `?`, or `#`: a query string with no
+/// path (`https://h?x=1`) yields path `/?x=1`, and a fragment is
+/// client-side state that is never sent on the wire, so it is stripped.
 ///
 /// # Errors
 ///
 /// Returns [`HttpError::BadUrl`] for anything else.
-pub fn parse_https_url(url: &str) -> Result<(&str, &str), HttpError> {
+pub fn parse_https_url(url: &str) -> Result<(&str, String), HttpError> {
     let rest = url
         .strip_prefix("https://")
         .ok_or_else(|| HttpError::BadUrl(url.to_owned()))?;
-    let (host, path) = match rest.find('/') {
+    let rest = &rest[..rest.find('#').unwrap_or(rest.len())];
+    let (host, tail) = match rest.find(['/', '?']) {
         Some(idx) => (&rest[..idx], &rest[idx..]),
-        None => (rest, "/"),
+        None => (rest, ""),
     };
     if host.is_empty() {
         return Err(HttpError::BadUrl(url.to_owned()));
     }
+    let path = if tail.starts_with('?') {
+        // A query with no path component is rooted at "/".
+        format!("/{tail}")
+    } else if tail.is_empty() {
+        "/".to_owned()
+    } else {
+        tail.to_owned()
+    };
     Ok((host, path))
 }
 
@@ -100,7 +113,7 @@ impl HttpsClient {
     pub fn get(&self, url: &str) -> Result<Response, HttpError> {
         let (host, path) = parse_https_url(url)?;
         let mut session = self.open(host)?;
-        session.send(&Request::get(path))
+        session.send(&Request::get(&path))
     }
 
     /// One-shot POST to `url` over a fresh session.
@@ -111,7 +124,7 @@ impl HttpsClient {
     pub fn post(&self, url: &str, body: Vec<u8>) -> Result<Response, HttpError> {
         let (host, path) = parse_https_url(url)?;
         let mut session = self.open(host)?;
-        session.send(&Request::post(path, body))
+        session.send(&Request::post(&path, body))
     }
 }
 
@@ -138,7 +151,7 @@ impl HttpsSession {
     /// Returns [`HttpError`] on transport or parse failure.
     pub fn send(&mut self, request: &Request) -> Result<Response, HttpError> {
         let request = request.clone().with_header("Host", &self.host);
-        let bytes = self.session.request(&request.to_bytes())?;
+        let bytes = self.session.request(&request.to_bytes()?)?;
         Response::from_bytes(&bytes)
     }
 
@@ -168,6 +181,7 @@ mod tests {
     use super::*;
     use crate::router::Router;
     use crate::server::serve_https;
+    use proptest::prelude::*;
     use revelio_crypto::ed25519::SigningKey;
     use revelio_net::clock::SimClock;
     use revelio_net::net::NetConfig;
@@ -274,8 +288,73 @@ mod tests {
     fn bad_urls_rejected() {
         assert!(parse_https_url("http://insecure.example").is_err());
         assert!(parse_https_url("https://").is_err());
-        assert_eq!(parse_https_url("https://h").unwrap(), ("h", "/"));
-        assert_eq!(parse_https_url("https://h/p/q").unwrap(), ("h", "/p/q"));
+        assert!(parse_https_url("https://?x=1").is_err());
+        assert!(parse_https_url("https://#frag").is_err());
+        assert_eq!(parse_https_url("https://h").unwrap(), ("h", "/".to_owned()));
+        assert_eq!(
+            parse_https_url("https://h/p/q").unwrap(),
+            ("h", "/p/q".to_owned())
+        );
+    }
+
+    #[test]
+    fn query_string_is_not_part_of_the_host() {
+        // Regression: the query used to be folded into the host, so
+        // `https://pad.example.org?x=1` failed DNS resolution.
+        assert_eq!(
+            parse_https_url("https://pad.example.org?x=1").unwrap(),
+            ("pad.example.org", "/?x=1".to_owned())
+        );
+        assert_eq!(
+            parse_https_url("https://h/p?q=2&r=3").unwrap(),
+            ("h", "/p?q=2&r=3".to_owned())
+        );
+        assert_eq!(
+            parse_https_url("https://h/p#frag").unwrap(),
+            ("h", "/p".to_owned())
+        );
+        assert_eq!(
+            parse_https_url("https://h#frag").unwrap(),
+            ("h", "/".to_owned())
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn parsed_hosts_never_contain_delimiters(url: String) {
+            if let Ok((host, path)) = parse_https_url(&url) {
+                prop_assert!(!host.is_empty());
+                prop_assert!(!host.contains('/'));
+                prop_assert!(!host.contains('?'));
+                prop_assert!(!host.contains('#'));
+                prop_assert!(path.starts_with('/'));
+            }
+        }
+
+        #[test]
+        fn structured_urls_split_exactly(
+            host in "[a-z]{1,12}",
+            seg in "[a-z]{1,6}",
+            query in "[a-z]{1,8}",
+            has_path: bool,
+            has_query: bool,
+            has_fragment: bool,
+        ) {
+            let path = if has_path { format!("/{seg}") } else { String::new() };
+            let mut url = format!("https://{host}{path}");
+            if has_query {
+                url.push('?');
+                url.push_str(&query);
+            }
+            if has_fragment {
+                url.push_str("#frag");
+            }
+            let (h, p) = parse_https_url(&url).unwrap();
+            prop_assert_eq!(h, host.as_str());
+            let base = if has_path { path } else { "/".to_owned() };
+            let expected = if has_query { format!("{base}?{query}") } else { base };
+            prop_assert_eq!(p, expected);
+        }
     }
 
     #[test]

@@ -22,6 +22,23 @@ pub enum HttpError {
     Status(u16),
 }
 
+impl HttpError {
+    /// Whether this error is a transient transport condition worth
+    /// retrying. Transient [`NetError`]s can surface directly
+    /// ([`HttpError::Net`]) or wrapped by a failed TLS handshake
+    /// ([`HttpError::Tls`] around [`TlsError::Net`]); everything else —
+    /// parse failures, bad URLs, certificate rejections, error statuses —
+    /// is durable.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            HttpError::Net(e) => e.is_transient(),
+            HttpError::Tls(TlsError::Net(e)) => e.is_transient(),
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for HttpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -64,5 +81,16 @@ mod tests {
     fn displays() {
         assert!(HttpError::Status(404).to_string().contains("404"));
         assert!(HttpError::BadUrl("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn transient_classification_sees_through_tls() {
+        assert!(HttpError::Net(NetError::Timeout("a".into())).is_transient());
+        assert!(HttpError::Net(NetError::Dropped("a".into())).is_transient());
+        assert!(HttpError::Tls(TlsError::Net(NetError::ConnectionClosed)).is_transient());
+        assert!(!HttpError::Net(NetError::ConnectionRefused("a".into())).is_transient());
+        assert!(!HttpError::Status(503).is_transient());
+        assert!(!HttpError::Malformed("x".into()).is_transient());
+        assert!(!HttpError::BadUrl("x".into()).is_transient());
     }
 }

@@ -89,15 +89,17 @@ impl Request {
     }
 
     /// Encodes as HTTP/1.1 text.
-    #[must_use]
-    pub fn to_bytes(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Malformed`] when a header would corrupt the
+    /// wire format: CR/LF in a name or value (header injection), or a
+    /// caller-supplied `Content-Length` (the encoder owns framing).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, HttpError> {
         let mut out = format!("{} {} HTTP/1.1\r\n", self.method.as_str(), self.path).into_bytes();
-        for (name, value) in &self.headers {
-            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
-        }
-        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        encode_headers(&self.headers, self.body.len(), &mut out)?;
         out.extend_from_slice(&self.body);
-        out
+        Ok(out)
     }
 
     /// Parses HTTP/1.1 request text.
@@ -198,15 +200,17 @@ impl Response {
     }
 
     /// Encodes as HTTP/1.1 text.
-    #[must_use]
-    pub fn to_bytes(&self) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::Malformed`] when a header would corrupt the
+    /// wire format: CR/LF in a name or value (header injection), or a
+    /// caller-supplied `Content-Length` (the encoder owns framing).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, HttpError> {
         let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason()).into_bytes();
-        for (name, value) in &self.headers {
-            out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
-        }
-        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n", self.body.len()).as_bytes());
+        encode_headers(&self.headers, self.body.len(), &mut out)?;
         out.extend_from_slice(&self.body);
-        out
+        Ok(out)
     }
 
     /// Parses HTTP/1.1 response text.
@@ -236,6 +240,38 @@ impl Response {
     }
 }
 
+/// Validates one header field against the wire format. Encoding is the
+/// chokepoint — `headers` is a public field, so builder-side checks alone
+/// could be bypassed.
+fn validate_header(name: &str, value: &str) -> Result<(), HttpError> {
+    if name.is_empty() || name.contains(['\r', '\n', ':', ' ']) {
+        return Err(HttpError::Malformed(format!(
+            "invalid header name {name:?}"
+        )));
+    }
+    if value.contains(['\r', '\n']) {
+        return Err(HttpError::Malformed(format!(
+            "header {name} value contains CR/LF (injection)"
+        )));
+    }
+    if name.eq_ignore_ascii_case("content-length") {
+        return Err(HttpError::Malformed(
+            "caller-supplied Content-Length rejected: the encoder computes framing".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Emits validated headers plus the computed `Content-Length` framing.
+fn encode_headers(headers: &Headers, body_len: usize, out: &mut Vec<u8>) -> Result<(), HttpError> {
+    for (name, value) in headers {
+        validate_header(name, value)?;
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(format!("Content-Length: {body_len}\r\n\r\n").as_bytes());
+    Ok(())
+}
+
 fn split_head(bytes: &[u8]) -> Result<(&str, &[u8]), HttpError> {
     let sep = bytes
         .windows(4)
@@ -260,11 +296,20 @@ fn parse_headers<'a>(
             .ok_or_else(|| HttpError::Malformed(format!("bad header line {line:?}")))?;
         let value = value.trim();
         if name.eq_ignore_ascii_case("content-length") {
-            content_length = Some(
-                value
-                    .parse()
-                    .map_err(|_| HttpError::Malformed("bad content-length".into()))?,
-            );
+            let parsed: usize = value
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+            // Duplicate Content-Length headers with differing values are a
+            // classic request-smuggling vector; agreeing duplicates are
+            // collapsed, conflicting ones rejected.
+            match content_length {
+                Some(existing) if existing != parsed => {
+                    return Err(HttpError::Malformed(
+                        "conflicting duplicate content-length".into(),
+                    ));
+                }
+                _ => content_length = Some(parsed),
+            }
         } else {
             headers.push((name.to_owned(), value.to_owned()));
         }
@@ -293,7 +338,7 @@ mod tests {
         let req = Request::post("/api/report", b"binary\x00body".to_vec())
             .with_header("Host", "pad.example.org")
             .with_header("X-Custom", "1");
-        let parsed = Request::from_bytes(&req.to_bytes()).unwrap();
+        let parsed = Request::from_bytes(&req.to_bytes().unwrap()).unwrap();
         assert_eq!(parsed, req);
         assert_eq!(parsed.header("host"), Some("pad.example.org"));
     }
@@ -301,17 +346,51 @@ mod tests {
     #[test]
     fn response_roundtrip() {
         let res = Response::ok(b"payload".to_vec()).with_header("Content-Type", "text/html");
-        assert_eq!(Response::from_bytes(&res.to_bytes()).unwrap(), res);
+        assert_eq!(Response::from_bytes(&res.to_bytes().unwrap()).unwrap(), res);
     }
 
     #[test]
     fn wrong_content_length_rejected() {
-        let mut bytes = Request::post("/", b"12345".to_vec()).to_bytes();
+        let mut bytes = Request::post("/", b"12345".to_vec()).to_bytes().unwrap();
         bytes.truncate(bytes.len() - 1);
         assert!(matches!(
             Request::from_bytes(&bytes),
             Err(HttpError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn header_injection_rejected_at_encode_time() {
+        // Regression: a CR/LF in a header value used to smuggle an extra
+        // header line onto the wire.
+        let smuggle = Request::get("/").with_header("X", "a\r\nEvil: 1");
+        assert!(matches!(smuggle.to_bytes(), Err(HttpError::Malformed(_))));
+        let lf_only = Response::ok(vec![]).with_header("X", "a\nEvil: 1");
+        assert!(matches!(lf_only.to_bytes(), Err(HttpError::Malformed(_))));
+        let bad_name = Request::get("/").with_header("X\r\nEvil", "1");
+        assert!(matches!(bad_name.to_bytes(), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn caller_supplied_content_length_rejected() {
+        // The encoder computes framing; a caller-supplied Content-Length
+        // used to be emitted alongside it as a shadowed duplicate.
+        let req = Request::post("/", b"12345".to_vec()).with_header("Content-Length", "3");
+        assert!(matches!(req.to_bytes(), Err(HttpError::Malformed(_))));
+        let res = Response::ok(b"12345".to_vec()).with_header("content-length", "5");
+        assert!(matches!(res.to_bytes(), Err(HttpError::Malformed(_))));
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_length_rejected() {
+        let bytes = b"GET / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nab";
+        assert!(matches!(
+            Request::from_bytes(bytes),
+            Err(HttpError::Malformed(_))
+        ));
+        // Agreeing duplicates collapse instead of erroring.
+        let ok = b"GET / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nab";
+        assert_eq!(Request::from_bytes(ok).unwrap().body, b"ab");
     }
 
     #[test]
@@ -335,13 +414,59 @@ mod tests {
         #[test]
         fn request_roundtrip_arbitrary_body(body: Vec<u8>) {
             let req = Request::post("/p", body);
-            prop_assert_eq!(Request::from_bytes(&req.to_bytes()).unwrap(), req);
+            prop_assert_eq!(Request::from_bytes(&req.to_bytes().unwrap()).unwrap(), req);
         }
 
         #[test]
         fn response_roundtrip_arbitrary(status in 100u16..600, body: Vec<u8>) {
             let res = Response { status, headers: vec![], body };
-            prop_assert_eq!(Response::from_bytes(&res.to_bytes()).unwrap(), res);
+            prop_assert_eq!(Response::from_bytes(&res.to_bytes().unwrap()).unwrap(), res);
+        }
+
+        #[test]
+        fn clean_headers_roundtrip_without_smuggling(
+            names in proptest::collection::vec("[a-z]{1,10}", 0..4),
+            values in proptest::collection::vec("[a-z]{0,10}", 0..4),
+        ) {
+            let mut req = Request::get("/");
+            for (name, value) in names.iter().zip(values.iter()) {
+                // "content-length" is reserved for the encoder.
+                if name.eq_ignore_ascii_case("content-length") {
+                    continue;
+                }
+                req = req.with_header(name, value);
+            }
+            let expected = req.headers.len();
+            let parsed = Request::from_bytes(&req.to_bytes().unwrap()).unwrap();
+            // Exactly the headers that went in come out — nothing smuggled,
+            // nothing dropped.
+            prop_assert_eq!(parsed.headers.len(), expected);
+            prop_assert_eq!(parsed, req);
+        }
+
+        #[test]
+        fn adversarial_header_values_never_smuggle(
+            prefix in "[a-z]{0,6}",
+            evil_name in "[A-Z][a-z]{1,8}",
+            evil_value in "[a-z]{1,6}",
+            separator in 0usize..4,
+        ) {
+            // Compose an injection attempt by hand: the shim's String
+            // strategy never yields CR/LF, so we build the payloads here.
+            let sep = ["\r\n", "\n", "\r", "\r\n\r\n"][separator];
+            let value = format!("{prefix}{sep}{evil_name}: {evil_value}");
+            let req = Request::get("/").with_header("X-Attempt", &value);
+            // Encoding must refuse; the smuggled header must never appear
+            // on the wire.
+            prop_assert!(req.to_bytes().is_err());
+            let res = Response::ok(vec![]).with_header(&value, "v");
+            prop_assert!(res.to_bytes().is_err());
+        }
+
+        #[test]
+        fn parser_never_panics_on_arbitrary_bytes(bytes: Vec<u8>) {
+            let _ = Request::from_bytes(&bytes);
+            let _ = Response::from_bytes(&bytes);
         }
     }
 }

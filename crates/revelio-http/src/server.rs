@@ -23,7 +23,11 @@ impl AppHandler for RouterApp {
             Err(e) => Response::status(400)
                 .with_header("X-Parse-Error", &e.to_string().replace(['\r', '\n'], " ")),
         };
-        response.to_bytes()
+        response
+            .to_bytes()
+            // A handler that built an unencodable response (header
+            // injection) must not take the connection down with it.
+            .unwrap_or_else(|_| Response::status(500).to_bytes().expect("no headers"))
     }
 }
 
@@ -59,7 +63,9 @@ impl ConnectionHandler for PlainConnection {
             Ok(req) => self.router.dispatch(&req),
             Err(_) => Response::status(400),
         };
-        Ok(response.to_bytes())
+        Ok(response
+            .to_bytes()
+            .unwrap_or_else(|_| Response::status(500).to_bytes().expect("no headers")))
     }
 }
 
@@ -93,7 +99,7 @@ pub fn plain_request(
     request: &Request,
 ) -> Result<Response, HttpError> {
     let mut conn = net.dial(address)?;
-    let bytes = conn.exchange(&request.to_bytes())?;
+    let bytes = conn.exchange(&request.to_bytes()?)?;
     Response::from_bytes(&bytes)
 }
 

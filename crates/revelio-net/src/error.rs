@@ -18,6 +18,26 @@ pub enum NetError {
     ConnectionClosed,
     /// A protocol-level failure inside a connection handler.
     Protocol(String),
+    /// The operation timed out waiting for the peer (injected fault or an
+    /// unresponsive service); names the dialed address.
+    Timeout(String),
+    /// The message was dropped in flight (injected fault); names the
+    /// dialed address.
+    Dropped(String),
+}
+
+impl NetError {
+    /// Whether this error is a *transient* transport condition a caller
+    /// may reasonably retry: timeouts, drops, and connection resets. A
+    /// refused port, a failed resolution, or a protocol violation is a
+    /// durable condition retries cannot fix.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            NetError::Timeout(_) | NetError::Dropped(_) | NetError::ConnectionClosed
+        )
+    }
 }
 
 impl fmt::Display for NetError {
@@ -28,6 +48,8 @@ impl fmt::Display for NetError {
             NetError::NameResolution(d) => write!(f, "cannot resolve {d}"),
             NetError::ConnectionClosed => write!(f, "connection closed by peer"),
             NetError::Protocol(why) => write!(f, "protocol error: {why}"),
+            NetError::Timeout(a) => write!(f, "timed out waiting for {a}"),
+            NetError::Dropped(a) => write!(f, "message to {a} dropped in flight"),
         }
     }
 }
@@ -43,5 +65,20 @@ mod tests {
         assert!(NetError::ConnectionRefused("10.0.0.1:22".into())
             .to_string()
             .contains(":22"));
+        assert!(NetError::Timeout("kds:443".into())
+            .to_string()
+            .contains("kds:443"));
+        assert!(NetError::Dropped("a:1".into()).to_string().contains("a:1"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(NetError::Timeout("a".into()).is_transient());
+        assert!(NetError::Dropped("a".into()).is_transient());
+        assert!(NetError::ConnectionClosed.is_transient());
+        assert!(!NetError::ConnectionRefused("a".into()).is_transient());
+        assert!(!NetError::NameResolution("a".into()).is_transient());
+        assert!(!NetError::Protocol("x".into()).is_transient());
+        assert!(!NetError::AddressInUse("a".into()).is_transient());
     }
 }

@@ -15,7 +15,12 @@
 //!   paper's "malicious service provider controls DNS" threat, §5.3.2);
 //! * man-in-the-middle hooks — [`net::SimNet::redirect`] silently rewires
 //!   an address to an attacker's listener; higher layers (TLS, the web
-//!   extension) must detect this.
+//!   extension) must detect this;
+//! * [`fault::FaultPlan`] — seeded, deterministic fault injection per
+//!   dialed address (drops, timeouts, resets, fail-first windows, latency
+//!   jitter), installed via [`net::SimNet::set_fault_plan`];
+//! * [`retry::RetryPolicy`] — bounded exponential backoff whose sleeps
+//!   advance the [`clock::SimClock`], never wall time.
 //!
 //! Everything is synchronous and single-threaded by design: simulations
 //! and benches stay deterministic, and protocol state machines remain
@@ -50,6 +55,10 @@
 pub mod clock;
 pub mod dns;
 pub mod error;
+pub mod fault;
 pub mod net;
+pub mod retry;
 
 pub use error::NetError;
+pub use fault::{FaultKind, FaultPlan};
+pub use retry::RetryPolicy;

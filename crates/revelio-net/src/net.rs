@@ -7,6 +7,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::clock::SimClock;
+use crate::fault::{FaultEntry, FaultKind, FaultObserver, FaultPlan};
 use crate::NetError;
 
 /// Per-connection server-side state machine.
@@ -55,6 +56,19 @@ struct NetState {
     latency_overrides: HashMap<String, u64>,
     redirects: HashMap<String, String>,
     tamper: HashMap<String, Arc<TamperFn>>,
+    faults: HashMap<String, FaultEntry>,
+    fault_seed: u64,
+    faults_injected: u64,
+    fault_observer: Option<Arc<FaultObserver>>,
+}
+
+impl NetState {
+    /// Records an injected fault and returns the observer to notify (the
+    /// caller invokes it after releasing the lock).
+    fn record_fault(&mut self) -> Option<Arc<FaultObserver>> {
+        self.faults_injected += 1;
+        self.fault_observer.clone()
+    }
 }
 
 /// The shared network fabric.
@@ -137,14 +151,75 @@ impl SimNet {
         self.state.lock().tamper.insert(address.to_owned(), tamper);
     }
 
+    /// Sets the fabric-wide fault seed. Each faulted address derives its
+    /// own decision stream from this seed and its address, so dial order
+    /// across addresses cannot perturb another address's stream. Call
+    /// before installing plans; already-installed plans are reseeded (and
+    /// their fail-first windows reset).
+    pub fn set_fault_seed(&self, seed: u64) {
+        let mut state = self.state.lock();
+        state.fault_seed = seed;
+        let reseeded: Vec<(String, FaultPlan)> = state
+            .faults
+            .iter()
+            .map(|(a, e)| (a.clone(), e.plan.clone()))
+            .collect();
+        for (address, plan) in reseeded {
+            let entry = FaultEntry::new(plan, seed, &address);
+            state.faults.insert(address, entry);
+        }
+    }
+
+    /// Installs (or replaces) the fault plan for dials *to* `address`.
+    /// Plans are keyed by the **dialed** address — under a redirect the
+    /// victim's plan applies, matching the latency/tamper precedence.
+    pub fn set_fault_plan(&self, address: &str, plan: FaultPlan) {
+        let mut state = self.state.lock();
+        let entry = FaultEntry::new(plan, state.fault_seed, address);
+        state.faults.insert(address.to_owned(), entry);
+    }
+
+    /// Removes the fault plan for `address` — the "faults clear" moment.
+    pub fn clear_fault_plan(&self, address: &str) {
+        self.state.lock().faults.remove(address);
+    }
+
+    /// Installs an observer invoked on every injected fault (outside the
+    /// fabric lock). The harness mirrors injections into telemetry.
+    pub fn set_fault_observer(&self, observer: Arc<FaultObserver>) {
+        self.state.lock().fault_observer = Some(observer);
+    }
+
+    /// Total faults injected so far, across all addresses.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.state.lock().faults_injected
+    }
+
     /// Opens a connection to `address`.
     ///
     /// # Errors
     ///
     /// Returns [`NetError::ConnectionRefused`] when nothing listens there —
-    /// which is exactly what connecting to a Revelio VM's SSH port yields.
+    /// which is exactly what connecting to a Revelio VM's SSH port yields —
+    /// or [`NetError::Timeout`] when the address's fault plan is inside a
+    /// fail-first window.
     pub fn dial(&self, address: &str) -> Result<Connection, NetError> {
-        let state = self.state.lock();
+        let mut state = self.state.lock();
+        // A fail-first window makes the service unreachable: the dial
+        // times out before anything is delivered.
+        if let Some(entry) = state.faults.get_mut(address) {
+            if entry.dial_fails() {
+                let timeout_us = entry.plan.timeout_us;
+                let observer = state.record_fault();
+                drop(state);
+                self.clock.advance_us(timeout_us);
+                if let Some(obs) = observer {
+                    obs(address, FaultKind::Timeout);
+                }
+                return Err(NetError::Timeout(address.to_owned()));
+            }
+        }
         let effective = state
             .redirects
             .get(address)
@@ -155,16 +230,20 @@ impl SimNet {
             .get(&effective)
             .ok_or_else(|| NetError::ConnectionRefused(address.to_owned()))?
             .clone();
+        // The dialed address wins for latency and tamper lookups: an
+        // override installed on the victim keeps applying after a
+        // redirect, falling back to the attacker's setting only when the
+        // victim has none.
         let one_way_us = state
             .latency_overrides
-            .get(&effective)
-            .or_else(|| state.latency_overrides.get(address))
+            .get(address)
+            .or_else(|| state.latency_overrides.get(&effective))
             .copied()
             .unwrap_or(self.config.default_one_way_us);
         let tamper = state
             .tamper
-            .get(&effective)
-            .or_else(|| state.tamper.get(address))
+            .get(address)
+            .or_else(|| state.tamper.get(&effective))
             .cloned();
         drop(state);
         Ok(Connection {
@@ -174,6 +253,8 @@ impl SimNet {
             tamper,
             dialed: address.to_owned(),
             closed: false,
+            timeout_us: FaultPlan::default().timeout_us,
+            net_state: Arc::clone(&self.state),
         })
     }
 }
@@ -186,6 +267,10 @@ pub struct Connection {
     tamper: Option<Arc<TamperFn>>,
     dialed: String,
     closed: bool,
+    /// Timeout window charged for drops/timeouts; refreshed from the
+    /// address's fault plan on each exchange.
+    timeout_us: u64,
+    net_state: Arc<Mutex<NetState>>,
 }
 
 impl std::fmt::Debug for Connection {
@@ -209,17 +294,58 @@ impl Connection {
         if self.closed {
             return Err(NetError::ConnectionClosed);
         }
-        self.clock.advance_us(self.one_way_us);
+        let (jitter_us, fault) = self.fault_decision();
+        let one_way_us = self.one_way_us.saturating_add(jitter_us);
+        if let Some(err) = fault {
+            self.closed = true;
+            // The client spends simulated time discovering the fault: a
+            // full timeout window for drops/timeouts, one (jittered)
+            // one-way trip for a reset.
+            let cost_us = match &err {
+                NetError::ConnectionClosed => one_way_us,
+                _ => self.timeout_us,
+            };
+            self.clock.advance_us(cost_us);
+            return Err(err);
+        }
+        self.clock.advance_us(one_way_us);
         let delivered = match &self.tamper {
             Some(t) => t(message),
             None => message.to_vec(),
         };
         let result = self.handler.on_message(&delivered);
-        self.clock.advance_us(self.one_way_us);
+        self.clock.advance_us(one_way_us);
         if result.is_err() {
             self.closed = true;
         }
         result
+    }
+
+    /// Consults the dialed address's fault plan for this exchange,
+    /// returning the one-way jitter and the fault to surface, if any.
+    /// Faults fire **before** delivery — the handler never runs, so
+    /// server-side state is untouched and a retry is always safe.
+    fn fault_decision(&mut self) -> (u64, Option<NetError>) {
+        let mut state = self.net_state.lock();
+        let Some(entry) = state.faults.get_mut(&self.dialed) else {
+            return (0, None);
+        };
+        let (jitter_us, fault) = entry.exchange_decision();
+        self.timeout_us = entry.plan.timeout_us;
+        let Some(kind) = fault else {
+            return (jitter_us, None);
+        };
+        let observer = state.record_fault();
+        drop(state);
+        if let Some(obs) = observer {
+            obs(&self.dialed, kind);
+        }
+        let err = match kind {
+            FaultKind::Dropped => NetError::Dropped(self.dialed.clone()),
+            FaultKind::Timeout => NetError::Timeout(self.dialed.clone()),
+            FaultKind::Reset => NetError::ConnectionClosed,
+        };
+        (jitter_us, Some(err))
     }
 
     /// The address this connection was dialed to (pre-redirect).
@@ -328,6 +454,44 @@ mod tests {
     }
 
     #[test]
+    fn victim_latency_and_tamper_survive_redirect() {
+        // Satellite fix: settings installed on the dialed (victim) address
+        // must keep applying after a redirect; previously the attacker's
+        // address shadowed them.
+        let (clock, net) = fabric();
+        net.bind("honest:443", Arc::new(Marker(b"honest"))).unwrap();
+        net.bind("evil:443", Arc::new(Marker(b"evil"))).unwrap();
+        net.set_latency("honest:443", 50_000);
+        net.set_latency("evil:443", 7);
+        net.set_tamper(
+            "honest:443",
+            Arc::new(|m: &[u8]| {
+                let mut v = m.to_vec();
+                v.push(b'!');
+                v
+            }),
+        );
+        net.redirect("honest:443", "evil:443");
+        let start = clock.now_us();
+        let mut conn = net.dial("honest:443").unwrap();
+        assert_eq!(conn.exchange(b"hello").unwrap(), b"evil");
+        // The victim's 50 ms one-way override wins over the attacker's.
+        assert_eq!(clock.now_us() - start, 100_000);
+    }
+
+    #[test]
+    fn attacker_settings_apply_when_victim_has_none() {
+        let (clock, net) = fabric();
+        net.bind("evil:443", Arc::new(Marker(b"evil"))).unwrap();
+        net.set_latency("evil:443", 9_000);
+        net.redirect("honest:443", "evil:443");
+        let start = clock.now_us();
+        let mut conn = net.dial("honest:443").unwrap();
+        conn.exchange(b"hello").unwrap();
+        assert_eq!(clock.now_us() - start, 18_000);
+    }
+
+    #[test]
     fn tamper_rewrites_messages() {
         let (_, net) = fabric();
         net.bind("a:1", Arc::new(Echo)).unwrap();
@@ -364,6 +528,169 @@ mod tests {
         let mut conn = net.dial("a:1").unwrap();
         assert!(matches!(conn.exchange(b"x"), Err(NetError::Protocol(_))));
         assert_eq!(conn.exchange(b"x"), Err(NetError::ConnectionClosed));
+    }
+
+    #[test]
+    fn outage_plan_drops_every_exchange_before_delivery() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        struct Count(Arc<AtomicU32>);
+        impl Listener for Count {
+            fn accept(&self) -> Box<dyn ConnectionHandler> {
+                struct H(Arc<AtomicU32>);
+                impl ConnectionHandler for H {
+                    fn on_message(&mut self, _m: &[u8]) -> Result<Vec<u8>, NetError> {
+                        self.0.fetch_add(1, Ordering::SeqCst);
+                        Ok(vec![])
+                    }
+                }
+                Box::new(H(Arc::clone(&self.0)))
+            }
+        }
+        let (clock, net) = fabric();
+        let delivered = Arc::new(AtomicU32::new(0));
+        net.bind("a:1", Arc::new(Count(Arc::clone(&delivered))))
+            .unwrap();
+        net.set_fault_seed(1);
+        net.set_fault_plan("a:1", FaultPlan::outage());
+        let start = clock.now_us();
+        let mut conn = net.dial("a:1").unwrap();
+        assert_eq!(conn.exchange(b"x"), Err(NetError::Dropped("a:1".into())));
+        // The handler never ran, and a full timeout window was spent.
+        assert_eq!(delivered.load(Ordering::SeqCst), 0);
+        assert_eq!(clock.now_us() - start, 1_000_000);
+        assert_eq!(net.faults_injected(), 1);
+        // Clearing the plan restores delivery.
+        net.clear_fault_plan("a:1");
+        let mut conn = net.dial("a:1").unwrap();
+        assert!(conn.exchange(b"x").is_ok());
+        assert_eq!(delivered.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn fail_first_window_times_out_dials_then_recovers() {
+        let (clock, net) = fabric();
+        net.bind("a:1", Arc::new(Echo)).unwrap();
+        net.set_fault_seed(3);
+        net.set_fault_plan(
+            "a:1",
+            FaultPlan {
+                timeout_us: 250_000,
+                ..FaultPlan::fail_first(2)
+            },
+        );
+        let start = clock.now_us();
+        assert_eq!(
+            net.dial("a:1").unwrap_err(),
+            NetError::Timeout("a:1".into())
+        );
+        assert_eq!(
+            net.dial("a:1").unwrap_err(),
+            NetError::Timeout("a:1".into())
+        );
+        assert_eq!(clock.now_us() - start, 500_000);
+        let mut conn = net.dial("a:1").unwrap();
+        assert!(conn.exchange(b"x").is_ok());
+        assert_eq!(net.faults_injected(), 2);
+    }
+
+    #[test]
+    fn reset_fault_surfaces_connection_closed() {
+        let (_, net) = fabric();
+        net.bind("a:1", Arc::new(Echo)).unwrap();
+        net.set_fault_seed(5);
+        net.set_fault_plan(
+            "a:1",
+            FaultPlan {
+                reset_probability: 1.0,
+                ..FaultPlan::default()
+            },
+        );
+        let mut conn = net.dial("a:1").unwrap();
+        assert_eq!(conn.exchange(b"x"), Err(NetError::ConnectionClosed));
+        // A faulted connection is closed; later exchanges fail fast.
+        assert_eq!(conn.exchange(b"x"), Err(NetError::ConnectionClosed));
+        assert_eq!(net.faults_injected(), 1);
+    }
+
+    #[test]
+    fn jitter_stretches_round_trips_deterministically() {
+        let run = |seed: u64| {
+            let (clock, net) = fabric();
+            net.bind("a:1", Arc::new(Echo)).unwrap();
+            net.set_fault_seed(seed);
+            net.set_fault_plan(
+                "a:1",
+                FaultPlan {
+                    jitter_us: 800,
+                    ..FaultPlan::default()
+                },
+            );
+            let mut conn = net.dial("a:1").unwrap();
+            for _ in 0..8 {
+                conn.exchange(b"x").unwrap();
+            }
+            clock.now_us()
+        };
+        let base = {
+            let (clock, net) = fabric();
+            net.bind("a:1", Arc::new(Echo)).unwrap();
+            let mut conn = net.dial("a:1").unwrap();
+            for _ in 0..8 {
+                conn.exchange(b"x").unwrap();
+            }
+            clock.now_us()
+        };
+        let a = run(21);
+        assert_eq!(a, run(21), "same seed, same timings");
+        assert!(a >= base && a <= base + 8 * 2 * 800);
+    }
+
+    #[test]
+    fn same_seed_yields_identical_fault_streams() {
+        let stream = |seed: u64| {
+            let (_, net) = fabric();
+            net.bind("a:1", Arc::new(Echo)).unwrap();
+            net.set_fault_seed(seed);
+            net.set_fault_plan(
+                "a:1",
+                FaultPlan {
+                    drop_probability: 0.3,
+                    timeout_probability: 0.2,
+                    reset_probability: 0.1,
+                    ..FaultPlan::default()
+                },
+            );
+            let mut out = Vec::new();
+            for _ in 0..32 {
+                let mut conn = net.dial("a:1").unwrap();
+                out.push(conn.exchange(b"x").is_ok());
+            }
+            out
+        };
+        assert_eq!(stream(99), stream(99));
+        assert_ne!(stream(99), stream(100));
+    }
+
+    #[test]
+    fn fault_observer_sees_every_injection() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let (_, net) = fabric();
+        net.bind("a:1", Arc::new(Echo)).unwrap();
+        net.set_fault_seed(1);
+        net.set_fault_plan("a:1", FaultPlan::outage());
+        let seen = Arc::new(AtomicU32::new(0));
+        let seen2 = Arc::clone(&seen);
+        net.set_fault_observer(Arc::new(move |address, kind| {
+            assert_eq!(address, "a:1");
+            assert_eq!(kind, FaultKind::Dropped);
+            seen2.fetch_add(1, Ordering::SeqCst);
+        }));
+        for _ in 0..5 {
+            let mut conn = net.dial("a:1").unwrap();
+            let _ = conn.exchange(b"x");
+        }
+        assert_eq!(seen.load(Ordering::SeqCst), 5);
+        assert_eq!(net.faults_injected(), 5);
     }
 
     #[test]

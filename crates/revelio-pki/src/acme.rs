@@ -14,7 +14,8 @@ use parking_lot::Mutex;
 use revelio_crypto::sha2::Sha256;
 use revelio_net::clock::SimClock;
 use revelio_net::dns::DnsZone;
-use revelio_telemetry::Telemetry;
+use revelio_net::retry::RetryPolicy;
+use revelio_telemetry::{retry_with_telemetry, Telemetry};
 
 use crate::ca::CertificateAuthority;
 use crate::cert::{Certificate, CertificateChain, CertificateSigningRequest};
@@ -59,6 +60,9 @@ struct IssuanceLog {
     /// domain → timestamps (ms) of issued certificates in rough order.
     issued: HashMap<String, Vec<u64>>,
     challenge_counter: u64,
+    /// Orders left to fail with [`PkiError::Unavailable`] (simulated CA
+    /// outage installed via [`AcmeCa::set_outage`]).
+    outage_remaining: u32,
 }
 
 /// The automated certificate authority.
@@ -72,7 +76,11 @@ pub struct AcmeCa {
     dns: DnsZone,
     log: Arc<Mutex<IssuanceLog>>,
     telemetry: Option<Telemetry>,
+    retry: RetryPolicy,
 }
+
+/// Decorrelates the ACME retry jitter stream from other components.
+const ACME_JITTER_SEED: u64 = 0x61636d65; // "acme"
 
 impl std::fmt::Debug for AcmeCa {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -107,7 +115,23 @@ impl AcmeCa {
             dns,
             log: Arc::new(Mutex::new(IssuanceLog::default())),
             telemetry: None,
+            retry: RetryPolicy::default().with_jitter_seed(ACME_JITTER_SEED),
         }
+    }
+
+    /// Replaces the retry policy applied by
+    /// [`AcmeCa::order_certificate`] to transient CA outages.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Makes the next `orders` certificate orders fail with
+    /// [`PkiError::Unavailable`] before recovering — a simulated CA
+    /// outage window for chaos testing.
+    pub fn set_outage(&self, orders: u32) {
+        self.log.lock().outage_remaining = orders;
     }
 
     /// Records an `acme.order` span and issuance counters for every
@@ -210,13 +234,36 @@ impl AcmeCa {
             .telemetry
             .as_ref()
             .map(|t| t.span_with("acme.order", &[("domain", &csr.domain)]));
-        let result = (|| {
+        let attempt = |_attempt: u32| {
+            {
+                let mut log = self.log.lock();
+                if log.outage_remaining > 0 {
+                    log.outage_remaining -= 1;
+                    return Err(PkiError::Unavailable("acme ca".into()));
+                }
+            }
             let challenge = self.begin_challenge(csr)?;
             self.dns.set_txt(&challenge.record_name, &challenge.token);
             let result = self.finish_challenge(csr, &challenge);
             self.dns.clear_txt(&challenge.record_name);
             result
-        })();
+        };
+        // Transient outages are retried under the single acme.order span;
+        // durable failures (rate limits, bad challenges) return at once.
+        let result = match &self.telemetry {
+            Some(telemetry) => retry_with_telemetry(
+                &self.retry,
+                telemetry,
+                "acme",
+                PkiError::is_transient,
+                attempt,
+            ),
+            None => {
+                self.retry
+                    .run(&self.clock, PkiError::is_transient, attempt)
+                    .0
+            }
+        };
         if let Some(telemetry) = &self.telemetry {
             let ms = span.expect("span exists when telemetry does").finish_ms();
             telemetry.observe("revelio_pki_acme_order_ms", ms);
@@ -312,6 +359,51 @@ mod tests {
         assert!(ca.order_certificate(&csr("a.example.org", 1)).is_err());
         // A different domain is unaffected.
         ca.order_certificate(&csr("b.example.org", 2)).unwrap();
+    }
+
+    #[test]
+    fn brief_outage_is_retried_to_success() {
+        let (ca, _, clock) = setup(AcmePolicy::default());
+        let ca = ca.with_telemetry(Telemetry::new(clock.clone()));
+        ca.set_outage(2);
+        let start = clock.now_us();
+        ca.order_certificate(&csr("pad.example.org", 1)).unwrap();
+        assert!(clock.now_us() > start, "backoff spent simulated time");
+    }
+
+    #[test]
+    fn sustained_outage_exhausts_retries() {
+        let (ca, _, clock) = setup(AcmePolicy::default());
+        let telemetry = Telemetry::new(clock.clone());
+        let ca = ca.with_telemetry(telemetry.clone());
+        ca.set_outage(u32::MAX);
+        assert!(matches!(
+            ca.order_certificate(&csr("pad.example.org", 1)),
+            Err(PkiError::Unavailable(_))
+        ));
+        assert_eq!(telemetry.counter("revelio_acme_retry_attempts_total"), 3);
+        assert_eq!(telemetry.counter("revelio_acme_retry_gave_up_total"), 1);
+    }
+
+    #[test]
+    fn rate_limit_is_never_retried() {
+        let policy = AcmePolicy {
+            certificates_per_window: 1,
+            window_ms: 1000,
+            lifetime_ms: 10_000,
+        };
+        let (ca, _, clock) = setup(policy);
+        let telemetry = Telemetry::new(clock.clone());
+        let ca = ca.with_telemetry(telemetry.clone());
+        ca.order_certificate(&csr("a.example.org", 1)).unwrap();
+        let before = clock.now_us();
+        assert!(matches!(
+            ca.order_certificate(&csr("a.example.org", 1)),
+            Err(PkiError::RateLimited { .. })
+        ));
+        // Durable: no backoff was spent, no retries were counted.
+        assert_eq!(clock.now_us(), before);
+        assert_eq!(telemetry.counter("revelio_retry_attempts_total"), 0);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 mod export;
 mod metrics;
 mod probe;
+pub mod retry;
 mod span;
 
 use std::collections::BTreeMap;
@@ -32,6 +33,7 @@ use revelio_net::clock::SimClock;
 
 pub use metrics::Histogram;
 pub use probe::DeviceProbe;
+pub use retry::retry_with_telemetry;
 pub use span::{SpanGuard, SpanRecord};
 
 // Re-exported so crates that don't otherwise depend on `revelio-net` (e.g.

@@ -35,6 +35,17 @@ pub enum RevelioError {
     TlsBindingMismatch,
     /// The site serves no Revelio evidence at the well-known URL.
     NotRevelioSite(String),
+    /// A flow gave up after retrying transient network faults; no verdict
+    /// about attestation was reached (the paper's verifier must never
+    /// conflate a dropped packet with a failed attestation).
+    TransientNetwork {
+        /// The component that exhausted its retries (e.g. `"extension"`).
+        component: String,
+        /// Attempts made, including the first.
+        attempts: u32,
+        /// Rendering of the final transient error.
+        last_error: String,
+    },
     /// The decrypted TLS key does not match the distributed certificate.
     KeyCertificateMismatch,
     /// Hardware attestation error.
@@ -55,6 +66,23 @@ pub enum RevelioError {
     Crypto(CryptoError),
 }
 
+impl RevelioError {
+    /// Whether this error is a transient network condition (directly, or
+    /// wrapped in the HTTP/TLS/PKI layers) rather than a verdict about
+    /// attestation or protocol state. Callers must treat transient errors
+    /// as "retry later" — never as "attestation failed".
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            RevelioError::TransientNetwork { .. } => true,
+            RevelioError::Net(e) => e.is_transient(),
+            RevelioError::Http(e) => e.is_transient(),
+            RevelioError::Pki(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for RevelioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -72,6 +100,17 @@ impl fmt::Display for RevelioError {
                 write!(f, "tls connection key does not match attested key")
             }
             RevelioError::NotRevelioSite(d) => write!(f, "{d} serves no revelio evidence"),
+            RevelioError::TransientNetwork {
+                component,
+                attempts,
+                last_error,
+            } => {
+                write!(
+                    f,
+                    "transient network failure in {component} after {attempts} attempts: \
+                     {last_error} — retry, no attestation verdict reached"
+                )
+            }
             RevelioError::KeyCertificateMismatch => {
                 write!(f, "distributed key does not match certificate")
             }
@@ -141,5 +180,23 @@ mod tests {
         let e: RevelioError = SnpError::SignatureInvalid.into();
         assert!(matches!(e, RevelioError::Snp(_)));
         assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn transient_classification_unwraps_layers() {
+        assert!(RevelioError::Net(NetError::Timeout("a".into())).is_transient());
+        assert!(RevelioError::Http(HttpError::Net(NetError::Dropped("a".into()))).is_transient());
+        assert!(RevelioError::TransientNetwork {
+            component: "extension".into(),
+            attempts: 4,
+            last_error: "timed out".into(),
+        }
+        .is_transient());
+        assert!(RevelioError::Pki(PkiError::Unavailable("acme".into())).is_transient());
+        // Verdict-bearing errors must never classify as transient.
+        assert!(!RevelioError::TlsBindingMismatch.is_transient());
+        assert!(!RevelioError::EvidenceRejected("x".into()).is_transient());
+        assert!(!RevelioError::UnknownMeasurement("m".into()).is_transient());
+        assert!(!RevelioError::Pki(PkiError::SignatureInvalid).is_transient());
     }
 }

@@ -23,8 +23,9 @@ use revelio_http::WELL_KNOWN_ATTESTATION_PATH;
 use revelio_net::clock::SimClock;
 use revelio_net::dns::DnsZone;
 use revelio_net::net::SimNet;
+use revelio_net::retry::RetryPolicy;
 use revelio_pki::cert::Certificate;
-use revelio_telemetry::Telemetry;
+use revelio_telemetry::{retry_with_telemetry, Telemetry};
 use revelio_tls::TlsClientConfig;
 use sev_snp::measurement::Measurement;
 use sev_snp::verify::ReportVerifier;
@@ -71,6 +72,52 @@ pub struct BrowseOutcome {
     pub evidence: EvidenceBundle,
 }
 
+/// What the extension UI shows the user after a browse attempt. The
+/// three-way split matters for trust: a dropped packet and a forged
+/// measurement must never render the same badge (§5.3.2's alerts are
+/// *attestation* verdicts, not connectivity indicators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrowseVerdict {
+    /// Evidence validated end to end, down to the TLS connection binding.
+    Attested,
+    /// Transport faults exhausted the retry budget. **No verdict about the
+    /// site was reached** — the UI says "network problem, retry", never
+    /// "attestation failed".
+    TransientNetworkRetry,
+    /// Evidence was obtained and affirmatively failed a check (signature,
+    /// measurement, TLS binding...).
+    AttestationFailed,
+    /// The site is reachable but serves no Revelio evidence.
+    NotRevelio,
+}
+
+impl BrowseVerdict {
+    /// Classifies a browse result into the UI verdict.
+    #[must_use]
+    pub fn classify(result: &Result<BrowseOutcome, RevelioError>) -> Self {
+        match result {
+            Ok(_) => BrowseVerdict::Attested,
+            Err(e) if e.is_transient() => BrowseVerdict::TransientNetworkRetry,
+            Err(RevelioError::NotRevelioSite(_)) => BrowseVerdict::NotRevelio,
+            Err(_) => BrowseVerdict::AttestationFailed,
+        }
+    }
+
+    /// Stable label (telemetry, logs, UI badge ids).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BrowseVerdict::Attested => "attested",
+            BrowseVerdict::TransientNetworkRetry => "transient_network_retry",
+            BrowseVerdict::AttestationFailed => "attestation_failed",
+            BrowseVerdict::NotRevelio => "not_revelio",
+        }
+    }
+}
+
+/// Decorrelates the extension retry jitter stream from other components.
+const EXTENSION_JITTER_SEED: u64 = 0x657874; // "ext"
+
 /// The web extension.
 pub struct WebExtension {
     clock: SimClock,
@@ -79,6 +126,7 @@ pub struct WebExtension {
     client: HttpsClient,
     registered: BTreeMap<String, GoldenSet>,
     telemetry: Telemetry,
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for WebExtension {
@@ -122,7 +170,44 @@ impl WebExtension {
             client,
             registered: BTreeMap::new(),
             telemetry,
+            retry: RetryPolicy::default().with_jitter_seed(EXTENSION_JITTER_SEED),
         }
+    }
+
+    /// Replaces the retry policy applied to transient transport failures
+    /// during attested browsing.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Retries `op` on transient faults; when the budget is exhausted the
+    /// final transient error is wrapped as [`RevelioError::TransientNetwork`]
+    /// so callers (and [`BrowseVerdict::classify`]) can distinguish "the
+    /// network ate it" from "attestation failed".
+    fn with_transient_retry<T>(
+        &self,
+        op: impl FnMut(u32) -> Result<T, RevelioError>,
+    ) -> Result<T, RevelioError> {
+        retry_with_telemetry(
+            &self.retry,
+            &self.telemetry,
+            "extension",
+            RevelioError::is_transient,
+            op,
+        )
+        .map_err(|e| {
+            if e.is_transient() {
+                RevelioError::TransientNetwork {
+                    component: "extension".into(),
+                    attempts: self.retry.max_attempts,
+                    last_error: e.to_string(),
+                }
+            } else {
+                e
+            }
+        })
     }
 
     /// Registers a domain with its acceptable measurements (manual
@@ -210,6 +295,10 @@ impl WebExtension {
     /// Returns the specific [`RevelioError`] for the failing check — these
     /// are the alerts the extension UI shows the user.
     pub fn browse(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
+        self.with_transient_retry(|_attempt| self.browse_once(domain, path))
+    }
+
+    fn browse_once(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
         let root = self.telemetry.span_with(
             "browse",
             &[("domain", domain), ("mode", "well_known"), ("path", path)],
@@ -250,6 +339,10 @@ impl WebExtension {
     /// Returns [`RevelioError::NotRevelioSite`] when the handshake carried
     /// no evidence, plus every failure mode of [`WebExtension::browse`].
     pub fn browse_ratls(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
+        self.with_transient_retry(|_attempt| self.browse_ratls_once(domain, path))
+    }
+
+    fn browse_ratls_once(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
         let root = self.telemetry.span_with(
             "browse",
             &[("domain", domain), ("mode", "ratls"), ("path", path)],

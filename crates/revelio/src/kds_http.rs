@@ -14,8 +14,10 @@ use revelio_crypto::wire::{ByteReader, ByteWriter};
 use revelio_http::message::{Request, Response};
 use revelio_http::router::Router;
 use revelio_http::server::{plain_request, serve_http};
+use revelio_http::HttpError;
 use revelio_net::net::SimNet;
-use revelio_telemetry::Telemetry;
+use revelio_net::retry::RetryPolicy;
+use revelio_telemetry::{retry_with_telemetry, Telemetry};
 use sev_snp::ids::{ChipId, TcbVersion};
 use sev_snp::kds::{KeyDistributionService, VcekCertChain};
 
@@ -66,6 +68,9 @@ pub fn serve_kds(
 /// Cache of fetched VCEK chains, keyed by (chip id, packed TCB).
 type VcekCache = Arc<Mutex<HashMap<(ChipId, u64), VcekCertChain>>>;
 
+/// Decorrelates the KDS retry jitter stream from other components.
+const KDS_JITTER_SEED: u64 = 0x006b_6473; // "kds"
+
 /// A KDS client with an optional shared VCEK-chain cache.
 #[derive(Clone)]
 pub struct KdsHttpClient {
@@ -73,6 +78,7 @@ pub struct KdsHttpClient {
     address: String,
     cache: Option<VcekCache>,
     telemetry: Option<Telemetry>,
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for KdsHttpClient {
@@ -93,6 +99,7 @@ impl KdsHttpClient {
             address: address.to_owned(),
             cache: Some(Arc::new(Mutex::new(HashMap::new()))),
             telemetry: None,
+            retry: RetryPolicy::default().with_jitter_seed(KDS_JITTER_SEED),
         }
     }
 
@@ -105,6 +112,7 @@ impl KdsHttpClient {
             address: address.to_owned(),
             cache: None,
             telemetry: None,
+            retry: RetryPolicy::default().with_jitter_seed(KDS_JITTER_SEED),
         }
     }
 
@@ -113,6 +121,14 @@ impl KdsHttpClient {
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Replaces the retry policy applied to transient transport failures
+    /// on the KDS fetch path.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -140,11 +156,29 @@ impl KdsHttpClient {
             t.span_with("kds.fetch", &[("address", &self.address)])
         });
         let result = (|| {
-            let response = plain_request(
-                &self.net,
-                &self.address,
-                &Request::post("/vcek", encode_query(chip_id, tcb)),
-            )?;
+            // The 427 ms KDS round trip crosses the public internet —
+            // transient drops are retried under the same kds.fetch span.
+            let fetch = |_attempt: u32| {
+                plain_request(
+                    &self.net,
+                    &self.address,
+                    &Request::post("/vcek", encode_query(chip_id, tcb)),
+                )
+            };
+            let response = match &self.telemetry {
+                Some(telemetry) => retry_with_telemetry(
+                    &self.retry,
+                    telemetry,
+                    "kds",
+                    HttpError::is_transient,
+                    fetch,
+                ),
+                None => {
+                    self.retry
+                        .run(self.net.clock(), HttpError::is_transient, fetch)
+                        .0
+                }
+            }?;
             if !response.is_success() {
                 return Err(RevelioError::EvidenceRejected(format!(
                     "kds returned status {}",
@@ -219,6 +253,34 @@ mod tests {
         let (_, second) = clock.time_ms(|| client.vcek_chain(&chip, &tcb).unwrap());
         assert!(first > 0.0);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn brief_kds_outage_is_retried_to_success() {
+        let (clock, net, amd) = setup();
+        net.set_fault_plan(KDS_ADDRESS, revelio_net::FaultPlan::fail_first(2));
+        let client = KdsHttpClient::new(net, KDS_ADDRESS);
+        let chip = ChipId::from_seed(1);
+        let tcb = TcbVersion::default();
+        let before = clock.now_us();
+        let chain = client.vcek_chain(&chip, &tcb).unwrap();
+        chain.validate(&amd.ark_public_key()).unwrap();
+        // Two timeouts plus two backoffs were paid in virtual time.
+        assert!(clock.now_us() > before + 2_000_000);
+    }
+
+    #[test]
+    fn sustained_kds_outage_surfaces_a_transient_error() {
+        let (_, net, _) = setup();
+        net.set_fault_plan(KDS_ADDRESS, revelio_net::FaultPlan::outage());
+        let telemetry = revelio_telemetry::Telemetry::new(net.clock().clone());
+        let client = KdsHttpClient::new(net, KDS_ADDRESS).with_telemetry(telemetry.clone());
+        let err = client
+            .vcek_chain(&ChipId::from_seed(1), &TcbVersion::default())
+            .unwrap_err();
+        assert!(err.is_transient(), "outage must stay transient, got {err}");
+        assert_eq!(telemetry.counter("revelio_kds_retry_gave_up_total"), 1);
+        assert_eq!(telemetry.counter("revelio_kds_retry_attempts_total"), 3);
     }
 
     #[test]

@@ -31,8 +31,9 @@ use revelio_http::router::Router;
 use revelio_http::server::{plain_request, serve_http, serve_https};
 use revelio_http::WELL_KNOWN_ATTESTATION_PATH;
 use revelio_net::net::SimNet;
+use revelio_net::retry::RetryPolicy;
 use revelio_pki::cert::{CertificateChain, CertificateSigningRequest};
-use revelio_telemetry::Telemetry;
+use revelio_telemetry::{retry_with_telemetry, Telemetry};
 use revelio_tls::TlsServerConfig;
 use sev_snp::ids::ChipId;
 use sev_snp::measurement::Measurement;
@@ -183,11 +184,15 @@ struct NodeState {
     serving: bool,
 }
 
+/// Decorrelates the node retry jitter stream from other components.
+const NODE_JITTER_SEED: u64 = 0x6e6f_6465; // "node"
+
 struct NodeShared {
     vm: BootedVm,
     config: NodeConfig,
     net: SimNet,
     kds: KdsHttpClient,
+    retry: RetryPolicy,
     state: Mutex<NodeState>,
     box_secret: [u8; 32],
     eph_counter: AtomicU64,
@@ -312,14 +317,32 @@ impl NodeShared {
         let my_report = self
             .vm
             .report_with_data(&key_request_binding(&box_public, &nonce));
-        let response = plain_request(
-            &self.net,
-            leader_bootstrap,
-            &Request::post(
-                "/revelio/key-request",
-                encode_key_request(&my_report, &box_public, &nonce),
+        let request = Request::post(
+            "/revelio/key-request",
+            encode_key_request(&my_report, &box_public, &nonce),
+        );
+        // Retry transient faults on the leader link: the nonce is reused
+        // across attempts of ONE logical request (replay protection binds
+        // the response to the request, not to the transport attempt).
+        let attempt = |_attempt: u32| plain_request(&self.net, leader_bootstrap, &request);
+        let response = match &self.telemetry {
+            Some(telemetry) => retry_with_telemetry(
+                &self.retry,
+                telemetry,
+                "node",
+                revelio_http::HttpError::is_transient,
+                attempt,
             ),
-        )?;
+            None => {
+                self.retry
+                    .run(
+                        self.net.clock(),
+                        revelio_http::HttpError::is_transient,
+                        attempt,
+                    )
+                    .0
+            }
+        }?;
         if !response.is_success() {
             return Err(RevelioError::MutualAttestationFailed(format!(
                 "leader refused key request with status {}",
@@ -483,6 +506,7 @@ impl RevelioNode {
             config,
             net: net.clone(),
             kds,
+            retry: RetryPolicy::default().with_jitter_seed(NODE_JITTER_SEED),
             state: Mutex::new(NodeState {
                 chain: None,
                 tls_key: None,

@@ -9,12 +9,14 @@
 //! raw material of the paper's Table 2.
 
 use revelio_crypto::ed25519::VerifyingKey;
-use revelio_http::message::Request;
+use revelio_http::message::{Request, Response};
 use revelio_http::server::plain_request;
+use revelio_http::HttpError;
 use revelio_net::net::SimNet;
+use revelio_net::retry::RetryPolicy;
 use revelio_pki::acme::AcmeCa;
 use revelio_pki::cert::CertificateChain;
-use revelio_telemetry::Telemetry;
+use revelio_telemetry::{retry_with_telemetry, Telemetry};
 use sev_snp::ids::ChipId;
 use sev_snp::verify::ReportVerifier;
 
@@ -70,6 +72,9 @@ pub struct ProvisionReport {
     pub timings: SpTimings,
 }
 
+/// Decorrelates the SP retry jitter stream from other components.
+const SP_JITTER_SEED: u64 = 0x7370; // "sp"
+
 /// The SP node.
 pub struct ServiceProviderNode {
     net: SimNet,
@@ -77,6 +82,7 @@ pub struct ServiceProviderNode {
     acme: AcmeCa,
     config: SpConfig,
     telemetry: Option<Telemetry>,
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for ServiceProviderNode {
@@ -97,6 +103,7 @@ impl ServiceProviderNode {
             acme,
             config,
             telemetry: None,
+            retry: RetryPolicy::default().with_jitter_seed(SP_JITTER_SEED),
         }
     }
 
@@ -108,8 +115,38 @@ impl ServiceProviderNode {
         self
     }
 
+    /// Replaces the retry policy applied to transient transport failures
+    /// on the evidence-retrieval and distribution paths.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// A bootstrap-port request with transient faults retried: a dropped
+    /// packet on the provider-internal network must not abort a whole
+    /// fleet provisioning run.
+    fn retried_request(&self, address: &str, request: &Request) -> Result<Response, RevelioError> {
+        let attempt = |_attempt: u32| plain_request(&self.net, address, request);
+        let response = match &self.telemetry {
+            Some(telemetry) => retry_with_telemetry(
+                &self.retry,
+                telemetry,
+                "sp",
+                HttpError::is_transient,
+                attempt,
+            ),
+            None => {
+                self.retry
+                    .run(self.net.clock(), HttpError::is_transient, attempt)
+                    .0
+            }
+        }?;
+        Ok(response)
+    }
+
     fn fetch_bundle(&self, bootstrap: &str) -> Result<CsrBundle, RevelioError> {
-        let response = plain_request(&self.net, bootstrap, &Request::get("/revelio/csr-bundle"))?;
+        let response = self.retried_request(bootstrap, &Request::get("/revelio/csr-bundle"))?;
         if !response.is_success() {
             return Err(RevelioError::NodeRejected {
                 node: bootstrap.to_owned(),
@@ -259,8 +296,7 @@ impl ServiceProviderNode {
         let payload = crate::node::encode_install_cert(&chain, &leader_bootstrap, &approved_chips);
         for addr in bootstrap_addrs {
             let span = telemetry.span_with("sp.certificate_distribution", &[("node", addr)]);
-            let response = plain_request(
-                &self.net,
+            let response = self.retried_request(
                 addr,
                 &Request::post("/revelio/install-cert", payload.clone()),
             )?;

@@ -15,6 +15,7 @@ use revelio_http::router::Router;
 use revelio_net::clock::SimClock;
 use revelio_net::dns::DnsZone;
 use revelio_net::net::{NetConfig, SimNet};
+use revelio_net::FaultPlan;
 use revelio_pki::acme::{AcmeCa, AcmePolicy};
 use revelio_pki::cert::Certificate;
 use revelio_telemetry::Telemetry;
@@ -149,6 +150,14 @@ impl SimWorld {
                 default_one_way_us: tuning.link_one_way_us,
             },
         );
+        // Mirror every injected fault into the world registry so chaos
+        // runs can assert on (and diff) `revelio_net_faults_injected_total`
+        // alongside the retry counters.
+        let fault_telemetry = telemetry.clone();
+        net.set_fault_observer(Arc::new(move |_address: &str, kind| {
+            fault_telemetry.counter_add("revelio_net_faults_injected_total", 1);
+            fault_telemetry.counter_add(&format!("revelio_net_faults_{}_total", kind.as_str()), 1);
+        }));
         let dns = DnsZone::new();
         let mut amd_seed = [0u8; 32];
         amd_seed[..8].copy_from_slice(&seed.to_le_bytes());
@@ -388,6 +397,24 @@ impl SimWorld {
             provision,
             domain: domain.to_owned(),
         })
+    }
+
+    /// Seeds the fabric's per-address fault PRNG streams. Equal seeds (and
+    /// equal scenarios) give byte-identical runs; call before the faulted
+    /// traffic starts.
+    pub fn set_fault_seed(&self, seed: u64) {
+        self.net.set_fault_seed(seed);
+    }
+
+    /// Applies `plan` to every future dial of `address` (the *dialed*
+    /// address — redirects do not move a victim's plan to the attacker).
+    pub fn set_fault_plan(&self, address: &str, plan: FaultPlan) {
+        self.net.set_fault_plan(address, plan);
+    }
+
+    /// Removes the fault plan for `address` (e.g. "the outage clears").
+    pub fn clear_fault_plan(&self, address: &str) {
+        self.net.clear_fault_plan(address);
     }
 
     /// A web-extension instance for an end-user in this world.

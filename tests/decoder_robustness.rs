@@ -59,8 +59,8 @@ fn valid_encodings() -> Vec<Vec<u8>> {
         tree.to_archive(),
         InitConfig::default().to_initrd(),
         KernelSpec::default().to_blob(),
-        Request::post("/p", b"body".to_vec()).to_bytes(),
-        Response::ok(b"body".to_vec()).to_bytes(),
+        Request::post("/p", b"body".to_vec()).to_bytes().unwrap(),
+        Response::ok(b"body".to_vec()).to_bytes().unwrap(),
         IcRequest {
             canister_id: 1,
             kind: revelio_ic::canister::CallKind::Query,

@@ -41,6 +41,43 @@ fn same_seed_yields_byte_identical_exports() {
 }
 
 #[test]
+fn fault_seed_is_part_of_the_determinism_contract() {
+    // Same world seed + same fault seed ⇒ byte-identical exports even
+    // though faults and retries fire mid-scenario; a different fault seed
+    // reshuffles the injected faults.
+    fn run_faulted(fault_seed: u64) -> Telemetry {
+        let mut world = SimWorld::new(7);
+        let fleet = world
+            .deploy_fleet("pad.example.org", 2, demo_app())
+            .unwrap();
+        world.set_fault_seed(fault_seed);
+        world.set_fault_plan(
+            fleet.nodes[0].public_address(),
+            revelio_net::FaultPlan {
+                drop_probability: 0.35,
+                jitter_us: 2_000,
+                ..revelio_net::FaultPlan::default()
+            },
+        );
+        let mut extension = world.extension();
+        extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
+        for _ in 0..3 {
+            let _ = extension.browse("pad.example.org", "/");
+        }
+        world.telemetry
+    }
+    let a = run_faulted(99);
+    let b = run_faulted(99);
+    assert_eq!(a.export_json_lines(), b.export_json_lines());
+    assert_eq!(a.export_prometheus(), b.export_prometheus());
+    assert!(
+        a.export_prometheus()
+            .contains("revelio_net_faults_injected_total"),
+        "scenario injected no faults"
+    );
+}
+
+#[test]
 fn different_seeds_still_record_the_same_span_shape() {
     // Seeds change keys and identities, not the modelled latencies, so the
     // span *tree* (names, counts, durations) is seed-invariant even though
