@@ -7,8 +7,9 @@
 //! ```
 
 use revelio_bench::{
-    cert_strategy_ablation, run_fig5, run_fig6, run_fleet_scaling, run_ratls_ablation, run_table1,
-    run_table2, run_table3, run_telemetry, run_verity_ablation, SCALE,
+    cert_strategy_ablation, fleet_dimensions_from_env, run_fabric_bench, run_fig5, run_fig6,
+    run_fleet_scaling, run_ratls_ablation, run_retry_ablation, run_table1, run_table2, run_table3,
+    run_telemetry, run_verity_ablation, SCALE,
 };
 
 const KNOWN_FLAGS: &[&str] = &[
@@ -19,6 +20,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--table3",
     "--ablations",
     "--telemetry",
+    "--fleet",
 ];
 
 fn wants(args: &[String], flag: &str) -> bool {
@@ -57,6 +59,11 @@ fn main() {
     }
     if wants(&args, "--telemetry") {
         telemetry();
+    }
+    // The fleet benchmark spawns OS-thread fleets and takes a while at
+    // full size, so it only runs when asked for.
+    if args.iter().any(|a| a == "--fleet") {
+        fleet();
     }
 }
 
@@ -228,6 +235,20 @@ fn ablations() {
         well_known_ms - ratls_ms
     );
 
+    println!("== Ablation: retry budget vs attestation tail latency under loss ==");
+    println!("(KDS link dropping 55% of exchanges; 24 cold attested browses per budget)");
+    println!(
+        "{:>9} {:>10} {:>12} {:>12}",
+        "attempts", "success", "p50 ms", "p95 ms"
+    );
+    for p in run_retry_ablation(&[1, 2, 4, 6], 0.55, 24) {
+        println!(
+            "{:>9} {:>7}/{:<2} {:>12.1} {:>12.1}",
+            p.max_attempts, p.successes, p.samples, p.p50_ms, p.p95_ms
+        );
+    }
+    println!("(small budgets give up; larger budgets convert losses into tail latency)\n");
+
     println!("== Scalability: SP provisioning latency vs fleet size (D3) ==");
     println!("{:>6} {:>16}", "nodes", "provision ms");
     for (n, ms) in run_fleet_scaling(&[1, 2, 4, 8, 16]) {
@@ -254,4 +275,47 @@ fn telemetry() {
         "spans recorded: {}; deterministic: equal seeds yield byte-identical exports\n",
         registry.span_count()
     );
+}
+
+fn fleet() {
+    let (nodes, threads, dials) = fleet_dimensions_from_env();
+    println!("== Fleet benchmark: sharded vs single-lock fabric ==");
+    println!(
+        "({nodes} nodes, {threads} OS threads, {dials} dials/thread; dials/sec is the \
+         serialization model over measured per-shard lock counts — machine-independent; \
+         wall figures are this host)"
+    );
+    let report = run_fabric_bench(nodes, threads, dials);
+    println!(
+        "{:<12} {:>8} {:>14} {:>13} {:>16} {:>14} {:>10} {:>10}",
+        "fabric",
+        "shards",
+        "provision ms",
+        "lock acq",
+        "hottest shard",
+        "dials/sec",
+        "p50 µs",
+        "p99 µs"
+    );
+    for side in [&report.single, &report.sharded] {
+        println!(
+            "{:<12} {:>8} {:>14.1} {:>13} {:>16} {:>14.0} {:>10.2} {:>10.2}",
+            side.label,
+            side.shards,
+            side.provision_ms,
+            side.lock_acquisitions,
+            side.hottest_shard_acquisitions,
+            side.dial_throughput_per_sec,
+            side.browse_p50_us,
+            side.browse_p99_us
+        );
+    }
+    println!(
+        "aggregate dial speedup: {:.2}x (acceptance bar: >=4x)",
+        report.dial_speedup()
+    );
+    match std::fs::write("BENCH_fabric.json", report.to_json()) {
+        Ok(()) => println!("report written: BENCH_fabric.json\n"),
+        Err(e) => println!("(could not write BENCH_fabric.json: {e})\n"),
+    }
 }

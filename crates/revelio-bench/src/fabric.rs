@@ -1,0 +1,507 @@
+//! Fleet-scale fabric benchmark: sharded vs. single-lock `SimNet`.
+//!
+//! The sharding work exists so thousands of simulated nodes can be driven
+//! from many OS threads without the fabric lock being the thing we
+//! measure. This module provisions a fleet of listeners, hammers it with
+//! concurrent dials and browses from N threads, and reports aggregate
+//! dial throughput plus p50/p99 browse latency for both fabric
+//! topologies (`NetConfig::shards = 1` is the legacy single-mutex
+//! baseline kept for exactly this A/B).
+//!
+//! The headline dial throughput is **modelled**, in the same spirit as
+//! every other cost model in this crate: the fabric counts how many lock
+//! acquisitions each shard absorbed ([`SimNet::shard_load`]), and the
+//! benchmark charges each acquisition a fixed [`LOCK_HANDOFF_NS`]
+//! handoff. A single lock serializes every acquisition; shards serialize
+//! only within the hottest shard (and never below `total / threads` —
+//! threads are the other ceiling on parallelism). That makes the A/B
+//! contrast deterministic and machine-independent: it reflects the
+//! contention a ≥`threads`-core host realizes, instead of whatever core
+//! count the box running the benchmark happens to have. Raw wall-clock
+//! throughput is reported alongside for reference, and per-browse latency
+//! percentiles are wall-clock (they are per-operation costs, not
+//! contention measurements). The JSON report
+//! ([`FabricBenchReport::to_json`]) feeds `BENCH_fabric.json`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use revelio::world::{RetryTuning, SimWorld, WorldTuning};
+use revelio_net::clock::SimClock;
+use revelio_net::net::{ConnectionHandler, Listener, NetConfig, ShardLoad, SimNet};
+use revelio_net::{FaultPlan, NetError};
+
+/// Modelled cost of one contended lock handoff, nanoseconds. The exact
+/// figure only scales both sides of the A/B identically; the speedup is
+/// the ratio of serialized acquisition counts and does not depend on it.
+pub const LOCK_HANDOFF_NS: f64 = 100.0;
+
+/// Default fleet size (the acceptance bar is ≥1,000 nodes).
+pub const DEFAULT_FLEET_NODES: usize = 1000;
+/// Default OS thread count driving the fleet.
+pub const DEFAULT_FLEET_THREADS: usize = 16;
+/// Default dials per thread in the throughput phase.
+pub const DEFAULT_FLEET_DIALS: usize = 20_000;
+
+/// Reads the fleet benchmark dimensions, honouring the
+/// `REVELIO_FLEET_NODES` / `REVELIO_FLEET_THREADS` / `REVELIO_FLEET_DIALS`
+/// environment overrides (the CI smoke job runs a reduced fleet).
+#[must_use]
+pub fn fleet_dimensions_from_env() -> (usize, usize, usize) {
+    let read = |name: &str, default: usize| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(default)
+    };
+    (
+        read("REVELIO_FLEET_NODES", DEFAULT_FLEET_NODES),
+        read("REVELIO_FLEET_THREADS", DEFAULT_FLEET_THREADS),
+        read("REVELIO_FLEET_DIALS", DEFAULT_FLEET_DIALS),
+    )
+}
+
+/// A modelled fleet node: answers any request with a small page.
+struct FleetNode;
+
+impl Listener for FleetNode {
+    fn accept(&self) -> Box<dyn ConnectionHandler> {
+        struct H;
+        impl ConnectionHandler for H {
+            fn on_message(&mut self, _m: &[u8]) -> Result<Vec<u8>, NetError> {
+                Ok(b"<html>fleet page</html>".to_vec())
+            }
+        }
+        Box::new(H)
+    }
+}
+
+/// One topology's measurements.
+#[derive(Debug, Clone)]
+pub struct FabricSideReport {
+    /// `"sharded"` or `"single-lock"`.
+    pub label: &'static str,
+    /// Shard count the fabric ran with.
+    pub shards: usize,
+    /// Wall-clock time to bind the whole fleet, ms.
+    pub provision_ms: f64,
+    /// Total dials completed across all threads in the dial phase.
+    pub dials_total: u64,
+    /// Fabric lock acquisitions the dial phase performed (all shards).
+    pub lock_acquisitions: u64,
+    /// Acquisitions absorbed by the hottest shard — the serialization
+    /// bottleneck (equals `lock_acquisitions` for the single lock).
+    pub hottest_shard_acquisitions: u64,
+    /// Aggregate dial throughput, dials/second, under the serialization
+    /// model: serialized time = `max(hottest shard, total / threads)`
+    /// acquisitions × [`LOCK_HANDOFF_NS`]. Deterministic and
+    /// machine-independent; this is the headline A/B figure.
+    pub dial_throughput_per_sec: f64,
+    /// Aggregate dial throughput actually measured on this host,
+    /// dials/second (wall clock). Reference only — on hosts with fewer
+    /// cores than benchmark threads it measures time-slicing, not
+    /// contention.
+    pub wall_dial_throughput_per_sec: f64,
+    /// Total browses (dial + request + response) in the browse phase.
+    pub browses_total: u64,
+    /// Aggregate browse throughput, browses/second (wall clock).
+    pub browse_throughput_per_sec: f64,
+    /// Median per-browse wall-clock latency, µs.
+    pub browse_p50_us: f64,
+    /// 99th-percentile per-browse wall-clock latency, µs.
+    pub browse_p99_us: f64,
+}
+
+/// The A/B report the fleet benchmark emits.
+#[derive(Debug, Clone)]
+pub struct FabricBenchReport {
+    /// Fleet size (listeners bound).
+    pub nodes: usize,
+    /// OS threads driving the fleet.
+    pub threads: usize,
+    /// Dials per thread in the dial phase.
+    pub dials_per_thread: usize,
+    /// The legacy single-mutex fabric.
+    pub single: FabricSideReport,
+    /// The sharded fabric.
+    pub sharded: FabricSideReport,
+}
+
+impl FabricBenchReport {
+    /// Sharded-over-single aggregate dial throughput ratio under the
+    /// serialization model (the acceptance criterion is ≥4× at full
+    /// size). Equals `min(total / hottest shard, threads)` for a
+    /// balanced fleet, so it is deterministic across hosts.
+    #[must_use]
+    pub fn dial_speedup(&self) -> f64 {
+        if self.single.dial_throughput_per_sec > 0.0 {
+            self.sharded.dial_throughput_per_sec / self.single.dial_throughput_per_sec
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes the report as JSON (the `BENCH_fabric.json` payload).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let side = |s: &FabricSideReport| {
+            format!(
+                concat!(
+                    "{{\"label\":\"{}\",\"shards\":{},\"provision_ms\":{:.3},",
+                    "\"dials_total\":{},\"lock_acquisitions\":{},",
+                    "\"hottest_shard_acquisitions\":{},",
+                    "\"dial_throughput_per_sec\":{:.1},",
+                    "\"wall_dial_throughput_per_sec\":{:.1},",
+                    "\"browses_total\":{},\"browse_throughput_per_sec\":{:.1},",
+                    "\"browse_p50_us\":{:.2},\"browse_p99_us\":{:.2}}}"
+                ),
+                s.label,
+                s.shards,
+                s.provision_ms,
+                s.dials_total,
+                s.lock_acquisitions,
+                s.hottest_shard_acquisitions,
+                s.dial_throughput_per_sec,
+                s.wall_dial_throughput_per_sec,
+                s.browses_total,
+                s.browse_throughput_per_sec,
+                s.browse_p50_us,
+                s.browse_p99_us,
+            )
+        };
+        format!(
+            concat!(
+                "{{\"benchmark\":\"fabric_fleet\",\"nodes\":{},\"threads\":{},",
+                "\"dials_per_thread\":{},\"lock_handoff_ns\":{:.1},",
+                "\"dial_speedup\":{:.2},",
+                "\"single_lock\":{},\"sharded\":{}}}\n"
+            ),
+            self.nodes,
+            self.threads,
+            self.dials_per_thread,
+            LOCK_HANDOFF_NS,
+            self.dial_speedup(),
+            side(&self.single),
+            side(&self.sharded),
+        )
+    }
+}
+
+fn node_address(i: usize) -> String {
+    format!("node-{i}.fleet.test:443")
+}
+
+/// Per-shard acquisition delta between two [`ShardLoad`] snapshots.
+fn dial_delta(before: &ShardLoad, after: &ShardLoad) -> ShardLoad {
+    ShardLoad {
+        per_shard: after
+            .per_shard
+            .iter()
+            .zip(&before.per_shard)
+            .map(|(a, b)| a - b)
+            .collect(),
+    }
+}
+
+/// Runs one topology: provision `nodes` listeners, then a dial-throughput
+/// phase and a browse-latency phase across `threads` OS threads.
+fn run_side(
+    label: &'static str,
+    shards: usize,
+    nodes: usize,
+    threads: usize,
+    dials_per_thread: usize,
+) -> FabricSideReport {
+    let clock = SimClock::new();
+    let net = SimNet::new(
+        clock,
+        NetConfig {
+            default_one_way_us: 2_600,
+            shards,
+        },
+    );
+
+    let provision_start = Instant::now();
+    for i in 0..nodes {
+        net.bind(&node_address(i), Arc::new(FleetNode))
+            .expect("fresh fleet address");
+    }
+    let provision_ms = provision_start.elapsed().as_secs_f64() * 1000.0;
+
+    // Dial phase: pure fabric lookups (no exchange), the path the lock
+    // used to serialize. Each thread walks the fleet at its own stride so
+    // concurrent threads mostly hit different addresses — the workload
+    // sharding is built for.
+    let addresses: Vec<String> = (0..nodes).map(node_address).collect();
+    let load_before = net.shard_load();
+    let dials_done = AtomicU64::new(0);
+    let dial_start = Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let net = net.clone();
+            let dials_done = &dials_done;
+            let addresses = &addresses;
+            s.spawn(move || {
+                let mut local = 0u64;
+                for d in 0..dials_per_thread {
+                    let i = (d * (2 * t + 1) + t * 7919) % nodes;
+                    let conn = net.dial(&addresses[i]).expect("node is bound");
+                    drop(conn);
+                    local += 1;
+                }
+                dials_done.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    let dial_elapsed = dial_start.elapsed().as_secs_f64();
+    let dials_total = dials_done.load(Ordering::Relaxed);
+    let load = dial_delta(&load_before, &net.shard_load());
+    // Serialization model: a lock admits one handoff at a time, so the
+    // phase cannot finish before its hottest shard drains; with `threads`
+    // workers it also cannot beat `total / threads` even when perfectly
+    // sharded. The single-lock fabric has one shard, so its hottest
+    // shard IS the total — that gap is the speedup.
+    let serialized = load.hottest().max(load.total().div_ceil(threads as u64));
+    let modelled_dial_secs = serialized as f64 * LOCK_HANDOFF_NS * 1e-9;
+
+    // Browse phase: dial + one request/response exchange per browse, with
+    // per-browse wall-clock latency recorded for the percentiles.
+    let browses_per_thread = (dials_per_thread / 4).max(1);
+    let browse_start = Instant::now();
+    let mut latencies_us: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let net = net.clone();
+                let addresses = &addresses;
+                s.spawn(move || {
+                    let mut local = Vec::with_capacity(browses_per_thread);
+                    for b in 0..browses_per_thread {
+                        let i = (b * (2 * t + 1) + t * 104_729) % nodes;
+                        let t0 = Instant::now();
+                        let mut conn = net.dial(&addresses[i]).expect("node is bound");
+                        let page = conn.exchange(b"GET /").expect("fleet page");
+                        local.push(t0.elapsed().as_secs_f64() * 1e6);
+                        assert!(!page.is_empty());
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("browse thread"))
+            .collect()
+    });
+    let browse_elapsed = browse_start.elapsed().as_secs_f64();
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let percentile = |p: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_us.len() as f64 - 1.0) * p).round() as usize;
+        latencies_us[idx]
+    };
+
+    FabricSideReport {
+        label,
+        shards,
+        provision_ms,
+        dials_total,
+        lock_acquisitions: load.total(),
+        hottest_shard_acquisitions: load.hottest(),
+        dial_throughput_per_sec: dials_total as f64 / modelled_dial_secs.max(1e-12),
+        wall_dial_throughput_per_sec: dials_total as f64 / dial_elapsed.max(1e-9),
+        browses_total: latencies_us.len() as u64,
+        browse_throughput_per_sec: latencies_us.len() as f64 / browse_elapsed.max(1e-9),
+        browse_p50_us: percentile(0.50),
+        browse_p99_us: percentile(0.99),
+    }
+}
+
+/// Provisions a `nodes`-listener fleet and measures dial throughput and
+/// browse latency across `threads` OS threads, once on the single-lock
+/// fabric and once on the sharded fabric.
+///
+/// # Panics
+///
+/// Panics if a bind collides or a worker thread dies — either is a
+/// benchmark-invalidating bug, not a measurement.
+#[must_use]
+pub fn run_fabric_bench(
+    nodes: usize,
+    threads: usize,
+    dials_per_thread: usize,
+) -> FabricBenchReport {
+    FabricBenchReport {
+        nodes,
+        threads,
+        dials_per_thread,
+        single: run_side("single-lock", 1, nodes, threads, dials_per_thread),
+        sharded: run_side(
+            "sharded",
+            NetConfig::default().shards,
+            nodes,
+            threads,
+            dials_per_thread,
+        ),
+    }
+}
+
+/// One point of the retry-budget ablation.
+#[derive(Debug, Clone)]
+pub struct RetryAblationPoint {
+    /// `max_attempts` applied to every component's retry policy.
+    pub max_attempts: u32,
+    /// Cold attested browses that reached a verdict (out of `samples`).
+    pub successes: usize,
+    /// Total browses attempted.
+    pub samples: usize,
+    /// Median attestation latency over successful browses, sim-clock ms.
+    pub p50_ms: f64,
+    /// 95th-percentile attestation latency (the tail the budget buys),
+    /// sim-clock ms.
+    pub p95_ms: f64,
+}
+
+/// Retry budget vs. attestation tail latency under loss: a fleet with a
+/// lossy KDS link (`drop_probability`), cold-browsed `samples` times per
+/// budget. Small budgets give up (lower success rate); larger budgets
+/// convert losses into tail latency. All timings are sim-clock, so the
+/// ablation is deterministic.
+///
+/// # Panics
+///
+/// Panics if the fleet fails to deploy (faults only start afterwards).
+#[must_use]
+pub fn run_retry_ablation(
+    budgets: &[u32],
+    drop_probability: f64,
+    samples: usize,
+) -> Vec<RetryAblationPoint> {
+    budgets
+        .iter()
+        .map(|&max_attempts| {
+            let mut tuning = WorldTuning::default();
+            let mut retry = RetryTuning::default();
+            retry.kds.max_attempts = max_attempts;
+            retry.extension.max_attempts = max_attempts;
+            tuning.retry = retry;
+            let mut world = SimWorld::with_tuning(9000 + u64::from(max_attempts), tuning);
+            let fleet = world
+                .deploy_fleet("tail.example.org", 1, revelio::node::demo_app())
+                .expect("fleet deploys");
+            world.set_fault_seed(0xAB1A_7E00 + u64::from(max_attempts));
+            world.set_fault_plan(
+                revelio::kds_http::KDS_ADDRESS,
+                FaultPlan {
+                    drop_probability,
+                    ..FaultPlan::default()
+                },
+            );
+            let mut latencies = Vec::new();
+            for _ in 0..samples {
+                // A fresh extension per sample: every browse pays the cold
+                // KDS fetch the faults are installed on.
+                let mut extension = world.extension();
+                extension.register_site("tail.example.org", vec![fleet.golden_measurement]);
+                if let Ok(outcome) = extension.browse("tail.example.org", "/") {
+                    latencies.push(outcome.timing.total_ms);
+                }
+            }
+            latencies.sort_by(|a, b| a.total_cmp(b));
+            let pct = |p: f64| -> f64 {
+                if latencies.is_empty() {
+                    return 0.0;
+                }
+                let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+                latencies[idx]
+            };
+            RetryAblationPoint {
+                max_attempts,
+                successes: latencies.len(),
+                samples,
+                p50_ms: pct(0.50),
+                p95_ms: pct(0.95),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_bench_small_fleet_completes_on_both_topologies() {
+        // Wall-clock figures are never asserted — machines differ. The
+        // modelled figures are deterministic, so those we can pin down.
+        let report = run_fabric_bench(32, 4, 64);
+        assert_eq!(report.nodes, 32);
+        assert_eq!(report.single.dials_total, 4 * 64);
+        assert_eq!(report.sharded.dials_total, 4 * 64);
+        // Same dial sequence on both sides → identical acquisition totals.
+        assert_eq!(
+            report.single.lock_acquisitions,
+            report.sharded.lock_acquisitions
+        );
+        // One lock means one shard absorbs everything.
+        assert_eq!(
+            report.single.hottest_shard_acquisitions,
+            report.single.lock_acquisitions
+        );
+        // Sharding can only spread acquisitions out, never concentrate
+        // them, so the modelled throughput never regresses.
+        assert!(report.sharded.dial_throughput_per_sec >= report.single.dial_throughput_per_sec);
+        assert!(report.single.browses_total > 0);
+        assert!(report.sharded.browses_total > 0);
+        assert!(report.sharded.browse_p99_us >= report.sharded.browse_p50_us);
+    }
+
+    #[test]
+    fn fabric_bench_speedup_is_deterministic_at_moderate_scale() {
+        // fnv1a spreads 256 addresses across 16 shards well enough that
+        // the modelled speedup clears the acceptance bar even at reduced
+        // size; the address→shard map is a pure hash, so this holds on
+        // every machine.
+        let report = run_fabric_bench(256, 16, 64);
+        assert!(
+            report.dial_speedup() >= 4.0,
+            "modelled speedup {:.2} below bar (hottest {} of {})",
+            report.dial_speedup(),
+            report.sharded.hottest_shard_acquisitions,
+            report.sharded.lock_acquisitions,
+        );
+    }
+
+    #[test]
+    fn fabric_report_json_carries_both_sides() {
+        let report = run_fabric_bench(8, 2, 16);
+        let json = report.to_json();
+        for key in [
+            "\"benchmark\":\"fabric_fleet\"",
+            "\"single_lock\"",
+            "\"sharded\"",
+            "\"dial_throughput_per_sec\"",
+            "\"browse_p99_us\"",
+            "\"dial_speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+
+    #[test]
+    fn retry_ablation_larger_budget_never_hurts_success_rate() {
+        let points = run_retry_ablation(&[1, 4], 0.4, 12);
+        assert_eq!(points.len(), 2);
+        assert!(
+            points[1].successes >= points[0].successes,
+            "budget 4 ({}) should succeed at least as often as budget 1 ({})",
+            points[1].successes,
+            points[0].successes,
+        );
+        // With a meaningful budget under 40% loss, most browses land.
+        assert!(points[1].successes * 2 > points[1].samples);
+    }
+}

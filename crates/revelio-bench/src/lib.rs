@@ -12,8 +12,14 @@
 //! this transformation because every modelled cost is linear in bytes.
 //! `EXPERIMENTS.md` records paper-vs-reproduced values.
 
+pub mod fabric;
+
 use std::sync::Arc;
 
+pub use fabric::{
+    fleet_dimensions_from_env, run_fabric_bench, run_retry_ablation, FabricBenchReport,
+    RetryAblationPoint,
+};
 use revelio::node::demo_app;
 use revelio::world::SimWorld;
 use revelio_boot::firmware::FirmwareKind;

@@ -151,7 +151,10 @@ impl HttpsSession {
     /// Returns [`HttpError`] on transport or parse failure.
     pub fn send(&mut self, request: &Request) -> Result<Response, HttpError> {
         let request = request.clone().with_header("Host", &self.host);
-        let bytes = self.session.request(&request.to_bytes()?)?;
+        // The path labels the exchange so per-route fault plans apply.
+        let bytes = self
+            .session
+            .request_routed(&request.path, &request.to_bytes()?)?;
         Response::from_bytes(&bytes)
     }
 

@@ -99,7 +99,8 @@ pub fn plain_request(
     request: &Request,
 ) -> Result<Response, HttpError> {
     let mut conn = net.dial(address)?;
-    let bytes = conn.exchange(&request.to_bytes()?)?;
+    // The path labels the exchange so per-route fault plans apply.
+    let bytes = conn.exchange_routed(&request.path, &request.to_bytes()?)?;
     Response::from_bytes(&bytes)
 }
 

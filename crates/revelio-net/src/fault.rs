@@ -4,11 +4,13 @@
 //! (browser → boundary node → VM → AMD KDS), yet a perfectly reliable
 //! fabric cannot exercise the retry and verdict logic that separates a
 //! dropped packet from a failed attestation. A [`FaultPlan`] installed on
-//! an address (via [`crate::net::SimNet::set_fault_plan`]) injects drops,
-//! timeouts, connection resets, fail-N-then-recover windows, and latency
-//! jitter — every decision drawn from a [`FaultRng`] seeded from the
-//! fabric's fault seed and the address, so equal seeds give byte-identical
-//! runs regardless of what other addresses are doing.
+//! an address (via `net.peer(address).fault_plan(..)`) — or on a single
+//! route (`.fault_plan_for_route(prefix, ..)`) — injects drops, timeouts,
+//! connection resets, fail-N-then-recover windows, and latency jitter —
+//! every decision drawn from a [`FaultRng`] seeded from the fabric's fault
+//! seed and the stream key (address, or address + route prefix), so equal
+//! seeds give byte-identical runs regardless of what other addresses or
+//! routes are doing.
 //!
 //! Faults are injected **before delivery**: the listener's handler never
 //! runs for a faulted exchange, so server-side state is untouched and
@@ -143,8 +145,18 @@ impl FaultPlan {
     }
 }
 
-/// Mutable per-address injection state: the plan, its RNG stream, and the
-/// dial counter driving `fail_first`.
+/// Derives the RNG stream key for a per-route plan. The `\n` separator
+/// cannot appear in addresses or HTTP paths, so `(address, prefix)` pairs
+/// never collide with each other or with address-wide streams.
+#[must_use]
+pub(crate) fn route_stream_key(address: &str, prefix: &str) -> String {
+    format!("{address}\n{prefix}")
+}
+
+/// Mutable per-stream injection state: the plan, its RNG stream, and the
+/// dial counter driving `fail_first`. One entry exists per address-wide
+/// plan and one per `(address, route-prefix)` plan; each draws from its
+/// own seeded stream, so traffic on one stream cannot perturb another.
 #[derive(Debug)]
 pub(crate) struct FaultEntry {
     pub(crate) plan: FaultPlan,
@@ -153,10 +165,13 @@ pub(crate) struct FaultEntry {
 }
 
 impl FaultEntry {
-    pub(crate) fn new(plan: FaultPlan, fabric_seed: u64, address: &str) -> Self {
+    /// Creates an entry whose decision stream is derived from the fabric
+    /// seed and `stream_key` (the address, or [`route_stream_key`] for
+    /// per-route plans).
+    pub(crate) fn new(plan: FaultPlan, fabric_seed: u64, stream_key: &str) -> Self {
         FaultEntry {
             plan,
-            rng: FaultRng::new(fabric_seed ^ fnv1a(address)),
+            rng: FaultRng::new(fabric_seed ^ fnv1a(stream_key)),
             dials: 0,
         }
     }

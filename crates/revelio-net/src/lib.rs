@@ -13,18 +13,23 @@
 //!   message exchanges, each advancing the clock by one round trip;
 //! * [`dns::DnsZone`] — name resolution that attackers can repoint (the
 //!   paper's "malicious service provider controls DNS" threat, §5.3.2);
-//! * man-in-the-middle hooks — [`net::SimNet::redirect`] silently rewires
-//!   an address to an attacker's listener; higher layers (TLS, the web
-//!   extension) must detect this;
+//! * man-in-the-middle hooks — `net.peer(victim).redirect_to(attacker)`
+//!   (see [`net::PeerShaper`]) silently rewires an address to an
+//!   attacker's listener; higher layers (TLS, the web extension) must
+//!   detect this;
 //! * [`fault::FaultPlan`] — seeded, deterministic fault injection per
-//!   dialed address (drops, timeouts, resets, fail-first windows, latency
-//!   jitter), installed via [`net::SimNet::set_fault_plan`];
+//!   dialed address or per `(address, route-prefix)` (drops, timeouts,
+//!   resets, fail-first windows, latency jitter), installed via
+//!   `net.peer(address).fault_plan(..)`;
 //! * [`retry::RetryPolicy`] — bounded exponential backoff whose sleeps
 //!   advance the [`clock::SimClock`], never wall time.
 //!
-//! Everything is synchronous and single-threaded by design: simulations
-//! and benches stay deterministic, and protocol state machines remain
-//! ordinary sequential code.
+//! Exchanges are synchronous — protocol state machines remain ordinary
+//! sequential code — but the fabric itself is sharded and thread-safe:
+//! dials to distinct addresses from different OS threads never contend,
+//! and the determinism contract (per-address seeded fault streams, a
+//! lock-free [`clock::SimClock`]) holds under any thread interleaving.
+//! See [`net`] for the sharding and determinism story.
 //!
 //! ```
 //! use revelio_net::clock::SimClock;

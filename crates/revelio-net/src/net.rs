@@ -1,13 +1,35 @@
 //! The simulated network fabric: listeners, connections, latency, and
 //! man-in-the-middle hooks.
+//!
+//! # Sharding
+//!
+//! The fabric is built for thousand-node fleets driven from many OS
+//! threads: all per-address state (listeners, latency overrides,
+//! redirects, tamper hooks, fault plans) lives in a fixed power-of-two
+//! array of shards, keyed by `fnv1a(address)`. Dials to addresses on
+//! distinct shards never contend, and within a shard the common fast path
+//! (no fault plan installed) takes only read locks. The legacy
+//! single-mutex fabric is kept behind [`NetConfig::shards`]` = 1` for A/B
+//! benchmarking (`revelio-bench`'s fleet benchmark).
+//!
+//! # Determinism
+//!
+//! Sharding does not touch the determinism contract: every fault stream is
+//! keyed by its address (or `(address, route-prefix)`) and seeded as
+//! `fabric_seed ^ fnv1a(key)`, so equal seeds produce byte-identical
+//! decision streams regardless of shard count, thread count, or dial
+//! interleaving across addresses. The global fault counter is a relaxed
+//! atomic: its total is a sum of per-stream counts and therefore equally
+//! interleaving-independent.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::clock::SimClock;
-use crate::fault::{FaultEntry, FaultKind, FaultObserver, FaultPlan};
+use crate::fault::{fnv1a, route_stream_key, FaultEntry, FaultKind, FaultObserver, FaultPlan};
 use crate::NetError;
 
 /// Per-connection server-side state machine.
@@ -34,40 +56,196 @@ pub trait Listener: Send + Sync {
 /// Tampering hook: may rewrite a client→server message in flight.
 pub type TamperFn = dyn Fn(&[u8]) -> Vec<u8> + Send + Sync;
 
-/// Latency configuration.
+/// Default shard count: enough to keep 16 benchmark threads off each
+/// other's cache lines without bloating small single-threaded worlds.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Fabric configuration.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
     /// Default one-way link latency in microseconds.
     pub default_one_way_us: u64,
+    /// Number of fabric shards, rounded up to a power of two. `1` (or 0)
+    /// selects the legacy single-mutex fabric — kept only as the A/B
+    /// baseline for the fleet benchmark; every lookup then serializes on
+    /// one lock.
+    pub shards: usize,
 }
 
 impl Default for NetConfig {
-    /// 2.6 ms one way — the paper's 5.2 ms base round trip (Table 3).
+    /// 2.6 ms one way — the paper's 5.2 ms base round trip (Table 3) —
+    /// on a [`DEFAULT_SHARDS`]-way sharded fabric.
     fn default() -> Self {
         NetConfig {
             default_one_way_us: 2600,
+            shards: DEFAULT_SHARDS,
         }
     }
 }
 
+/// All per-address state of one shard (or, in single-lock mode, of the
+/// whole fabric).
 #[derive(Default)]
-struct NetState {
+struct ShardState {
     listeners: HashMap<String, Arc<dyn Listener>>,
     latency_overrides: HashMap<String, u64>,
     redirects: HashMap<String, String>,
     tamper: HashMap<String, Arc<TamperFn>>,
+    /// Address-wide fault plans.
     faults: HashMap<String, FaultEntry>,
-    fault_seed: u64,
-    faults_injected: u64,
-    fault_observer: Option<Arc<FaultObserver>>,
+    /// Per-route fault plans: address → `(path-prefix, entry)` list. The
+    /// longest matching prefix wins; the address-wide plan is the
+    /// fallback when no prefix matches.
+    route_faults: HashMap<String, Vec<(String, FaultEntry)>>,
 }
 
-impl NetState {
+/// Where the per-address state lives.
+enum Topology {
+    /// Legacy baseline: one mutex around everything.
+    Single(Box<Mutex<ShardState>>),
+    /// `shards.len()` is a power of two; an address lives in shard
+    /// `fnv1a(address) & mask`.
+    Sharded {
+        shards: Box<[RwLock<ShardState>]>,
+        mask: u64,
+    },
+}
+
+/// The shared interior of a [`SimNet`] (and of every [`Connection`]).
+struct Fabric {
+    topology: Topology,
+    /// Fabric-wide fault seed; per-stream RNGs derive from it.
+    fault_seed: AtomicU64,
+    /// Total faults injected. Relaxed: the total is a sum of per-stream
+    /// counts, so no ordering is needed for it to be deterministic.
+    faults_injected: AtomicU64,
+    /// Per-shard lock-acquisition counters (one slot for the single-lock
+    /// topology). Relaxed increments: each acquisition maps to a fixed
+    /// shard regardless of interleaving, so the per-shard totals are
+    /// deterministic for a deterministic workload.
+    acquisitions: Box<[AtomicU64]>,
+    fault_observer: RwLock<Option<Arc<FaultObserver>>>,
+}
+
+/// A snapshot of how fabric lock acquisitions distributed across shards.
+///
+/// Every [`Fabric`] lock acquisition (read or write) is charged to the
+/// shard it touched; the single-lock topology charges everything to one
+/// slot. For a deterministic workload the distribution is itself
+/// deterministic, which lets benchmarks derive a machine-independent
+/// serialization model: a single lock serializes every acquisition, while
+/// shards serialize only within a shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Acquisition count per shard (length 1 for the single-lock fabric).
+    pub per_shard: Vec<u64>,
+}
+
+impl ShardLoad {
+    /// Total lock acquisitions across all shards.
+    pub fn total(&self) -> u64 {
+        self.per_shard.iter().sum()
+    }
+
+    /// Acquisitions on the most loaded shard — the serialization
+    /// bottleneck when shards are serviced concurrently.
+    pub fn hottest(&self) -> u64 {
+        self.per_shard.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl Fabric {
+    fn new(shards: usize) -> Self {
+        let (topology, slots) = if shards <= 1 {
+            (
+                Topology::Single(Box::new(Mutex::new(ShardState::default()))),
+                1,
+            )
+        } else {
+            let n = shards.next_power_of_two();
+            let shards = (0..n)
+                .map(|_| RwLock::new(ShardState::default()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice();
+            (
+                Topology::Sharded {
+                    shards,
+                    mask: (n - 1) as u64,
+                },
+                n,
+            )
+        };
+        Fabric {
+            topology,
+            fault_seed: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            acquisitions: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            fault_observer: RwLock::new(None),
+        }
+    }
+
+    fn charge(&self, slot: usize) {
+        self.acquisitions[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn shard_load(&self) -> ShardLoad {
+        ShardLoad {
+            per_shard: self
+                .acquisitions
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    /// Runs `f` under a read lock on `address`'s shard. Never called with
+    /// another shard lock held, so two-shard lookups cannot deadlock.
+    fn read<R>(&self, address: &str, f: impl FnOnce(&ShardState) -> R) -> R {
+        match &self.topology {
+            Topology::Single(state) => {
+                self.charge(0);
+                f(&state.lock())
+            }
+            Topology::Sharded { shards, mask } => {
+                let idx = (fnv1a(address) & mask) as usize;
+                self.charge(idx);
+                f(&shards[idx].read())
+            }
+        }
+    }
+
+    /// Runs `f` under a write lock on `address`'s shard.
+    fn write<R>(&self, address: &str, f: impl FnOnce(&mut ShardState) -> R) -> R {
+        match &self.topology {
+            Topology::Single(state) => {
+                self.charge(0);
+                f(&mut state.lock())
+            }
+            Topology::Sharded { shards, mask } => {
+                let idx = (fnv1a(address) & mask) as usize;
+                self.charge(idx);
+                f(&mut shards[idx].write())
+            }
+        }
+    }
+
+    /// Runs `f` on every shard in turn (write-locked one at a time).
+    fn for_each_shard(&self, mut f: impl FnMut(&mut ShardState)) {
+        match &self.topology {
+            Topology::Single(state) => f(&mut state.lock()),
+            Topology::Sharded { shards, .. } => {
+                for shard in shards.iter() {
+                    f(&mut shard.write());
+                }
+            }
+        }
+    }
+
     /// Records an injected fault and returns the observer to notify (the
-    /// caller invokes it after releasing the lock).
-    fn record_fault(&mut self) -> Option<Arc<FaultObserver>> {
-        self.faults_injected += 1;
-        self.fault_observer.clone()
+    /// caller invokes it after releasing any shard lock).
+    fn record_fault(&self) -> Option<Arc<FaultObserver>> {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        self.fault_observer.read().clone()
     }
 }
 
@@ -76,7 +254,7 @@ impl NetState {
 pub struct SimNet {
     clock: SimClock,
     config: NetConfig,
-    state: Arc<Mutex<NetState>>,
+    fabric: Arc<Fabric>,
 }
 
 impl std::fmt::Debug for SimNet {
@@ -91,10 +269,11 @@ impl SimNet {
     /// Creates a network fabric on `clock`.
     #[must_use]
     pub fn new(clock: SimClock, config: NetConfig) -> Self {
+        let fabric = Arc::new(Fabric::new(config.shards));
         SimNet {
             clock,
             config,
-            state: Arc::new(Mutex::new(NetState::default())),
+            fabric,
         }
     }
 
@@ -104,96 +283,135 @@ impl SimNet {
         &self.clock
     }
 
+    /// The fabric's configuration.
+    #[must_use]
+    pub fn config(&self) -> &NetConfig {
+        &self.config
+    }
+
     /// Binds `listener` at `address` (e.g. `"203.0.113.7:443"`).
     ///
     /// # Errors
     ///
     /// Returns [`NetError::AddressInUse`] when already bound.
     pub fn bind(&self, address: &str, listener: Arc<dyn Listener>) -> Result<(), NetError> {
-        let mut state = self.state.lock();
-        if state.listeners.contains_key(address) {
-            return Err(NetError::AddressInUse(address.to_owned()));
-        }
-        state.listeners.insert(address.to_owned(), listener);
-        Ok(())
+        self.fabric.write(address, |state| {
+            if state.listeners.contains_key(address) {
+                return Err(NetError::AddressInUse(address.to_owned()));
+            }
+            state.listeners.insert(address.to_owned(), listener);
+            Ok(())
+        })
     }
 
     /// Removes the listener at `address` (service shutdown).
     pub fn unbind(&self, address: &str) {
-        self.state.lock().listeners.remove(address);
+        self.fabric.write(address, |state| {
+            state.listeners.remove(address);
+        });
     }
 
-    /// Sets the one-way latency for dials *to* `address`, in microseconds —
-    /// e.g. a distant AMD KDS.
-    pub fn set_latency(&self, address: &str, one_way_us: u64) {
-        self.state
-            .lock()
-            .latency_overrides
-            .insert(address.to_owned(), one_way_us);
-    }
-
-    /// ATTACK: silently rewires future dials of `victim` to `attacker`
-    /// (BGP hijack / hostile middlebox). TLS endpoint checks must catch it.
-    pub fn redirect(&self, victim: &str, attacker: &str) {
-        self.state
-            .lock()
-            .redirects
-            .insert(victim.to_owned(), attacker.to_owned());
-    }
-
-    /// Removes a redirect.
-    pub fn clear_redirect(&self, victim: &str) {
-        self.state.lock().redirects.remove(victim);
-    }
-
-    /// ATTACK: installs a message-tampering hook on dials to `address`.
-    pub fn set_tamper(&self, address: &str, tamper: Arc<TamperFn>) {
-        self.state.lock().tamper.insert(address.to_owned(), tamper);
-    }
-
-    /// Sets the fabric-wide fault seed. Each faulted address derives its
-    /// own decision stream from this seed and its address, so dial order
-    /// across addresses cannot perturb another address's stream. Call
-    /// before installing plans; already-installed plans are reseeded (and
-    /// their fail-first windows reset).
-    pub fn set_fault_seed(&self, seed: u64) {
-        let mut state = self.state.lock();
-        state.fault_seed = seed;
-        let reseeded: Vec<(String, FaultPlan)> = state
-            .faults
-            .iter()
-            .map(|(a, e)| (a.clone(), e.plan.clone()))
-            .collect();
-        for (address, plan) in reseeded {
-            let entry = FaultEntry::new(plan, seed, &address);
-            state.faults.insert(address, entry);
+    /// Returns the traffic-shaping handle for `address`: the single entry
+    /// point for latency overrides, tamper hooks, redirects, and fault
+    /// plans. Each builder call applies immediately, so calls chain:
+    ///
+    /// ```
+    /// # use revelio_net::clock::SimClock;
+    /// # use revelio_net::net::{NetConfig, SimNet};
+    /// # use revelio_net::FaultPlan;
+    /// # let net = SimNet::new(SimClock::new(), NetConfig::default());
+    /// net.peer("kds.amd.test:443")
+    ///     .latency_us(213_650)
+    ///     .fault_plan(FaultPlan::fail_first(2));
+    /// ```
+    #[must_use]
+    pub fn peer(&self, address: &str) -> PeerShaper<'_> {
+        PeerShaper {
+            net: self,
+            address: address.to_owned(),
         }
     }
 
-    /// Installs (or replaces) the fault plan for dials *to* `address`.
-    /// Plans are keyed by the **dialed** address — under a redirect the
-    /// victim's plan applies, matching the latency/tamper precedence.
-    pub fn set_fault_plan(&self, address: &str, plan: FaultPlan) {
-        let mut state = self.state.lock();
-        let entry = FaultEntry::new(plan, state.fault_seed, address);
-        state.faults.insert(address.to_owned(), entry);
+    /// Sets the one-way latency for dials *to* `address`.
+    #[deprecated(note = "use `net.peer(address).latency_us(..)`")]
+    pub fn set_latency(&self, address: &str, one_way_us: u64) {
+        let _ = self.peer(address).latency_us(one_way_us);
     }
 
-    /// Removes the fault plan for `address` — the "faults clear" moment.
+    /// ATTACK: silently rewires future dials of `victim` to `attacker`.
+    #[deprecated(note = "use `net.peer(victim).redirect_to(attacker)`")]
+    pub fn redirect(&self, victim: &str, attacker: &str) {
+        let _ = self.peer(victim).redirect_to(attacker);
+    }
+
+    /// Removes a redirect.
+    #[deprecated(note = "use `net.peer(victim).clear_redirect()`")]
+    pub fn clear_redirect(&self, victim: &str) {
+        let _ = self.peer(victim).clear_redirect();
+    }
+
+    /// ATTACK: installs a message-tampering hook on dials to `address`.
+    #[deprecated(note = "use `net.peer(address).tamper(..)`")]
+    pub fn set_tamper(&self, address: &str, tamper: Arc<TamperFn>) {
+        let _ = self.peer(address).tamper(tamper);
+    }
+
+    /// Installs (or replaces) the fault plan for dials *to* `address`.
+    #[deprecated(note = "use `net.peer(address).fault_plan(..)`")]
+    pub fn set_fault_plan(&self, address: &str, plan: FaultPlan) {
+        let _ = self.peer(address).fault_plan(plan);
+    }
+
+    /// Removes the fault plans for `address`.
+    #[deprecated(note = "use `net.peer(address).clear_fault_plan()`")]
     pub fn clear_fault_plan(&self, address: &str) {
-        self.state.lock().faults.remove(address);
+        let _ = self.peer(address).clear_fault_plan();
+    }
+
+    /// Sets the fabric-wide fault seed. Each faulted stream derives its
+    /// own decision sequence from this seed and its key (address, or
+    /// address + route prefix), so dial order across addresses cannot
+    /// perturb another stream. Call before installing plans;
+    /// already-installed plans are reseeded (and their fail-first windows
+    /// reset).
+    pub fn set_fault_seed(&self, seed: u64) {
+        self.fabric.fault_seed.store(seed, Ordering::Relaxed);
+        self.fabric.for_each_shard(|state| {
+            for (address, entry) in &mut state.faults {
+                *entry = FaultEntry::new(entry.plan.clone(), seed, address);
+            }
+            for (address, routes) in &mut state.route_faults {
+                for (prefix, entry) in routes.iter_mut() {
+                    *entry = FaultEntry::new(
+                        entry.plan.clone(),
+                        seed,
+                        &route_stream_key(address, prefix),
+                    );
+                }
+            }
+        });
     }
 
     /// Installs an observer invoked on every injected fault (outside the
-    /// fabric lock). The harness mirrors injections into telemetry.
+    /// fabric locks). The harness mirrors injections into telemetry.
     pub fn set_fault_observer(&self, observer: Arc<FaultObserver>) {
-        self.state.lock().fault_observer = Some(observer);
+        *self.fabric.fault_observer.write() = Some(observer);
     }
 
-    /// Total faults injected so far, across all addresses.
+    /// Total faults injected so far, across all addresses and routes.
     #[must_use]
     pub fn faults_injected(&self) -> u64 {
-        self.state.lock().faults_injected
+        self.fabric.faults_injected.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of lock acquisitions per shard since the fabric was built.
+    ///
+    /// Benchmarks use the delta between two snapshots to model how much of
+    /// a workload a single lock would serialize versus what the sharded
+    /// topology spreads out; see `revelio-bench`'s fabric fleet benchmark.
+    #[must_use]
+    pub fn shard_load(&self) -> ShardLoad {
+        self.fabric.shard_load()
     }
 
     /// Opens a connection to `address`.
@@ -205,14 +423,22 @@ impl SimNet {
     /// or [`NetError::Timeout`] when the address's fault plan is inside a
     /// fail-first window.
     pub fn dial(&self, address: &str) -> Result<Connection, NetError> {
-        let mut state = self.state.lock();
         // A fail-first window makes the service unreachable: the dial
-        // times out before anything is delivered.
-        if let Some(entry) = state.faults.get_mut(address) {
-            if entry.dial_fails() {
-                let timeout_us = entry.plan.timeout_us;
-                let observer = state.record_fault();
-                drop(state);
+        // times out before anything is delivered. Only address-wide plans
+        // apply here — the route is not known until an exchange. The fast
+        // path (no plan installed) stays on a read lock.
+        let has_plan = self
+            .fabric
+            .read(address, |state| state.faults.contains_key(address));
+        if has_plan {
+            let timed_out = self.fabric.write(address, |state| {
+                state
+                    .faults
+                    .get_mut(address)
+                    .and_then(|entry| entry.dial_fails().then_some(entry.plan.timeout_us))
+            });
+            if let Some(timeout_us) = timed_out {
+                let observer = self.fabric.record_fault();
                 self.clock.advance_us(timeout_us);
                 if let Some(obs) = observer {
                     obs(address, FaultKind::Timeout);
@@ -220,32 +446,37 @@ impl SimNet {
                 return Err(NetError::Timeout(address.to_owned()));
             }
         }
-        let effective = state
-            .redirects
-            .get(address)
-            .cloned()
-            .unwrap_or_else(|| address.to_owned());
-        let listener = state
-            .listeners
-            .get(&effective)
-            .ok_or_else(|| NetError::ConnectionRefused(address.to_owned()))?
-            .clone();
+        let (redirect, victim_latency, victim_tamper) = self.fabric.read(address, |state| {
+            (
+                state.redirects.get(address).cloned(),
+                state.latency_overrides.get(address).copied(),
+                state.tamper.get(address).cloned(),
+            )
+        });
         // The dialed address wins for latency and tamper lookups: an
         // override installed on the victim keeps applying after a
         // redirect, falling back to the attacker's setting only when the
         // victim has none.
-        let one_way_us = state
-            .latency_overrides
-            .get(address)
-            .or_else(|| state.latency_overrides.get(&effective))
-            .copied()
+        let (listener, fallback_latency, fallback_tamper) = match redirect {
+            Some(effective) if effective != address => self.fabric.read(&effective, |state| {
+                (
+                    state.listeners.get(&effective).cloned(),
+                    state.latency_overrides.get(&effective).copied(),
+                    state.tamper.get(&effective).cloned(),
+                )
+            }),
+            _ => {
+                let listener = self
+                    .fabric
+                    .read(address, |state| state.listeners.get(address).cloned());
+                (listener, None, None)
+            }
+        };
+        let listener = listener.ok_or_else(|| NetError::ConnectionRefused(address.to_owned()))?;
+        let one_way_us = victim_latency
+            .or(fallback_latency)
             .unwrap_or(self.config.default_one_way_us);
-        let tamper = state
-            .tamper
-            .get(address)
-            .or_else(|| state.tamper.get(&effective))
-            .cloned();
-        drop(state);
+        let tamper = victim_tamper.or(fallback_tamper);
         Ok(Connection {
             clock: self.clock.clone(),
             handler: listener.accept(),
@@ -254,8 +485,125 @@ impl SimNet {
             dialed: address.to_owned(),
             closed: false,
             timeout_us: FaultPlan::default().timeout_us,
-            net_state: Arc::clone(&self.state),
+            fabric: Arc::clone(&self.fabric),
         })
+    }
+}
+
+/// A traffic-shaping handle for one peer address, returned by
+/// [`SimNet::peer`]. Every call applies immediately and returns the
+/// handle, so settings chain fluently.
+pub struct PeerShaper<'a> {
+    net: &'a SimNet,
+    address: String,
+}
+
+impl std::fmt::Debug for PeerShaper<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerShaper")
+            .field("address", &self.address)
+            .finish()
+    }
+}
+
+impl PeerShaper<'_> {
+    fn fabric(&self) -> &Fabric {
+        &self.net.fabric
+    }
+
+    /// Sets the one-way latency for dials *to* this address, in
+    /// microseconds — e.g. a distant AMD KDS.
+    pub fn latency_us(self, one_way_us: u64) -> Self {
+        self.fabric().write(&self.address, |state| {
+            state
+                .latency_overrides
+                .insert(self.address.clone(), one_way_us);
+        });
+        self
+    }
+
+    /// ATTACK: installs a message-tampering hook on dials to this address.
+    pub fn tamper(self, tamper: Arc<TamperFn>) -> Self {
+        self.fabric().write(&self.address, |state| {
+            state.tamper.insert(self.address.clone(), tamper);
+        });
+        self
+    }
+
+    /// ATTACK: silently rewires future dials of this address to
+    /// `attacker` (BGP hijack / hostile middlebox). TLS endpoint checks
+    /// must catch it.
+    pub fn redirect_to(self, attacker: &str) -> Self {
+        self.fabric().write(&self.address, |state| {
+            state
+                .redirects
+                .insert(self.address.clone(), attacker.to_owned());
+        });
+        self
+    }
+
+    /// Removes a redirect.
+    pub fn clear_redirect(self) -> Self {
+        self.fabric().write(&self.address, |state| {
+            state.redirects.remove(&self.address);
+        });
+        self
+    }
+
+    /// Installs (or replaces) the address-wide fault plan for dials *to*
+    /// this address. Plans are keyed by the **dialed** address — under a
+    /// redirect the victim's plan applies, matching the latency/tamper
+    /// precedence.
+    pub fn fault_plan(self, plan: FaultPlan) -> Self {
+        let seed = self.fabric().fault_seed.load(Ordering::Relaxed);
+        self.fabric().write(&self.address, |state| {
+            let entry = FaultEntry::new(plan, seed, &self.address);
+            state.faults.insert(self.address.clone(), entry);
+        });
+        self
+    }
+
+    /// Installs (or replaces) a fault plan for exchanges on this address
+    /// whose route starts with `prefix` (e.g. `"/vcek"` on the KDS while
+    /// `"/cert_chain"` stays healthy). The longest matching prefix wins;
+    /// the address-wide plan is the fallback. Route plans draw from their
+    /// own `(address, prefix)`-keyed stream and apply per exchange — the
+    /// dial itself is only governed by the address-wide plan's fail-first
+    /// window, since no route exists before the first exchange.
+    pub fn fault_plan_for_route(self, prefix: &str, plan: FaultPlan) -> Self {
+        let seed = self.fabric().fault_seed.load(Ordering::Relaxed);
+        self.fabric().write(&self.address, |state| {
+            let entry = FaultEntry::new(plan, seed, &route_stream_key(&self.address, prefix));
+            let routes = state.route_faults.entry(self.address.clone()).or_default();
+            match routes.iter_mut().find(|(p, _)| p == prefix) {
+                Some(slot) => slot.1 = entry,
+                None => routes.push((prefix.to_owned(), entry)),
+            }
+        });
+        self
+    }
+
+    /// Removes every fault plan for this address — address-wide and
+    /// per-route — the "faults clear" moment.
+    pub fn clear_fault_plan(self) -> Self {
+        self.fabric().write(&self.address, |state| {
+            state.faults.remove(&self.address);
+            state.route_faults.remove(&self.address);
+        });
+        self
+    }
+
+    /// Clears *all* shaping for this address: latency override, tamper
+    /// hook, redirect, and every fault plan.
+    pub fn clear(self) -> Self {
+        self.fabric().write(&self.address, |state| {
+            state.latency_overrides.remove(&self.address);
+            state.tamper.remove(&self.address);
+            state.redirects.remove(&self.address);
+            state.faults.remove(&self.address);
+            state.route_faults.remove(&self.address);
+        });
+        self
     }
 }
 
@@ -268,9 +616,9 @@ pub struct Connection {
     dialed: String,
     closed: bool,
     /// Timeout window charged for drops/timeouts; refreshed from the
-    /// address's fault plan on each exchange.
+    /// governing fault plan on each exchange.
     timeout_us: u64,
-    net_state: Arc<Mutex<NetState>>,
+    fabric: Arc<Fabric>,
 }
 
 impl std::fmt::Debug for Connection {
@@ -284,17 +632,31 @@ impl std::fmt::Debug for Connection {
 
 impl Connection {
     /// Sends `message` and waits for the response. Advances the clock by
-    /// one round trip.
+    /// one round trip. Equivalent to [`Connection::exchange_routed`] with
+    /// an empty route: only address-wide fault plans apply.
     ///
     /// # Errors
     ///
     /// Propagates handler errors; a closed connection returns
     /// [`NetError::ConnectionClosed`].
     pub fn exchange(&mut self, message: &[u8]) -> Result<Vec<u8>, NetError> {
+        self.exchange_routed("", message)
+    }
+
+    /// Sends `message` labelled with `route` (an HTTP path, for protocols
+    /// that have one) and waits for the response. The label exists purely
+    /// for fault injection: a per-route plan whose prefix matches `route`
+    /// governs this exchange instead of the address-wide plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates handler errors; a closed connection returns
+    /// [`NetError::ConnectionClosed`].
+    pub fn exchange_routed(&mut self, route: &str, message: &[u8]) -> Result<Vec<u8>, NetError> {
         if self.closed {
             return Err(NetError::ConnectionClosed);
         }
-        let (jitter_us, fault) = self.fault_decision();
+        let (jitter_us, fault) = self.fault_decision(route);
         let one_way_us = self.one_way_us.saturating_add(jitter_us);
         if let Some(err) = fault {
             self.closed = true;
@@ -321,23 +683,43 @@ impl Connection {
         result
     }
 
-    /// Consults the dialed address's fault plan for this exchange,
-    /// returning the one-way jitter and the fault to surface, if any.
-    /// Faults fire **before** delivery — the handler never runs, so
-    /// server-side state is untouched and a retry is always safe.
-    fn fault_decision(&mut self) -> (u64, Option<NetError>) {
-        let mut state = self.net_state.lock();
-        let Some(entry) = state.faults.get_mut(&self.dialed) else {
+    /// Consults the governing fault plan for this exchange — the longest
+    /// matching route plan, else the address-wide plan — returning the
+    /// one-way jitter and the fault to surface, if any. Faults fire
+    /// **before** delivery: the handler never runs, so server-side state
+    /// is untouched and a retry is always safe.
+    fn fault_decision(&mut self, route: &str) -> (u64, Option<NetError>) {
+        // Fast path: nothing installed for this address — read lock only.
+        let has_plan = self.fabric.read(&self.dialed, |state| {
+            state.faults.contains_key(&self.dialed) || state.route_faults.contains_key(&self.dialed)
+        });
+        if !has_plan {
+            return (0, None);
+        }
+        let decision = self.fabric.write(&self.dialed, |state| {
+            if let Some(routes) = state.route_faults.get_mut(&self.dialed) {
+                let best = routes
+                    .iter_mut()
+                    .filter(|(prefix, _)| route.starts_with(prefix.as_str()))
+                    .max_by_key(|(prefix, _)| prefix.len());
+                if let Some((_, entry)) = best {
+                    return Some((entry.exchange_decision(), entry.plan.timeout_us));
+                }
+            }
+            state
+                .faults
+                .get_mut(&self.dialed)
+                .map(|entry| (entry.exchange_decision(), entry.plan.timeout_us))
+        });
+        let Some(((jitter_us, fault), timeout_us)) = decision else {
             return (0, None);
         };
-        let (jitter_us, fault) = entry.exchange_decision();
-        self.timeout_us = entry.plan.timeout_us;
+        self.timeout_us = timeout_us;
         let Some(kind) = fault else {
             return (jitter_us, None);
         };
-        let observer = state.record_fault();
-        drop(state);
-        if let Some(obs) = observer {
+        // The observer runs outside every fabric lock.
+        if let Some(obs) = self.fabric.record_fault() {
             obs(&self.dialed, kind);
         }
         let err = match kind {
@@ -391,11 +773,16 @@ mod tests {
     }
 
     fn fabric() -> (SimClock, SimNet) {
+        fabric_with_shards(DEFAULT_SHARDS)
+    }
+
+    fn fabric_with_shards(shards: usize) -> (SimClock, SimNet) {
         let clock = SimClock::new();
         let net = SimNet::new(
             clock.clone(),
             NetConfig {
                 default_one_way_us: 1000,
+                shards,
             },
         );
         (clock, net)
@@ -434,7 +821,7 @@ mod tests {
     fn per_address_latency_override() {
         let (clock, net) = fabric();
         net.bind("kds:443", Arc::new(Echo)).unwrap();
-        net.set_latency("kds:443", 100_000); // a distant service
+        net.peer("kds:443").latency_us(100_000); // a distant service
         let mut conn = net.dial("kds:443").unwrap();
         conn.exchange(b"q").unwrap();
         assert_eq!(clock.now_us(), 200_000);
@@ -445,33 +832,31 @@ mod tests {
         let (_, net) = fabric();
         net.bind("honest:443", Arc::new(Marker(b"honest"))).unwrap();
         net.bind("evil:443", Arc::new(Marker(b"evil"))).unwrap();
-        net.redirect("honest:443", "evil:443");
+        net.peer("honest:443").redirect_to("evil:443");
         let mut conn = net.dial("honest:443").unwrap();
         assert_eq!(conn.exchange(b"hello").unwrap(), b"evil");
-        net.clear_redirect("honest:443");
+        net.peer("honest:443").clear_redirect();
         let mut conn = net.dial("honest:443").unwrap();
         assert_eq!(conn.exchange(b"hello").unwrap(), b"honest");
     }
 
     #[test]
     fn victim_latency_and_tamper_survive_redirect() {
-        // Satellite fix: settings installed on the dialed (victim) address
-        // must keep applying after a redirect; previously the attacker's
-        // address shadowed them.
+        // Settings installed on the dialed (victim) address must keep
+        // applying after a redirect; the attacker's address only fills
+        // gaps the victim left.
         let (clock, net) = fabric();
         net.bind("honest:443", Arc::new(Marker(b"honest"))).unwrap();
         net.bind("evil:443", Arc::new(Marker(b"evil"))).unwrap();
-        net.set_latency("honest:443", 50_000);
-        net.set_latency("evil:443", 7);
-        net.set_tamper(
-            "honest:443",
-            Arc::new(|m: &[u8]| {
+        net.peer("honest:443")
+            .latency_us(50_000)
+            .tamper(Arc::new(|m: &[u8]| {
                 let mut v = m.to_vec();
                 v.push(b'!');
                 v
-            }),
-        );
-        net.redirect("honest:443", "evil:443");
+            }))
+            .redirect_to("evil:443");
+        net.peer("evil:443").latency_us(7);
         let start = clock.now_us();
         let mut conn = net.dial("honest:443").unwrap();
         assert_eq!(conn.exchange(b"hello").unwrap(), b"evil");
@@ -483,8 +868,8 @@ mod tests {
     fn attacker_settings_apply_when_victim_has_none() {
         let (clock, net) = fabric();
         net.bind("evil:443", Arc::new(Marker(b"evil"))).unwrap();
-        net.set_latency("evil:443", 9_000);
-        net.redirect("honest:443", "evil:443");
+        net.peer("evil:443").latency_us(9_000);
+        net.peer("honest:443").redirect_to("evil:443");
         let start = clock.now_us();
         let mut conn = net.dial("honest:443").unwrap();
         conn.exchange(b"hello").unwrap();
@@ -495,16 +880,13 @@ mod tests {
     fn tamper_rewrites_messages() {
         let (_, net) = fabric();
         net.bind("a:1", Arc::new(Echo)).unwrap();
-        net.set_tamper(
-            "a:1",
-            Arc::new(|m: &[u8]| {
-                let mut v = m.to_vec();
-                if !v.is_empty() {
-                    v[0] ^= 0xff;
-                }
-                v
-            }),
-        );
+        net.peer("a:1").tamper(Arc::new(|m: &[u8]| {
+            let mut v = m.to_vec();
+            if !v.is_empty() {
+                v[0] ^= 0xff;
+            }
+            v
+        }));
         let mut conn = net.dial("a:1").unwrap();
         assert_eq!(conn.exchange(&[1, 2]).unwrap(), vec![0xfe, 2]);
     }
@@ -551,7 +933,7 @@ mod tests {
         net.bind("a:1", Arc::new(Count(Arc::clone(&delivered))))
             .unwrap();
         net.set_fault_seed(1);
-        net.set_fault_plan("a:1", FaultPlan::outage());
+        net.peer("a:1").fault_plan(FaultPlan::outage());
         let start = clock.now_us();
         let mut conn = net.dial("a:1").unwrap();
         assert_eq!(conn.exchange(b"x"), Err(NetError::Dropped("a:1".into())));
@@ -560,7 +942,7 @@ mod tests {
         assert_eq!(clock.now_us() - start, 1_000_000);
         assert_eq!(net.faults_injected(), 1);
         // Clearing the plan restores delivery.
-        net.clear_fault_plan("a:1");
+        net.peer("a:1").clear_fault_plan();
         let mut conn = net.dial("a:1").unwrap();
         assert!(conn.exchange(b"x").is_ok());
         assert_eq!(delivered.load(Ordering::SeqCst), 1);
@@ -571,13 +953,10 @@ mod tests {
         let (clock, net) = fabric();
         net.bind("a:1", Arc::new(Echo)).unwrap();
         net.set_fault_seed(3);
-        net.set_fault_plan(
-            "a:1",
-            FaultPlan {
-                timeout_us: 250_000,
-                ..FaultPlan::fail_first(2)
-            },
-        );
+        net.peer("a:1").fault_plan(FaultPlan {
+            timeout_us: 250_000,
+            ..FaultPlan::fail_first(2)
+        });
         let start = clock.now_us();
         assert_eq!(
             net.dial("a:1").unwrap_err(),
@@ -598,13 +977,10 @@ mod tests {
         let (_, net) = fabric();
         net.bind("a:1", Arc::new(Echo)).unwrap();
         net.set_fault_seed(5);
-        net.set_fault_plan(
-            "a:1",
-            FaultPlan {
-                reset_probability: 1.0,
-                ..FaultPlan::default()
-            },
-        );
+        net.peer("a:1").fault_plan(FaultPlan {
+            reset_probability: 1.0,
+            ..FaultPlan::default()
+        });
         let mut conn = net.dial("a:1").unwrap();
         assert_eq!(conn.exchange(b"x"), Err(NetError::ConnectionClosed));
         // A faulted connection is closed; later exchanges fail fast.
@@ -618,13 +994,10 @@ mod tests {
             let (clock, net) = fabric();
             net.bind("a:1", Arc::new(Echo)).unwrap();
             net.set_fault_seed(seed);
-            net.set_fault_plan(
-                "a:1",
-                FaultPlan {
-                    jitter_us: 800,
-                    ..FaultPlan::default()
-                },
-            );
+            net.peer("a:1").fault_plan(FaultPlan {
+                jitter_us: 800,
+                ..FaultPlan::default()
+            });
             let mut conn = net.dial("a:1").unwrap();
             for _ in 0..8 {
                 conn.exchange(b"x").unwrap();
@@ -651,15 +1024,12 @@ mod tests {
             let (_, net) = fabric();
             net.bind("a:1", Arc::new(Echo)).unwrap();
             net.set_fault_seed(seed);
-            net.set_fault_plan(
-                "a:1",
-                FaultPlan {
-                    drop_probability: 0.3,
-                    timeout_probability: 0.2,
-                    reset_probability: 0.1,
-                    ..FaultPlan::default()
-                },
-            );
+            net.peer("a:1").fault_plan(FaultPlan {
+                drop_probability: 0.3,
+                timeout_probability: 0.2,
+                reset_probability: 0.1,
+                ..FaultPlan::default()
+            });
             let mut out = Vec::new();
             for _ in 0..32 {
                 let mut conn = net.dial("a:1").unwrap();
@@ -672,12 +1042,152 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_does_not_change_fault_streams() {
+        // The determinism contract survives resharding: streams are keyed
+        // by address, not by shard, so 1-, 4- and 64-shard fabrics (and
+        // the single-lock baseline) produce identical decisions and
+        // identical simulated timings.
+        let run = |shards: usize| {
+            let (clock, net) = fabric_with_shards(shards);
+            for i in 0..8 {
+                net.bind(&format!("node-{i}:443"), Arc::new(Echo)).unwrap();
+            }
+            net.set_fault_seed(0xFEED);
+            for i in 0..8 {
+                net.peer(&format!("node-{i}:443")).fault_plan(FaultPlan {
+                    drop_probability: 0.4,
+                    jitter_us: 900,
+                    ..FaultPlan::default()
+                });
+            }
+            let mut outcomes = Vec::new();
+            for round in 0..16 {
+                for i in 0..8 {
+                    let address = format!("node-{}:443", (i + round) % 8);
+                    let mut conn = net.dial(&address).unwrap();
+                    outcomes.push((address, conn.exchange(b"x").is_ok()));
+                }
+            }
+            (outcomes, clock.now_us(), net.faults_injected())
+        };
+        let baseline = run(1);
+        assert_eq!(baseline, run(4));
+        assert_eq!(baseline, run(64));
+    }
+
+    #[test]
+    fn route_plan_governs_matching_exchanges_only() {
+        let (_, net) = fabric();
+        net.bind("kds:443", Arc::new(Echo)).unwrap();
+        net.set_fault_seed(11);
+        net.peer("kds:443")
+            .fault_plan_for_route("/vcek", FaultPlan::outage());
+        let mut conn = net.dial("kds:443").unwrap();
+        // The lossy route drops; its sibling is untouched.
+        assert!(matches!(
+            conn.exchange_routed("/vcek", b"q"),
+            Err(NetError::Dropped(_))
+        ));
+        let mut conn = net.dial("kds:443").unwrap();
+        assert!(conn.exchange_routed("/cert_chain", b"q").is_ok());
+        // Unrouted exchanges never match a non-empty prefix.
+        let mut conn = net.dial("kds:443").unwrap();
+        assert!(conn.exchange(b"q").is_ok());
+        assert_eq!(net.faults_injected(), 1);
+    }
+
+    #[test]
+    fn longest_route_prefix_wins_and_address_plan_is_fallback() {
+        let (_, net) = fabric();
+        net.bind("api:443", Arc::new(Echo)).unwrap();
+        net.set_fault_seed(12);
+        // Address-wide: resets. /v1: drops. /v1/healthz: clean.
+        net.peer("api:443")
+            .fault_plan(FaultPlan {
+                reset_probability: 1.0,
+                ..FaultPlan::default()
+            })
+            .fault_plan_for_route("/v1", FaultPlan::outage())
+            .fault_plan_for_route("/v1/healthz", FaultPlan::default());
+        let mut conn = net.dial("api:443").unwrap();
+        assert!(conn.exchange_routed("/v1/healthz", b"q").is_ok());
+        let mut conn = net.dial("api:443").unwrap();
+        assert!(matches!(
+            conn.exchange_routed("/v1/users", b"q"),
+            Err(NetError::Dropped(_))
+        ));
+        let mut conn = net.dial("api:443").unwrap();
+        assert_eq!(
+            conn.exchange_routed("/other", b"q"),
+            Err(NetError::ConnectionClosed)
+        );
+    }
+
+    #[test]
+    fn route_streams_are_independent_of_sibling_traffic() {
+        // Hammering one route must not perturb another route's decision
+        // stream — the per-(address, prefix) seeding at work.
+        let outcomes = |noise: usize| {
+            let (_, net) = fabric();
+            net.bind("kds:443", Arc::new(Echo)).unwrap();
+            net.set_fault_seed(77);
+            net.peer("kds:443")
+                .fault_plan_for_route(
+                    "/vcek",
+                    FaultPlan {
+                        drop_probability: 0.5,
+                        ..FaultPlan::default()
+                    },
+                )
+                .fault_plan_for_route(
+                    "/cert_chain",
+                    FaultPlan {
+                        drop_probability: 0.5,
+                        ..FaultPlan::default()
+                    },
+                );
+            let mut conn = net.dial("kds:443").unwrap();
+            for _ in 0..noise {
+                let _ = conn.exchange_routed("/cert_chain", b"noise");
+            }
+            let mut out = Vec::new();
+            for _ in 0..16 {
+                let mut conn = net.dial("kds:443").unwrap();
+                out.push(conn.exchange_routed("/vcek", b"q").is_ok());
+            }
+            out
+        };
+        assert_eq!(outcomes(0), outcomes(13));
+    }
+
+    #[test]
+    fn peer_clear_removes_all_shaping() {
+        let (clock, net) = fabric();
+        net.bind("a:1", Arc::new(Marker(b"a"))).unwrap();
+        net.bind("b:1", Arc::new(Marker(b"b"))).unwrap();
+        net.set_fault_seed(1);
+        net.peer("a:1")
+            .latency_us(99_000)
+            .tamper(Arc::new(|m: &[u8]| m.to_vec()))
+            .redirect_to("b:1")
+            .fault_plan(FaultPlan::fail_first(100))
+            .fault_plan_for_route("/x", FaultPlan::outage());
+        assert!(net.dial("a:1").is_err());
+        net.peer("a:1").clear();
+        let start = clock.now_us();
+        let mut conn = net.dial("a:1").unwrap();
+        assert_eq!(conn.exchange(b"q").unwrap(), b"a");
+        assert_eq!(clock.now_us() - start, 2000);
+        assert_eq!(net.faults_injected(), 1);
+    }
+
+    #[test]
     fn fault_observer_sees_every_injection() {
         use std::sync::atomic::{AtomicU32, Ordering};
         let (_, net) = fabric();
         net.bind("a:1", Arc::new(Echo)).unwrap();
         net.set_fault_seed(1);
-        net.set_fault_plan("a:1", FaultPlan::outage());
+        net.peer("a:1").fault_plan(FaultPlan::outage());
         let seen = Arc::new(AtomicU32::new(0));
         let seen2 = Arc::clone(&seen);
         net.set_fault_observer(Arc::new(move |address, kind| {
@@ -715,5 +1225,44 @@ mod tests {
         assert_eq!(c1.exchange(b"").unwrap(), vec![1]);
         assert_eq!(c1.exchange(b"").unwrap(), vec![2]);
         assert_eq!(c2.exchange(b"").unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn deprecated_shims_still_shape_traffic() {
+        // The shims delegate to the PeerShaper paths; behaviour must be
+        // unchanged for out-of-tree callers still on the old names.
+        #![allow(deprecated)]
+        let (clock, net) = fabric();
+        net.bind("a:1", Arc::new(Echo)).unwrap();
+        net.set_latency("a:1", 5_000);
+        let mut conn = net.dial("a:1").unwrap();
+        conn.exchange(b"x").unwrap();
+        assert_eq!(clock.now_us(), 10_000);
+        net.set_fault_plan("a:1", FaultPlan::outage());
+        let mut conn = net.dial("a:1").unwrap();
+        assert!(conn.exchange(b"x").is_err());
+        net.clear_fault_plan("a:1");
+        let mut conn = net.dial("a:1").unwrap();
+        assert!(conn.exchange(b"x").is_ok());
+    }
+
+    #[test]
+    fn concurrent_dials_to_disjoint_addresses_succeed() {
+        let (_, net) = fabric();
+        for i in 0..64 {
+            net.bind(&format!("n{i}:443"), Arc::new(Echo)).unwrap();
+        }
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let net = net.clone();
+                s.spawn(move || {
+                    for i in 0..64 {
+                        let address = format!("n{}:443", (t * 8 + i) % 64);
+                        let mut conn = net.dial(&address).unwrap();
+                        assert_eq!(conn.exchange(b"ping").unwrap(), b"ping");
+                    }
+                });
+            }
+        });
     }
 }

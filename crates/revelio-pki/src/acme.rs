@@ -115,8 +115,15 @@ impl AcmeCa {
             dns,
             log: Arc::new(Mutex::new(IssuanceLog::default())),
             telemetry: None,
-            retry: RetryPolicy::default().with_jitter_seed(ACME_JITTER_SEED),
+            retry: Self::default_retry_policy(),
         }
+    }
+
+    /// The retry policy new CAs start with: the crate-wide default budget
+    /// on the ACME-specific jitter stream.
+    #[must_use]
+    pub fn default_retry_policy() -> RetryPolicy {
+        RetryPolicy::default().with_jitter_seed(ACME_JITTER_SEED)
     }
 
     /// Replaces the retry policy applied by

@@ -163,8 +163,21 @@ impl TlsSession {
     /// Returns [`TlsError::Net`] on transport failure or
     /// [`TlsError::RecordAuthentication`] on tampering.
     pub fn request(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, TlsError> {
+        self.request_routed("", plaintext)
+    }
+
+    /// Sends one protected request labelled with `route` (the HTTP path,
+    /// for callers that have one) and returns the protected response's
+    /// plaintext. The label only feeds the fabric's per-route fault
+    /// injection; it is never transmitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TlsError::Net`] on transport failure or
+    /// [`TlsError::RecordAuthentication`] on tampering.
+    pub fn request_routed(&mut self, route: &str, plaintext: &[u8]) -> Result<Vec<u8>, TlsError> {
         let sealed = self.keys.client_to_server.seal(plaintext);
-        let reply = self.conn.exchange(&sealed)?;
+        let reply = self.conn.exchange_routed(route, &sealed)?;
         self.keys.server_to_client.open(&reply)
     }
 
@@ -358,7 +371,7 @@ mod tests {
             &attacker_key,
             b"evil",
         );
-        w.net.redirect("10.0.0.1:443", "10.6.6.6:443");
+        w.net.peer("10.0.0.1:443").redirect_to("10.6.6.6:443");
 
         let mut session = client(&w)
             .connect(&w.net, "10.0.0.1:443", "pad.example.org", [1; 32])
@@ -377,17 +390,14 @@ mod tests {
         // a bit in every later (record) message.
         let seen = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let counter = Arc::clone(&seen);
-        w.net.set_tamper(
-            "10.0.0.1:443",
-            Arc::new(move |m: &[u8]| {
-                let n = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let mut v = m.to_vec();
-                if n > 0 {
-                    v[0] ^= 1;
-                }
-                v
-            }),
-        );
+        w.net.peer("10.0.0.1:443").tamper(Arc::new(move |m: &[u8]| {
+            let n = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let mut v = m.to_vec();
+            if n > 0 {
+                v[0] ^= 1;
+            }
+            v
+        }));
         let mut session = client(&w)
             .connect(&w.net, "10.0.0.1:443", "pad.example.org", [1; 32])
             .unwrap();

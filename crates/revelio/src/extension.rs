@@ -170,8 +170,15 @@ impl WebExtension {
             client,
             registered: BTreeMap::new(),
             telemetry,
-            retry: RetryPolicy::default().with_jitter_seed(EXTENSION_JITTER_SEED),
+            retry: Self::default_retry_policy(),
         }
+    }
+
+    /// The retry policy new extensions start with: the crate-wide default
+    /// budget on the extension-specific jitter stream.
+    #[must_use]
+    pub fn default_retry_policy() -> RetryPolicy {
+        RetryPolicy::default().with_jitter_seed(EXTENSION_JITTER_SEED)
     }
 
     /// Replaces the retry policy applied to transient transport failures

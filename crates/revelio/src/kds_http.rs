@@ -19,7 +19,7 @@ use revelio_net::net::SimNet;
 use revelio_net::retry::RetryPolicy;
 use revelio_telemetry::{retry_with_telemetry, Telemetry};
 use sev_snp::ids::{ChipId, TcbVersion};
-use sev_snp::kds::{KeyDistributionService, VcekCertChain};
+use sev_snp::kds::{AmdCert, KeyDistributionService, VcekCertChain};
 
 use crate::RevelioError;
 
@@ -53,14 +53,26 @@ pub fn serve_kds(
     address: &str,
     kds: KeyDistributionService,
 ) -> Result<(), RevelioError> {
-    let router = Router::new().post("/vcek", move |req: &Request| {
-        match decode_query(&req.body)
-            .and_then(|(chip, tcb)| kds.vcek_chain(&chip, &tcb).map_err(RevelioError::Snp))
-        {
-            Ok(chain) => Response::ok(chain.to_bytes()),
-            Err(_) => Response::status(400),
-        }
-    });
+    let chain_kds = kds.clone();
+    let router = Router::new()
+        .post("/vcek", move |req: &Request| {
+            match decode_query(&req.body)
+                .and_then(|(chip, tcb)| kds.vcek_chain(&chip, &tcb).map_err(RevelioError::Snp))
+            {
+                Ok(chain) => Response::ok(chain.to_bytes()),
+                Err(_) => Response::status(400),
+            }
+        })
+        .get("/cert_chain", move |_req: &Request| {
+            // The real KDS serves the chip-independent ARK → ASK prefix at
+            // its own route; having the sibling here lets chaos tests make
+            // `/vcek` lossy while `/cert_chain` stays healthy.
+            let (ark, ask) = chain_kds.cert_chain();
+            let mut w = ByteWriter::new();
+            w.put_var_bytes(&ark.to_bytes());
+            w.put_var_bytes(&ask.to_bytes());
+            Response::ok(w.into_bytes())
+        });
     serve_http(net, address, router)?;
     Ok(())
 }
@@ -91,6 +103,14 @@ impl std::fmt::Debug for KdsHttpClient {
 }
 
 impl KdsHttpClient {
+    /// The retry policy new clients start with: the crate-wide default
+    /// budget on the KDS-specific jitter stream. [`crate::world::RetryTuning`]
+    /// uses this as its `kds` default.
+    #[must_use]
+    pub fn default_retry_policy() -> RetryPolicy {
+        RetryPolicy::default().with_jitter_seed(KDS_JITTER_SEED)
+    }
+
     /// A caching client (the recommended configuration).
     #[must_use]
     pub fn new(net: SimNet, address: &str) -> Self {
@@ -99,7 +119,7 @@ impl KdsHttpClient {
             address: address.to_owned(),
             cache: Some(Arc::new(Mutex::new(HashMap::new()))),
             telemetry: None,
-            retry: RetryPolicy::default().with_jitter_seed(KDS_JITTER_SEED),
+            retry: Self::default_retry_policy(),
         }
     }
 
@@ -112,7 +132,7 @@ impl KdsHttpClient {
             address: address.to_owned(),
             cache: None,
             telemetry: None,
-            retry: RetryPolicy::default().with_jitter_seed(KDS_JITTER_SEED),
+            retry: Self::default_retry_policy(),
         }
     }
 
@@ -197,6 +217,45 @@ impl KdsHttpClient {
         }
         Ok(chain)
     }
+
+    /// Fetches the chip-independent ARK → ASK certificates from the KDS
+    /// `/cert_chain` route. Never cached: the payload is two small
+    /// certificates, and the route exists mostly so chaos runs can fault
+    /// `/vcek` and `/cert_chain` independently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RevelioError`] on transport failure or a malformed
+    /// response.
+    pub fn cert_chain(&self) -> Result<(AmdCert, AmdCert), RevelioError> {
+        let fetch =
+            |_attempt: u32| plain_request(&self.net, &self.address, &Request::get("/cert_chain"));
+        let response = match &self.telemetry {
+            Some(telemetry) => retry_with_telemetry(
+                &self.retry,
+                telemetry,
+                "kds",
+                HttpError::is_transient,
+                fetch,
+            ),
+            None => {
+                self.retry
+                    .run(self.net.clock(), HttpError::is_transient, fetch)
+                    .0
+            }
+        }?;
+        if !response.is_success() {
+            return Err(RevelioError::EvidenceRejected(format!(
+                "kds returned status {}",
+                response.status
+            )));
+        }
+        let mut r = ByteReader::new(&response.body);
+        let ark = AmdCert::from_bytes(r.get_var_bytes()?)?;
+        let ask = AmdCert::from_bytes(r.get_var_bytes()?)?;
+        r.finish()?;
+        Ok((ark, ask))
+    }
 }
 
 #[cfg(test)]
@@ -232,7 +291,7 @@ mod tests {
     #[test]
     fn cache_eliminates_second_round_trip() {
         let (clock, net, _) = setup();
-        net.set_latency(KDS_ADDRESS, 213_650); // paper: 427.3 ms round trip
+        net.peer(KDS_ADDRESS).latency_us(213_650); // paper: 427.3 ms round trip
         let client = KdsHttpClient::new(net, KDS_ADDRESS);
         let chip = ChipId::from_seed(1);
         let tcb = TcbVersion::default();
@@ -258,7 +317,8 @@ mod tests {
     #[test]
     fn brief_kds_outage_is_retried_to_success() {
         let (clock, net, amd) = setup();
-        net.set_fault_plan(KDS_ADDRESS, revelio_net::FaultPlan::fail_first(2));
+        net.peer(KDS_ADDRESS)
+            .fault_plan(revelio_net::FaultPlan::fail_first(2));
         let client = KdsHttpClient::new(net, KDS_ADDRESS);
         let chip = ChipId::from_seed(1);
         let tcb = TcbVersion::default();
@@ -272,7 +332,8 @@ mod tests {
     #[test]
     fn sustained_kds_outage_surfaces_a_transient_error() {
         let (_, net, _) = setup();
-        net.set_fault_plan(KDS_ADDRESS, revelio_net::FaultPlan::outage());
+        net.peer(KDS_ADDRESS)
+            .fault_plan(revelio_net::FaultPlan::outage());
         let telemetry = revelio_telemetry::Telemetry::new(net.clock().clone());
         let client = KdsHttpClient::new(net, KDS_ADDRESS).with_telemetry(telemetry.clone());
         let err = client
@@ -281,6 +342,16 @@ mod tests {
         assert!(err.is_transient(), "outage must stay transient, got {err}");
         assert_eq!(telemetry.counter("revelio_kds_retry_gave_up_total"), 1);
         assert_eq!(telemetry.counter("revelio_kds_retry_attempts_total"), 3);
+    }
+
+    #[test]
+    fn cert_chain_route_serves_verifiable_ark_ask() {
+        let (_, net, amd) = setup();
+        let client = KdsHttpClient::new(net, KDS_ADDRESS);
+        let (ark, ask) = client.cert_chain().unwrap();
+        assert_eq!(ark.public_key, amd.ark_public_key());
+        ark.verify(&amd.ark_public_key()).unwrap();
+        ask.verify(&ark.public_key).unwrap();
     }
 
     #[test]

@@ -66,6 +66,19 @@ pub struct NodeConfig {
     /// validated against these before installation (a forged self-signed
     /// chain from a bootstrap-network attacker must not be served).
     pub trusted_tls_roots: Vec<revelio_pki::cert::Certificate>,
+    /// Retry budget for the node's leader-link requests (key retrieval
+    /// over the provider-internal network). Start from
+    /// [`NodeConfig::default_retry_policy`].
+    pub retry: RetryPolicy,
+}
+
+impl NodeConfig {
+    /// The retry policy node configs should start with: the crate-wide
+    /// default budget on the node-specific jitter stream.
+    #[must_use]
+    pub fn default_retry_policy() -> RetryPolicy {
+        RetryPolicy::default().with_jitter_seed(NODE_JITTER_SEED)
+    }
 }
 
 /// The `{CSR, report}` bundle a node hands the SP (Fig. 4 step 1).
@@ -501,12 +514,13 @@ impl RevelioNode {
         let box_secret: [u8; 32] = Hmac::<Sha256>::mac(&identity_seed, b"box-encryption")
             .try_into()
             .expect("32 bytes");
+        let retry = config.retry.clone();
         let shared = Arc::new(NodeShared {
             vm,
             config,
             net: net.clone(),
             kds,
-            retry: RetryPolicy::default().with_jitter_seed(NODE_JITTER_SEED),
+            retry,
             state: Mutex::new(NodeState {
                 chain: None,
                 tls_key: None,

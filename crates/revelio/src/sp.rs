@@ -103,8 +103,15 @@ impl ServiceProviderNode {
             acme,
             config,
             telemetry: None,
-            retry: RetryPolicy::default().with_jitter_seed(SP_JITTER_SEED),
+            retry: Self::default_retry_policy(),
         }
+    }
+
+    /// The retry policy new SP nodes start with: the crate-wide default
+    /// budget on the SP-specific jitter stream.
+    #[must_use]
+    pub fn default_retry_policy() -> RetryPolicy {
+        RetryPolicy::default().with_jitter_seed(SP_JITTER_SEED)
     }
 
     /// Records provisioning spans into `telemetry` instead of a private

@@ -15,7 +15,7 @@ use revelio_http::router::Router;
 use revelio_net::clock::SimClock;
 use revelio_net::dns::DnsZone;
 use revelio_net::net::{NetConfig, SimNet};
-use revelio_net::FaultPlan;
+use revelio_net::{FaultPlan, RetryPolicy};
 use revelio_pki::acme::{AcmeCa, AcmePolicy};
 use revelio_pki::cert::Certificate;
 use revelio_telemetry::Telemetry;
@@ -52,6 +52,8 @@ pub struct WorldTuning {
     pub extension_validation_ms: f64,
     /// Per-request connection validation, ms (Table 3: 115.0 − 100.9).
     pub extension_conn_validation_ms: f64,
+    /// Per-component retry budgets for transient transport faults.
+    pub retry: RetryTuning,
 }
 
 impl Default for WorldTuning {
@@ -65,6 +67,45 @@ impl Default for WorldTuning {
             ca_processing_ms: 2_950.0,
             extension_validation_ms: 230.0,
             extension_conn_validation_ms: 14.1,
+            retry: RetryTuning::default(),
+        }
+    }
+}
+
+/// Per-component [`RetryPolicy`] budgets, threaded by [`SimWorld`] into
+/// each constructor. The [`Default`] reproduces what each component
+/// hardcodes on its own (same budgets, same per-component jitter
+/// streams), so a default world behaves exactly as before this knob
+/// existed; ablations override individual fields to trade retry budget
+/// against attestation tail latency under loss.
+#[derive(Debug, Clone)]
+pub struct RetryTuning {
+    /// VCEK-chain fetches from the AMD KDS (the 427 ms public-internet
+    /// round trip).
+    pub kds: RetryPolicy,
+    /// ACME certificate orders against the CA.
+    pub acme: RetryPolicy,
+    /// SP evidence retrieval and certificate distribution over the
+    /// provider-internal network.
+    pub sp: RetryPolicy,
+    /// Node leader-link key requests during bootstrap.
+    pub node: RetryPolicy,
+    /// IC boundary-node upstream requests. The boundary applies its own
+    /// jitter stream internally, so only the budget fields matter here.
+    pub boundary: RetryPolicy,
+    /// Web-extension attested browsing (report + page fetches).
+    pub extension: RetryPolicy,
+}
+
+impl Default for RetryTuning {
+    fn default() -> Self {
+        RetryTuning {
+            kds: KdsHttpClient::default_retry_policy(),
+            acme: AcmeCa::default_retry_policy(),
+            sp: ServiceProviderNode::default_retry_policy(),
+            node: NodeConfig::default_retry_policy(),
+            boundary: RetryPolicy::default(),
+            extension: WebExtension::default_retry_policy(),
         }
     }
 }
@@ -148,6 +189,7 @@ impl SimWorld {
             clock.clone(),
             NetConfig {
                 default_one_way_us: tuning.link_one_way_us,
+                ..NetConfig::default()
             },
         );
         // Mirror every injected fault into the world registry so chaos
@@ -168,7 +210,7 @@ impl SimWorld {
             KeyDistributionService::new(Arc::clone(&amd)).with_telemetry(telemetry.clone()),
         )
         .expect("fresh kds address");
-        net.set_latency(KDS_ADDRESS, tuning.kds_one_way_us);
+        net.peer(KDS_ADDRESS).latency_us(tuning.kds_one_way_us);
         let mut ca_seed = amd_seed;
         ca_seed[8] ^= 0x5c;
         let acme = AcmeCa::new(
@@ -178,8 +220,11 @@ impl SimWorld {
             clock.clone(),
             dns.clone(),
         )
-        .with_telemetry(telemetry.clone());
-        let kds = KdsHttpClient::new(net.clone(), KDS_ADDRESS).with_telemetry(telemetry.clone());
+        .with_telemetry(telemetry.clone())
+        .with_retry_policy(tuning.retry.acme.clone());
+        let kds = KdsHttpClient::new(net.clone(), KDS_ADDRESS)
+            .with_telemetry(telemetry.clone())
+            .with_retry_policy(tuning.retry.kds.clone());
         SimWorld {
             clock,
             telemetry,
@@ -274,7 +319,8 @@ impl SimWorld {
         let platform = self.new_platform();
         let (public_address, bootstrap_address) = self.new_addresses();
         self.net
-            .set_latency(&bootstrap_address, self.tuning.internal_one_way_us);
+            .peer(&bootstrap_address)
+            .latency_us(self.tuning.internal_one_way_us);
         let vm = Hypervisor::new(FirmwareKind::MeasuredDirectBoot).boot(
             &platform,
             image,
@@ -298,6 +344,7 @@ impl SimWorld {
                 page_processing_ms: self.tuning.page_processing_ms,
                 trusted_ark: self.amd.ark_public_key(),
                 trusted_tls_roots: vec![self.acme.root_certificate()],
+                retry: self.tuning.retry.node.clone(),
             },
             app,
             Some(self.telemetry.clone()),
@@ -336,6 +383,7 @@ impl SimWorld {
             },
         )
         .with_telemetry(self.telemetry.clone())
+        .with_retry_policy(self.tuning.retry.sp.clone())
     }
 
     /// Builds, boots, deploys and provisions an `n`-node fleet serving
@@ -409,12 +457,13 @@ impl SimWorld {
     /// Applies `plan` to every future dial of `address` (the *dialed*
     /// address — redirects do not move a victim's plan to the attacker).
     pub fn set_fault_plan(&self, address: &str, plan: FaultPlan) {
-        self.net.set_fault_plan(address, plan);
+        let _ = self.net.peer(address).fault_plan(plan);
     }
 
-    /// Removes the fault plan for `address` (e.g. "the outage clears").
+    /// Removes the fault plans for `address` (e.g. "the outage clears") —
+    /// address-wide and per-route alike.
     pub fn clear_fault_plan(&self, address: &str) {
-        self.net.clear_fault_plan(address);
+        let _ = self.net.peer(address).clear_fault_plan();
     }
 
     /// A web-extension instance for an end-user in this world.
@@ -439,6 +488,7 @@ impl SimWorld {
             entropy,
             Some(self.telemetry.clone()),
         )
+        .with_retry_policy(self.tuning.retry.extension.clone())
     }
 
     /// The browser root-store certificate list.
@@ -644,7 +694,8 @@ mod tests {
         .unwrap();
         world
             .net
-            .redirect(fleet.nodes[0].public_address(), "10.66.6.6:443");
+            .peer(fleet.nodes[0].public_address())
+            .redirect_to("10.66.6.6:443");
 
         // The browser alone would accept the new valid certificate; the
         // extension's reconnect pinning refuses.
@@ -813,16 +864,16 @@ mod tests {
             .deploy_fleet("pad.example.org", 1, demo_app())
             .unwrap();
         let victim = fleet.nodes[0].public_address().to_owned();
-        world.net.set_tamper(
-            &victim,
-            std::sync::Arc::new(|message: &[u8]| {
+        world
+            .net
+            .peer(&victim)
+            .tamper(std::sync::Arc::new(|message: &[u8]| {
                 let mut v = message.to_vec();
                 if let Some(b) = v.last_mut() {
                     *b ^= 1;
                 }
                 v
-            }),
-        );
+            }));
         let mut extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
         assert!(extension.browse_ratls("pad.example.org", "/").is_err());

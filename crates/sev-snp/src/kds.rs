@@ -282,6 +282,26 @@ impl KeyDistributionService {
         );
         Ok(VcekCertChain { ark, ask, vcek })
     }
+
+    /// Answers the chip-independent `/cert_chain` query — the ARK → ASK
+    /// prefix of the chain, which the real KDS serves at its own endpoint
+    /// next to `/vcek`.
+    #[must_use]
+    pub fn cert_chain(&self) -> (AmdCert, AmdCert) {
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.counter_add("revelio_sevsnp_kds_cert_chain_requests_total", 1);
+        }
+        let ark_pub = self.amd.ark_public_key();
+        let ark = AmdCert::issue("ARK", "ARK", ark_pub, None, self.amd.ark_key());
+        let ask = AmdCert::issue(
+            "ASK",
+            "ARK",
+            self.amd.ask_key().verifying_key(),
+            None,
+            self.amd.ark_key(),
+        );
+        (ark, ask)
+    }
 }
 
 #[cfg(test)]

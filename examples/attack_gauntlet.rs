@@ -184,14 +184,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     world
         .net
-        .redirect(fleet.nodes[0].public_address(), "10.99.9.9:443");
+        .peer(fleet.nodes[0].public_address())
+        .redirect_to("10.99.9.9:443");
     let result = extension.reconnect(&mut session);
     verdict(
         "tls redirect with valid cert",
         matches!(result, Err(RevelioError::TlsBindingMismatch)),
         "extension pins the attested key; browser-trusted cert is not enough",
     );
-    world.net.clear_redirect(fleet.nodes[0].public_address());
+    world
+        .net
+        .peer(fleet.nodes[0].public_address())
+        .clear_redirect();
 
     // Impostor node with authentic hardware but unapproved chip.
     let spec2 = world.image_spec("victim.example.org", &["web-service"]);

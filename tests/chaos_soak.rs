@@ -136,6 +136,76 @@ fn equal_fault_seeds_give_byte_identical_runs() {
 }
 
 #[test]
+fn soak_is_byte_identical_when_run_from_many_threads() {
+    // The fabric is thread-safe, and the determinism contract survives
+    // concurrency: the same seeded soak run on 4 or 16 worker threads at
+    // once produces exactly the bytes of a lone sequential run.
+    let seed = CHAOS_SEEDS[0];
+    let baseline = run_soak(seed);
+    for threads in [4usize, 16] {
+        let runs: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads).map(|_| s.spawn(|| run_soak(seed))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("soak thread"))
+                .collect()
+        });
+        for run in runs {
+            assert_eq!(run.0, baseline.0, "verdicts diverged at {threads} threads");
+            assert_eq!(
+                run.2, baseline.2,
+                "fault count diverged at {threads} threads"
+            );
+            assert_eq!(run.1, baseline.1, "export diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn route_scoped_kds_faults_spare_sibling_routes() {
+    use revelio::kds_http::{KdsHttpClient, KDS_ADDRESS};
+
+    let mut world = SimWorld::new(44);
+    let fleet = world
+        .deploy_fleet("pad.example.org", 1, demo_app())
+        .unwrap();
+    world.set_fault_seed(0xC4A0_5010);
+    // Outage scoped to the VCEK route only; everything else on the KDS
+    // address — the same dial, the same listener — stays healthy.
+    let _ = world
+        .net
+        .peer(KDS_ADDRESS)
+        .fault_plan_for_route("/vcek", FaultPlan::outage());
+
+    // The cert-chain route rides through the sibling outage untouched.
+    let kds = KdsHttpClient::without_cache(world.net.clone(), KDS_ADDRESS);
+    kds.cert_chain()
+        .expect("/cert_chain must stay healthy while /vcek is down");
+
+    // A cold attested browse needs the VCEK and must classify the outage
+    // as transient — never as an attestation failure.
+    let mut extension = world.extension();
+    extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
+    let result = extension.browse("pad.example.org", "/");
+    assert_eq!(
+        BrowseVerdict::classify(&result),
+        BrowseVerdict::TransientNetworkRetry,
+        "route-scoped outage misclassified: {result:?}"
+    );
+    assert!(world.net.faults_injected() > 0);
+
+    // Clearing the address's plans clears route plans too; attestation
+    // converges.
+    let _ = world.net.peer(KDS_ADDRESS).clear_fault_plan();
+    let recovered = extension.browse("pad.example.org", "/");
+    assert_eq!(
+        BrowseVerdict::classify(&recovered),
+        BrowseVerdict::Attested,
+        "no convergence after route plan cleared: {recovered:?}"
+    );
+}
+
+#[test]
 fn retry_rides_through_a_brief_kds_outage_end_to_end() {
     let mut world = SimWorld::new(43);
     // KDS drops the first two connections after seeding: the extension's

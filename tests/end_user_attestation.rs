@@ -148,7 +148,8 @@ fn monitored_session_survives_benign_traffic_catches_redirect() {
     .unwrap();
     world
         .net
-        .redirect(fleet.nodes[0].public_address(), "10.6.6.6:443");
+        .peer(fleet.nodes[0].public_address())
+        .redirect_to("10.6.6.6:443");
     assert_eq!(
         extension.reconnect(&mut session).unwrap_err(),
         RevelioError::TlsBindingMismatch

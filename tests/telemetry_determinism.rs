@@ -78,6 +78,29 @@ fn fault_seed_is_part_of_the_determinism_contract() {
 }
 
 #[test]
+fn exports_are_byte_identical_across_concurrent_worlds() {
+    // Sharded-fabric worlds share no process-global state: the scenario
+    // run on 4 or 16 threads concurrently exports exactly the bytes of a
+    // lone run. This is the multi-threaded leg of the determinism
+    // contract the fabric sharding has to preserve.
+    let reference = run_scenario(7).export_json_lines();
+    for threads in [4usize, 16] {
+        let exports: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| s.spawn(|| run_scenario(7).export_json_lines()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scenario thread"))
+                .collect()
+        });
+        for export in exports {
+            assert_eq!(export, reference, "export diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
 fn different_seeds_still_record_the_same_span_shape() {
     // Seeds change keys and identities, not the modelled latencies, so the
     // span *tree* (names, counts, durations) is seed-invariant even though
