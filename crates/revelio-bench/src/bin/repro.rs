@@ -7,9 +7,9 @@
 //! ```
 
 use revelio_bench::{
-    cert_strategy_ablation, fleet_dimensions_from_env, run_fabric_bench, run_fig5, run_fig6,
-    run_fleet_scaling, run_ratls_ablation, run_retry_ablation, run_table1, run_table2, run_table3,
-    run_telemetry, run_verity_ablation, SCALE,
+    cert_strategy_ablation, fleet_dimensions_from_env, run_chaos_column, run_fabric_bench,
+    run_fig5, run_fig6, run_fleet_scaling, run_ratls_ablation, run_retry_ablation, run_table1,
+    run_table2, run_table3, run_telemetry, run_verity_ablation, SCALE,
 };
 
 const KNOWN_FLAGS: &[&str] = &[
@@ -21,7 +21,12 @@ const KNOWN_FLAGS: &[&str] = &[
     "--ablations",
     "--telemetry",
     "--fleet",
+    "--chaos",
 ];
+
+/// The default partition seed of the chaos column (the CI chaos job
+/// overrides it via `REVELIO_CHAOS_SEED`).
+const DEFAULT_CHAOS_SEED: u64 = 0xC4A0_5004;
 
 fn wants(args: &[String], flag: &str) -> bool {
     args.is_empty() || args.iter().any(|a| a == flag)
@@ -64,6 +69,11 @@ fn main() {
     // full size, so it only runs when asked for.
     if args.iter().any(|a| a == "--fleet") {
         fleet();
+    }
+    // The chaos column re-runs the fleet pipeline three times, so it is
+    // opt-in too; the CI chaos job invokes it per pinned seed.
+    if args.iter().any(|a| a == "--chaos") {
+        chaos();
     }
 }
 
@@ -275,6 +285,52 @@ fn telemetry() {
         "spans recorded: {}; deterministic: equal seeds yield byte-identical exports\n",
         registry.span_count()
     );
+}
+
+fn chaos() {
+    let seed = std::env::var("REVELIO_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(DEFAULT_CHAOS_SEED);
+    println!("== Chaos column: Table 2/3 figures under faults (seed {seed:#x}) ==");
+    println!("(16-node fleet, 12 in subnet 113 + 4 in subnet 114; 'lossy' = 5% drop on 113,");
+    println!(" 'partitioned' = subnet 114 dark; figures are deterministic per seed)");
+    let rows = run_chaos_column(seed);
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>12} {:>12} {:>12} {:>8}",
+        "scenario",
+        "retrieve ms",
+        "validate ms",
+        "quarant.",
+        "generate ms",
+        "attested ms",
+        "monitored ms",
+        "faults"
+    );
+    for row in &rows {
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>10} {:>12.1} {:>12.1} {:>12.1} {:>8}",
+            row.scenario,
+            row.timings.evidence_retrieval_ms,
+            row.timings.evidence_validation_ms,
+            row.quarantined,
+            row.timings.certificate_generation_ms,
+            row.attested_get_ms,
+            row.monitored_get_ms,
+            row.faults_injected
+        );
+    }
+    let json = format!(
+        "{{\"fault_seed\":{seed},\"rows\":[{}]}}\n",
+        rows.iter()
+            .map(revelio_bench::ChaosRow::to_json)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    match std::fs::write("BENCH_chaos.json", json) {
+        Ok(()) => println!("report written: BENCH_chaos.json\n"),
+        Err(e) => println!("(could not write BENCH_chaos.json: {e})\n"),
+    }
 }
 
 fn fleet() {

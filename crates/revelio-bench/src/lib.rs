@@ -564,6 +564,148 @@ pub fn run_telemetry(seed: u64) -> Telemetry {
     world.telemetry
 }
 
+/// The headline Table 2/3 figures of one fleet run under a fault
+/// scenario — the ROADMAP "chaos column".
+#[derive(Debug, Clone)]
+pub struct ChaosRow {
+    /// Scenario label (`clean`, `lossy`, `partitioned`).
+    pub scenario: &'static str,
+    /// Table 2: per-phase SP timings over the *surviving* nodes.
+    pub timings: revelio::sp::SpTimings,
+    /// Nodes the SP quarantined during provisioning.
+    pub quarantined: usize,
+    /// Table 3: cold attested page access against the certified fleet,
+    /// ms (the extension's retries ride through residual loss).
+    pub attested_get_ms: f64,
+    /// Table 3: one monitored request on the attested session, ms.
+    pub monitored_get_ms: f64,
+    /// Faults the fabric injected across the whole run.
+    pub faults_injected: u64,
+}
+
+impl ChaosRow {
+    /// One JSON object, hand-rolled like [`FabricBenchReport::to_json`].
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"scenario\":\"{}\",\"evidence_retrieval_ms\":{:.3},",
+                "\"evidence_validation_ms\":{:.3},",
+                "\"certificate_generation_ms\":{:.3},",
+                "\"certificate_distribution_ms\":{:.3},",
+                "\"quarantined\":{},\"attested_get_ms\":{:.3},",
+                "\"monitored_get_ms\":{:.3},\"faults_injected\":{}}}"
+            ),
+            self.scenario,
+            self.timings.evidence_retrieval_ms,
+            self.timings.evidence_validation_ms,
+            self.timings.certificate_generation_ms,
+            self.timings.certificate_distribution_ms,
+            self.quarantined,
+            self.attested_get_ms,
+            self.monitored_get_ms,
+            self.faults_injected,
+        )
+    }
+}
+
+/// Runs the chaos column: the Table 2/3 headline figures re-measured
+/// under calibrated loss and under a one-subnet partition, next to the
+/// clean baseline. Every scenario deploys the same 16-node fleet
+/// (12 nodes in subnet 113, 4 in subnet 114); `fault_seed` keys the
+/// deterministic fault streams, so a pinned seed gives byte-identical
+/// figures on every run and host.
+///
+/// # Panics
+///
+/// Panics if a scenario's surviving fleet cannot serve an attested page
+/// (the partition-tolerance invariant the test suite pins).
+#[must_use]
+pub fn run_chaos_column(fault_seed: u64) -> Vec<ChaosRow> {
+    use revelio::extension::BrowseVerdict;
+    use revelio_net::{FaultDomain, FaultPlan};
+
+    type Inject = fn(&SimWorld);
+    let scenarios: [(&'static str, Inject); 3] = [
+        ("clean", |_world| {}),
+        ("lossy", |world| {
+            // Calibrated loss over the main subnet: enough drops that
+            // retry budgets are exercised, low enough that every node
+            // survives provisioning for the pinned CI seeds.
+            world.install_fault_domain(FaultDomain::degraded(
+                "lossy-113",
+                &SimWorld::subnet_prefix(113),
+                FaultPlan {
+                    drop_probability: 0.05,
+                    jitter_us: 2_000,
+                    ..FaultPlan::default()
+                },
+            ));
+        }),
+        ("partitioned", |world| {
+            world.install_fault_domain(FaultDomain::partition(
+                "rack-114",
+                &SimWorld::subnet_prefix(114),
+            ));
+        }),
+    ];
+
+    scenarios
+        .into_iter()
+        .map(|(scenario, inject)| {
+            let mut world = SimWorld::new(500);
+            world.set_fault_seed(fault_seed);
+            inject(&world);
+            let fleet = world
+                .deploy_fleet_in_subnets("pad.example.org", &[(113, 12), (114, 4)], demo_app())
+                .expect("survivors provision");
+            let mut extension = world.extension();
+            extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
+            let browse = extension.browse("pad.example.org", "/");
+            assert_eq!(
+                BrowseVerdict::classify(&browse),
+                BrowseVerdict::Attested,
+                "scenario {scenario}: certified fleet must serve: {browse:?}"
+            );
+            let cold = browse.expect("classified attested");
+            let mut session = extension
+                .open_monitored("pad.example.org")
+                .expect("monitored session");
+            // Monitored requests carry no internal retry; under residual
+            // loss a dropped exchange closes the session, and the
+            // extension's re-attesting reconnect re-establishes it.
+            let mut monitored_get_ms = None;
+            for _ in 0..12 {
+                let (result, ms) = world.clock.time_ms(|| session.request("/"));
+                match result {
+                    Ok(_) => {
+                        monitored_get_ms = Some(ms);
+                        break;
+                    }
+                    Err(err) => {
+                        assert!(
+                            err.is_transient(),
+                            "scenario {scenario}: monitored request reached a \
+                             verdict error under pure network faults: {err:?}"
+                        );
+                        // Transient reconnect failures loop back around.
+                        let _ = extension.reconnect(&mut session);
+                    }
+                }
+            }
+            let monitored_get_ms = monitored_get_ms.expect("monitored request under residual loss");
+            ChaosRow {
+                scenario,
+                timings: fleet.provision.timings,
+                quarantined: fleet.provision.quarantined.len(),
+                attested_get_ms: cold.timing.total_ms,
+                monitored_get_ms,
+                faults_injected: world.net.faults_injected(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,6 +788,30 @@ mod tests {
                 breakdown.contains(span),
                 "missing {span} in breakdown:\n{breakdown}"
             );
+        }
+    }
+
+    #[test]
+    fn chaos_column_quarantines_the_partitioned_rack_deterministically() {
+        let a = run_chaos_column(0xC4A0_5004);
+        let b = run_chaos_column(0xC4A0_5004);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0].scenario, "clean");
+        assert_eq!(a[0].quarantined, 0);
+        assert_eq!(a[0].faults_injected, 0);
+        assert_eq!(a[2].scenario, "partitioned");
+        assert_eq!(a[2].quarantined, 4);
+        assert!(a[2].faults_injected > 0);
+        // Quarantined nodes must not dilute the per-phase averages: the
+        // partitioned run's validation figure matches the clean run's.
+        assert!(
+            (a[2].timings.evidence_validation_ms - a[0].timings.evidence_validation_ms).abs() < 1.0,
+            "validation average diluted: {:?} vs {:?}",
+            a[2].timings,
+            a[0].timings
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_json(), y.to_json(), "chaos column not deterministic");
         }
     }
 

@@ -1,0 +1,211 @@
+//! Correlated-failure domains: whole-subnet partitions, asymmetric
+//! links, and scheduled heal times.
+//!
+//! Per-address [`FaultPlan`]s model independent link loss; real outages
+//! are correlated — a rack switch dies and every address behind it goes
+//! dark at once, or a peering dispute blackholes traffic in one
+//! direction only. A [`FaultDomain`] captures that: it matches every
+//! `(source, destination)` pair whose destination starts with one of its
+//! prefixes (and, optionally, whose source starts with one of the source
+//! prefixes — the asymmetric-link case), and applies its effect during a
+//! sim-time window with a scheduled heal.
+//!
+//! Domains layer **over** the per-address/per-route plans: a domain is
+//! consulted first (it is the lower network layer); only when it injects
+//! nothing do the address and route plans get their say. Degraded
+//! domains draw from their own splitmix64 streams keyed
+//! `(domain name, destination address)` and seeded from the fabric's
+//! fault seed, so chaos runs stay byte-identical at any thread count and
+//! traffic to one destination cannot perturb another's decision stream.
+//! Partitions consume no randomness at all: every matching dial and
+//! exchange fails, deterministically.
+
+use crate::fault::FaultPlan;
+
+/// What a matching [`FaultDomain`] does to traffic while active.
+#[derive(Debug, Clone)]
+pub enum DomainEffect {
+    /// Total blackout: every matching dial times out and every matching
+    /// exchange is dropped, with no probabilistic draw.
+    Partition,
+    /// Probabilistic degradation: matching exchanges are governed by this
+    /// plan, drawn from a per-destination stream. Dials are unaffected
+    /// (the link is up, just lossy).
+    Degraded(FaultPlan),
+}
+
+/// Derives the RNG stream key for a degraded domain's per-destination
+/// stream. The double separator cannot collide with address-wide keys
+/// (no `\n`) or route keys (exactly one `\n`).
+#[must_use]
+pub(crate) fn domain_stream_key(name: &str, dst: &str) -> String {
+    format!("{name}\n\n{dst}")
+}
+
+/// A correlated-failure domain installed on the fabric via
+/// [`crate::net::SimNet::install_fault_domain`].
+///
+/// ```
+/// use revelio_net::{FaultDomain, FaultPlan};
+///
+/// // Rack 114 goes dark at t=0 and heals two simulated minutes later.
+/// let partition = FaultDomain::partition("dc-114", "203.0.114.")
+///     .healing_at_us(120_000_000);
+/// // One-directional loss: traffic *from* 203.0.113.* *to* the KDS.
+/// let asymmetric = FaultDomain::partition("kds-uplink", "kds.amd.test:")
+///     .from_sources("203.0.113.");
+/// let _ = (partition, asymmetric);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultDomain {
+    /// Unique handle for install/replace/clear.
+    pub name: String,
+    /// Destination-address prefixes the domain matches (any hit counts).
+    pub dst_prefixes: Vec<String>,
+    /// Source-address prefixes. Empty matches **any** source, including
+    /// handles with no bound source address; non-empty matches only
+    /// dials made through [`crate::net::SimNet::bound_to`] handles whose
+    /// local address starts with one of these prefixes — the
+    /// asymmetric-link case (A→B dark while B→A delivers).
+    pub src_prefixes: Vec<String>,
+    /// What happens to matching traffic.
+    pub effect: DomainEffect,
+    /// Sim time the domain activates, µs (0 = immediately).
+    pub from_us: u64,
+    /// Scheduled heal: the domain stops matching at this sim time.
+    /// `None` lasts until cleared.
+    pub until_us: Option<u64>,
+    /// Simulated time a client spends discovering a partitioned peer
+    /// (per faulted dial or exchange), µs.
+    pub timeout_us: u64,
+}
+
+impl FaultDomain {
+    /// A total partition of every destination matching `dst_prefix`,
+    /// active immediately and until cleared or a heal is scheduled.
+    #[must_use]
+    pub fn partition(name: &str, dst_prefix: &str) -> Self {
+        FaultDomain {
+            name: name.to_owned(),
+            dst_prefixes: vec![dst_prefix.to_owned()],
+            src_prefixes: Vec::new(),
+            effect: DomainEffect::Partition,
+            from_us: 0,
+            until_us: None,
+            timeout_us: FaultPlan::default().timeout_us,
+        }
+    }
+
+    /// A lossy (but connected) domain: exchanges toward `dst_prefix`
+    /// draw from `plan` on a per-destination stream.
+    #[must_use]
+    pub fn degraded(name: &str, dst_prefix: &str, plan: FaultPlan) -> Self {
+        FaultDomain {
+            effect: DomainEffect::Degraded(plan),
+            ..FaultDomain::partition(name, dst_prefix)
+        }
+    }
+
+    /// Adds another destination prefix.
+    #[must_use]
+    pub fn matching(mut self, dst_prefix: &str) -> Self {
+        self.dst_prefixes.push(dst_prefix.to_owned());
+        self
+    }
+
+    /// Restricts the domain to traffic originating from addresses with
+    /// this prefix (asymmetric link). May be called repeatedly.
+    #[must_use]
+    pub fn from_sources(mut self, src_prefix: &str) -> Self {
+        self.src_prefixes.push(src_prefix.to_owned());
+        self
+    }
+
+    /// Delays activation until sim time `from_us`.
+    #[must_use]
+    pub fn starting_at_us(mut self, from_us: u64) -> Self {
+        self.from_us = from_us;
+        self
+    }
+
+    /// Schedules the heal: the domain stops matching at sim time
+    /// `until_us`.
+    #[must_use]
+    pub fn healing_at_us(mut self, until_us: u64) -> Self {
+        self.until_us = Some(until_us);
+        self
+    }
+
+    /// Overrides the per-fault discovery timeout.
+    #[must_use]
+    pub fn with_timeout_us(mut self, timeout_us: u64) -> Self {
+        self.timeout_us = timeout_us;
+        self
+    }
+
+    /// Whether the domain's window covers sim time `now_us`.
+    #[must_use]
+    pub fn is_active_at(&self, now_us: u64) -> bool {
+        now_us >= self.from_us && self.until_us.is_none_or(|until| now_us < until)
+    }
+
+    /// Whether traffic from `src` (None = an unbound handle) to `dst`
+    /// falls inside this domain.
+    #[must_use]
+    pub fn matches(&self, src: Option<&str>, dst: &str) -> bool {
+        if !self
+            .dst_prefixes
+            .iter()
+            .any(|p| dst.starts_with(p.as_str()))
+        {
+            return false;
+        }
+        if self.src_prefixes.is_empty() {
+            return true;
+        }
+        src.is_some_and(|s| self.src_prefixes.iter().any(|p| s.starts_with(p.as_str())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_matches_prefix_and_window() {
+        let d = FaultDomain::partition("rack", "10.1.")
+            .starting_at_us(100)
+            .healing_at_us(200);
+        assert!(d.matches(None, "10.1.0.7:443"));
+        assert!(!d.matches(None, "10.2.0.7:443"));
+        assert!(!d.is_active_at(99));
+        assert!(d.is_active_at(100));
+        assert!(d.is_active_at(199));
+        assert!(!d.is_active_at(200));
+    }
+
+    #[test]
+    fn source_prefixes_make_the_domain_asymmetric() {
+        let d = FaultDomain::partition("uplink", "10.2.").from_sources("10.1.");
+        assert!(d.matches(Some("10.1.0.3:8080"), "10.2.0.7:443"));
+        assert!(!d.matches(Some("10.3.0.3:8080"), "10.2.0.7:443"));
+        // Handles without a source address never match a source-scoped
+        // domain.
+        assert!(!d.matches(None, "10.2.0.7:443"));
+    }
+
+    #[test]
+    fn extra_prefixes_extend_the_match() {
+        let d = FaultDomain::partition("two-racks", "10.1.").matching("10.2.");
+        assert!(d.matches(None, "10.1.9.9:1"));
+        assert!(d.matches(None, "10.2.9.9:1"));
+        assert!(!d.matches(None, "10.3.9.9:1"));
+    }
+
+    #[test]
+    fn stream_keys_cannot_collide_with_route_keys() {
+        // Route keys contain exactly one '\n'; domain keys two.
+        let key = domain_stream_key("rack", "10.1.0.7:443");
+        assert_eq!(key.matches('\n').count(), 2);
+    }
+}

@@ -21,6 +21,10 @@
 //!   dialed address or per `(address, route-prefix)` (drops, timeouts,
 //!   resets, fail-first windows, latency jitter), installed via
 //!   `net.peer(address).fault_plan(..)`;
+//! * [`domain::FaultDomain`] — correlated failures layered *under* the
+//!   per-address plans: whole-subnet partitions, asymmetric links
+//!   (scoped to handles from [`net::SimNet::bound_to`]), and scheduled
+//!   heal windows, installed via `net.install_fault_domain(..)`;
 //! * [`retry::RetryPolicy`] — bounded exponential backoff whose sleeps
 //!   advance the [`clock::SimClock`], never wall time.
 //!
@@ -59,11 +63,13 @@
 
 pub mod clock;
 pub mod dns;
+pub mod domain;
 pub mod error;
 pub mod fault;
 pub mod net;
 pub mod retry;
 
+pub use domain::{DomainEffect, FaultDomain};
 pub use error::NetError;
 pub use fault::{FaultKind, FaultPlan};
 pub use retry::RetryPolicy;

@@ -29,6 +29,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use crate::clock::SimClock;
+use crate::domain::{domain_stream_key, DomainEffect, FaultDomain};
 use crate::fault::{fnv1a, route_stream_key, FaultEntry, FaultKind, FaultObserver, FaultPlan};
 use crate::NetError;
 
@@ -111,6 +112,13 @@ enum Topology {
     },
 }
 
+/// One installed [`FaultDomain`] plus its lazily created per-destination
+/// decision streams (degraded domains only; partitions draw nothing).
+struct DomainState {
+    domain: FaultDomain,
+    entries: HashMap<String, FaultEntry>,
+}
+
 /// The shared interior of a [`SimNet`] (and of every [`Connection`]).
 struct Fabric {
     topology: Topology,
@@ -125,6 +133,10 @@ struct Fabric {
     /// deterministic for a deterministic workload.
     acquisitions: Box<[AtomicU64]>,
     fault_observer: RwLock<Option<Arc<FaultObserver>>>,
+    /// Correlated-failure domains, fabric-wide because a domain spans
+    /// shards. Not charged to [`ShardLoad`]: it is not a shard lock, and
+    /// the no-domain fast path is a single read-lock emptiness check.
+    domains: RwLock<Vec<DomainState>>,
 }
 
 /// A snapshot of how fabric lock acquisitions distributed across shards.
@@ -181,6 +193,7 @@ impl Fabric {
             faults_injected: AtomicU64::new(0),
             acquisitions: (0..slots).map(|_| AtomicU64::new(0)).collect(),
             fault_observer: RwLock::new(None),
+            domains: RwLock::new(Vec::new()),
         }
     }
 
@@ -247,6 +260,59 @@ impl Fabric {
         self.faults_injected.fetch_add(1, Ordering::Relaxed);
         self.fault_observer.read().clone()
     }
+
+    /// Whether an active [`DomainEffect::Partition`] covers `src → dst`
+    /// at sim time `now_us`; returns the discovery timeout to charge.
+    /// Degraded domains do not fail dials (the link is up, just lossy).
+    fn domain_dial_fault(&self, now_us: u64, src: Option<&str>, dst: &str) -> Option<u64> {
+        let domains = self.domains.read();
+        domains
+            .iter()
+            .find(|state| {
+                matches!(state.domain.effect, DomainEffect::Partition)
+                    && state.domain.is_active_at(now_us)
+                    && state.domain.matches(src, dst)
+            })
+            .map(|state| state.domain.timeout_us)
+    }
+
+    /// Consults the first active domain covering `src → dst`: a
+    /// partition always drops; a degraded domain draws one decision from
+    /// its `(domain, dst)` stream. `None` when no domain matches — the
+    /// per-address/per-route plans then get their say.
+    fn domain_exchange_decision(
+        &self,
+        now_us: u64,
+        src: Option<&str>,
+        dst: &str,
+    ) -> Option<(u64, Option<FaultKind>, u64)> {
+        // Fast path: no domains installed — a read-lock emptiness check.
+        if self.domains.read().is_empty() {
+            return None;
+        }
+        let seed = self.fault_seed.load(Ordering::Relaxed);
+        let mut domains = self.domains.write();
+        for state in domains.iter_mut() {
+            if !state.domain.is_active_at(now_us) || !state.domain.matches(src, dst) {
+                continue;
+            }
+            match &state.domain.effect {
+                DomainEffect::Partition => {
+                    return Some((0, Some(FaultKind::Dropped), state.domain.timeout_us));
+                }
+                DomainEffect::Degraded(plan) => {
+                    let plan = plan.clone();
+                    let name = state.domain.name.clone();
+                    let entry = state.entries.entry(dst.to_owned()).or_insert_with(|| {
+                        FaultEntry::new(plan, seed, &domain_stream_key(&name, dst))
+                    });
+                    let (jitter, fault) = entry.exchange_decision();
+                    return Some((jitter, fault, entry.plan.timeout_us));
+                }
+            }
+        }
+        None
+    }
 }
 
 /// The shared network fabric.
@@ -255,6 +321,10 @@ pub struct SimNet {
     clock: SimClock,
     config: NetConfig,
     fabric: Arc<Fabric>,
+    /// The source address this handle dials from, set via
+    /// [`SimNet::bound_to`]. Only consulted by source-scoped fault
+    /// domains (asymmetric links); `None` handles never match them.
+    local: Option<String>,
 }
 
 impl std::fmt::Debug for SimNet {
@@ -274,7 +344,26 @@ impl SimNet {
             clock,
             config,
             fabric,
+            local: None,
         }
+    }
+
+    /// A handle on the same fabric that dials *from* `local_address` —
+    /// the source side of asymmetric fault domains
+    /// ([`FaultDomain::from_sources`]). Shaping, listeners, seeds, and
+    /// counters are all shared with the parent handle.
+    #[must_use]
+    pub fn bound_to(&self, local_address: &str) -> SimNet {
+        SimNet {
+            local: Some(local_address.to_owned()),
+            ..self.clone()
+        }
+    }
+
+    /// The source address this handle dials from, if bound.
+    #[must_use]
+    pub fn local_address(&self) -> Option<&str> {
+        self.local.as_deref()
     }
 
     /// The fabric's clock.
@@ -390,6 +479,44 @@ impl SimNet {
                 }
             }
         });
+        // Degraded-domain streams re-derive lazily from the new seed.
+        for state in self.fabric.domains.write().iter_mut() {
+            state.entries.clear();
+        }
+    }
+
+    /// Installs a correlated-failure domain (replacing any domain with
+    /// the same name). Domains are evaluated in installation order and
+    /// sit **below** the per-address/per-route plans: an active matching
+    /// [`DomainEffect::Partition`] times out dials and drops exchanges;
+    /// a [`DomainEffect::Degraded`] domain draws per-exchange decisions
+    /// from a `(domain, destination)`-keyed stream. See [`FaultDomain`].
+    pub fn install_fault_domain(&self, domain: FaultDomain) {
+        let mut domains = self.fabric.domains.write();
+        let state = DomainState {
+            domain,
+            entries: HashMap::new(),
+        };
+        match domains
+            .iter_mut()
+            .find(|s| s.domain.name == state.domain.name)
+        {
+            Some(slot) => *slot = state,
+            None => domains.push(state),
+        }
+    }
+
+    /// Removes the fault domain named `name` (an unscheduled heal).
+    pub fn clear_fault_domain(&self, name: &str) {
+        self.fabric
+            .domains
+            .write()
+            .retain(|state| state.domain.name != name);
+    }
+
+    /// Removes every installed fault domain.
+    pub fn clear_fault_domains(&self) {
+        self.fabric.domains.write().clear();
     }
 
     /// Installs an observer invoked on every injected fault (outside the
@@ -423,6 +550,19 @@ impl SimNet {
     /// or [`NetError::Timeout`] when the address's fault plan is inside a
     /// fail-first window.
     pub fn dial(&self, address: &str) -> Result<Connection, NetError> {
+        // An active partition domain is the lowest network layer: the
+        // dial times out before any per-address plan or listener lookup.
+        if let Some(timeout_us) =
+            self.fabric
+                .domain_dial_fault(self.clock.now_us(), self.local.as_deref(), address)
+        {
+            let observer = self.fabric.record_fault();
+            self.clock.advance_us(timeout_us);
+            if let Some(obs) = observer {
+                obs(address, FaultKind::Timeout);
+            }
+            return Err(NetError::Timeout(address.to_owned()));
+        }
         // A fail-first window makes the service unreachable: the dial
         // times out before anything is delivered. Only address-wide plans
         // apply here — the route is not known until an exchange. The fast
@@ -483,6 +623,7 @@ impl SimNet {
             one_way_us,
             tamper,
             dialed: address.to_owned(),
+            local: self.local.clone(),
             closed: false,
             timeout_us: FaultPlan::default().timeout_us,
             fabric: Arc::clone(&self.fabric),
@@ -614,6 +755,8 @@ pub struct Connection {
     one_way_us: u64,
     tamper: Option<Arc<TamperFn>>,
     dialed: String,
+    /// Source address of the dialing handle (asymmetric domains).
+    local: Option<String>,
     closed: bool,
     /// Timeout window charged for drops/timeouts; refreshed from the
     /// governing fault plan on each exchange.
@@ -689,12 +832,31 @@ impl Connection {
     /// **before** delivery: the handler never runs, so server-side state
     /// is untouched and a retry is always safe.
     fn fault_decision(&mut self, route: &str) -> (u64, Option<NetError>) {
+        // Correlated-failure domains are consulted first — they model the
+        // layer below per-address shaping. A domain that injects nothing
+        // still contributes its jitter; the plans then get their say.
+        let mut domain_jitter_us = 0;
+        if let Some((jitter_us, fault, timeout_us)) = self.fabric.domain_exchange_decision(
+            self.clock.now_us(),
+            self.local.as_deref(),
+            &self.dialed,
+        ) {
+            self.timeout_us = timeout_us;
+            if let Some(kind) = fault {
+                // The observer runs outside every fabric lock.
+                if let Some(obs) = self.fabric.record_fault() {
+                    obs(&self.dialed, kind);
+                }
+                return (jitter_us, Some(self.fault_error(kind)));
+            }
+            domain_jitter_us = jitter_us;
+        }
         // Fast path: nothing installed for this address — read lock only.
         let has_plan = self.fabric.read(&self.dialed, |state| {
             state.faults.contains_key(&self.dialed) || state.route_faults.contains_key(&self.dialed)
         });
         if !has_plan {
-            return (0, None);
+            return (domain_jitter_us, None);
         }
         let decision = self.fabric.write(&self.dialed, |state| {
             if let Some(routes) = state.route_faults.get_mut(&self.dialed) {
@@ -712,8 +874,9 @@ impl Connection {
                 .map(|entry| (entry.exchange_decision(), entry.plan.timeout_us))
         });
         let Some(((jitter_us, fault), timeout_us)) = decision else {
-            return (0, None);
+            return (domain_jitter_us, None);
         };
+        let jitter_us = domain_jitter_us.saturating_add(jitter_us);
         self.timeout_us = timeout_us;
         let Some(kind) = fault else {
             return (jitter_us, None);
@@ -722,12 +885,16 @@ impl Connection {
         if let Some(obs) = self.fabric.record_fault() {
             obs(&self.dialed, kind);
         }
-        let err = match kind {
+        (jitter_us, Some(self.fault_error(kind)))
+    }
+
+    /// The [`NetError`] a client observes for an injected fault kind.
+    fn fault_error(&self, kind: FaultKind) -> NetError {
+        match kind {
             FaultKind::Dropped => NetError::Dropped(self.dialed.clone()),
             FaultKind::Timeout => NetError::Timeout(self.dialed.clone()),
             FaultKind::Reset => NetError::ConnectionClosed,
-        };
-        (jitter_us, Some(err))
+        }
     }
 
     /// The address this connection was dialed to (pre-redirect).
@@ -1244,6 +1411,162 @@ mod tests {
         net.clear_fault_plan("a:1");
         let mut conn = net.dial("a:1").unwrap();
         assert!(conn.exchange(b"x").is_ok());
+    }
+
+    #[test]
+    fn partition_domain_blocks_dials_until_it_heals() {
+        use crate::domain::FaultDomain;
+        let (clock, net) = fabric();
+        net.bind("10.1.0.1:443", Arc::new(Echo)).unwrap();
+        net.bind("10.2.0.1:443", Arc::new(Echo)).unwrap();
+        net.install_fault_domain(
+            FaultDomain::partition("rack-1", "10.1.")
+                .healing_at_us(5_000_000)
+                .with_timeout_us(250_000),
+        );
+        // Inside the partition: the dial times out and charges the
+        // discovery timeout to the clock.
+        let start = clock.now_us();
+        assert!(matches!(
+            net.dial("10.1.0.1:443"),
+            Err(NetError::Timeout(_))
+        ));
+        assert_eq!(clock.now_us() - start, 250_000);
+        assert_eq!(net.faults_injected(), 1);
+        // A sibling subnet is untouched.
+        let mut conn = net.dial("10.2.0.1:443").unwrap();
+        assert_eq!(conn.exchange(b"x").unwrap(), b"x");
+        // After the scheduled heal the subnet is reachable again.
+        clock.advance_us(5_000_000);
+        let mut conn = net.dial("10.1.0.1:443").unwrap();
+        assert_eq!(conn.exchange(b"x").unwrap(), b"x");
+    }
+
+    #[test]
+    fn partition_domain_drops_inflight_exchanges() {
+        use crate::domain::FaultDomain;
+        let (_, net) = fabric();
+        net.bind("10.1.0.1:443", Arc::new(Echo)).unwrap();
+        let mut conn = net.dial("10.1.0.1:443").unwrap();
+        conn.exchange(b"x").unwrap();
+        // The partition arrives while the connection is open: further
+        // exchanges are dropped, not delivered.
+        net.install_fault_domain(FaultDomain::partition("rack-1", "10.1."));
+        assert!(matches!(conn.exchange(b"x"), Err(NetError::Dropped(_))));
+        assert_eq!(net.faults_injected(), 1);
+        // Like every injected fault, the drop closes the connection.
+        assert_eq!(conn.exchange(b"x"), Err(NetError::ConnectionClosed));
+        net.clear_fault_domain("rack-1");
+        let mut conn = net.dial("10.1.0.1:443").unwrap();
+        assert_eq!(conn.exchange(b"x").unwrap(), b"x");
+    }
+
+    #[test]
+    fn asymmetric_domain_only_hits_bound_sources() {
+        use crate::domain::FaultDomain;
+        let (_, net) = fabric();
+        net.bind("10.2.0.1:443", Arc::new(Echo)).unwrap();
+        net.install_fault_domain(FaultDomain::partition("uplink", "10.2.").from_sources("10.1."));
+        // An unbound handle (no source address) does not match a
+        // source-scoped domain.
+        let mut conn = net.dial("10.2.0.1:443").unwrap();
+        assert_eq!(conn.exchange(b"x").unwrap(), b"x");
+        // The reverse direction from an unaffected source also works.
+        let from_safe = net.bound_to("10.3.0.9:443");
+        assert!(from_safe.dial("10.2.0.1:443").is_ok());
+        // Traffic *from* the 10.1. subnet is dark.
+        let from_dark = net.bound_to("10.1.0.9:443");
+        assert_eq!(from_dark.local_address(), Some("10.1.0.9:443"));
+        assert!(matches!(
+            from_dark.dial("10.2.0.1:443"),
+            Err(NetError::Timeout(_))
+        ));
+    }
+
+    #[test]
+    fn degraded_domain_streams_are_deterministic_and_reseedable() {
+        use crate::domain::{DomainEffect, FaultDomain};
+        let outcomes = |seed: u64, noise: usize| {
+            let (_, net) = fabric();
+            net.bind("10.1.0.1:443", Arc::new(Echo)).unwrap();
+            net.bind("10.1.0.2:443", Arc::new(Echo)).unwrap();
+            net.set_fault_seed(seed);
+            net.install_fault_domain(FaultDomain::degraded(
+                "lossy",
+                "10.1.",
+                FaultPlan {
+                    drop_probability: 0.5,
+                    ..FaultPlan::default()
+                },
+            ));
+            // Hammering a sibling destination must not perturb this
+            // destination's stream (per-(domain, dst) seeding).
+            for _ in 0..noise {
+                let mut sibling = net.dial("10.1.0.2:443").unwrap();
+                let _ = sibling.exchange(b"noise");
+            }
+            (0..16)
+                .map(|_| {
+                    let mut conn = net.dial("10.1.0.1:443").unwrap();
+                    conn.exchange(b"q").is_ok()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(outcomes(7, 0), outcomes(7, 13));
+        assert_ne!(outcomes(7, 0), outcomes(8, 0));
+
+        // Degraded domains leave dials alone (the link is up, just
+        // lossy) and reseeding mid-run restarts the streams.
+        let (_, net) = fabric();
+        net.bind("10.1.0.1:443", Arc::new(Echo)).unwrap();
+        net.set_fault_seed(7);
+        net.install_fault_domain(FaultDomain::degraded(
+            "lossy",
+            "10.1.",
+            FaultPlan {
+                drop_probability: 0.5,
+                ..FaultPlan::default()
+            },
+        ));
+        let run = |net: &SimNet| {
+            (0..16)
+                .map(|_| {
+                    let mut conn = net.dial("10.1.0.1:443").unwrap();
+                    conn.exchange(b"q").is_ok()
+                })
+                .collect::<Vec<_>>()
+        };
+        let first = run(&net);
+        assert!(first.iter().any(|ok| !ok), "plan never fired");
+        net.set_fault_seed(7);
+        assert_eq!(first, run(&net), "reseeding must restart the streams");
+        // Replacing by name swaps the effect: 10.1. is clean again.
+        net.install_fault_domain(FaultDomain::partition("lossy", "10.9."));
+        assert!(run(&net).iter().all(|ok| *ok));
+        net.clear_fault_domains();
+        assert!(matches!(
+            FaultDomain::partition("x", "10.").effect,
+            DomainEffect::Partition
+        ));
+    }
+
+    #[test]
+    fn domains_take_precedence_over_address_plans() {
+        use crate::domain::FaultDomain;
+        let (_, net) = fabric();
+        net.bind("10.1.0.1:443", Arc::new(Echo)).unwrap();
+        net.set_fault_seed(1);
+        // The address plan alone would reset the connection; the
+        // partition (the lower layer) wins and drops instead.
+        net.peer("10.1.0.1:443").fault_plan(FaultPlan {
+            reset_probability: 1.0,
+            ..FaultPlan::default()
+        });
+        let mut conn = net.dial("10.1.0.1:443").unwrap();
+        net.install_fault_domain(FaultDomain::partition("rack-1", "10.1."));
+        assert!(matches!(conn.exchange(b"x"), Err(NetError::Dropped(_))));
+        net.clear_fault_domain("rack-1");
+        assert_eq!(conn.exchange(b"x"), Err(NetError::ConnectionClosed));
     }
 
     #[test]

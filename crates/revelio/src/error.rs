@@ -16,6 +16,9 @@ use sev_snp::SnpError;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum RevelioError {
+    /// A provisioning run was asked to manage zero nodes — a caller
+    /// configuration bug, distinct from any per-node rejection.
+    EmptyFleet,
     /// A node's attestation did not pass the SP node's checks; names the
     /// node and the reason.
     NodeRejected {
@@ -76,6 +79,12 @@ impl RevelioError {
         match self {
             RevelioError::TransientNetwork { .. } => true,
             RevelioError::Net(e) => e.is_transient(),
+            // A 5xx is the server saying "try again later" (RFC 9110
+            // §15.6); it carries no verdict about attestation. 4xx codes
+            // stay non-transient — a 404 on the well-known URL *is* the
+            // not-a-Revelio-site verdict. revelio-http keeps `Status`
+            // opaque; the protocol-level reading lives here.
+            RevelioError::Http(HttpError::Status(status)) => *status >= 500,
             RevelioError::Http(e) => e.is_transient(),
             RevelioError::Pki(e) => e.is_transient(),
             _ => false,
@@ -86,6 +95,9 @@ impl RevelioError {
 impl fmt::Display for RevelioError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            RevelioError::EmptyFleet => {
+                write!(f, "provisioning requires at least one bootstrap address")
+            }
             RevelioError::NodeRejected { node, reason } => {
                 write!(f, "node {node} rejected: {reason}")
             }
@@ -198,5 +210,14 @@ mod tests {
         assert!(!RevelioError::EvidenceRejected("x".into()).is_transient());
         assert!(!RevelioError::UnknownMeasurement("m".into()).is_transient());
         assert!(!RevelioError::Pki(PkiError::SignatureInvalid).is_transient());
+        assert!(!RevelioError::EmptyFleet.is_transient());
+    }
+
+    #[test]
+    fn http_5xx_is_transient_but_4xx_is_a_verdict() {
+        assert!(RevelioError::Http(HttpError::Status(500)).is_transient());
+        assert!(RevelioError::Http(HttpError::Status(503)).is_transient());
+        assert!(!RevelioError::Http(HttpError::Status(404)).is_transient());
+        assert!(!RevelioError::Http(HttpError::Status(403)).is_transient());
     }
 }

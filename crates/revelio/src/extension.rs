@@ -19,7 +19,7 @@ use std::collections::BTreeMap;
 use revelio_crypto::ed25519::VerifyingKey;
 use revelio_http::client::{HttpsClient, HttpsSession};
 use revelio_http::message::{Request, Response};
-use revelio_http::WELL_KNOWN_ATTESTATION_PATH;
+use revelio_http::{HttpError, WELL_KNOWN_ATTESTATION_PATH};
 use revelio_net::clock::SimClock;
 use revelio_net::dns::DnsZone;
 use revelio_net::net::SimNet;
@@ -35,6 +35,24 @@ use crate::kds_http::KdsHttpClient;
 use crate::registry::GoldenSet;
 use crate::RevelioError;
 
+/// How [`WebExtension::reconnect`] re-establishes trust in a
+/// [`MonitoredSession`] after a connection reset (§5.3.2's continuous
+/// monitoring, with ROADMAP's open question resolved in favour of
+/// re-attestation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReconnectPolicy {
+    /// Fast path only: accept the new connection iff it terminates at
+    /// the pinned key. Cheap, but blind to a measurement revoked or
+    /// evidence gone stale *behind* the same key.
+    PinOnly,
+    /// Pin check first (the redirect attack fails fast), then re-fetch
+    /// and re-validate the **full evidence bundle** before resuming.
+    /// The default: a reconnect is a new trust decision, not a resumed
+    /// one.
+    #[default]
+    ReattestAlways,
+}
+
 /// Extension policy and modelled client-side costs.
 #[derive(Debug, Clone)]
 pub struct ExtensionConfig {
@@ -48,6 +66,8 @@ pub struct ExtensionConfig {
     /// Modelled cost of querying the browser's connection context per
     /// monitored request, ms (Table 3: ~14 ms).
     pub connection_validation_ms: f64,
+    /// What a monitored-session reconnect must re-establish.
+    pub reconnect: ReconnectPolicy,
 }
 
 /// Timing breakdown of one attested page access (Table 3's raw material).
@@ -217,6 +237,23 @@ impl WebExtension {
         })
     }
 
+    /// Classifies a non-success status from the well-known URL. A 5xx is
+    /// the server (or an injected fault) saying "try again" — surfaced as
+    /// a transient HTTP error so the retry budget applies and
+    /// [`BrowseVerdict::classify`] renders "network problem", never "not
+    /// a Revelio site". Only a definitive client-side miss (404 and
+    /// friends) earns the non-Revelio verdict.
+    fn classify_evidence_status(domain: &str, response: &Response) -> Result<(), RevelioError> {
+        if response.is_success() {
+            return Ok(());
+        }
+        let err = RevelioError::Http(HttpError::Status(response.status));
+        if err.is_transient() {
+            return Err(err);
+        }
+        Err(RevelioError::NotRevelioSite(domain.to_owned()))
+    }
+
     /// Registers a domain with its acceptable measurements (manual
     /// registration — the secure path, §5.3.2).
     pub fn register_site(&mut self, domain: &str, golden: impl IntoIterator<Item = Measurement>) {
@@ -314,9 +351,7 @@ impl WebExtension {
 
         let attest = self.telemetry.span("browse.attestation");
         let evidence_response = session.send(&Request::get(WELL_KNOWN_ATTESTATION_PATH))?;
-        if !evidence_response.is_success() {
-            return Err(RevelioError::NotRevelioSite(domain.to_owned()));
-        }
+        Self::classify_evidence_status(domain, &evidence_response)?;
         let evidence = EvidenceBundle::from_bytes(&evidence_response.body)?;
         let kds_ms = self.validate_evidence(domain, &session, &evidence)?;
         let attestation_ms = attest.finish_ms();
@@ -391,17 +426,22 @@ impl WebExtension {
     }
 
     /// Attests `domain` and returns a monitored session for subsequent
-    /// requests (the long-lived browsing case).
+    /// requests (the long-lived browsing case). Transient transport
+    /// faults (including 5xx from the well-known URL) are retried within
+    /// the budget and surface as [`RevelioError::TransientNetwork`] when
+    /// exhausted — never as a "not a Revelio site" verdict.
     ///
     /// # Errors
     ///
     /// As for [`WebExtension::browse`].
     pub fn open_monitored(&self, domain: &str) -> Result<MonitoredSession, RevelioError> {
+        self.with_transient_retry(|_attempt| self.open_monitored_once(domain))
+    }
+
+    fn open_monitored_once(&self, domain: &str) -> Result<MonitoredSession, RevelioError> {
         let mut session = self.client.open(domain)?;
         let evidence_response = session.send(&Request::get(WELL_KNOWN_ATTESTATION_PATH))?;
-        if !evidence_response.is_success() {
-            return Err(RevelioError::NotRevelioSite(domain.to_owned()));
-        }
+        Self::classify_evidence_status(domain, &evidence_response)?;
         let evidence = EvidenceBundle::from_bytes(&evidence_response.body)?;
         self.validate_evidence(domain, &session, &evidence)?;
         Ok(MonitoredSession {
@@ -417,37 +457,65 @@ impl WebExtension {
     /// Opportunistic discovery (§5.3.2's second mode): probe the
     /// well-known URL; `Ok(Some(m))` means the site offers Revelio
     /// evidence with measurement `m` that the user must now vet
-    /// out-of-band.
+    /// out-of-band. `Ok(None)` is reserved for a site that *answered*
+    /// and definitively serves no evidence (a 404); an outage — 5xx or
+    /// transport fault — is retried and then reported as an error, so a
+    /// flaky Revelio site is never misfiled as a non-Revelio one.
     ///
     /// # Errors
     ///
-    /// Returns [`RevelioError::Http`] on transport failure (an unreachable
-    /// site is an error; a reachable non-Revelio site is `Ok(None)`).
+    /// Returns [`RevelioError::TransientNetwork`] when the retry budget
+    /// is exhausted by transport faults or 5xx responses.
     pub fn discover(&self, domain: &str) -> Result<Option<Measurement>, RevelioError> {
+        self.with_transient_retry(|_attempt| self.discover_once(domain))
+    }
+
+    fn discover_once(&self, domain: &str) -> Result<Option<Measurement>, RevelioError> {
         let mut session = self.client.open(domain)?;
         let response = session.send(&Request::get(WELL_KNOWN_ATTESTATION_PATH))?;
-        if !response.is_success() {
-            return Ok(None);
+        match Self::classify_evidence_status(domain, &response) {
+            Ok(()) => {}
+            Err(RevelioError::NotRevelioSite(_)) => return Ok(None),
+            Err(transient) => return Err(transient),
         }
         Ok(EvidenceBundle::from_bytes(&response.body)
             .ok()
             .map(|e| e.report.report.measurement))
     }
 
-    /// Reconnects a monitored session after a connection reset and
-    /// re-validates the endpoint key — the defense against the redirect
-    /// attack (§5.3.2).
+    /// Reconnects a monitored session after a connection reset — the
+    /// defense against the redirect attack (§5.3.2). The pinned key is
+    /// the fast path: a connection terminating at a different key fails
+    /// immediately. Under [`ReconnectPolicy::ReattestAlways`] (the
+    /// default) the full evidence bundle is then re-fetched and
+    /// re-validated before the session resumes, so a measurement revoked
+    /// or evidence gone stale *behind* the pinned key is caught too.
     ///
     /// # Errors
     ///
-    /// Returns [`RevelioError::TlsBindingMismatch`] when the re-established
-    /// connection terminates at a different key.
+    /// Returns [`RevelioError::TlsBindingMismatch`] when the
+    /// re-established connection terminates at a different key, and any
+    /// re-attestation failure under `ReattestAlways`.
     pub fn reconnect(&self, monitored: &mut MonitoredSession) -> Result<(), RevelioError> {
-        let session = self.client.open(&monitored.domain)?;
+        self.with_transient_retry(|_attempt| self.reconnect_once(monitored))
+    }
+
+    fn reconnect_once(&self, monitored: &mut MonitoredSession) -> Result<(), RevelioError> {
+        let mut session = self.client.open(&monitored.domain)?;
+        // Fast path: the redirect attack lands here, before any network
+        // round trip is spent on evidence.
         if session.peer_public_key() != monitored.pinned_key {
             return Err(RevelioError::TlsBindingMismatch);
         }
+        if self.config.reconnect == ReconnectPolicy::ReattestAlways {
+            let evidence_response = session.send(&Request::get(WELL_KNOWN_ATTESTATION_PATH))?;
+            Self::classify_evidence_status(&monitored.domain, &evidence_response)?;
+            let evidence = EvidenceBundle::from_bytes(&evidence_response.body)?;
+            self.validate_evidence(&monitored.domain, &session, &evidence)?;
+        }
         monitored.session = session;
+        self.telemetry
+            .counter_add("revelio_extension_reconnects_total", 1);
         Ok(())
     }
 }

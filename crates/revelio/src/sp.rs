@@ -61,15 +61,65 @@ pub struct SpTimings {
     pub certificate_distribution_ms: f64,
 }
 
+/// The provisioning phase in which a node was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProvisionPhase {
+    /// Fetching the node's CSR bundle from its bootstrap port.
+    Retrieval,
+    /// Verifying the bundle (VCEK chain, report, policy checks).
+    Validation,
+    /// Installing the shared certificate.
+    Distribution,
+}
+
+impl ProvisionPhase {
+    /// Stable lowercase name, for logs and metrics labels.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProvisionPhase::Retrieval => "retrieval",
+            ProvisionPhase::Validation => "validation",
+            ProvisionPhase::Distribution => "distribution",
+        }
+    }
+}
+
+/// A node excluded from a provisioning run: which node, at which phase,
+/// and why. Quarantined nodes receive no certificate and are never
+/// eligible for leadership; the run continues with the survivors.
+#[derive(Debug, Clone)]
+pub struct QuarantinedNode {
+    /// Bootstrap address of the quarantined node.
+    pub node: String,
+    /// The phase that excluded it.
+    pub phase: ProvisionPhase,
+    /// The error that triggered the quarantine.
+    pub error: RevelioError,
+}
+
+impl QuarantinedNode {
+    /// Human-readable reason (the rendered error).
+    #[must_use]
+    pub fn reason(&self) -> String {
+        self.error.to_string()
+    }
+}
+
 /// Outcome of a fleet provisioning run.
 #[derive(Debug, Clone)]
 pub struct ProvisionReport {
-    /// Bootstrap address of the chosen leader.
+    /// Bootstrap address of the chosen leader — the first node that
+    /// survived retrieval and validation, in fleet order.
     pub leader_bootstrap: String,
     /// The shared certificate chain.
     pub chain: CertificateChain,
-    /// Phase latencies.
+    /// Phase latencies, averaged over the nodes that completed each
+    /// phase (quarantined nodes do not dilute the figures).
     pub timings: SpTimings,
+    /// Nodes excluded from the run, in the order they were quarantined
+    /// (fleet order within each phase) — deterministic for a fixed
+    /// fault seed.
+    pub quarantined: Vec<QuarantinedNode>,
 }
 
 /// Decorrelates the SP retry jitter stream from other components.
@@ -223,22 +273,24 @@ impl ServiceProviderNode {
     }
 
     /// Runs the full provisioning protocol over the fleet's bootstrap
-    /// addresses: retrieve → validate → issue (leader = first valid) →
-    /// distribute. The leader receives its certificate first so peers'
+    /// addresses: retrieve → validate → issue (leader = first survivor)
+    /// → distribute. The leader receives its certificate first so peers'
     /// key requests find it ready.
+    ///
+    /// The run is **partition tolerant**: a node that is unreachable or
+    /// rejected at any phase is quarantined (recorded in
+    /// [`ProvisionReport::quarantined`] with the phase and reason) and
+    /// the protocol continues with the survivors. Leadership goes to the
+    /// first node, in fleet order, that survives retrieval and
+    /// validation — not blindly to `bootstrap_addrs[0]`.
     ///
     /// # Errors
     ///
-    /// Fails on the first rejected node (a production SP would quarantine
-    /// and continue; the strictness keeps the security tests sharp), on CA
-    /// refusal (rate limits!), or on any transport error.
+    /// Fails only when the fleet is empty ([`RevelioError::EmptyFleet`]),
+    /// when *no* node survives a phase (the first quarantine's error is
+    /// surfaced — so single-node security tests still see the precise
+    /// rejection), or when the CA refuses issuance (rate limits!).
     pub fn provision(&self, bootstrap_addrs: &[String]) -> Result<ProvisionReport, RevelioError> {
-        if bootstrap_addrs.is_empty() {
-            return Err(RevelioError::NodeRejected {
-                node: String::new(),
-                reason: "empty fleet".into(),
-            });
-        }
         // Phase timings are *derived from recorded spans*: every phase
         // opens a span per node and `SpTimings` sums the measured span
         // durations. Without an attached registry a private one keeps the
@@ -255,45 +307,120 @@ impl ServiceProviderNode {
                 ("fleet", &fleet_size),
             ],
         );
-        let n = bootstrap_addrs.len() as f64;
+        let result = self.provision_fleet(&telemetry, bootstrap_addrs);
+        // The root span is finished on *every* path — early returns must
+        // not leak an open span into the breakdown exporter.
+        let total_ms = provision_span.finish_ms();
+        match &result {
+            Ok(report) => {
+                telemetry.observe("revelio_sp_provision_ms", total_ms);
+                telemetry.counter_add("revelio_sp_provisions_total", 1);
+                telemetry.gauge_set("revelio_sp_fleet_size", bootstrap_addrs.len() as f64);
+                telemetry.gauge_set(
+                    "revelio_sp_quarantined_nodes",
+                    report.quarantined.len() as f64,
+                );
+            }
+            Err(_) => {
+                telemetry.counter_add("revelio_sp_provision_failures_total", 1);
+            }
+        }
+        result
+    }
 
-        // Phase 1: retrieval, per node.
-        let mut bundles = Vec::with_capacity(bootstrap_addrs.len());
+    /// The provisioning protocol proper; the caller owns the root span
+    /// and the success/failure metrics.
+    fn provision_fleet(
+        &self,
+        telemetry: &Telemetry,
+        bootstrap_addrs: &[String],
+    ) -> Result<ProvisionReport, RevelioError> {
+        if bootstrap_addrs.is_empty() {
+            return Err(RevelioError::EmptyFleet);
+        }
+        let mut quarantined: Vec<QuarantinedNode> = Vec::new();
+
+        // Phase 1: retrieval, per node. Unreachable nodes (a partitioned
+        // subnet, an exhausted retry budget) are quarantined here.
+        let mut survivors: Vec<(String, CsrBundle)> = Vec::new();
         let mut retrieval_total = 0.0;
         for addr in bootstrap_addrs {
             let span = telemetry.span_with("sp.evidence_retrieval", &[("node", addr)]);
-            bundles.push(self.fetch_bundle(addr)?);
-            retrieval_total += span.finish_ms();
+            match self.fetch_bundle(addr) {
+                Ok(bundle) => {
+                    retrieval_total += span.finish_ms();
+                    survivors.push((addr.clone(), bundle));
+                }
+                Err(error) => {
+                    span.finish_ms();
+                    quarantined.push(QuarantinedNode {
+                        node: addr.clone(),
+                        phase: ProvisionPhase::Retrieval,
+                        error,
+                    });
+                }
+            }
         }
+        let retrieved = survivors.len();
 
         // Endorsement prefetch: the SP keeps a warm VCEK mirror for its
         // own fleet (the chips are known in advance), so KDS round trips
         // are not part of the per-node validation cost the paper reports.
-        for bundle in &bundles {
-            let _ = self.kds.vcek_chain(
+        // A node whose endorsement cannot be fetched cannot be validated.
+        let mut prefetched: Vec<(String, CsrBundle)> = Vec::with_capacity(survivors.len());
+        for (addr, bundle) in survivors {
+            match self.kds.vcek_chain(
                 &bundle.report.report.chip_id,
                 &bundle.report.report.reported_tcb,
-            )?;
+            ) {
+                Ok(_) => prefetched.push((addr, bundle)),
+                Err(error) => quarantined.push(QuarantinedNode {
+                    node: addr,
+                    phase: ProvisionPhase::Validation,
+                    error,
+                }),
+            }
         }
 
         // Phase 2: validation, per node (pure crypto + policy checks).
+        let mut validated: Vec<(String, CsrBundle)> = Vec::with_capacity(prefetched.len());
         let mut validation_total = 0.0;
-        for (addr, bundle) in bootstrap_addrs.iter().zip(&bundles) {
-            let span = telemetry.span_with("sp.evidence_validation", &[("node", addr)]);
-            self.validate_bundle(addr, bundle)?;
-            validation_total += span.finish_ms();
+        for (addr, bundle) in prefetched {
+            let span = telemetry.span_with("sp.evidence_validation", &[("node", &addr)]);
+            match self.validate_bundle(&addr, &bundle) {
+                Ok(()) => {
+                    validation_total += span.finish_ms();
+                    validated.push((addr, bundle));
+                }
+                Err(error) => {
+                    span.finish_ms();
+                    quarantined.push(QuarantinedNode {
+                        node: addr,
+                        phase: ProvisionPhase::Validation,
+                        error,
+                    });
+                }
+            }
+        }
+        if validated.is_empty() {
+            // No survivors: surface the earliest quarantine's error, so a
+            // single rejected node reports its precise rejection.
+            return Err(quarantined[0].error.clone());
         }
 
-        // Phase 3: one certificate for the leader's CSR.
-        let leader_bootstrap = bootstrap_addrs[0].clone();
-        let leader_csr = &bundles[0].csr;
+        // Phase 3: one certificate for the leader's CSR. The leader is
+        // the first *surviving* node in fleet order.
+        let leader_bootstrap = validated[0].0.clone();
+        let leader_csr = &validated[0].1.csr;
         let span = telemetry.span("sp.certificate_generation");
         self.net.clock().advance_ms(self.config.ca_processing_ms);
-        let chain = self.acme.order_certificate(leader_csr)?;
+        let order = self.acme.order_certificate(leader_csr);
         let certificate_generation_ms = span.finish_ms();
+        let chain = order?;
 
-        // Phase 4: distribute, leader first.
+        // Phase 4: distribute to the survivors, leader first.
         let mut distribution_total = 0.0;
+        let mut distributed = 0usize;
         let approved_chips: Vec<ChipId> = self
             .config
             .allowlist
@@ -301,38 +428,55 @@ impl ServiceProviderNode {
             .map(|(chip, _)| *chip)
             .collect();
         let payload = crate::node::encode_install_cert(&chain, &leader_bootstrap, &approved_chips);
-        for addr in bootstrap_addrs {
+        for (addr, _) in &validated {
             let span = telemetry.span_with("sp.certificate_distribution", &[("node", addr)]);
-            let response = self.retried_request(
-                addr,
-                &Request::post("/revelio/install-cert", payload.clone()),
-            )?;
-            if !response.is_success() {
-                return Err(RevelioError::NodeRejected {
-                    node: addr.clone(),
-                    reason: format!(
-                        "install-cert returned {} ({})",
-                        response.status,
-                        response.header("X-Revelio-Error").unwrap_or("no detail")
-                    ),
+            let outcome = self
+                .retried_request(
+                    addr,
+                    &Request::post("/revelio/install-cert", payload.clone()),
+                )
+                .and_then(|response| {
+                    if response.is_success() {
+                        Ok(())
+                    } else {
+                        Err(RevelioError::NodeRejected {
+                            node: addr.clone(),
+                            reason: format!(
+                                "install-cert returned {} ({})",
+                                response.status,
+                                response.header("X-Revelio-Error").unwrap_or("no detail")
+                            ),
+                        })
+                    }
                 });
+            match outcome {
+                Ok(()) => {
+                    distribution_total += span.finish_ms();
+                    distributed += 1;
+                }
+                Err(error) => {
+                    span.finish_ms();
+                    quarantined.push(QuarantinedNode {
+                        node: addr.clone(),
+                        phase: ProvisionPhase::Distribution,
+                        error,
+                    });
+                }
             }
-            distribution_total += span.finish_ms();
         }
-
-        let total_ms = provision_span.finish_ms();
-        telemetry.observe("revelio_sp_provision_ms", total_ms);
-        telemetry.counter_add("revelio_sp_provisions_total", 1);
-        telemetry.gauge_set("revelio_sp_fleet_size", n);
+        if distributed == 0 {
+            return Err(quarantined[0].error.clone());
+        }
 
         Ok(ProvisionReport {
             leader_bootstrap,
             chain,
+            quarantined,
             timings: SpTimings {
-                evidence_retrieval_ms: retrieval_total / n,
-                evidence_validation_ms: validation_total / n,
+                evidence_retrieval_ms: retrieval_total / retrieved as f64,
+                evidence_validation_ms: validation_total / validated.len() as f64,
                 certificate_generation_ms,
-                certificate_distribution_ms: distribution_total / n,
+                certificate_distribution_ms: distribution_total / distributed as f64,
             },
         })
     }

@@ -15,7 +15,7 @@ use revelio_http::router::Router;
 use revelio_net::clock::SimClock;
 use revelio_net::dns::DnsZone;
 use revelio_net::net::{NetConfig, SimNet};
-use revelio_net::{FaultPlan, RetryPolicy};
+use revelio_net::{FaultDomain, FaultPlan, RetryPolicy};
 use revelio_pki::acme::{AcmeCa, AcmePolicy};
 use revelio_pki::cert::Certificate;
 use revelio_telemetry::Telemetry;
@@ -24,7 +24,7 @@ use sev_snp::kds::KeyDistributionService;
 use sev_snp::measurement::Measurement;
 use sev_snp::platform::{AmdRootOfTrust, SnpPlatform};
 
-use crate::extension::{ExtensionConfig, WebExtension};
+use crate::extension::{ExtensionConfig, ReconnectPolicy, WebExtension};
 use crate::kds_http::{serve_kds, KdsHttpClient, KDS_ADDRESS};
 use crate::node::{NodeConfig, RevelioNode};
 use crate::registry::GoldenSet;
@@ -112,7 +112,10 @@ impl Default for RetryTuning {
 
 /// A deployed, provisioned Revelio fleet.
 pub struct DeployedFleet {
-    /// The nodes, in deployment order (node 0 is the leader).
+    /// The nodes, in deployment order. The leader is named by
+    /// `provision.leader_bootstrap` — the first node that survived
+    /// provisioning, which is node 0 only when node 0 was reachable.
+    /// Quarantined nodes (see `provision.quarantined`) are still listed.
     pub nodes: Vec<RevelioNode>,
     /// The golden launch measurement of the fleet's image.
     pub golden_measurement: Measurement,
@@ -155,6 +158,9 @@ pub struct SimWorld {
     seed: u64,
     next_chip: u64,
     next_host: u8,
+    /// Third octet of freshly allocated node addresses; fault domains
+    /// target subnets by the `203.0.<subnet>.` prefix.
+    subnet: u8,
 }
 
 impl std::fmt::Debug for SimWorld {
@@ -237,6 +243,7 @@ impl SimWorld {
             seed,
             next_chip: 1,
             next_host: 1,
+            subnet: 113,
         }
     }
 
@@ -247,14 +254,30 @@ impl SimWorld {
         SnpPlatform::new(Arc::clone(&self.amd), chip, TcbVersion::new(1, 0, 8, 115))
     }
 
-    /// Allocates a public/bootstrap address pair for a new node.
+    /// Allocates a public/bootstrap address pair for a new node in the
+    /// current subnet (203.0.113. unless [`SimWorld::set_subnet`] moved
+    /// it). Host numbers are unique world-wide, across subnets.
     pub fn new_addresses(&mut self) -> (String, String) {
         let host = self.next_host;
+        let subnet = self.subnet;
         self.next_host += 1;
         (
-            format!("203.0.113.{host}:443"),
-            format!("203.0.113.{host}:8080"),
+            format!("203.0.{subnet}.{host}:443"),
+            format!("203.0.{subnet}.{host}:8080"),
         )
+    }
+
+    /// Moves subsequent address allocations to `203.0.<subnet>.` — the
+    /// rack/availability-zone knob for correlated-failure scenarios.
+    pub fn set_subnet(&mut self, subnet: u8) {
+        self.subnet = subnet;
+    }
+
+    /// The address prefix shared by every node in `subnet`, as a fault
+    /// domain's destination prefix.
+    #[must_use]
+    pub fn subnet_prefix(subnet: u8) -> String {
+        format!("203.0.{subnet}.")
     }
 
     /// The default Revelio image spec for `domain` with the given
@@ -387,7 +410,8 @@ impl SimWorld {
     }
 
     /// Builds, boots, deploys and provisions an `n`-node fleet serving
-    /// `domain` with `app`, pointing DNS at node 0.
+    /// `domain` with `app` in the current subnet, pointing DNS at the
+    /// provisioning leader.
     ///
     /// # Errors
     ///
@@ -398,25 +422,63 @@ impl SimWorld {
         n: usize,
         app: Router,
     ) -> Result<DeployedFleet, RevelioError> {
-        let fleet_size = n.to_string();
+        let subnet = self.subnet;
+        self.deploy_fleet_in_subnets(domain, &[(subnet, n)], app)
+    }
+
+    /// Like [`SimWorld::deploy_fleet`], but spreads the fleet over
+    /// addressing subnets: `groups` lists `(subnet, node count)` pairs
+    /// deployed in order, so a correlated-failure domain (a partitioned
+    /// rack) can target a contiguous slice of the fleet via
+    /// [`SimWorld::subnet_prefix`]. DNS points at the provisioning
+    /// leader — the first node that survived validation — not blindly at
+    /// node 0, so a fleet whose leading subnet is dark still resolves to
+    /// a certified node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any build/boot/provisioning failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `groups` adds up to zero nodes.
+    pub fn deploy_fleet_in_subnets(
+        &mut self,
+        domain: &str,
+        groups: &[(u8, usize)],
+        app: Router,
+    ) -> Result<DeployedFleet, RevelioError> {
+        let total: usize = groups.iter().map(|(_, count)| count).sum();
+        let fleet_size = total.to_string();
         let _fleet_span = self.telemetry.span_with(
             "world.deploy_fleet",
             &[("domain", domain), ("nodes", &fleet_size)],
         );
         let spec = self.image_spec(domain, &["web-service"]);
-        let mut nodes = Vec::with_capacity(n);
+        let mut nodes = Vec::with_capacity(total);
         let mut golden_measurement = None;
-        for i in 0..n {
-            // Identical spec ⇒ identical image ⇒ identical measurement;
-            // rebuilt per node so every VM gets its own disk.
-            let (image, golden) = self.build(&spec)?;
-            golden_measurement.get_or_insert(golden);
-            let mut identity_seed = [0u8; 32];
-            identity_seed[..8].copy_from_slice(&(self.seed ^ (i as u64 + 1)).to_le_bytes());
-            identity_seed[8] = 0xd1;
-            nodes.push(self.deploy_node(domain, &image, app.clone(), identity_seed)?);
-        }
-        let golden_measurement = golden_measurement.expect("n > 0 fleets");
+        let home_subnet = self.subnet;
+        let deployed = (|| {
+            for (subnet, count) in groups {
+                self.subnet = *subnet;
+                for _ in 0..*count {
+                    // Identical spec ⇒ identical image ⇒ identical
+                    // measurement; rebuilt per node so every VM gets its
+                    // own disk.
+                    let (image, golden) = self.build(&spec)?;
+                    golden_measurement.get_or_insert(golden);
+                    let i = nodes.len() as u64;
+                    let mut identity_seed = [0u8; 32];
+                    identity_seed[..8].copy_from_slice(&(self.seed ^ (i + 1)).to_le_bytes());
+                    identity_seed[8] = 0xd1;
+                    nodes.push(self.deploy_node(domain, &image, app.clone(), identity_seed)?);
+                }
+            }
+            Ok::<(), RevelioError>(())
+        })();
+        self.subnet = home_subnet;
+        deployed?;
+        let golden_measurement = golden_measurement.expect("fleets have at least one node");
 
         let allowlist = nodes
             .iter()
@@ -438,7 +500,11 @@ impl SimWorld {
             .collect();
         let provision = sp.provision(&bootstraps)?;
 
-        self.dns.set_address(domain, nodes[0].public_address());
+        let leader = nodes
+            .iter()
+            .find(|n| n.bootstrap_address() == provision.leader_bootstrap)
+            .expect("the elected leader is one of the fleet's nodes");
+        self.dns.set_address(domain, leader.public_address());
         Ok(DeployedFleet {
             nodes,
             golden_measurement,
@@ -466,6 +532,23 @@ impl SimWorld {
         let _ = self.net.peer(address).clear_fault_plan();
     }
 
+    /// Installs (or replaces, by name) a correlated-failure domain on
+    /// the fabric: a whole-subnet partition, an asymmetric link, or a
+    /// lossy domain, optionally with a scheduled heal.
+    pub fn install_fault_domain(&self, domain: FaultDomain) {
+        self.net.install_fault_domain(domain);
+    }
+
+    /// Removes one fault domain by name ("the rack heals early").
+    pub fn clear_fault_domain(&self, name: &str) {
+        self.net.clear_fault_domain(name);
+    }
+
+    /// Removes every installed fault domain.
+    pub fn clear_fault_domains(&self) {
+        self.net.clear_fault_domains();
+    }
+
     /// A web-extension instance for an end-user in this world.
     #[must_use]
     pub fn extension(&self) -> WebExtension {
@@ -484,6 +567,7 @@ impl SimWorld {
                 tls_roots: vec![self.acme.root_certificate()],
                 validation_ms: self.tuning.extension_validation_ms,
                 connection_validation_ms: self.tuning.extension_conn_validation_ms,
+                reconnect: ReconnectPolicy::default(),
             },
             entropy,
             Some(self.telemetry.clone()),
