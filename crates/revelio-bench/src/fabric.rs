@@ -1,27 +1,28 @@
-//! Fleet-scale fabric benchmark: sharded vs. single-lock `SimNet`.
+//! Fleet-scale fabric benchmark: the three-way sweep over single-lock,
+//! sharded-locked, and epoch-snapshot `SimNet` read paths.
 //!
-//! The sharding work exists so thousands of simulated nodes can be driven
-//! from many OS threads without the fabric lock being the thing we
-//! measure. This module provisions a fleet of listeners, hammers it with
-//! concurrent dials and browses from N threads, and reports aggregate
-//! dial throughput plus p50/p99 browse latency for both fabric
-//! topologies (`NetConfig::shards = 1` is the legacy single-mutex
-//! baseline kept for exactly this A/B).
+//! The sharding and snapshot work exists so thousands of simulated nodes
+//! can be driven from many OS threads without the fabric lock being the
+//! thing we measure. This module provisions a fleet of listeners,
+//! hammers it with concurrent dials and browses from N threads, and
+//! reports aggregate dial throughput plus p50/p99 browse latency for all
+//! three fabric modes (`NetConfig::shards = 1` is the legacy
+//! single-mutex baseline kept for exactly this A/B; `ReadPath::Locked`
+//! on the sharded array is the PR-3 fabric; `ReadPath::Snapshot` is the
+//! lock-free clean path).
 //!
-//! The headline dial throughput is **modelled**, in the same spirit as
-//! every other cost model in this crate: the fabric counts how many lock
-//! acquisitions each shard absorbed ([`SimNet::shard_load`]), and the
-//! benchmark charges each acquisition a fixed [`LOCK_HANDOFF_NS`]
-//! handoff. A single lock serializes every acquisition; shards serialize
-//! only within the hottest shard (and never below `total / threads` —
-//! threads are the other ceiling on parallelism). That makes the A/B
-//! contrast deterministic and machine-independent: it reflects the
-//! contention a ≥`threads`-core host realizes, instead of whatever core
-//! count the box running the benchmark happens to have. Raw wall-clock
-//! throughput is reported alongside for reference, and per-browse latency
-//! percentiles are wall-clock (they are per-operation costs, not
-//! contention measurements). The JSON report
-//! ([`FabricBenchReport::to_json`]) feeds `BENCH_fabric.json`.
+//! The **headline** figures are measured wall-clock throughput and
+//! latency: the lock-free snapshot path acquires no locks on clean
+//! traffic, so the old `ShardLoad` serialization model — charge each
+//! lock acquisition a fixed [`LOCK_HANDOFF_NS`] handoff, serialize the
+//! hottest shard — has nothing left to count on the side that matters
+//! and is demoted to a secondary column (it remains the deterministic,
+//! machine-independent contrast between the two *locked* topologies).
+//! The model keeps an ops floor of `dials / threads` so a side with zero
+//! acquisitions still reports a finite modelled figure. The JSON report
+//! ([`FabricBenchReport::to_json`]) feeds `BENCH_fabric.json`; the
+//! `REVELIO_FLEET_GATE=1` CI mode asserts the wall-clock gates via
+//! [`FabricBenchReport::gate_failures`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -29,7 +30,7 @@ use std::time::Instant;
 
 use revelio::world::{RetryTuning, SimWorld, WorldTuning};
 use revelio_net::clock::SimClock;
-use revelio_net::net::{ConnectionHandler, Listener, NetConfig, ShardLoad, SimNet};
+use revelio_net::net::{ConnectionHandler, Listener, NetConfig, ReadPath, ShardLoad, SimNet};
 use revelio_net::{FaultPlan, NetError};
 
 /// Modelled cost of one contended lock handoff, nanoseconds. The exact
@@ -43,6 +44,11 @@ pub const DEFAULT_FLEET_NODES: usize = 1000;
 pub const DEFAULT_FLEET_THREADS: usize = 16;
 /// Default dials per thread in the throughput phase.
 pub const DEFAULT_FLEET_DIALS: usize = 20_000;
+/// Default interleaved trials per side. Wall-clock noise on a shared CI
+/// host only ever *adds* time, so the best of N interleaved trials
+/// converges on the true cost; five keeps run-to-run gate decisions
+/// stable without materially lengthening the benchmark.
+pub const DEFAULT_FLEET_TRIALS: usize = 5;
 
 /// Reads the fleet benchmark dimensions, honouring the
 /// `REVELIO_FLEET_NODES` / `REVELIO_FLEET_THREADS` / `REVELIO_FLEET_DIALS`
@@ -63,6 +69,16 @@ pub fn fleet_dimensions_from_env() -> (usize, usize, usize) {
     )
 }
 
+/// Reads the per-side trial count, honouring `REVELIO_FLEET_TRIALS`.
+#[must_use]
+pub fn fleet_trials_from_env() -> usize {
+    std::env::var("REVELIO_FLEET_TRIALS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_FLEET_TRIALS)
+}
+
 /// A modelled fleet node: answers any request with a small page.
 struct FleetNode;
 
@@ -78,10 +94,10 @@ impl Listener for FleetNode {
     }
 }
 
-/// One topology's measurements.
+/// One fabric mode's measurements.
 #[derive(Debug, Clone)]
 pub struct FabricSideReport {
-    /// `"sharded"` or `"single-lock"`.
+    /// `"single-lock"`, `"sharded"`, or `"snapshot"`.
     pub label: &'static str,
     /// Shard count the fabric ran with.
     pub shards: usize,
@@ -95,14 +111,18 @@ pub struct FabricSideReport {
     /// bottleneck (equals `lock_acquisitions` for the single lock).
     pub hottest_shard_acquisitions: u64,
     /// Aggregate dial throughput, dials/second, under the serialization
-    /// model: serialized time = `max(hottest shard, total / threads)`
-    /// acquisitions × [`LOCK_HANDOFF_NS`]. Deterministic and
-    /// machine-independent; this is the headline A/B figure.
+    /// model: serialized time = `max(hottest shard, acquisitions /
+    /// threads, dials / threads)` events × [`LOCK_HANDOFF_NS`].
+    /// Deterministic and machine-independent, but blind to lock-free
+    /// reads (the snapshot side only hits the dials-per-thread ops
+    /// floor) — a **secondary** figure since the snapshot path landed.
     pub dial_throughput_per_sec: f64,
     /// Aggregate dial throughput actually measured on this host,
-    /// dials/second (wall clock). Reference only — on hosts with fewer
-    /// cores than benchmark threads it measures time-slicing, not
-    /// contention.
+    /// dials/second (wall clock). The **headline** figure: it is the
+    /// only one that can see the lock-free fast path. On hosts with
+    /// fewer cores than benchmark threads it partly measures
+    /// time-slicing, which is why the CI gate compares sides run
+    /// back-to-back on the same host rather than absolute numbers.
     pub wall_dial_throughput_per_sec: f64,
     /// Total browses (dial + request + response) in the browse phase.
     pub browses_total: u64,
@@ -114,7 +134,7 @@ pub struct FabricSideReport {
     pub browse_p99_us: f64,
 }
 
-/// The A/B report the fleet benchmark emits.
+/// The three-way report the fleet benchmark emits.
 #[derive(Debug, Clone)]
 pub struct FabricBenchReport {
     /// Fleet size (listeners bound).
@@ -123,17 +143,20 @@ pub struct FabricBenchReport {
     pub threads: usize,
     /// Dials per thread in the dial phase.
     pub dials_per_thread: usize,
+    /// Interleaved trials each side's best-of figures were taken over.
+    pub trials: usize,
     /// The legacy single-mutex fabric.
     pub single: FabricSideReport,
-    /// The sharded fabric.
+    /// The sharded fabric with locked reads (the PR-3 fabric).
     pub sharded: FabricSideReport,
+    /// The sharded fabric with the lock-free snapshot read path.
+    pub snapshot: FabricSideReport,
 }
 
 impl FabricBenchReport {
     /// Sharded-over-single aggregate dial throughput ratio under the
-    /// serialization model (the acceptance criterion is ≥4× at full
-    /// size). Equals `min(total / hottest shard, threads)` for a
-    /// balanced fleet, so it is deterministic across hosts.
+    /// serialization model. Deterministic across hosts, but it only
+    /// contrasts the two *locked* topologies — a secondary figure.
     #[must_use]
     pub fn dial_speedup(&self) -> f64 {
         if self.single.dial_throughput_per_sec > 0.0 {
@@ -141,6 +164,64 @@ impl FabricBenchReport {
         } else {
             0.0
         }
+    }
+
+    /// Snapshot-over-single measured wall-clock dial throughput ratio —
+    /// the headline speedup.
+    #[must_use]
+    pub fn wall_dial_speedup(&self) -> f64 {
+        if self.single.wall_dial_throughput_per_sec > 0.0 {
+            self.snapshot.wall_dial_throughput_per_sec / self.single.wall_dial_throughput_per_sec
+        } else {
+            0.0
+        }
+    }
+
+    /// The CI wall-clock gates: snapshot must keep up with the
+    /// single-lock baseline on measured dial throughput, and its browse
+    /// p50/p99 must not be worse (the sharded-mode regression this PR
+    /// erases). Every comparison carries a small noise band: the sides
+    /// run interleaved back-to-back on the same host, but when the host
+    /// has fewer cores than benchmark threads the per-op costs sit at
+    /// parity (lock elision pays off under real parallelism, not
+    /// time-slicing) and a zero-tolerance comparison would flake on
+    /// scheduler jitter. The band is well below the regressions the
+    /// gates exist to catch — the sharded browse bug was a 10–20% hit.
+    /// Returns one message per failed gate.
+    ///
+    /// The p99 gate gets a wider band than throughput and p50: the 99th
+    /// percentile of a ~0.3µs operation is the single most
+    /// scheduler-sensitive statistic measured here (a handful of
+    /// timeslice boundaries land exactly in the top percent), while the
+    /// regression it guards against — extra lock hops on the browse
+    /// path — showed up as well over 1.3× on p99.
+    #[must_use]
+    pub fn gate_failures(&self) -> Vec<String> {
+        const NOISE: f64 = 1.05;
+        const NOISE_TAIL: f64 = 1.25;
+        let mut failures = Vec::new();
+        if self.snapshot.wall_dial_throughput_per_sec
+            < self.single.wall_dial_throughput_per_sec / NOISE
+        {
+            failures.push(format!(
+                "snapshot wall-clock dial throughput {:.0}/s below single-lock {:.0}/s",
+                self.snapshot.wall_dial_throughput_per_sec,
+                self.single.wall_dial_throughput_per_sec,
+            ));
+        }
+        if self.snapshot.browse_p50_us > self.single.browse_p50_us * NOISE {
+            failures.push(format!(
+                "snapshot browse p50 {:.2}µs worse than single-lock {:.2}µs",
+                self.snapshot.browse_p50_us, self.single.browse_p50_us,
+            ));
+        }
+        if self.snapshot.browse_p99_us > self.single.browse_p99_us * NOISE_TAIL {
+            failures.push(format!(
+                "snapshot browse p99 {:.2}µs worse than single-lock {:.2}µs",
+                self.snapshot.browse_p99_us, self.single.browse_p99_us,
+            ));
+        }
+        failures
     }
 
     /// Serializes the report as JSON (the `BENCH_fabric.json` payload).
@@ -174,17 +255,21 @@ impl FabricBenchReport {
         format!(
             concat!(
                 "{{\"benchmark\":\"fabric_fleet\",\"nodes\":{},\"threads\":{},",
-                "\"dials_per_thread\":{},\"lock_handoff_ns\":{:.1},",
-                "\"dial_speedup\":{:.2},",
-                "\"single_lock\":{},\"sharded\":{}}}\n"
+                "\"dials_per_thread\":{},\"trials\":{},\"headline\":\"wall_clock\",",
+                "\"wall_dial_speedup\":{:.2},",
+                "\"lock_handoff_ns\":{:.1},\"modelled_dial_speedup\":{:.2},",
+                "\"single_lock\":{},\"sharded\":{},\"snapshot\":{}}}\n"
             ),
             self.nodes,
             self.threads,
             self.dials_per_thread,
+            self.trials,
+            self.wall_dial_speedup(),
             LOCK_HANDOFF_NS,
             self.dial_speedup(),
             side(&self.single),
             side(&self.sharded),
+            side(&self.snapshot),
         )
     }
 }
@@ -205,11 +290,13 @@ fn dial_delta(before: &ShardLoad, after: &ShardLoad) -> ShardLoad {
     }
 }
 
-/// Runs one topology: provision `nodes` listeners, then a dial-throughput
-/// phase and a browse-latency phase across `threads` OS threads.
+/// Runs one fabric mode: provision `nodes` listeners, then a
+/// dial-throughput phase and a browse-latency phase across `threads` OS
+/// threads.
 fn run_side(
     label: &'static str,
     shards: usize,
+    read_path: ReadPath,
     nodes: usize,
     threads: usize,
     dials_per_thread: usize,
@@ -220,6 +307,7 @@ fn run_side(
         NetConfig {
             default_one_way_us: 2_600,
             shards,
+            read_path,
         },
     );
 
@@ -262,8 +350,14 @@ fn run_side(
     // phase cannot finish before its hottest shard drains; with `threads`
     // workers it also cannot beat `total / threads` even when perfectly
     // sharded. The single-lock fabric has one shard, so its hottest
-    // shard IS the total — that gap is the speedup.
-    let serialized = load.hottest().max(load.total().div_ceil(threads as u64));
+    // shard IS the total — that gap is the modelled speedup. The
+    // dials-per-thread ops floor keeps the model finite on the snapshot
+    // side, whose clean dials acquire no locks at all — which is exactly
+    // why the model is now secondary to the measured wall clock.
+    let serialized = load
+        .hottest()
+        .max(load.total().div_ceil(threads as u64))
+        .max(dials_total.div_ceil(threads as u64));
     let modelled_dial_secs = serialized as f64 * LOCK_HANDOFF_NS * 1e-9;
 
     // Browse phase: dial + one request/response exchange per browse, with
@@ -320,32 +414,95 @@ fn run_side(
     }
 }
 
+/// Folds a later trial into a side's best-of figures: scheduler noise
+/// only ever slows a trial down, so the fastest observation of each
+/// figure is the closest to the side's true cost. The deterministic
+/// counters (dials, lock acquisitions) are identical across trials and
+/// are kept from the first.
+fn fold_best(best: &mut FabricSideReport, trial: FabricSideReport) {
+    debug_assert_eq!(best.dials_total, trial.dials_total);
+    debug_assert_eq!(best.lock_acquisitions, trial.lock_acquisitions);
+    best.provision_ms = best.provision_ms.min(trial.provision_ms);
+    best.wall_dial_throughput_per_sec = best
+        .wall_dial_throughput_per_sec
+        .max(trial.wall_dial_throughput_per_sec);
+    best.browse_throughput_per_sec = best
+        .browse_throughput_per_sec
+        .max(trial.browse_throughput_per_sec);
+    best.browse_p50_us = best.browse_p50_us.min(trial.browse_p50_us);
+    best.browse_p99_us = best.browse_p99_us.min(trial.browse_p99_us);
+}
+
 /// Provisions a `nodes`-listener fleet and measures dial throughput and
-/// browse latency across `threads` OS threads, once on the single-lock
-/// fabric and once on the sharded fabric.
+/// browse latency across `threads` OS threads, once per fabric mode:
+/// single-lock, sharded with locked reads, and sharded with the
+/// lock-free snapshot read path.
+///
+/// The three sides are run `trials` times in an interleaved
+/// single/sharded/snapshot rotation and each side reports its best
+/// trial. Interleaving means a noisy patch on the host (another tenant,
+/// a frequency dip) lands on all three sides instead of biasing one;
+/// best-of-N then discards it entirely. The wall-clock gates compare
+/// sides measured this way on the same host, which is what makes a hard
+/// CI gate on wall figures viable at all.
 ///
 /// # Panics
 ///
 /// Panics if a bind collides or a worker thread dies — either is a
-/// benchmark-invalidating bug, not a measurement.
+/// benchmark-invalidating bug, not a measurement. Also panics if
+/// `trials` is zero.
 #[must_use]
 pub fn run_fabric_bench(
     nodes: usize,
     threads: usize,
     dials_per_thread: usize,
+    trials: usize,
 ) -> FabricBenchReport {
+    assert!(trials > 0, "at least one trial per side");
+    let shards = NetConfig::default().shards;
+    let round = || {
+        [
+            run_side(
+                "single-lock",
+                1,
+                ReadPath::Locked,
+                nodes,
+                threads,
+                dials_per_thread,
+            ),
+            run_side(
+                "sharded",
+                shards,
+                ReadPath::Locked,
+                nodes,
+                threads,
+                dials_per_thread,
+            ),
+            run_side(
+                "snapshot",
+                shards,
+                ReadPath::Snapshot,
+                nodes,
+                threads,
+                dials_per_thread,
+            ),
+        ]
+    };
+    let [mut single, mut sharded, mut snapshot] = round();
+    for _ in 1..trials {
+        let [s1, s2, s3] = round();
+        fold_best(&mut single, s1);
+        fold_best(&mut sharded, s2);
+        fold_best(&mut snapshot, s3);
+    }
     FabricBenchReport {
         nodes,
         threads,
         dials_per_thread,
-        single: run_side("single-lock", 1, nodes, threads, dials_per_thread),
-        sharded: run_side(
-            "sharded",
-            NetConfig::default().shards,
-            nodes,
-            threads,
-            dials_per_thread,
-        ),
+        trials,
+        single,
+        sharded,
+        snapshot,
     }
 }
 
@@ -434,14 +591,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fabric_bench_small_fleet_completes_on_both_topologies() {
+    fn fabric_bench_small_fleet_completes_on_all_modes() {
         // Wall-clock figures are never asserted — machines differ. The
         // modelled figures are deterministic, so those we can pin down.
-        let report = run_fabric_bench(32, 4, 64);
+        // Two trials exercise the best-of fold and its deterministic-
+        // counter invariants.
+        let report = run_fabric_bench(32, 4, 64, 2);
         assert_eq!(report.nodes, 32);
         assert_eq!(report.single.dials_total, 4 * 64);
         assert_eq!(report.sharded.dials_total, 4 * 64);
-        // Same dial sequence on both sides → identical acquisition totals.
+        assert_eq!(report.snapshot.dials_total, 4 * 64);
+        // Same dial sequence on both locked sides → identical totals.
         assert_eq!(
             report.single.lock_acquisitions,
             report.sharded.lock_acquisitions
@@ -451,12 +611,17 @@ mod tests {
             report.single.hottest_shard_acquisitions,
             report.single.lock_acquisitions
         );
+        // The whole point of the snapshot path: a clean dial phase
+        // performs zero lock acquisitions.
+        assert_eq!(report.snapshot.lock_acquisitions, 0);
         // Sharding can only spread acquisitions out, never concentrate
         // them, so the modelled throughput never regresses.
         assert!(report.sharded.dial_throughput_per_sec >= report.single.dial_throughput_per_sec);
-        assert!(report.single.browses_total > 0);
-        assert!(report.sharded.browses_total > 0);
-        assert!(report.sharded.browse_p99_us >= report.sharded.browse_p50_us);
+        for side in [&report.single, &report.sharded, &report.snapshot] {
+            assert!(side.browses_total > 0, "{} ran no browses", side.label);
+            assert!(side.browse_p99_us >= side.browse_p50_us);
+            assert!(side.wall_dial_throughput_per_sec > 0.0);
+        }
     }
 
     #[test]
@@ -465,7 +630,7 @@ mod tests {
         // the modelled speedup clears the acceptance bar even at reduced
         // size; the address→shard map is a pure hash, so this holds on
         // every machine.
-        let report = run_fabric_bench(256, 16, 64);
+        let report = run_fabric_bench(256, 16, 64, 1);
         assert!(
             report.dial_speedup() >= 4.0,
             "modelled speedup {:.2} below bar (hottest {} of {})",
@@ -476,16 +641,21 @@ mod tests {
     }
 
     #[test]
-    fn fabric_report_json_carries_both_sides() {
-        let report = run_fabric_bench(8, 2, 16);
+    fn fabric_report_json_carries_all_three_sides() {
+        let report = run_fabric_bench(8, 2, 16, 1);
         let json = report.to_json();
         for key in [
             "\"benchmark\":\"fabric_fleet\"",
+            "\"trials\":1",
+            "\"headline\":\"wall_clock\"",
             "\"single_lock\"",
             "\"sharded\"",
+            "\"snapshot\"",
             "\"dial_throughput_per_sec\"",
+            "\"wall_dial_throughput_per_sec\"",
             "\"browse_p99_us\"",
-            "\"dial_speedup\"",
+            "\"wall_dial_speedup\"",
+            "\"modelled_dial_speedup\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

@@ -17,8 +17,8 @@ pub mod fabric;
 use std::sync::Arc;
 
 pub use fabric::{
-    fleet_dimensions_from_env, run_fabric_bench, run_retry_ablation, FabricBenchReport,
-    RetryAblationPoint,
+    fleet_dimensions_from_env, fleet_trials_from_env, run_fabric_bench, run_retry_ablation,
+    FabricBenchReport, RetryAblationPoint,
 };
 use revelio::node::demo_app;
 use revelio::world::SimWorld;

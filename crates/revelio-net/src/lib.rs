@@ -26,14 +26,18 @@
 //!   (scoped to handles from [`net::SimNet::bound_to`]), and scheduled
 //!   heal windows, installed via `net.install_fault_domain(..)`;
 //! * [`retry::RetryPolicy`] — bounded exponential backoff whose sleeps
-//!   advance the [`clock::SimClock`], never wall time.
+//!   advance the [`clock::SimClock`], never wall time;
+//! * [`snapshot::Snapshot`] — a from-scratch epoch/arc-swap cell giving
+//!   the dial fast path (and the KDS client's VCEK cache) lock-free
+//!   reads of rarely-republished immutable state.
 //!
 //! Exchanges are synchronous — protocol state machines remain ordinary
 //! sequential code — but the fabric itself is sharded and thread-safe:
-//! dials to distinct addresses from different OS threads never contend,
-//! and the determinism contract (per-address seeded fault streams, a
-//! lock-free [`clock::SimClock`]) holds under any thread interleaving.
-//! See [`net`] for the sharding and determinism story.
+//! dials to distinct addresses from different OS threads never contend
+//! (and, on the default snapshot read path, clean dials touch no locks
+//! at all), and the determinism contract (per-address seeded fault
+//! streams, a lock-free [`clock::SimClock`]) holds under any thread
+//! interleaving. See [`net`] for the sharding and determinism story.
 //!
 //! ```
 //! use revelio_net::clock::SimClock;
@@ -68,6 +72,7 @@ pub mod error;
 pub mod fault;
 pub mod net;
 pub mod retry;
+pub mod snapshot;
 
 pub use domain::{DomainEffect, FaultDomain};
 pub use error::NetError;

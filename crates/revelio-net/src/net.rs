@@ -1,36 +1,54 @@
 //! The simulated network fabric: listeners, connections, latency, and
 //! man-in-the-middle hooks.
 //!
-//! # Sharding
+//! # Sharding and the lock-free read path
 //!
 //! The fabric is built for thousand-node fleets driven from many OS
-//! threads: all per-address state (listeners, latency overrides,
+//! threads. All per-address state (listeners, latency overrides,
 //! redirects, tamper hooks, fault plans) lives in a fixed power-of-two
-//! array of shards, keyed by `fnv1a(address)`. Dials to addresses on
-//! distinct shards never contend, and within a shard the common fast path
-//! (no fault plan installed) takes only read locks. The legacy
-//! single-mutex fabric is kept behind [`NetConfig::shards`]` = 1` for A/B
-//! benchmarking (`revelio-bench`'s fleet benchmark).
+//! array of `RwLock` shards keyed by `fnv1a(address)` — the
+//! **write-side store**. On top of it, the default
+//! [`ReadPath::Snapshot`] mode maintains an immutable [`RoutingView`]
+//! behind a [`crate::snapshot::Snapshot`]: every rare mutating operation
+//! (bind/unbind, shaper edits, fault-domain install/heal) republishes the
+//! affected slot copy-on-write, and a dial to a clean address — no fault
+//! plan, no active domain — touches **zero locks**: one atomic snapshot
+//! load, one hash lookup, done. Anything non-clean (fail-first windows,
+//! fault-plan RNG draws, degraded domains) falls back to the locked
+//! write-side path, which is also the whole story in
+//! [`ReadPath::Locked`] mode. The legacy single-mutex fabric
+//! ([`NetConfig::shards`]` = 1`) and the locked sharded fabric are kept
+//! as A/B baselines for `revelio-bench`'s three-way fleet benchmark.
+//!
+//! Known-hot addresses (the KDS, boundary nodes) can be striped out of
+//! the hashed shard array via [`SimNet::stripe_hot`]: a hot address gets
+//! a dedicated lock slot, so its fault-entry updates no longer serialize
+//! the write path of every cold address that happens to hash into the
+//! same shard.
 //!
 //! # Determinism
 //!
-//! Sharding does not touch the determinism contract: every fault stream is
-//! keyed by its address (or `(address, route-prefix)`) and seeded as
-//! `fabric_seed ^ fnv1a(key)`, so equal seeds produce byte-identical
-//! decision streams regardless of shard count, thread count, or dial
-//! interleaving across addresses. The global fault counter is a relaxed
-//! atomic: its total is a sum of per-stream counts and therefore equally
-//! interleaving-independent.
+//! Neither sharding nor the snapshot path touches the determinism
+//! contract: every fault stream is keyed by its address (or
+//! `(address, route-prefix)`) and seeded as `fabric_seed ^ fnv1a(key)`,
+//! so equal seeds produce byte-identical decision streams regardless of
+//! shard count, read path, thread count, or dial interleaving across
+//! addresses. Mutations republish the snapshot before returning, so a
+//! thread observes its own writes in program order — exactly the
+//! ordering the locked path provides. The global fault counter is a
+//! relaxed atomic: its total is a sum of per-stream counts and therefore
+//! equally interleaving-independent.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
 
 use crate::clock::SimClock;
 use crate::domain::{domain_stream_key, DomainEffect, FaultDomain};
 use crate::fault::{fnv1a, route_stream_key, FaultEntry, FaultKind, FaultObserver, FaultPlan};
+use crate::snapshot::Snapshot;
 use crate::NetError;
 
 /// Per-connection server-side state machine.
@@ -57,9 +75,31 @@ pub trait Listener: Send + Sync {
 /// Tampering hook: may rewrite a client→server message in flight.
 pub type TamperFn = dyn Fn(&[u8]) -> Vec<u8> + Send + Sync;
 
+/// Everything a clean (fault-free) dial needs from the routing view:
+/// the effective listener, an optional one-way latency override, and an
+/// optional tamper hook. `None` means nothing listens at the address.
+type CleanRoute = Option<(Arc<dyn Listener>, Option<u64>, Option<Arc<TamperFn>>)>;
+
 /// Default shard count: enough to keep 16 benchmark threads off each
 /// other's cache lines without bloating small single-threaded worlds.
 pub const DEFAULT_SHARDS: usize = 16;
+
+/// Dedicated lock slots reserved for hot addresses beyond the hashed
+/// shard array (see [`SimNet::stripe_hot`]).
+pub const HOT_STRIPES: usize = 8;
+
+/// How dials and exchanges read per-address routing state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPath {
+    /// Every lookup goes through the shard locks (the PR-3 fabric).
+    /// Kept as the A/B baseline for the fleet benchmark.
+    Locked,
+    /// Clean-path lookups go through an immutable epoch snapshot
+    /// republished by the rare mutating ops; only fault-entry state (RNG
+    /// draws, fail-first counters) still takes shard locks.
+    #[default]
+    Snapshot,
+}
 
 /// Fabric configuration.
 #[derive(Debug, Clone)]
@@ -71,21 +111,51 @@ pub struct NetConfig {
     /// baseline for the fleet benchmark; every lookup then serializes on
     /// one lock.
     pub shards: usize,
+    /// Whether clean-path reads use the lock-free snapshot (default) or
+    /// the shard locks.
+    pub read_path: ReadPath,
 }
 
 impl Default for NetConfig {
     /// 2.6 ms one way — the paper's 5.2 ms base round trip (Table 3) —
-    /// on a [`DEFAULT_SHARDS`]-way sharded fabric.
+    /// on a [`DEFAULT_SHARDS`]-way sharded fabric with snapshot reads.
     fn default() -> Self {
         NetConfig {
             default_one_way_us: 2600,
             shards: DEFAULT_SHARDS,
+            read_path: ReadPath::Snapshot,
         }
     }
 }
 
-/// All per-address state of one shard (or, in single-lock mode, of the
-/// whole fabric).
+impl NetConfig {
+    /// Applies the `REVELIO_FABRIC_MODE` environment override:
+    /// `single` (one mutex, locked reads), `sharded` (shard locks, no
+    /// snapshot), or `snapshot` (the default). CI uses this to run the
+    /// determinism suites under every fabric mode without code changes.
+    #[must_use]
+    pub fn with_env_mode(mut self) -> Self {
+        match std::env::var("REVELIO_FABRIC_MODE").as_deref() {
+            Ok("single") => {
+                self.shards = 1;
+                self.read_path = ReadPath::Locked;
+            }
+            Ok("sharded") => {
+                self.shards = self.shards.max(DEFAULT_SHARDS);
+                self.read_path = ReadPath::Locked;
+            }
+            Ok("snapshot") => {
+                self.shards = self.shards.max(DEFAULT_SHARDS);
+                self.read_path = ReadPath::Snapshot;
+            }
+            _ => {}
+        }
+        self
+    }
+}
+
+/// All per-address state of one lock slot (a hashed shard, a hot stripe,
+/// or — in single-lock mode — the whole fabric).
 #[derive(Default)]
 struct ShardState {
     listeners: HashMap<String, Arc<dyn Listener>>,
@@ -100,16 +170,122 @@ struct ShardState {
     route_faults: HashMap<String, Vec<(String, FaultEntry)>>,
 }
 
+impl ShardState {
+    /// Collapses this slot's maps into the per-address read view the
+    /// snapshot publishes.
+    fn peer_view(&self) -> HashMap<String, PeerView> {
+        let mut out: HashMap<String, PeerView> = HashMap::new();
+        for (address, listener) in &self.listeners {
+            out.entry(address.clone()).or_default().listener = Some(Arc::clone(listener));
+        }
+        for (address, latency) in &self.latency_overrides {
+            out.entry(address.clone()).or_default().latency_us = Some(*latency);
+        }
+        for (address, target) in &self.redirects {
+            out.entry(address.clone()).or_default().redirect = Some(target.clone());
+        }
+        for (address, tamper) in &self.tamper {
+            out.entry(address.clone()).or_default().tamper = Some(Arc::clone(tamper));
+        }
+        for address in self.faults.keys() {
+            out.entry(address.clone()).or_default().has_fault_plan = true;
+        }
+        for address in self.route_faults.keys() {
+            out.entry(address.clone()).or_default().has_route_plan = true;
+        }
+        out
+    }
+}
+
 /// Where the per-address state lives.
 enum Topology {
     /// Legacy baseline: one mutex around everything.
     Single(Box<Mutex<ShardState>>),
-    /// `shards.len()` is a power of two; an address lives in shard
-    /// `fnv1a(address) & mask`.
+    /// `base` hashed slots (a power of two; an address lives in slot
+    /// `fnv1a(address) & mask`) followed by [`HOT_STRIPES`] dedicated
+    /// hot-address slots.
     Sharded {
         shards: Box<[RwLock<ShardState>]>,
         mask: u64,
     },
+}
+
+/// Everything the clean read path needs to know about one address.
+/// Immutable once published; fault-entry *state* (RNG streams, dial
+/// counters) deliberately stays out — only plan **presence** is here,
+/// which routes non-clean traffic back to the locked path.
+#[derive(Default)]
+struct PeerView {
+    listener: Option<Arc<dyn Listener>>,
+    latency_us: Option<u64>,
+    redirect: Option<String>,
+    tamper: Option<Arc<TamperFn>>,
+    has_fault_plan: bool,
+    has_route_plan: bool,
+}
+
+/// The immutable routing snapshot published by mutating operations.
+/// Slot layout mirrors the lock array, so one `fnv1a` (or hot-stripe
+/// scan) addresses both worlds identically.
+struct RoutingView {
+    slots: Box<[Arc<HashMap<String, PeerView>>]>,
+    mask: u64,
+    /// Number of hashed slots; hot stripe `i` is slot `base + i`.
+    base: usize,
+    /// Hot-striped addresses in stripe order.
+    hot: Vec<String>,
+    /// Whether any fault domain is installed. Domain activity windows
+    /// depend on sim time, so the view only gates the emptiness check;
+    /// non-empty sends dials to the locked domain logic.
+    has_domains: bool,
+    /// Per-slot count of peers carrying any fault or route plan,
+    /// maintained at republish time so [`RoutingView::all_clean`] is a
+    /// stored flag rather than a scan.
+    planned_per_slot: Box<[u32]>,
+    /// No plan on any peer and no domain installed: the per-exchange
+    /// fault check can answer "clean" from two field loads, without
+    /// hashing the dialed address into a slot map. On a faultless fleet
+    /// (the common case, and the benchmark's browse phase) this is what
+    /// keeps the snapshot exchange cheaper than an uncontended lock —
+    /// hashbrown short-circuits `contains_key` on *empty* maps, so the
+    /// locked path never pays a hash there either.
+    all_clean: bool,
+    /// Publish sequence number, incremented by every republish. A
+    /// [`Connection`] stamps its dial-time clean verdict with this and
+    /// [`Fabric::view_gen`] revalidates it per exchange with one atomic
+    /// load: generations equal ⟹ the live view is the very one the
+    /// verdict came from.
+    generation: u64,
+}
+
+impl RoutingView {
+    fn slot_of(&self, address: &str) -> usize {
+        if !self.hot.is_empty() {
+            if let Some(i) = self.hot.iter().position(|hot| hot == address) {
+                return self.base + i;
+            }
+        }
+        (fnv1a(address) & self.mask) as usize
+    }
+
+    fn peer(&self, address: &str) -> Option<&PeerView> {
+        self.slots[self.slot_of(address)].get(address)
+    }
+
+    /// Peers in `slot` that carry any plan (the `planned_per_slot` entry).
+    fn planned_in(slot: &HashMap<String, PeerView>) -> u32 {
+        let planned = slot
+            .values()
+            .filter(|p| p.has_fault_plan || p.has_route_plan)
+            .count();
+        u32::try_from(planned).expect("fewer than 2^32 peers per slot")
+    }
+
+    /// The stored-flag value: true iff no slot has a planned peer and no
+    /// domain is installed.
+    fn derive_all_clean(planned_per_slot: &[u32], has_domains: bool) -> bool {
+        !has_domains && planned_per_slot.iter().all(|&n| n == 0)
+    }
 }
 
 /// One installed [`FaultDomain`] plus its lazily created per-destination
@@ -122,60 +298,85 @@ struct DomainState {
 /// The shared interior of a [`SimNet`] (and of every [`Connection`]).
 struct Fabric {
     topology: Topology,
+    /// Number of hashed slots (1 for the single-lock topology).
+    base_slots: usize,
+    /// Hot-stripe registry: `hot_addrs[..hot_count]` are striped, in
+    /// registration order. Appended under `hot_reg`; readers only need
+    /// the `Acquire` count.
+    hot_count: AtomicUsize,
+    hot_addrs: Box<[OnceLock<String>]>,
+    hot_reg: Mutex<()>,
+    /// The published routing snapshot ([`ReadPath::Snapshot`] only).
+    view: Option<Snapshot<RoutingView>>,
+    /// Generation of the latest *published or in-flight* routing view.
+    /// Written inside the snapshot writer lock **before** the swap, so
+    /// the counter is never behind a live view: a connection's stamped
+    /// generation matching this counter proves the view it judged clean
+    /// is still the live one (a mid-publish counter bump merely forces a
+    /// spurious re-check). Exchanges validate against it with a single
+    /// atomic load — the cheapest possible clean-path fault check.
+    view_gen: AtomicU64,
     /// Fabric-wide fault seed; per-stream RNGs derive from it.
     fault_seed: AtomicU64,
     /// Total faults injected. Relaxed: the total is a sum of per-stream
     /// counts, so no ordering is needed for it to be deterministic.
     faults_injected: AtomicU64,
-    /// Per-shard lock-acquisition counters (one slot for the single-lock
+    /// Per-slot lock-acquisition counters (one slot for the single-lock
     /// topology). Relaxed increments: each acquisition maps to a fixed
-    /// shard regardless of interleaving, so the per-shard totals are
-    /// deterministic for a deterministic workload.
+    /// slot regardless of interleaving, so the per-slot totals are
+    /// deterministic for a deterministic workload. Snapshot loads are
+    /// not lock acquisitions and are not charged.
     acquisitions: Box<[AtomicU64]>,
     fault_observer: RwLock<Option<Arc<FaultObserver>>>,
     /// Correlated-failure domains, fabric-wide because a domain spans
     /// shards. Not charged to [`ShardLoad`]: it is not a shard lock, and
-    /// the no-domain fast path is a single read-lock emptiness check.
+    /// the no-domain fast path is a snapshot flag (or, in locked mode, a
+    /// single read-lock emptiness check).
     domains: RwLock<Vec<DomainState>>,
 }
 
 /// A snapshot of how fabric lock acquisitions distributed across shards.
 ///
 /// Every [`Fabric`] lock acquisition (read or write) is charged to the
-/// shard it touched; the single-lock topology charges everything to one
+/// slot it touched; the single-lock topology charges everything to one
 /// slot. For a deterministic workload the distribution is itself
 /// deterministic, which lets benchmarks derive a machine-independent
 /// serialization model: a single lock serializes every acquisition, while
-/// shards serialize only within a shard.
+/// shards serialize only within a shard. The snapshot read path acquires
+/// no locks on clean traffic, which is why the model was demoted to a
+/// secondary figure — a lock-free path has nothing for it to count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardLoad {
-    /// Acquisition count per shard (length 1 for the single-lock fabric).
+    /// Acquisition count per slot (length 1 for the single-lock fabric;
+    /// hashed shards followed by hot stripes otherwise).
     pub per_shard: Vec<u64>,
 }
 
 impl ShardLoad {
-    /// Total lock acquisitions across all shards.
+    /// Total lock acquisitions across all slots.
     pub fn total(&self) -> u64 {
         self.per_shard.iter().sum()
     }
 
-    /// Acquisitions on the most loaded shard — the serialization
-    /// bottleneck when shards are serviced concurrently.
+    /// Acquisitions on the most loaded slot — the serialization
+    /// bottleneck when slots are serviced concurrently.
     pub fn hottest(&self) -> u64 {
         self.per_shard.iter().copied().max().unwrap_or(0)
     }
 }
 
 impl Fabric {
-    fn new(shards: usize) -> Self {
-        let (topology, slots) = if shards <= 1 {
+    fn new(shards: usize, read_path: ReadPath) -> Self {
+        let (topology, base, slots) = if shards <= 1 {
             (
                 Topology::Single(Box::new(Mutex::new(ShardState::default()))),
+                1,
                 1,
             )
         } else {
             let n = shards.next_power_of_two();
-            let shards = (0..n)
+            let total = n + HOT_STRIPES;
+            let shards = (0..total)
                 .map(|_| RwLock::new(ShardState::default()))
                 .collect::<Vec<_>>()
                 .into_boxed_slice();
@@ -185,10 +386,39 @@ impl Fabric {
                     mask: (n - 1) as u64,
                 },
                 n,
+                total,
             )
+        };
+        let mask = match &topology {
+            Topology::Single(_) => 0,
+            Topology::Sharded { mask, .. } => *mask,
+        };
+        let view = match read_path {
+            ReadPath::Locked => None,
+            ReadPath::Snapshot => {
+                let empty = Arc::new(HashMap::new());
+                Some(Snapshot::new(Arc::new(RoutingView {
+                    slots: (0..slots).map(|_| Arc::clone(&empty)).collect(),
+                    mask,
+                    base,
+                    hot: Vec::new(),
+                    has_domains: false,
+                    planned_per_slot: vec![0; slots].into_boxed_slice(),
+                    all_clean: true,
+                    generation: 0,
+                })))
+            }
         };
         Fabric {
             topology,
+            base_slots: base,
+            hot_count: AtomicUsize::new(0),
+            hot_addrs: (0..if base > 1 { HOT_STRIPES } else { 0 })
+                .map(|_| OnceLock::new())
+                .collect(),
+            hot_reg: Mutex::new(()),
+            view,
+            view_gen: AtomicU64::new(0),
             fault_seed: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             acquisitions: (0..slots).map(|_| AtomicU64::new(0)).collect(),
@@ -211,38 +441,50 @@ impl Fabric {
         }
     }
 
-    /// Runs `f` under a read lock on `address`'s shard. Never called with
+    /// The lock slot `address` lives in: its hot stripe if registered,
+    /// else its hashed shard.
+    fn slot_of(&self, address: &str) -> usize {
+        match &self.topology {
+            Topology::Single(_) => 0,
+            Topology::Sharded { mask, .. } => {
+                let hot = self.hot_count.load(Ordering::Acquire);
+                for i in 0..hot {
+                    if self.hot_addrs[i].get().is_some_and(|a| a == address) {
+                        return self.base_slots + i;
+                    }
+                }
+                (fnv1a(address) & mask) as usize
+            }
+        }
+    }
+
+    /// Runs `f` under a read lock on slot `idx`.
+    fn read_slot<R>(&self, idx: usize, f: impl FnOnce(&ShardState) -> R) -> R {
+        self.charge(idx);
+        match &self.topology {
+            Topology::Single(state) => f(&state.lock()),
+            Topology::Sharded { shards, .. } => f(&shards[idx].read()),
+        }
+    }
+
+    /// Runs `f` under a read lock on `address`'s slot. Never called with
     /// another shard lock held, so two-shard lookups cannot deadlock.
     fn read<R>(&self, address: &str, f: impl FnOnce(&ShardState) -> R) -> R {
-        match &self.topology {
-            Topology::Single(state) => {
-                self.charge(0);
-                f(&state.lock())
-            }
-            Topology::Sharded { shards, mask } => {
-                let idx = (fnv1a(address) & mask) as usize;
-                self.charge(idx);
-                f(&shards[idx].read())
-            }
-        }
+        self.read_slot(self.slot_of(address), f)
     }
 
-    /// Runs `f` under a write lock on `address`'s shard.
+    /// Runs `f` under a write lock on `address`'s slot.
     fn write<R>(&self, address: &str, f: impl FnOnce(&mut ShardState) -> R) -> R {
+        let idx = self.slot_of(address);
+        self.charge(idx);
         match &self.topology {
-            Topology::Single(state) => {
-                self.charge(0);
-                f(&mut state.lock())
-            }
-            Topology::Sharded { shards, mask } => {
-                let idx = (fnv1a(address) & mask) as usize;
-                self.charge(idx);
-                f(&mut shards[idx].write())
-            }
+            Topology::Single(state) => f(&mut state.lock()),
+            Topology::Sharded { shards, .. } => f(&mut shards[idx].write()),
         }
     }
 
-    /// Runs `f` on every shard in turn (write-locked one at a time).
+    /// Runs `f` on every slot in turn (write-locked one at a time),
+    /// hot stripes included.
     fn for_each_shard(&self, mut f: impl FnMut(&mut ShardState)) {
         match &self.topology {
             Topology::Single(state) => f(&mut state.lock()),
@@ -252,6 +494,157 @@ impl Fabric {
                 }
             }
         }
+    }
+
+    /// Hot-striped addresses in stripe order.
+    fn hot_list(&self) -> Vec<String> {
+        let n = self.hot_count.load(Ordering::Acquire);
+        (0..n)
+            .map(|i| self.hot_addrs[i].get().expect("published stripe").clone())
+            .collect()
+    }
+
+    /// The generation for a view replacing `current`, also stored into
+    /// [`Fabric::view_gen`]. Only called from inside a `view.update`
+    /// closure: the writer lock serializes callers, and storing before
+    /// the swap keeps the counter never-behind the live view (see
+    /// `view_gen`'s invariant).
+    fn next_view_gen(&self, current: &RoutingView) -> u64 {
+        let next = current.generation + 1;
+        self.view_gen.store(next, Ordering::SeqCst);
+        next
+    }
+
+    /// Republishes the snapshot slot holding `address` (after a mutation
+    /// there). No-op in locked mode. The rebuild runs under the snapshot
+    /// writer lock so concurrent republishes of sibling addresses in the
+    /// same slot compose instead of overwriting each other.
+    fn republish_address(&self, address: &str) {
+        let Some(view) = &self.view else { return };
+        let idx = self.slot_of(address);
+        view.update(|current| {
+            let mut slots = current.slots.to_vec();
+            slots[idx] = Arc::new(self.read_slot(idx, ShardState::peer_view));
+            let mut planned = current.planned_per_slot.clone();
+            planned[idx] = RoutingView::planned_in(&slots[idx]);
+            let all_clean = RoutingView::derive_all_clean(&planned, current.has_domains);
+            (
+                Arc::new(RoutingView {
+                    slots: slots.into_boxed_slice(),
+                    mask: current.mask,
+                    base: current.base,
+                    hot: current.hot.clone(),
+                    has_domains: current.has_domains,
+                    planned_per_slot: planned,
+                    all_clean,
+                    generation: self.next_view_gen(current),
+                }),
+                (),
+            )
+        });
+    }
+
+    /// Republishes the domain-emptiness flag (after install/clear).
+    fn republish_domains(&self) {
+        let Some(view) = &self.view else { return };
+        view.update(|current| {
+            let has_domains = !self.domains.read().is_empty();
+            let all_clean = RoutingView::derive_all_clean(&current.planned_per_slot, has_domains);
+            (
+                Arc::new(RoutingView {
+                    slots: current.slots.to_vec().into_boxed_slice(),
+                    mask: current.mask,
+                    base: current.base,
+                    hot: current.hot.clone(),
+                    has_domains,
+                    planned_per_slot: current.planned_per_slot.clone(),
+                    all_clean,
+                    generation: self.next_view_gen(current),
+                }),
+                (),
+            )
+        });
+    }
+
+    /// Rebuilds and republishes the whole view (hot-stripe registration).
+    fn republish_all(&self) {
+        let Some(view) = &self.view else { return };
+        view.update(|current| {
+            let slots: Box<[Arc<HashMap<String, PeerView>>]> = (0..current.slots.len())
+                .map(|idx| Arc::new(self.read_slot(idx, ShardState::peer_view)))
+                .collect();
+            let planned: Box<[u32]> = slots
+                .iter()
+                .map(|slot| RoutingView::planned_in(slot))
+                .collect();
+            let has_domains = !self.domains.read().is_empty();
+            let all_clean = RoutingView::derive_all_clean(&planned, has_domains);
+            (
+                Arc::new(RoutingView {
+                    slots,
+                    mask: current.mask,
+                    base: current.base,
+                    hot: self.hot_list(),
+                    has_domains,
+                    planned_per_slot: planned,
+                    all_clean,
+                    generation: self.next_view_gen(current),
+                }),
+                (),
+            )
+        });
+    }
+
+    /// Moves `address` onto a dedicated hot stripe. See
+    /// [`SimNet::stripe_hot`].
+    fn stripe_hot(&self, address: &str) {
+        let Topology::Sharded { shards, mask } = &self.topology else {
+            return; // one lock total: striping cannot help
+        };
+        let _reg = self.hot_reg.lock();
+        let count = self.hot_count.load(Ordering::Acquire);
+        if (0..count).any(|i| self.hot_addrs[i].get().is_some_and(|a| a == address)) {
+            return; // already striped
+        }
+        if count == HOT_STRIPES {
+            return; // stripes exhausted: keep the hashed placement
+        }
+        let old = (fnv1a(address) & mask) as usize;
+        let new = self.base_slots + count;
+        {
+            // Old is a hashed slot, new a stripe slot: old < new always,
+            // and no other path ever holds two slot locks, so taking both
+            // cannot deadlock.
+            self.charge(old);
+            self.charge(new);
+            let mut from = shards[old].write();
+            let mut to = shards[new].write();
+            if let Some(v) = from.listeners.remove(address) {
+                to.listeners.insert(address.to_owned(), v);
+            }
+            if let Some(v) = from.latency_overrides.remove(address) {
+                to.latency_overrides.insert(address.to_owned(), v);
+            }
+            if let Some(v) = from.redirects.remove(address) {
+                to.redirects.insert(address.to_owned(), v);
+            }
+            if let Some(v) = from.tamper.remove(address) {
+                to.tamper.insert(address.to_owned(), v);
+            }
+            if let Some(v) = from.faults.remove(address) {
+                to.faults.insert(address.to_owned(), v);
+            }
+            if let Some(v) = from.route_faults.remove(address) {
+                to.route_faults.insert(address.to_owned(), v);
+            }
+            // Publish the mapping while both locks are held so no
+            // mutation slips into the old slot after the move.
+            self.hot_addrs[count]
+                .set(address.to_owned())
+                .expect("stripe published twice");
+            self.hot_count.store(count + 1, Ordering::Release);
+        }
+        self.republish_all();
     }
 
     /// Records an injected fault and returns the observer to notify (the
@@ -315,8 +708,12 @@ impl Fabric {
     }
 }
 
+/// Hands out snapshot reader stripes to [`SimNet`] handles: one fetch
+/// per handle creation instead of a lazily initialised thread-local
+/// lookup on every dial.
+static NEXT_HANDLE_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
 /// The shared network fabric.
-#[derive(Clone)]
 pub struct SimNet {
     clock: SimClock,
     config: NetConfig,
@@ -325,6 +722,25 @@ pub struct SimNet {
     /// [`SimNet::bound_to`]. Only consulted by source-scoped fault
     /// domains (asymmetric links); `None` handles never match them.
     local: Option<String>,
+    /// Snapshot reader stripe this handle (and its connections)
+    /// announces in. Handles are typically cloned per worker thread, so
+    /// round-robin assignment at clone time spreads threads across
+    /// stripes without the hot path touching thread-local storage. Any
+    /// value is correct — stripe counters sum — sharing just bounces a
+    /// cache line.
+    stripe: usize,
+}
+
+impl Clone for SimNet {
+    fn clone(&self) -> Self {
+        SimNet {
+            clock: self.clock.clone(),
+            config: self.config.clone(),
+            fabric: Arc::clone(&self.fabric),
+            local: self.local.clone(),
+            stripe: NEXT_HANDLE_STRIPE.fetch_add(1, Ordering::Relaxed),
+        }
+    }
 }
 
 impl std::fmt::Debug for SimNet {
@@ -339,12 +755,13 @@ impl SimNet {
     /// Creates a network fabric on `clock`.
     #[must_use]
     pub fn new(clock: SimClock, config: NetConfig) -> Self {
-        let fabric = Arc::new(Fabric::new(config.shards));
+        let fabric = Arc::new(Fabric::new(config.shards, config.read_path));
         SimNet {
             clock,
             config,
             fabric,
             local: None,
+            stripe: NEXT_HANDLE_STRIPE.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -390,7 +807,9 @@ impl SimNet {
             }
             state.listeners.insert(address.to_owned(), listener);
             Ok(())
-        })
+        })?;
+        self.fabric.republish_address(address);
+        Ok(())
     }
 
     /// Removes the listener at `address` (service shutdown).
@@ -398,6 +817,22 @@ impl SimNet {
         self.fabric.write(address, |state| {
             state.listeners.remove(address);
         });
+        self.fabric.republish_address(address);
+    }
+
+    /// Reserves a dedicated lock stripe for a known-hot address (the AMD
+    /// KDS, a boundary node): its fault-entry updates stop serializing
+    /// the write path of every cold address hashing into the same shard.
+    ///
+    /// Call **before** traffic flows to the address — registration moves
+    /// the address's state between lock slots, and a dial racing the
+    /// move may transiently miss it. At most [`HOT_STRIPES`] addresses
+    /// can be striped; later registrations (and registrations on the
+    /// single-lock fabric) keep their hashed placement. Striping never
+    /// affects fault-stream determinism: streams are keyed by address,
+    /// not by slot.
+    pub fn stripe_hot(&self, address: &str) {
+        self.fabric.stripe_hot(address);
     }
 
     /// Returns the traffic-shaping handle for `address`: the single entry
@@ -421,48 +856,13 @@ impl SimNet {
         }
     }
 
-    /// Sets the one-way latency for dials *to* `address`.
-    #[deprecated(note = "use `net.peer(address).latency_us(..)`")]
-    pub fn set_latency(&self, address: &str, one_way_us: u64) {
-        let _ = self.peer(address).latency_us(one_way_us);
-    }
-
-    /// ATTACK: silently rewires future dials of `victim` to `attacker`.
-    #[deprecated(note = "use `net.peer(victim).redirect_to(attacker)`")]
-    pub fn redirect(&self, victim: &str, attacker: &str) {
-        let _ = self.peer(victim).redirect_to(attacker);
-    }
-
-    /// Removes a redirect.
-    #[deprecated(note = "use `net.peer(victim).clear_redirect()`")]
-    pub fn clear_redirect(&self, victim: &str) {
-        let _ = self.peer(victim).clear_redirect();
-    }
-
-    /// ATTACK: installs a message-tampering hook on dials to `address`.
-    #[deprecated(note = "use `net.peer(address).tamper(..)`")]
-    pub fn set_tamper(&self, address: &str, tamper: Arc<TamperFn>) {
-        let _ = self.peer(address).tamper(tamper);
-    }
-
-    /// Installs (or replaces) the fault plan for dials *to* `address`.
-    #[deprecated(note = "use `net.peer(address).fault_plan(..)`")]
-    pub fn set_fault_plan(&self, address: &str, plan: FaultPlan) {
-        let _ = self.peer(address).fault_plan(plan);
-    }
-
-    /// Removes the fault plans for `address`.
-    #[deprecated(note = "use `net.peer(address).clear_fault_plan()`")]
-    pub fn clear_fault_plan(&self, address: &str) {
-        let _ = self.peer(address).clear_fault_plan();
-    }
-
     /// Sets the fabric-wide fault seed. Each faulted stream derives its
     /// own decision sequence from this seed and its key (address, or
     /// address + route prefix), so dial order across addresses cannot
     /// perturb another stream. Call before installing plans;
     /// already-installed plans are reseeded (and their fail-first windows
-    /// reset).
+    /// reset). No snapshot republish is needed: plan *presence* — all
+    /// the view carries — is unchanged.
     pub fn set_fault_seed(&self, seed: u64) {
         self.fabric.fault_seed.store(seed, Ordering::Relaxed);
         self.fabric.for_each_shard(|state| {
@@ -492,18 +892,21 @@ impl SimNet {
     /// a [`DomainEffect::Degraded`] domain draws per-exchange decisions
     /// from a `(domain, destination)`-keyed stream. See [`FaultDomain`].
     pub fn install_fault_domain(&self, domain: FaultDomain) {
-        let mut domains = self.fabric.domains.write();
-        let state = DomainState {
-            domain,
-            entries: HashMap::new(),
-        };
-        match domains
-            .iter_mut()
-            .find(|s| s.domain.name == state.domain.name)
         {
-            Some(slot) => *slot = state,
-            None => domains.push(state),
+            let mut domains = self.fabric.domains.write();
+            let state = DomainState {
+                domain,
+                entries: HashMap::new(),
+            };
+            match domains
+                .iter_mut()
+                .find(|s| s.domain.name == state.domain.name)
+            {
+                Some(slot) => *slot = state,
+                None => domains.push(state),
+            }
         }
+        self.fabric.republish_domains();
     }
 
     /// Removes the fault domain named `name` (an unscheduled heal).
@@ -512,11 +915,13 @@ impl SimNet {
             .domains
             .write()
             .retain(|state| state.domain.name != name);
+        self.fabric.republish_domains();
     }
 
     /// Removes every installed fault domain.
     pub fn clear_fault_domains(&self) {
         self.fabric.domains.write().clear();
+        self.fabric.republish_domains();
     }
 
     /// Installs an observer invoked on every injected fault (outside the
@@ -531,17 +936,24 @@ impl SimNet {
         self.fabric.faults_injected.load(Ordering::Relaxed)
     }
 
-    /// Snapshot of lock acquisitions per shard since the fabric was built.
+    /// Snapshot of lock acquisitions per slot since the fabric was built.
     ///
     /// Benchmarks use the delta between two snapshots to model how much of
     /// a workload a single lock would serialize versus what the sharded
     /// topology spreads out; see `revelio-bench`'s fabric fleet benchmark.
+    /// Under [`ReadPath::Snapshot`] clean traffic acquires nothing, so
+    /// the model is meaningful only for the locked topologies.
     #[must_use]
     pub fn shard_load(&self) -> ShardLoad {
         self.fabric.shard_load()
     }
 
     /// Opens a connection to `address`.
+    ///
+    /// On the snapshot read path a clean dial — no installed fault plan,
+    /// no fault domain anywhere — resolves entirely from the immutable
+    /// routing view: one atomic load, no locks. Anything else falls back
+    /// to the locked path below.
     ///
     /// # Errors
     ///
@@ -550,6 +962,90 @@ impl SimNet {
     /// or [`NetError::Timeout`] when the address's fault plan is inside a
     /// fail-first window.
     pub fn dial(&self, address: &str) -> Result<Connection, NetError> {
+        if let Some(snap) = &self.fabric.view {
+            // Clean-path resolution happens under a guard-style read (no
+            // Arc round-trip); `accept()` runs after the guard is gone,
+            // so user handler code can never stall (or, by republishing,
+            // deadlock) a view writer.
+            enum Fast {
+                Clean(CleanRoute, Option<u64>),
+                Fallback,
+            }
+            let fast = snap.read_at(self.stripe, |view| {
+                if view.has_domains {
+                    return Fast::Fallback;
+                }
+                match view.peer(address) {
+                    Some(peer) if !peer.has_fault_plan => {
+                        // Exchange-clean too (no route plan either): stamp
+                        // the view generation so exchanges revalidate the
+                        // verdict with one atomic load.
+                        let clean_gen = (!peer.has_route_plan).then_some(view.generation);
+                        Fast::Clean(Self::resolve_clean(view, address, peer), clean_gen)
+                    }
+                    // Nothing at all is known about the address: no
+                    // listener, no redirect, no plan — refused, lock-free.
+                    None => Fast::Clean(None, None),
+                    // A fault plan exists: the fail-first window below
+                    // must consume from the authoritative entry.
+                    Some(_) => Fast::Fallback,
+                }
+            });
+            match fast {
+                Fast::Clean(Some((listener, latency, tamper)), clean_gen) => {
+                    return Ok(Connection {
+                        clock: self.clock.clone(),
+                        handler: listener.accept(),
+                        one_way_us: latency.unwrap_or(self.config.default_one_way_us),
+                        tamper,
+                        dialed: address.to_owned(),
+                        local: self.local.clone(),
+                        closed: false,
+                        timeout_us: FaultPlan::default().timeout_us,
+                        clean_gen,
+                        stripe: self.stripe,
+                        fabric: Arc::clone(&self.fabric),
+                    });
+                }
+                Fast::Clean(None, _) => {
+                    return Err(NetError::ConnectionRefused(address.to_owned()));
+                }
+                Fast::Fallback => {}
+            }
+        }
+        self.dial_locked(address)
+    }
+
+    /// Resolves a clean dial's listener, latency override, and tamper
+    /// hook from the routing view. `peer` is `address`'s view entry;
+    /// `None` means nothing listens at the effective address.
+    fn resolve_clean(view: &RoutingView, address: &str, peer: &PeerView) -> CleanRoute {
+        // The dialed address wins for latency and tamper lookups: an
+        // override installed on the victim keeps applying after a
+        // redirect, falling back to the attacker's setting only when the
+        // victim has none.
+        let (listener, fallback_latency, fallback_tamper) = match peer.redirect.as_deref() {
+            Some(effective) if effective != address => match view.peer(effective) {
+                Some(target) => (
+                    target.listener.clone(),
+                    target.latency_us,
+                    target.tamper.clone(),
+                ),
+                None => (None, None, None),
+            },
+            _ => (peer.listener.clone(), None, None),
+        };
+        Some((
+            listener?,
+            peer.latency_us.or(fallback_latency),
+            peer.tamper.clone().or(fallback_tamper),
+        ))
+    }
+
+    /// The locked dial path: authoritative for fail-first windows and
+    /// whenever fault domains are installed; the only path in
+    /// [`ReadPath::Locked`] mode.
+    fn dial_locked(&self, address: &str) -> Result<Connection, NetError> {
         // An active partition domain is the lowest network layer: the
         // dial times out before any per-address plan or listener lookup.
         if let Some(timeout_us) =
@@ -563,13 +1059,21 @@ impl SimNet {
             }
             return Err(NetError::Timeout(address.to_owned()));
         }
-        // A fail-first window makes the service unreachable: the dial
-        // times out before anything is delivered. Only address-wide plans
-        // apply here — the route is not known until an exchange. The fast
-        // path (no plan installed) stays on a read lock.
-        let has_plan = self
-            .fabric
-            .read(address, |state| state.faults.contains_key(address));
+        // One read lock resolves everything about the dialed address; the
+        // write lock below is taken only when a fault plan is installed
+        // (a fail-first window makes the service unreachable: the dial
+        // times out before anything is delivered; only address-wide plans
+        // apply — the route is not known until an exchange).
+        let (has_plan, redirect, victim_latency, victim_tamper, victim_listener) =
+            self.fabric.read(address, |state| {
+                (
+                    state.faults.contains_key(address),
+                    state.redirects.get(address).cloned(),
+                    state.latency_overrides.get(address).copied(),
+                    state.tamper.get(address).cloned(),
+                    state.listeners.get(address).cloned(),
+                )
+            });
         if has_plan {
             let timed_out = self.fabric.write(address, |state| {
                 state
@@ -586,13 +1090,6 @@ impl SimNet {
                 return Err(NetError::Timeout(address.to_owned()));
             }
         }
-        let (redirect, victim_latency, victim_tamper) = self.fabric.read(address, |state| {
-            (
-                state.redirects.get(address).cloned(),
-                state.latency_overrides.get(address).copied(),
-                state.tamper.get(address).cloned(),
-            )
-        });
         // The dialed address wins for latency and tamper lookups: an
         // override installed on the victim keeps applying after a
         // redirect, falling back to the attacker's setting only when the
@@ -605,12 +1102,7 @@ impl SimNet {
                     state.tamper.get(&effective).cloned(),
                 )
             }),
-            _ => {
-                let listener = self
-                    .fabric
-                    .read(address, |state| state.listeners.get(address).cloned());
-                (listener, None, None)
-            }
+            _ => (victim_listener, None, None),
         };
         let listener = listener.ok_or_else(|| NetError::ConnectionRefused(address.to_owned()))?;
         let one_way_us = victim_latency
@@ -626,14 +1118,18 @@ impl SimNet {
             local: self.local.clone(),
             closed: false,
             timeout_us: FaultPlan::default().timeout_us,
+            // Locked dials never stamp a clean verdict: the first
+            // exchange consults the view (or, in locked mode, the locks).
+            clean_gen: None,
+            stripe: self.stripe,
             fabric: Arc::clone(&self.fabric),
         })
     }
 }
 
 /// A traffic-shaping handle for one peer address, returned by
-/// [`SimNet::peer`]. Every call applies immediately and returns the
-/// handle, so settings chain fluently.
+/// [`SimNet::peer`]. Every call applies immediately (and republishes the
+/// routing snapshot) and returns the handle, so settings chain fluently.
 pub struct PeerShaper<'a> {
     net: &'a SimNet,
     address: String,
@@ -660,6 +1156,7 @@ impl PeerShaper<'_> {
                 .latency_overrides
                 .insert(self.address.clone(), one_way_us);
         });
+        self.fabric().republish_address(&self.address);
         self
     }
 
@@ -668,6 +1165,7 @@ impl PeerShaper<'_> {
         self.fabric().write(&self.address, |state| {
             state.tamper.insert(self.address.clone(), tamper);
         });
+        self.fabric().republish_address(&self.address);
         self
     }
 
@@ -680,6 +1178,7 @@ impl PeerShaper<'_> {
                 .redirects
                 .insert(self.address.clone(), attacker.to_owned());
         });
+        self.fabric().republish_address(&self.address);
         self
     }
 
@@ -688,6 +1187,7 @@ impl PeerShaper<'_> {
         self.fabric().write(&self.address, |state| {
             state.redirects.remove(&self.address);
         });
+        self.fabric().republish_address(&self.address);
         self
     }
 
@@ -701,6 +1201,7 @@ impl PeerShaper<'_> {
             let entry = FaultEntry::new(plan, seed, &self.address);
             state.faults.insert(self.address.clone(), entry);
         });
+        self.fabric().republish_address(&self.address);
         self
     }
 
@@ -721,6 +1222,7 @@ impl PeerShaper<'_> {
                 None => routes.push((prefix.to_owned(), entry)),
             }
         });
+        self.fabric().republish_address(&self.address);
         self
     }
 
@@ -731,6 +1233,7 @@ impl PeerShaper<'_> {
             state.faults.remove(&self.address);
             state.route_faults.remove(&self.address);
         });
+        self.fabric().republish_address(&self.address);
         self
     }
 
@@ -744,6 +1247,7 @@ impl PeerShaper<'_> {
             state.faults.remove(&self.address);
             state.route_faults.remove(&self.address);
         });
+        self.fabric().republish_address(&self.address);
         self
     }
 }
@@ -761,6 +1265,15 @@ pub struct Connection {
     /// Timeout window charged for drops/timeouts; refreshed from the
     /// governing fault plan on each exchange.
     timeout_us: u64,
+    /// `Some(g)` when the routing view at generation `g` judged this
+    /// address exchange-clean (no plan of either kind on it, no domain
+    /// anywhere). While [`Fabric::view_gen`] still reads `g`, the live
+    /// view is that very one, so each exchange's fault check is a single
+    /// atomic load. Any republish invalidates the stamp; the next
+    /// exchange re-checks against the current view and re-stamps.
+    clean_gen: Option<u64>,
+    /// Snapshot reader stripe, inherited from the dialing handle.
+    stripe: usize,
     fabric: Arc<Fabric>,
 }
 
@@ -831,7 +1344,38 @@ impl Connection {
     /// one-way jitter and the fault to surface, if any. Faults fire
     /// **before** delivery: the handler never runs, so server-side state
     /// is untouched and a retry is always safe.
+    ///
+    /// On the snapshot read path the overwhelmingly common clean case —
+    /// no domains installed, no plan on this address — is answered from
+    /// the routing view without touching a single lock.
     fn fault_decision(&mut self, route: &str) -> (u64, Option<NetError>) {
+        if let Some(snap) = &self.fabric.view {
+            // Dial-time (or prior-exchange) clean verdict still valid?
+            // One atomic load answers the common case.
+            if let Some(gen) = self.clean_gen {
+                if self.fabric.view_gen.load(Ordering::SeqCst) == gen {
+                    return (0, None);
+                }
+            }
+            let (clean, gen) = snap.read_at(self.stripe, |view| {
+                let clean = view.all_clean
+                    || (!view.has_domains
+                        && view
+                            .peer(&self.dialed)
+                            .is_none_or(|p| !p.has_fault_plan && !p.has_route_plan));
+                (clean, view.generation)
+            });
+            self.clean_gen = clean.then_some(gen);
+            if clean {
+                return (0, None);
+            }
+        }
+        self.fault_decision_locked(route)
+    }
+
+    /// The locked decision path: consulted whenever a domain or plan
+    /// might govern this exchange (always, in [`ReadPath::Locked`] mode).
+    fn fault_decision_locked(&mut self, route: &str) -> (u64, Option<NetError>) {
         // Correlated-failure domains are consulted first — they model the
         // layer below per-address shaping. A domain that injects nothing
         // still contributes its jitter; the plans then get their say.
@@ -940,71 +1484,86 @@ mod tests {
     }
 
     fn fabric() -> (SimClock, SimNet) {
-        fabric_with_shards(DEFAULT_SHARDS)
+        fabric_with(DEFAULT_SHARDS, ReadPath::Snapshot)
     }
 
-    fn fabric_with_shards(shards: usize) -> (SimClock, SimNet) {
+    fn fabric_with(shards: usize, read_path: ReadPath) -> (SimClock, SimNet) {
         let clock = SimClock::new();
         let net = SimNet::new(
             clock.clone(),
             NetConfig {
                 default_one_way_us: 1000,
                 shards,
+                read_path,
             },
         );
         (clock, net)
     }
 
+    /// Every per-mode behaviour test runs under all three fabric modes.
+    fn all_modes() -> Vec<(SimClock, SimNet)> {
+        vec![
+            fabric_with(1, ReadPath::Locked),
+            fabric_with(DEFAULT_SHARDS, ReadPath::Locked),
+            fabric_with(DEFAULT_SHARDS, ReadPath::Snapshot),
+        ]
+    }
+
     #[test]
     fn exchange_advances_clock_by_round_trip() {
-        let (clock, net) = fabric();
-        net.bind("a:1", Arc::new(Echo)).unwrap();
-        let mut conn = net.dial("a:1").unwrap();
-        conn.exchange(b"x").unwrap();
-        assert_eq!(clock.now_us(), 2000);
-        conn.exchange(b"x").unwrap();
-        assert_eq!(clock.now_us(), 4000);
+        for (clock, net) in all_modes() {
+            net.bind("a:1", Arc::new(Echo)).unwrap();
+            let mut conn = net.dial("a:1").unwrap();
+            conn.exchange(b"x").unwrap();
+            assert_eq!(clock.now_us(), 2000);
+            conn.exchange(b"x").unwrap();
+            assert_eq!(clock.now_us(), 4000);
+        }
     }
 
     #[test]
     fn unbound_port_refuses() {
-        let (_, net) = fabric();
-        assert_eq!(
-            net.dial("vm:22").unwrap_err(),
-            NetError::ConnectionRefused("vm:22".into())
-        );
+        for (_, net) in all_modes() {
+            assert_eq!(
+                net.dial("vm:22").unwrap_err(),
+                NetError::ConnectionRefused("vm:22".into())
+            );
+        }
     }
 
     #[test]
     fn double_bind_rejected_and_unbind_frees() {
-        let (_, net) = fabric();
-        net.bind("a:1", Arc::new(Echo)).unwrap();
-        assert!(net.bind("a:1", Arc::new(Echo)).is_err());
-        net.unbind("a:1");
-        net.bind("a:1", Arc::new(Echo)).unwrap();
+        for (_, net) in all_modes() {
+            net.bind("a:1", Arc::new(Echo)).unwrap();
+            assert!(net.bind("a:1", Arc::new(Echo)).is_err());
+            net.unbind("a:1");
+            net.bind("a:1", Arc::new(Echo)).unwrap();
+        }
     }
 
     #[test]
     fn per_address_latency_override() {
-        let (clock, net) = fabric();
-        net.bind("kds:443", Arc::new(Echo)).unwrap();
-        net.peer("kds:443").latency_us(100_000); // a distant service
-        let mut conn = net.dial("kds:443").unwrap();
-        conn.exchange(b"q").unwrap();
-        assert_eq!(clock.now_us(), 200_000);
+        for (clock, net) in all_modes() {
+            net.bind("kds:443", Arc::new(Echo)).unwrap();
+            net.peer("kds:443").latency_us(100_000); // a distant service
+            let mut conn = net.dial("kds:443").unwrap();
+            conn.exchange(b"q").unwrap();
+            assert_eq!(clock.now_us(), 200_000);
+        }
     }
 
     #[test]
     fn redirect_reroutes_to_attacker() {
-        let (_, net) = fabric();
-        net.bind("honest:443", Arc::new(Marker(b"honest"))).unwrap();
-        net.bind("evil:443", Arc::new(Marker(b"evil"))).unwrap();
-        net.peer("honest:443").redirect_to("evil:443");
-        let mut conn = net.dial("honest:443").unwrap();
-        assert_eq!(conn.exchange(b"hello").unwrap(), b"evil");
-        net.peer("honest:443").clear_redirect();
-        let mut conn = net.dial("honest:443").unwrap();
-        assert_eq!(conn.exchange(b"hello").unwrap(), b"honest");
+        for (_, net) in all_modes() {
+            net.bind("honest:443", Arc::new(Marker(b"honest"))).unwrap();
+            net.bind("evil:443", Arc::new(Marker(b"evil"))).unwrap();
+            net.peer("honest:443").redirect_to("evil:443");
+            let mut conn = net.dial("honest:443").unwrap();
+            assert_eq!(conn.exchange(b"hello").unwrap(), b"evil");
+            net.peer("honest:443").clear_redirect();
+            let mut conn = net.dial("honest:443").unwrap();
+            assert_eq!(conn.exchange(b"hello").unwrap(), b"honest");
+        }
     }
 
     #[test]
@@ -1012,50 +1571,53 @@ mod tests {
         // Settings installed on the dialed (victim) address must keep
         // applying after a redirect; the attacker's address only fills
         // gaps the victim left.
-        let (clock, net) = fabric();
-        net.bind("honest:443", Arc::new(Marker(b"honest"))).unwrap();
-        net.bind("evil:443", Arc::new(Marker(b"evil"))).unwrap();
-        net.peer("honest:443")
-            .latency_us(50_000)
-            .tamper(Arc::new(|m: &[u8]| {
-                let mut v = m.to_vec();
-                v.push(b'!');
-                v
-            }))
-            .redirect_to("evil:443");
-        net.peer("evil:443").latency_us(7);
-        let start = clock.now_us();
-        let mut conn = net.dial("honest:443").unwrap();
-        assert_eq!(conn.exchange(b"hello").unwrap(), b"evil");
-        // The victim's 50 ms one-way override wins over the attacker's.
-        assert_eq!(clock.now_us() - start, 100_000);
+        for (clock, net) in all_modes() {
+            net.bind("honest:443", Arc::new(Marker(b"honest"))).unwrap();
+            net.bind("evil:443", Arc::new(Marker(b"evil"))).unwrap();
+            net.peer("honest:443")
+                .latency_us(50_000)
+                .tamper(Arc::new(|m: &[u8]| {
+                    let mut v = m.to_vec();
+                    v.push(b'!');
+                    v
+                }))
+                .redirect_to("evil:443");
+            net.peer("evil:443").latency_us(7);
+            let start = clock.now_us();
+            let mut conn = net.dial("honest:443").unwrap();
+            assert_eq!(conn.exchange(b"hello").unwrap(), b"evil");
+            // The victim's 50 ms one-way override wins over the attacker's.
+            assert_eq!(clock.now_us() - start, 100_000);
+        }
     }
 
     #[test]
     fn attacker_settings_apply_when_victim_has_none() {
-        let (clock, net) = fabric();
-        net.bind("evil:443", Arc::new(Marker(b"evil"))).unwrap();
-        net.peer("evil:443").latency_us(9_000);
-        net.peer("honest:443").redirect_to("evil:443");
-        let start = clock.now_us();
-        let mut conn = net.dial("honest:443").unwrap();
-        conn.exchange(b"hello").unwrap();
-        assert_eq!(clock.now_us() - start, 18_000);
+        for (clock, net) in all_modes() {
+            net.bind("evil:443", Arc::new(Marker(b"evil"))).unwrap();
+            net.peer("evil:443").latency_us(9_000);
+            net.peer("honest:443").redirect_to("evil:443");
+            let start = clock.now_us();
+            let mut conn = net.dial("honest:443").unwrap();
+            conn.exchange(b"hello").unwrap();
+            assert_eq!(clock.now_us() - start, 18_000);
+        }
     }
 
     #[test]
     fn tamper_rewrites_messages() {
-        let (_, net) = fabric();
-        net.bind("a:1", Arc::new(Echo)).unwrap();
-        net.peer("a:1").tamper(Arc::new(|m: &[u8]| {
-            let mut v = m.to_vec();
-            if !v.is_empty() {
-                v[0] ^= 0xff;
-            }
-            v
-        }));
-        let mut conn = net.dial("a:1").unwrap();
-        assert_eq!(conn.exchange(&[1, 2]).unwrap(), vec![0xfe, 2]);
+        for (_, net) in all_modes() {
+            net.bind("a:1", Arc::new(Echo)).unwrap();
+            net.peer("a:1").tamper(Arc::new(|m: &[u8]| {
+                let mut v = m.to_vec();
+                if !v.is_empty() {
+                    v[0] ^= 0xff;
+                }
+                v
+            }));
+            let mut conn = net.dial("a:1").unwrap();
+            assert_eq!(conn.exchange(&[1, 2]).unwrap(), vec![0xfe, 2]);
+        }
     }
 
     #[test]
@@ -1095,48 +1657,50 @@ mod tests {
                 Box::new(H(Arc::clone(&self.0)))
             }
         }
-        let (clock, net) = fabric();
-        let delivered = Arc::new(AtomicU32::new(0));
-        net.bind("a:1", Arc::new(Count(Arc::clone(&delivered))))
-            .unwrap();
-        net.set_fault_seed(1);
-        net.peer("a:1").fault_plan(FaultPlan::outage());
-        let start = clock.now_us();
-        let mut conn = net.dial("a:1").unwrap();
-        assert_eq!(conn.exchange(b"x"), Err(NetError::Dropped("a:1".into())));
-        // The handler never ran, and a full timeout window was spent.
-        assert_eq!(delivered.load(Ordering::SeqCst), 0);
-        assert_eq!(clock.now_us() - start, 1_000_000);
-        assert_eq!(net.faults_injected(), 1);
-        // Clearing the plan restores delivery.
-        net.peer("a:1").clear_fault_plan();
-        let mut conn = net.dial("a:1").unwrap();
-        assert!(conn.exchange(b"x").is_ok());
-        assert_eq!(delivered.load(Ordering::SeqCst), 1);
+        for (clock, net) in all_modes() {
+            let delivered = Arc::new(AtomicU32::new(0));
+            net.bind("a:1", Arc::new(Count(Arc::clone(&delivered))))
+                .unwrap();
+            net.set_fault_seed(1);
+            net.peer("a:1").fault_plan(FaultPlan::outage());
+            let start = clock.now_us();
+            let mut conn = net.dial("a:1").unwrap();
+            assert_eq!(conn.exchange(b"x"), Err(NetError::Dropped("a:1".into())));
+            // The handler never ran, and a full timeout window was spent.
+            assert_eq!(delivered.load(Ordering::SeqCst), 0);
+            assert_eq!(clock.now_us() - start, 1_000_000);
+            assert_eq!(net.faults_injected(), 1);
+            // Clearing the plan restores delivery.
+            net.peer("a:1").clear_fault_plan();
+            let mut conn = net.dial("a:1").unwrap();
+            assert!(conn.exchange(b"x").is_ok());
+            assert_eq!(delivered.load(Ordering::SeqCst), 1);
+        }
     }
 
     #[test]
     fn fail_first_window_times_out_dials_then_recovers() {
-        let (clock, net) = fabric();
-        net.bind("a:1", Arc::new(Echo)).unwrap();
-        net.set_fault_seed(3);
-        net.peer("a:1").fault_plan(FaultPlan {
-            timeout_us: 250_000,
-            ..FaultPlan::fail_first(2)
-        });
-        let start = clock.now_us();
-        assert_eq!(
-            net.dial("a:1").unwrap_err(),
-            NetError::Timeout("a:1".into())
-        );
-        assert_eq!(
-            net.dial("a:1").unwrap_err(),
-            NetError::Timeout("a:1".into())
-        );
-        assert_eq!(clock.now_us() - start, 500_000);
-        let mut conn = net.dial("a:1").unwrap();
-        assert!(conn.exchange(b"x").is_ok());
-        assert_eq!(net.faults_injected(), 2);
+        for (clock, net) in all_modes() {
+            net.bind("a:1", Arc::new(Echo)).unwrap();
+            net.set_fault_seed(3);
+            net.peer("a:1").fault_plan(FaultPlan {
+                timeout_us: 250_000,
+                ..FaultPlan::fail_first(2)
+            });
+            let start = clock.now_us();
+            assert_eq!(
+                net.dial("a:1").unwrap_err(),
+                NetError::Timeout("a:1".into())
+            );
+            assert_eq!(
+                net.dial("a:1").unwrap_err(),
+                NetError::Timeout("a:1".into())
+            );
+            assert_eq!(clock.now_us() - start, 500_000);
+            let mut conn = net.dial("a:1").unwrap();
+            assert!(conn.exchange(b"x").is_ok());
+            assert_eq!(net.faults_injected(), 2);
+        }
     }
 
     #[test]
@@ -1209,13 +1773,14 @@ mod tests {
     }
 
     #[test]
-    fn shard_count_does_not_change_fault_streams() {
-        // The determinism contract survives resharding: streams are keyed
-        // by address, not by shard, so 1-, 4- and 64-shard fabrics (and
-        // the single-lock baseline) produce identical decisions and
-        // identical simulated timings.
-        let run = |shards: usize| {
-            let (clock, net) = fabric_with_shards(shards);
+    fn fabric_mode_does_not_change_fault_streams() {
+        // The determinism contract survives resharding AND the read-path
+        // choice: streams are keyed by address, not by shard or snapshot
+        // epoch, so 1-, 4- and 64-shard fabrics, the single-lock
+        // baseline, and the snapshot path all produce identical decisions
+        // and identical simulated timings.
+        let run = |shards: usize, read_path: ReadPath| {
+            let (clock, net) = fabric_with(shards, read_path);
             for i in 0..8 {
                 net.bind(&format!("node-{i}:443"), Arc::new(Echo)).unwrap();
             }
@@ -1237,30 +1802,94 @@ mod tests {
             }
             (outcomes, clock.now_us(), net.faults_injected())
         };
-        let baseline = run(1);
-        assert_eq!(baseline, run(4));
-        assert_eq!(baseline, run(64));
+        let baseline = run(1, ReadPath::Locked);
+        assert_eq!(baseline, run(4, ReadPath::Locked));
+        assert_eq!(baseline, run(64, ReadPath::Locked));
+        assert_eq!(baseline, run(1, ReadPath::Snapshot));
+        assert_eq!(baseline, run(16, ReadPath::Snapshot));
+    }
+
+    #[test]
+    fn hot_striping_changes_no_behaviour() {
+        // A striped address keeps its listener, shaping, and — because
+        // streams are keyed by address, not slot — its exact fault
+        // stream.
+        let run = |stripe: bool| {
+            let (clock, net) = fabric();
+            if stripe {
+                net.stripe_hot("kds:443");
+                net.stripe_hot("kds:443"); // idempotent
+            }
+            net.bind("kds:443", Arc::new(Echo)).unwrap();
+            net.bind("cold:443", Arc::new(Echo)).unwrap();
+            net.set_fault_seed(0xD1A1);
+            net.peer("kds:443").latency_us(5_000).fault_plan(FaultPlan {
+                drop_probability: 0.4,
+                ..FaultPlan::default()
+            });
+            let mut out = Vec::new();
+            for _ in 0..24 {
+                let mut conn = net.dial("kds:443").unwrap();
+                out.push(conn.exchange(b"q").is_ok());
+                let mut cold = net.dial("cold:443").unwrap();
+                out.push(cold.exchange(b"q").is_ok());
+            }
+            (out, clock.now_us(), net.faults_injected())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn hot_striping_migrates_existing_state() {
+        // Striping after shaping was installed must carry the state over.
+        let (clock, net) = fabric();
+        net.bind("kds:443", Arc::new(Echo)).unwrap();
+        net.peer("kds:443").latency_us(30_000);
+        net.stripe_hot("kds:443");
+        let mut conn = net.dial("kds:443").unwrap();
+        let start = clock.now_us();
+        conn.exchange(b"q").unwrap();
+        assert_eq!(clock.now_us() - start, 60_000);
+        // And the striped slot keeps accepting new shaping/unbinds.
+        net.peer("kds:443").clear();
+        net.unbind("kds:443");
+        assert!(net.dial("kds:443").is_err());
+    }
+
+    #[test]
+    fn stripe_registry_caps_at_hot_stripes() {
+        let (_, net) = fabric();
+        for i in 0..(HOT_STRIPES + 3) {
+            let address = format!("hot-{i}:443");
+            net.stripe_hot(&address);
+            net.bind(&address, Arc::new(Echo)).unwrap();
+        }
+        // Overflowing addresses silently keep hashed placement; all dial.
+        for i in 0..(HOT_STRIPES + 3) {
+            net.dial(&format!("hot-{i}:443")).unwrap();
+        }
     }
 
     #[test]
     fn route_plan_governs_matching_exchanges_only() {
-        let (_, net) = fabric();
-        net.bind("kds:443", Arc::new(Echo)).unwrap();
-        net.set_fault_seed(11);
-        net.peer("kds:443")
-            .fault_plan_for_route("/vcek", FaultPlan::outage());
-        let mut conn = net.dial("kds:443").unwrap();
-        // The lossy route drops; its sibling is untouched.
-        assert!(matches!(
-            conn.exchange_routed("/vcek", b"q"),
-            Err(NetError::Dropped(_))
-        ));
-        let mut conn = net.dial("kds:443").unwrap();
-        assert!(conn.exchange_routed("/cert_chain", b"q").is_ok());
-        // Unrouted exchanges never match a non-empty prefix.
-        let mut conn = net.dial("kds:443").unwrap();
-        assert!(conn.exchange(b"q").is_ok());
-        assert_eq!(net.faults_injected(), 1);
+        for (_, net) in all_modes() {
+            net.bind("kds:443", Arc::new(Echo)).unwrap();
+            net.set_fault_seed(11);
+            net.peer("kds:443")
+                .fault_plan_for_route("/vcek", FaultPlan::outage());
+            let mut conn = net.dial("kds:443").unwrap();
+            // The lossy route drops; its sibling is untouched.
+            assert!(matches!(
+                conn.exchange_routed("/vcek", b"q"),
+                Err(NetError::Dropped(_))
+            ));
+            let mut conn = net.dial("kds:443").unwrap();
+            assert!(conn.exchange_routed("/cert_chain", b"q").is_ok());
+            // Unrouted exchanges never match a non-empty prefix.
+            let mut conn = net.dial("kds:443").unwrap();
+            assert!(conn.exchange(b"q").is_ok());
+            assert_eq!(net.faults_injected(), 1);
+        }
     }
 
     #[test]
@@ -1329,23 +1958,24 @@ mod tests {
 
     #[test]
     fn peer_clear_removes_all_shaping() {
-        let (clock, net) = fabric();
-        net.bind("a:1", Arc::new(Marker(b"a"))).unwrap();
-        net.bind("b:1", Arc::new(Marker(b"b"))).unwrap();
-        net.set_fault_seed(1);
-        net.peer("a:1")
-            .latency_us(99_000)
-            .tamper(Arc::new(|m: &[u8]| m.to_vec()))
-            .redirect_to("b:1")
-            .fault_plan(FaultPlan::fail_first(100))
-            .fault_plan_for_route("/x", FaultPlan::outage());
-        assert!(net.dial("a:1").is_err());
-        net.peer("a:1").clear();
-        let start = clock.now_us();
-        let mut conn = net.dial("a:1").unwrap();
-        assert_eq!(conn.exchange(b"q").unwrap(), b"a");
-        assert_eq!(clock.now_us() - start, 2000);
-        assert_eq!(net.faults_injected(), 1);
+        for (clock, net) in all_modes() {
+            net.bind("a:1", Arc::new(Marker(b"a"))).unwrap();
+            net.bind("b:1", Arc::new(Marker(b"b"))).unwrap();
+            net.set_fault_seed(1);
+            net.peer("a:1")
+                .latency_us(99_000)
+                .tamper(Arc::new(|m: &[u8]| m.to_vec()))
+                .redirect_to("b:1")
+                .fault_plan(FaultPlan::fail_first(100))
+                .fault_plan_for_route("/x", FaultPlan::outage());
+            assert!(net.dial("a:1").is_err());
+            net.peer("a:1").clear();
+            let start = clock.now_us();
+            let mut conn = net.dial("a:1").unwrap();
+            assert_eq!(conn.exchange(b"q").unwrap(), b"a");
+            assert_eq!(clock.now_us() - start, 2000);
+            assert_eq!(net.faults_injected(), 1);
+        }
     }
 
     #[test]
@@ -1395,92 +2025,118 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_shape_traffic() {
-        // The shims delegate to the PeerShaper paths; behaviour must be
-        // unchanged for out-of-tree callers still on the old names.
-        #![allow(deprecated)]
-        let (clock, net) = fabric();
+    fn snapshot_mode_acquires_no_locks_on_clean_traffic() {
+        // The whole point of the snapshot path: after setup, a clean
+        // dial+exchange workload performs zero lock acquisitions.
+        let (_, net) = fabric_with(DEFAULT_SHARDS, ReadPath::Snapshot);
         net.bind("a:1", Arc::new(Echo)).unwrap();
-        net.set_latency("a:1", 5_000);
-        let mut conn = net.dial("a:1").unwrap();
+        net.peer("a:1").latency_us(10);
+        let before = net.shard_load();
+        for _ in 0..32 {
+            let mut conn = net.dial("a:1").unwrap();
+            conn.exchange(b"x").unwrap();
+        }
+        assert_eq!(
+            net.shard_load().total(),
+            before.total(),
+            "clean snapshot traffic must not touch shard locks"
+        );
+        // The locked fabric pays per-dial and per-exchange acquisitions.
+        let (_, locked) = fabric_with(DEFAULT_SHARDS, ReadPath::Locked);
+        locked.bind("a:1", Arc::new(Echo)).unwrap();
+        let before = locked.shard_load();
+        let mut conn = locked.dial("a:1").unwrap();
         conn.exchange(b"x").unwrap();
-        assert_eq!(clock.now_us(), 10_000);
-        net.set_fault_plan("a:1", FaultPlan::outage());
-        let mut conn = net.dial("a:1").unwrap();
-        assert!(conn.exchange(b"x").is_err());
-        net.clear_fault_plan("a:1");
-        let mut conn = net.dial("a:1").unwrap();
-        assert!(conn.exchange(b"x").is_ok());
+        assert!(locked.shard_load().total() > before.total());
+    }
+
+    #[test]
+    fn snapshot_sees_mutations_in_program_order() {
+        // Republish happens inside the mutating call, so a bind/shape
+        // followed by a dial on the same thread always observes it.
+        let (_, net) = fabric_with(DEFAULT_SHARDS, ReadPath::Snapshot);
+        for round in 0..32 {
+            let address = format!("churn-{round}:443");
+            net.bind(&address, Arc::new(Echo)).unwrap();
+            net.dial(&address).expect("bound just now");
+            net.unbind(&address);
+            assert!(net.dial(&address).is_err(), "unbind not visible");
+        }
     }
 
     #[test]
     fn partition_domain_blocks_dials_until_it_heals() {
         use crate::domain::FaultDomain;
-        let (clock, net) = fabric();
-        net.bind("10.1.0.1:443", Arc::new(Echo)).unwrap();
-        net.bind("10.2.0.1:443", Arc::new(Echo)).unwrap();
-        net.install_fault_domain(
-            FaultDomain::partition("rack-1", "10.1.")
-                .healing_at_us(5_000_000)
-                .with_timeout_us(250_000),
-        );
-        // Inside the partition: the dial times out and charges the
-        // discovery timeout to the clock.
-        let start = clock.now_us();
-        assert!(matches!(
-            net.dial("10.1.0.1:443"),
-            Err(NetError::Timeout(_))
-        ));
-        assert_eq!(clock.now_us() - start, 250_000);
-        assert_eq!(net.faults_injected(), 1);
-        // A sibling subnet is untouched.
-        let mut conn = net.dial("10.2.0.1:443").unwrap();
-        assert_eq!(conn.exchange(b"x").unwrap(), b"x");
-        // After the scheduled heal the subnet is reachable again.
-        clock.advance_us(5_000_000);
-        let mut conn = net.dial("10.1.0.1:443").unwrap();
-        assert_eq!(conn.exchange(b"x").unwrap(), b"x");
+        for (clock, net) in all_modes() {
+            net.bind("10.1.0.1:443", Arc::new(Echo)).unwrap();
+            net.bind("10.2.0.1:443", Arc::new(Echo)).unwrap();
+            net.install_fault_domain(
+                FaultDomain::partition("rack-1", "10.1.")
+                    .healing_at_us(clock.now_us() + 5_000_000)
+                    .with_timeout_us(250_000),
+            );
+            // Inside the partition: the dial times out and charges the
+            // discovery timeout to the clock.
+            let start = clock.now_us();
+            assert!(matches!(
+                net.dial("10.1.0.1:443"),
+                Err(NetError::Timeout(_))
+            ));
+            assert_eq!(clock.now_us() - start, 250_000);
+            assert_eq!(net.faults_injected(), 1);
+            // A sibling subnet is untouched.
+            let mut conn = net.dial("10.2.0.1:443").unwrap();
+            assert_eq!(conn.exchange(b"x").unwrap(), b"x");
+            // After the scheduled heal the subnet is reachable again.
+            clock.advance_us(5_000_000);
+            let mut conn = net.dial("10.1.0.1:443").unwrap();
+            assert_eq!(conn.exchange(b"x").unwrap(), b"x");
+        }
     }
 
     #[test]
     fn partition_domain_drops_inflight_exchanges() {
         use crate::domain::FaultDomain;
-        let (_, net) = fabric();
-        net.bind("10.1.0.1:443", Arc::new(Echo)).unwrap();
-        let mut conn = net.dial("10.1.0.1:443").unwrap();
-        conn.exchange(b"x").unwrap();
-        // The partition arrives while the connection is open: further
-        // exchanges are dropped, not delivered.
-        net.install_fault_domain(FaultDomain::partition("rack-1", "10.1."));
-        assert!(matches!(conn.exchange(b"x"), Err(NetError::Dropped(_))));
-        assert_eq!(net.faults_injected(), 1);
-        // Like every injected fault, the drop closes the connection.
-        assert_eq!(conn.exchange(b"x"), Err(NetError::ConnectionClosed));
-        net.clear_fault_domain("rack-1");
-        let mut conn = net.dial("10.1.0.1:443").unwrap();
-        assert_eq!(conn.exchange(b"x").unwrap(), b"x");
+        for (_, net) in all_modes() {
+            net.bind("10.1.0.1:443", Arc::new(Echo)).unwrap();
+            let mut conn = net.dial("10.1.0.1:443").unwrap();
+            conn.exchange(b"x").unwrap();
+            // The partition arrives while the connection is open: further
+            // exchanges are dropped, not delivered.
+            net.install_fault_domain(FaultDomain::partition("rack-1", "10.1."));
+            assert!(matches!(conn.exchange(b"x"), Err(NetError::Dropped(_))));
+            assert_eq!(net.faults_injected(), 1);
+            // Like every injected fault, the drop closes the connection.
+            assert_eq!(conn.exchange(b"x"), Err(NetError::ConnectionClosed));
+            net.clear_fault_domain("rack-1");
+            let mut conn = net.dial("10.1.0.1:443").unwrap();
+            assert_eq!(conn.exchange(b"x").unwrap(), b"x");
+        }
     }
 
     #[test]
     fn asymmetric_domain_only_hits_bound_sources() {
         use crate::domain::FaultDomain;
-        let (_, net) = fabric();
-        net.bind("10.2.0.1:443", Arc::new(Echo)).unwrap();
-        net.install_fault_domain(FaultDomain::partition("uplink", "10.2.").from_sources("10.1."));
-        // An unbound handle (no source address) does not match a
-        // source-scoped domain.
-        let mut conn = net.dial("10.2.0.1:443").unwrap();
-        assert_eq!(conn.exchange(b"x").unwrap(), b"x");
-        // The reverse direction from an unaffected source also works.
-        let from_safe = net.bound_to("10.3.0.9:443");
-        assert!(from_safe.dial("10.2.0.1:443").is_ok());
-        // Traffic *from* the 10.1. subnet is dark.
-        let from_dark = net.bound_to("10.1.0.9:443");
-        assert_eq!(from_dark.local_address(), Some("10.1.0.9:443"));
-        assert!(matches!(
-            from_dark.dial("10.2.0.1:443"),
-            Err(NetError::Timeout(_))
-        ));
+        for (_, net) in all_modes() {
+            net.bind("10.2.0.1:443", Arc::new(Echo)).unwrap();
+            net.install_fault_domain(
+                FaultDomain::partition("uplink", "10.2.").from_sources("10.1."),
+            );
+            // An unbound handle (no source address) does not match a
+            // source-scoped domain.
+            let mut conn = net.dial("10.2.0.1:443").unwrap();
+            assert_eq!(conn.exchange(b"x").unwrap(), b"x");
+            // The reverse direction from an unaffected source also works.
+            let from_safe = net.bound_to("10.3.0.9:443");
+            assert!(from_safe.dial("10.2.0.1:443").is_ok());
+            // Traffic *from* the 10.1. subnet is dark.
+            let from_dark = net.bound_to("10.1.0.9:443");
+            assert_eq!(from_dark.local_address(), Some("10.1.0.9:443"));
+            assert!(matches!(
+                from_dark.dial("10.2.0.1:443"),
+                Err(NetError::Timeout(_))
+            ));
+        }
     }
 
     #[test]
@@ -1553,39 +2209,41 @@ mod tests {
     #[test]
     fn domains_take_precedence_over_address_plans() {
         use crate::domain::FaultDomain;
-        let (_, net) = fabric();
-        net.bind("10.1.0.1:443", Arc::new(Echo)).unwrap();
-        net.set_fault_seed(1);
-        // The address plan alone would reset the connection; the
-        // partition (the lower layer) wins and drops instead.
-        net.peer("10.1.0.1:443").fault_plan(FaultPlan {
-            reset_probability: 1.0,
-            ..FaultPlan::default()
-        });
-        let mut conn = net.dial("10.1.0.1:443").unwrap();
-        net.install_fault_domain(FaultDomain::partition("rack-1", "10.1."));
-        assert!(matches!(conn.exchange(b"x"), Err(NetError::Dropped(_))));
-        net.clear_fault_domain("rack-1");
-        assert_eq!(conn.exchange(b"x"), Err(NetError::ConnectionClosed));
+        for (_, net) in all_modes() {
+            net.bind("10.1.0.1:443", Arc::new(Echo)).unwrap();
+            net.set_fault_seed(1);
+            // The address plan alone would reset the connection; the
+            // partition (the lower layer) wins and drops instead.
+            net.peer("10.1.0.1:443").fault_plan(FaultPlan {
+                reset_probability: 1.0,
+                ..FaultPlan::default()
+            });
+            let mut conn = net.dial("10.1.0.1:443").unwrap();
+            net.install_fault_domain(FaultDomain::partition("rack-1", "10.1."));
+            assert!(matches!(conn.exchange(b"x"), Err(NetError::Dropped(_))));
+            net.clear_fault_domain("rack-1");
+            assert_eq!(conn.exchange(b"x"), Err(NetError::ConnectionClosed));
+        }
     }
 
     #[test]
     fn concurrent_dials_to_disjoint_addresses_succeed() {
-        let (_, net) = fabric();
-        for i in 0..64 {
-            net.bind(&format!("n{i}:443"), Arc::new(Echo)).unwrap();
-        }
-        std::thread::scope(|s| {
-            for t in 0..8 {
-                let net = net.clone();
-                s.spawn(move || {
-                    for i in 0..64 {
-                        let address = format!("n{}:443", (t * 8 + i) % 64);
-                        let mut conn = net.dial(&address).unwrap();
-                        assert_eq!(conn.exchange(b"ping").unwrap(), b"ping");
-                    }
-                });
+        for (_, net) in all_modes() {
+            for i in 0..64 {
+                net.bind(&format!("n{i}:443"), Arc::new(Echo)).unwrap();
             }
-        });
+            std::thread::scope(|s| {
+                for t in 0..8 {
+                    let net = net.clone();
+                    s.spawn(move || {
+                        for i in 0..64 {
+                            let address = format!("n{}:443", (t * 8 + i) % 64);
+                            let mut conn = net.dial(&address).unwrap();
+                            assert_eq!(conn.exchange(b"ping").unwrap(), b"ping");
+                        }
+                    });
+                }
+            });
+        }
     }
 }

@@ -1,0 +1,294 @@
+//! A from-scratch epoch/arc-swap snapshot cell: lock-free reads of an
+//! immutable value republished copy-on-write by rare writers.
+//!
+//! The fabric's dial fast path wants to read routing state (listeners,
+//! latency overrides, redirects, fault-plan presence) millions of times
+//! per second from many threads, while mutations — bind/unbind, shaper
+//! edits, fault-domain installs — happen a handful of times per run. A
+//! [`Snapshot<T>`] holds an `Arc<T>` behind an atomic pointer:
+//!
+//! * [`Snapshot::load`] is lock-free and wait-free in practice: announce
+//!   yourself in a striped reader counter, load the pointer, bump the
+//!   `Arc` strong count, retract the announcement. No mutex, no `RwLock`,
+//!   no writer can block a reader.
+//! * [`Snapshot::store`] / [`Snapshot::update`] (serialized on a small
+//!   writer mutex) swap the pointer and then wait for every reader that
+//!   might still hold the *old* raw pointer to finish before dropping the
+//!   old `Arc` — the epoch-reclamation part.
+//!
+//! # Safety argument
+//!
+//! A reader increments its stripe **before** loading the pointer and
+//! decrements it only **after** it has secured a strong reference; all
+//! four operations are `SeqCst`. A writer swaps the pointer first and
+//! only then scans the stripes, waiting for each to read zero once. If a
+//! reader loaded the *old* pointer, its load preceded the swap in the
+//! total order, so its increment did too — the writer cannot see that
+//! stripe at zero until the reader has already secured its reference.
+//! A reader the writer *doesn't* wait for (it entered after the stripe
+//! was observed at zero) necessarily loads the *new* pointer. Either
+//! way the old value is dropped only when no raw borrow of it remains.
+//! Stripes are scanned independently; the argument is per-reader and
+//! needs no consistent cross-stripe instant.
+//!
+//! Writers spin while draining (readers are in-section for a few
+//! nanoseconds), yielding after a while in case a reader was descheduled
+//! mid-section.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Reader-announcement stripes. More stripes = less reader/reader cache
+/// bouncing; writers scan all of them, so keep it modest. Power of two.
+const STRIPES: usize = 16;
+
+/// One cache line per stripe so two reader threads never contend on the
+/// same line (64-byte lines; 128 covers adjacent-line prefetchers).
+#[repr(align(128))]
+struct Stripe(AtomicU64);
+
+/// Monotonic source of thread stripe indices.
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread parks its announcements in one fixed stripe; threads
+    /// are spread round-robin. Two threads sharing a stripe is harmless
+    /// (the counter sums), it just adds cache traffic.
+    static STRIPE_INDEX: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) & (STRIPES - 1);
+}
+
+/// An atomically replaceable `Arc<T>`: lock-free [`load`](Snapshot::load),
+/// copy-on-write [`store`](Snapshot::store) / [`update`](Snapshot::update).
+pub struct Snapshot<T> {
+    /// Raw pointer from `Arc::into_raw`; owns one strong count.
+    current: AtomicPtr<T>,
+    /// Striped in-flight reader counts (the epoch announcements).
+    readers: Box<[Stripe]>,
+    /// Serializes writers; readers never touch it.
+    writer: Mutex<()>,
+}
+
+impl<T> std::fmt::Debug for Snapshot<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot").finish_non_exhaustive()
+    }
+}
+
+impl<T: Send + Sync> Snapshot<T> {
+    /// Creates a cell holding `value`.
+    #[must_use]
+    pub fn new(value: Arc<T>) -> Self {
+        Snapshot {
+            current: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
+            readers: (0..STRIPES).map(|_| Stripe(AtomicU64::new(0))).collect(),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Returns the current value. Lock-free: one striped counter
+    /// round-trip, one pointer load, one strong-count increment.
+    #[must_use]
+    pub fn load(&self) -> Arc<T> {
+        self.load_at(STRIPE_INDEX.with(|i| *i))
+    }
+
+    /// [`Snapshot::load`] announcing in stripe `stripe & (STRIPES - 1)`
+    /// instead of the thread-local one. Hot paths that already carry a
+    /// per-handle stripe use this to skip the lazily initialised
+    /// thread-local lookup; any stripe value is *correct* (counters sum),
+    /// distinct values merely reduce reader/reader cache bouncing.
+    #[must_use]
+    pub fn load_at(&self, stripe: usize) -> Arc<T> {
+        let stripe = &self.readers[stripe & (STRIPES - 1)].0;
+        stripe.fetch_add(1, Ordering::SeqCst);
+        let ptr = self.current.load(Ordering::SeqCst);
+        // SAFETY: `ptr` came from `Arc::into_raw` and the stripe
+        // announcement (see module docs) guarantees the writer has not
+        // dropped its strong count yet.
+        let value = unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        };
+        stripe.fetch_sub(1, Ordering::SeqCst);
+        value
+    }
+
+    /// Runs `f` on the current value without taking a strong reference —
+    /// the stripe announcement is held for the closure's duration
+    /// instead. Two locked RMWs cheaper than [`Snapshot::load`] per
+    /// call, which the dial fast path's per-exchange check cares about.
+    ///
+    /// Keep `f` short and **never** mutate this cell (or anything that
+    /// republishes it) from inside `f`: a writer spins until the stripe
+    /// drains, so a republish from within the closure deadlocks against
+    /// the reader's own announcement.
+    pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.read_at(STRIPE_INDEX.with(|i| *i), f)
+    }
+
+    /// [`Snapshot::read`] announcing in stripe `stripe & (STRIPES - 1)` —
+    /// see [`Snapshot::load_at`] for when to prefer an explicit stripe.
+    /// The same no-republish-from-`f` rule applies.
+    pub fn read_at<R>(&self, stripe: usize, f: impl FnOnce(&T) -> R) -> R {
+        let stripe = &self.readers[stripe & (STRIPES - 1)].0;
+        stripe.fetch_add(1, Ordering::SeqCst);
+        let ptr = self.current.load(Ordering::SeqCst);
+        // SAFETY: as in `load` — the announcement keeps the writer from
+        // retiring `ptr` until the closure returns and we retract.
+        let out = f(unsafe { &*ptr });
+        stripe.fetch_sub(1, Ordering::SeqCst);
+        out
+    }
+
+    /// Publishes `value`, retiring the previous snapshot once every
+    /// reader that might hold its raw pointer has finished.
+    pub fn store(&self, value: Arc<T>) {
+        let _guard = self.writer.lock();
+        self.swap_and_retire(value);
+    }
+
+    /// Builds the next snapshot from the current one under the writer
+    /// lock — the copy-on-write path that makes concurrent writers
+    /// compose instead of overwriting each other — and publishes it.
+    /// Returns the closure's side value.
+    pub fn update<R>(&self, f: impl FnOnce(&T) -> (Arc<T>, R)) -> R {
+        let _guard = self.writer.lock();
+        // SAFETY: the writer lock is held, so the pointer cannot be
+        // swapped or retired under us; the borrow ends before the swap.
+        let current = unsafe { &*self.current.load(Ordering::SeqCst) };
+        let (next, out) = f(current);
+        self.swap_and_retire(next);
+        out
+    }
+
+    /// Swap in `value` and drop the old snapshot after the grace period.
+    /// Caller must hold the writer lock.
+    fn swap_and_retire(&self, value: Arc<T>) {
+        let old = self
+            .current
+            .swap(Arc::into_raw(value).cast_mut(), Ordering::SeqCst);
+        for stripe in self.readers.iter() {
+            let mut spins = 0u32;
+            while stripe.0.load(Ordering::SeqCst) != 0 {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        // SAFETY: every reader that could have loaded `old` has secured
+        // its own strong count and left its stripe; this balances the
+        // strong count taken by `into_raw`.
+        drop(unsafe { Arc::from_raw(old) });
+    }
+}
+
+impl<T> Drop for Snapshot<T> {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` — no readers or writers remain.
+        drop(unsafe { Arc::from_raw(self.current.load(Ordering::SeqCst)) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn load_returns_stored_value() {
+        let cell = Snapshot::new(Arc::new(7u64));
+        assert_eq!(*cell.load(), 7);
+        cell.store(Arc::new(8));
+        assert_eq!(*cell.load(), 8);
+    }
+
+    #[test]
+    fn update_composes_under_the_writer_lock() {
+        let cell = Snapshot::new(Arc::new(vec![1u32]));
+        let len = cell.update(|v| {
+            let mut next = v.clone();
+            next.push(2);
+            let len = next.len();
+            (Arc::new(next), len)
+        });
+        assert_eq!(len, 2);
+        assert_eq!(*cell.load(), vec![1, 2]);
+    }
+
+    #[test]
+    fn retired_snapshots_are_dropped_exactly_once() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted(#[allow(dead_code)] u32);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let cell = Snapshot::new(Arc::new(Counted(0)));
+        for i in 1..=10 {
+            cell.store(Arc::new(Counted(i)));
+        }
+        assert_eq!(DROPS.load(Ordering::SeqCst), 10);
+        drop(cell);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn held_guards_keep_old_snapshots_alive() {
+        let cell = Snapshot::new(Arc::new(1u64));
+        let one = cell.load();
+        cell.store(Arc::new(2));
+        let two = cell.load();
+        // The retired snapshot stays valid for as long as a load holds it.
+        assert_eq!(*one, 1);
+        assert_eq!(*two, 2);
+    }
+
+    #[test]
+    fn concurrent_republish_never_tears_or_leaks() {
+        // A "torn view" would be a pair whose halves disagree; every
+        // published pair is internally consistent, so readers must only
+        // ever observe x == y. Writers hammer republish to stress the
+        // grace-period reclamation under load.
+        const READERS: usize = 6;
+        const WRITES: u64 = 2_000;
+        let cell = Arc::new(Snapshot::new(Arc::new((0u64, 0u64))));
+        let stop = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..READERS {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut last = 0;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        let pair = cell.load();
+                        assert_eq!(pair.0, pair.1, "torn view");
+                        assert!(pair.0 >= last, "snapshot went backwards");
+                        last = pair.0;
+                    }
+                });
+            }
+            for w in 0..2 {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    for i in 1..=WRITES {
+                        cell.update(|cur| (Arc::new((cur.0 + 1, cur.1 + 1)), ()));
+                        let _ = (w, i);
+                    }
+                });
+            }
+            // Writers finish, then stop the readers. Two writers × WRITES
+            // increments must all land (update is read-copy-update).
+            while cell.load().0 < 2 * WRITES {
+                std::thread::yield_now();
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
+        assert_eq!(*cell.load(), (2 * WRITES, 2 * WRITES));
+    }
+}

@@ -9,7 +9,6 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
 use revelio_crypto::wire::{ByteReader, ByteWriter};
 use revelio_http::message::{Request, Response};
 use revelio_http::router::Router;
@@ -17,6 +16,7 @@ use revelio_http::server::{plain_request, serve_http};
 use revelio_http::HttpError;
 use revelio_net::net::SimNet;
 use revelio_net::retry::RetryPolicy;
+use revelio_net::snapshot::Snapshot;
 use revelio_telemetry::{retry_with_telemetry, Telemetry};
 use sev_snp::ids::{ChipId, TcbVersion};
 use sev_snp::kds::{AmdCert, KeyDistributionService, VcekCertChain};
@@ -78,7 +78,15 @@ pub fn serve_kds(
 }
 
 /// Cache of fetched VCEK chains, keyed by (chip id, packed TCB).
-type VcekCache = Arc<Mutex<HashMap<(ChipId, u64), VcekCertChain>>>;
+///
+/// Reads vastly outnumber writes — a chain is fetched once per firmware
+/// TCB and then served to every warm-cache browse — so the map sits
+/// behind the same lock-free [`Snapshot`] cell the fabric's dial fast
+/// path uses: hits cost one atomic load, and the rare insert republishes
+/// a copied map under the cell's writer lock (concurrent inserts of
+/// distinct keys compose; racing fetches of the *same* key insert the
+/// same chain, so last-writer-wins is harmless).
+type VcekCache = Arc<Snapshot<HashMap<(ChipId, u64), VcekCertChain>>>;
 
 /// Decorrelates the KDS retry jitter stream from other components.
 const KDS_JITTER_SEED: u64 = 0x006b_6473; // "kds"
@@ -117,7 +125,7 @@ impl KdsHttpClient {
         KdsHttpClient {
             net,
             address: address.to_owned(),
-            cache: Some(Arc::new(Mutex::new(HashMap::new()))),
+            cache: Some(Arc::new(Snapshot::new(Arc::new(HashMap::new())))),
             telemetry: None,
             retry: Self::default_retry_policy(),
         }
@@ -164,7 +172,7 @@ impl KdsHttpClient {
         tcb: &TcbVersion,
     ) -> Result<VcekCertChain, RevelioError> {
         if let Some(cache) = &self.cache {
-            if let Some(chain) = cache.lock().get(&(*chip_id, tcb.to_u64())) {
+            if let Some(chain) = cache.load().get(&(*chip_id, tcb.to_u64())) {
                 if let Some(telemetry) = &self.telemetry {
                     telemetry.counter_add("revelio_kds_client_cache_hits_total", 1);
                 }
@@ -213,7 +221,11 @@ impl KdsHttpClient {
         }
         let chain = result?;
         if let Some(cache) = &self.cache {
-            cache.lock().insert((*chip_id, tcb.to_u64()), chain.clone());
+            cache.update(|map| {
+                let mut next = map.clone();
+                next.insert((*chip_id, tcb.to_u64()), chain.clone());
+                (Arc::new(next), ())
+            });
         }
         Ok(chain)
     }

@@ -196,8 +196,15 @@ impl SimWorld {
             NetConfig {
                 default_one_way_us: tuning.link_one_way_us,
                 ..NetConfig::default()
-            },
+            }
+            // CI exercises the determinism suites under every fabric
+            // read path via REVELIO_FABRIC_MODE.
+            .with_env_mode(),
         );
+        // The KDS is the hottest address in every scenario (each cold
+        // attestation dials it): give it a dedicated lock stripe before
+        // any traffic flows.
+        net.stripe_hot(KDS_ADDRESS);
         // Mirror every injected fault into the world registry so chaos
         // runs can assert on (and diff) `revelio_net_faults_injected_total`
         // alongside the retry counters.
