@@ -9,8 +9,8 @@
 use revelio_bench::{
     cert_strategy_ablation, fleet_dimensions_from_env, fleet_trials_from_env, run_chaos_column,
     run_fabric_bench, run_fig5, run_fig6, run_fleet_scaling, run_ratls_ablation,
-    run_retry_ablation, run_table1, run_table2, run_table3, run_telemetry, run_verity_ablation,
-    SCALE,
+    run_retry_ablation, run_table1, run_table2, run_table3, run_telemetry, run_trace_demo,
+    run_verity_ablation, SCALE, TRACE_DEMO_FAULT_SEED, TRACE_DEMO_SEED,
 };
 
 const KNOWN_FLAGS: &[&str] = &[
@@ -23,6 +23,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--telemetry",
     "--fleet",
     "--chaos",
+    "--trace",
 ];
 
 /// The default partition seed of the chaos column (the CI chaos job
@@ -75,6 +76,12 @@ fn main() {
     // opt-in too; the CI chaos job invokes it per pinned seed.
     if args.iter().any(|a| a == "--chaos") {
         chaos();
+    }
+    // The causal-trace demo deploys three pinned-seed worlds; opt-in like
+    // the other fleet-scale runs. CI uploads its artifacts and greps the
+    // printed hop sequences.
+    if args.iter().any(|a| a == "--trace") {
+        trace();
     }
 }
 
@@ -376,6 +383,21 @@ fn fleet() {
         report.wall_dial_speedup(),
         report.dial_speedup()
     );
+    let o = &report.overhead;
+    println!(
+        "telemetry overhead (tracing+recorder on vs off, snapshot fabric): \
+         dial p50 {:.2} -> {:.2} µs ({:+.1}%), mean {:.2} -> {:.2} µs ({:+.1}%); \
+         {} spans sampled, {} recorder events over {} dials",
+        o.dial_p50_off_us,
+        o.dial_p50_on_us,
+        o.p50_overhead_percent(),
+        o.dial_mean_off_us,
+        o.dial_mean_on_us,
+        o.mean_overhead_percent(),
+        o.spans_recorded,
+        o.recorder_events,
+        o.dials_total
+    );
     match std::fs::write("BENCH_fabric.json", report.to_json()) {
         Ok(()) => println!("report written: BENCH_fabric.json\n"),
         Err(e) => println!("(could not write BENCH_fabric.json: {e})\n"),
@@ -385,7 +407,8 @@ fn fleet() {
         if failures.is_empty() {
             println!(
                 "fleet gates: PASS (snapshot keeps up with single-lock on wall-clock \
-                 dials, browse p50/p99 not worse, within documented noise bands)\n"
+                 dials, browse p50/p99 not worse, tracing overhead within the 10% \
+                 budget, within documented noise bands)\n"
             );
         } else {
             for failure in &failures {
@@ -393,5 +416,26 @@ fn fleet() {
             }
             std::process::exit(1);
         }
+    }
+}
+
+fn trace() {
+    println!("== Causal traces: attestation-path flame summaries (seed {TRACE_DEMO_SEED:#x}, fault seed {TRACE_DEMO_FAULT_SEED:#x}) ==");
+    println!("(clean browse; browse with the KDS dropping its first two dials; fleet");
+    println!(" provisioning with one rack partitioned — each assembled from the shared");
+    println!(" registry into one cross-node tree; byte-identical per seed)\n");
+    let report = run_trace_demo();
+    print!("{}", report.render());
+    match std::fs::write("BENCH_trace.json", report.to_json()) {
+        Ok(()) => println!("report written: BENCH_trace.json"),
+        Err(e) => println!("(could not write BENCH_trace.json: {e})"),
+    }
+    let flight_json = report
+        .quarantine_flight
+        .as_ref()
+        .map_or_else(|| "null".to_owned(), |dump| dump.to_json());
+    match std::fs::write("FLIGHT_quarantine.json", flight_json) {
+        Ok(()) => println!("quarantine flight dump written: FLIGHT_quarantine.json\n"),
+        Err(e) => println!("(could not write FLIGHT_quarantine.json: {e})\n"),
     }
 }

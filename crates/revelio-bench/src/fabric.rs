@@ -32,11 +32,20 @@ use revelio::world::{RetryTuning, SimWorld, WorldTuning};
 use revelio_net::clock::SimClock;
 use revelio_net::net::{ConnectionHandler, Listener, NetConfig, ReadPath, ShardLoad, SimNet};
 use revelio_net::{FaultPlan, NetError};
+use revelio_telemetry::{FlightRecorder, Telemetry, DEFAULT_FLIGHT_CAPACITY};
 
 /// Modelled cost of one contended lock handoff, nanoseconds. The exact
 /// figure only scales both sides of the A/B identically; the speedup is
 /// the ratio of serialized acquisition counts and does not depend on it.
 pub const LOCK_HANDOFF_NS: f64 = 100.0;
+
+/// Deterministic span-sampling stride tracing uses on the data path:
+/// every N-th dial opens a span; the rest pay only the sampling branch.
+/// Control-path spans (attestation, provisioning) are never sampled —
+/// they are rare and each one matters. The overhead column measures this
+/// configuration, recorder enabled (a clean dial records no event, so
+/// the recorder's data-path cost is one branch).
+pub const TRACE_SAMPLE_EVERY: usize = 8;
 
 /// Default fleet size (the acceptance bar is ≥1,000 nodes).
 pub const DEFAULT_FLEET_NODES: usize = 1000;
@@ -134,6 +143,76 @@ pub struct FabricSideReport {
     pub browse_p99_us: f64,
 }
 
+/// The telemetry-overhead column: the same dial workload on the
+/// snapshot fabric with tracing (sampled spans, [`TRACE_SAMPLE_EVERY`])
+/// and the flight recorder enabled, against the untraced baseline.
+#[derive(Debug, Clone)]
+pub struct TelemetryOverheadReport {
+    /// Dials per side (both sides run the identical schedule).
+    pub dials_total: u64,
+    /// Spans the traced side recorded (`⌈dials/stride⌉` per thread).
+    pub spans_recorded: u64,
+    /// Flight-recorder events the traced side recorded — 0 on a clean
+    /// run, because clean dials are not notable events.
+    pub recorder_events: u64,
+    /// Median per-dial wall-clock latency, tracing off, µs.
+    pub dial_p50_off_us: f64,
+    /// Median per-dial wall-clock latency, tracing + recorder on, µs.
+    pub dial_p50_on_us: f64,
+    /// Mean per-dial wall-clock latency, tracing off, µs.
+    pub dial_mean_off_us: f64,
+    /// Mean per-dial wall-clock latency, tracing + recorder on, µs —
+    /// unlike the p50 this averages the sampled spans in.
+    pub dial_mean_on_us: f64,
+}
+
+impl TelemetryOverheadReport {
+    /// Tracing overhead on the dial p50, percent (negative = in the
+    /// noise).
+    #[must_use]
+    pub fn p50_overhead_percent(&self) -> f64 {
+        if self.dial_p50_off_us > 0.0 {
+            (self.dial_p50_on_us / self.dial_p50_off_us - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// Tracing overhead on the dial mean, percent.
+    #[must_use]
+    pub fn mean_overhead_percent(&self) -> f64 {
+        if self.dial_mean_off_us > 0.0 {
+            (self.dial_mean_on_us / self.dial_mean_off_us - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    }
+
+    /// One JSON object (embedded in the fabric report).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"sample_every\":{},\"dials_total\":{},\"spans_recorded\":{},",
+                "\"recorder_events\":{},\"dial_p50_off_us\":{:.3},",
+                "\"dial_p50_on_us\":{:.3},\"dial_mean_off_us\":{:.3},",
+                "\"dial_mean_on_us\":{:.3},\"p50_overhead_percent\":{:.2},",
+                "\"mean_overhead_percent\":{:.2}}}"
+            ),
+            TRACE_SAMPLE_EVERY,
+            self.dials_total,
+            self.spans_recorded,
+            self.recorder_events,
+            self.dial_p50_off_us,
+            self.dial_p50_on_us,
+            self.dial_mean_off_us,
+            self.dial_mean_on_us,
+            self.p50_overhead_percent(),
+            self.mean_overhead_percent(),
+        )
+    }
+}
+
 /// The three-way report the fleet benchmark emits.
 #[derive(Debug, Clone)]
 pub struct FabricBenchReport {
@@ -151,6 +230,8 @@ pub struct FabricBenchReport {
     pub sharded: FabricSideReport,
     /// The sharded fabric with the lock-free snapshot read path.
     pub snapshot: FabricSideReport,
+    /// Tracing-on vs tracing-off dial latency on the snapshot fabric.
+    pub overhead: TelemetryOverheadReport,
 }
 
 impl FabricBenchReport {
@@ -221,6 +302,17 @@ impl FabricBenchReport {
                 self.snapshot.browse_p99_us, self.single.browse_p99_us,
             ));
         }
+        // The observability bar: sampled tracing plus the enabled flight
+        // recorder must cost ≤ 10% on the dial p50.
+        if self.overhead.p50_overhead_percent() > 10.0 {
+            failures.push(format!(
+                "tracing overhead {:.1}% on dial p50 exceeds the 10% budget \
+                 (off {:.2}µs, on {:.2}µs)",
+                self.overhead.p50_overhead_percent(),
+                self.overhead.dial_p50_off_us,
+                self.overhead.dial_p50_on_us,
+            ));
+        }
         failures
     }
 
@@ -258,7 +350,8 @@ impl FabricBenchReport {
                 "\"dials_per_thread\":{},\"trials\":{},\"headline\":\"wall_clock\",",
                 "\"wall_dial_speedup\":{:.2},",
                 "\"lock_handoff_ns\":{:.1},\"modelled_dial_speedup\":{:.2},",
-                "\"single_lock\":{},\"sharded\":{},\"snapshot\":{}}}\n"
+                "\"single_lock\":{},\"sharded\":{},\"snapshot\":{},",
+                "\"telemetry_overhead\":{}}}\n"
             ),
             self.nodes,
             self.threads,
@@ -270,6 +363,7 @@ impl FabricBenchReport {
             side(&self.single),
             side(&self.sharded),
             side(&self.snapshot),
+            self.overhead.to_json(),
         )
     }
 }
@@ -414,6 +508,104 @@ fn run_side(
     }
 }
 
+/// Runs the identical dial schedule twice on the snapshot fabric — once
+/// plain, once with sampled tracing plus an enabled flight recorder —
+/// and reports per-dial latency for both sides. Traced dials open a
+/// `fleet.dial` span every [`TRACE_SAMPLE_EVERY`]-th iteration; every
+/// dial pays the sampling branch and the recorder's is-it-notable check
+/// (a clean dial records nothing), which is exactly the production
+/// data-path configuration DESIGN.md documents.
+fn run_overhead_trial(
+    nodes: usize,
+    threads: usize,
+    dials_per_thread: usize,
+) -> TelemetryOverheadReport {
+    let clock = SimClock::new();
+    let net = SimNet::new(
+        clock.clone(),
+        NetConfig {
+            default_one_way_us: 2_600,
+            read_path: ReadPath::Snapshot,
+            ..NetConfig::default()
+        },
+    );
+    for i in 0..nodes {
+        net.bind(&node_address(i), Arc::new(FleetNode))
+            .expect("fresh fleet address");
+    }
+    let addresses: Vec<String> = (0..nodes).map(node_address).collect();
+
+    let run_dials = |telemetry: Option<&Telemetry>, recorder: Option<&FlightRecorder>| {
+        let mut latencies_us: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let net = net.clone();
+                    let addresses = &addresses;
+                    s.spawn(move || {
+                        let mut local = Vec::with_capacity(dials_per_thread);
+                        for d in 0..dials_per_thread {
+                            let i = (d * (2 * t + 1) + t * 7919) % nodes;
+                            let t0 = Instant::now();
+                            let span = telemetry.and_then(|telemetry| {
+                                (d % TRACE_SAMPLE_EVERY == 0).then(|| {
+                                    telemetry.span_with("fleet.dial", &[("node", &addresses[i])])
+                                })
+                            });
+                            let conn = net.dial(&addresses[i]);
+                            if conn.is_err() {
+                                // The notable-event branch: never taken on
+                                // a clean run, always compiled in.
+                                if let Some(recorder) = recorder {
+                                    recorder.record("fault", "dial failed");
+                                }
+                            }
+                            drop(conn);
+                            if let Some(span) = span {
+                                span.finish_ms();
+                            }
+                            local.push(t0.elapsed().as_secs_f64() * 1e6);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("dial thread"))
+                .collect()
+        });
+        latencies_us.sort_by(|a, b| a.total_cmp(b));
+        let p50 = latencies_us[(latencies_us.len() - 1) / 2];
+        let mean = latencies_us.iter().sum::<f64>() / latencies_us.len() as f64;
+        (p50, mean)
+    };
+
+    let (dial_p50_off_us, dial_mean_off_us) = run_dials(None, None);
+    let telemetry = Telemetry::new(clock.clone());
+    let recorder = FlightRecorder::new(clock, DEFAULT_FLIGHT_CAPACITY);
+    let (dial_p50_on_us, dial_mean_on_us) = run_dials(Some(&telemetry), Some(&recorder));
+
+    TelemetryOverheadReport {
+        dials_total: (threads * dials_per_thread) as u64,
+        spans_recorded: telemetry.span_count() as u64,
+        recorder_events: recorder.len() as u64,
+        dial_p50_off_us,
+        dial_p50_on_us,
+        dial_mean_off_us,
+        dial_mean_on_us,
+    }
+}
+
+/// Folds an overhead trial into the best-of figures (same rationale as
+/// [`fold_best`]: noise only adds time, so minima are closest to truth).
+fn fold_best_overhead(best: &mut TelemetryOverheadReport, trial: TelemetryOverheadReport) {
+    debug_assert_eq!(best.spans_recorded, trial.spans_recorded);
+    best.dial_p50_off_us = best.dial_p50_off_us.min(trial.dial_p50_off_us);
+    best.dial_p50_on_us = best.dial_p50_on_us.min(trial.dial_p50_on_us);
+    best.dial_mean_off_us = best.dial_mean_off_us.min(trial.dial_mean_off_us);
+    best.dial_mean_on_us = best.dial_mean_on_us.min(trial.dial_mean_on_us);
+}
+
 /// Folds a later trial into a side's best-of figures: scheduler noise
 /// only ever slows a trial down, so the fastest observation of each
 /// figure is the closest to the side's true cost. The deterministic
@@ -489,11 +681,16 @@ pub fn run_fabric_bench(
         ]
     };
     let [mut single, mut sharded, mut snapshot] = round();
+    let mut overhead = run_overhead_trial(nodes, threads, dials_per_thread);
     for _ in 1..trials {
         let [s1, s2, s3] = round();
         fold_best(&mut single, s1);
         fold_best(&mut sharded, s2);
         fold_best(&mut snapshot, s3);
+        fold_best_overhead(
+            &mut overhead,
+            run_overhead_trial(nodes, threads, dials_per_thread),
+        );
     }
     FabricBenchReport {
         nodes,
@@ -503,6 +700,7 @@ pub fn run_fabric_bench(
         single,
         sharded,
         snapshot,
+        overhead,
     }
 }
 
@@ -656,9 +854,24 @@ mod tests {
             "\"browse_p99_us\"",
             "\"wall_dial_speedup\"",
             "\"modelled_dial_speedup\"",
+            "\"telemetry_overhead\"",
+            "\"p50_overhead_percent\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn overhead_column_samples_spans_and_records_nothing_clean() {
+        let report = run_fabric_bench(8, 2, 16, 1);
+        let overhead = &report.overhead;
+        assert_eq!(overhead.dials_total, 2 * 16);
+        // Every thread samples ⌈16/8⌉ = 2 spans.
+        assert_eq!(overhead.spans_recorded, 2 * 2);
+        // A clean run is not notable: the enabled recorder stays empty.
+        assert_eq!(overhead.recorder_events, 0);
+        assert!(overhead.dial_p50_off_us > 0.0);
+        assert!(overhead.dial_p50_on_us > 0.0);
     }
 
     #[test]

@@ -13,12 +13,13 @@
 //! `EXPERIMENTS.md` records paper-vs-reproduced values.
 
 pub mod fabric;
+pub mod trace_demo;
 
 use std::sync::Arc;
 
 pub use fabric::{
     fleet_dimensions_from_env, fleet_trials_from_env, run_fabric_bench, run_retry_ablation,
-    FabricBenchReport, RetryAblationPoint,
+    FabricBenchReport, RetryAblationPoint, TelemetryOverheadReport, TRACE_SAMPLE_EVERY,
 };
 use revelio::node::demo_app;
 use revelio::world::SimWorld;
@@ -35,6 +36,9 @@ use revelio_storage::probed::ProbedDevice;
 use revelio_storage::verity::{VerityDevice, VerityParams, VerityTree};
 use revelio_telemetry::{DeviceProbe, Telemetry};
 use sev_snp::ids::GuestPolicy;
+pub use trace_demo::{
+    run_trace_demo, TraceDemoReport, TraceScenario, TRACE_DEMO_FAULT_SEED, TRACE_DEMO_SEED,
+};
 
 /// Size scale factor: simulated bytes × `SCALE` = paper bytes.
 pub const SCALE: u64 = 64;

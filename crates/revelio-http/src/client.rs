@@ -53,6 +53,9 @@ pub struct HttpsClient {
     tls: TlsClient,
     entropy_seed: [u8; 32],
     connection_counter: Arc<AtomicU64>,
+    /// When set, the current trace context is injected into every request
+    /// as a `traceparent` header ([`crate::router::TRACEPARENT_HEADER`]).
+    telemetry: Option<revelio_telemetry::Telemetry>,
 }
 
 impl std::fmt::Debug for HttpsClient {
@@ -77,7 +80,16 @@ impl HttpsClient {
             tls: TlsClient::new(tls_config),
             entropy_seed,
             connection_counter: Arc::new(AtomicU64::new(0)),
+            telemetry: None,
         }
+    }
+
+    /// Enables trace-context propagation: sessions opened by this client
+    /// inject the innermost open span's context into outgoing requests.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: revelio_telemetry::Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     fn next_ephemeral(&self) -> [u8; 32] {
@@ -102,6 +114,7 @@ impl HttpsClient {
         Ok(HttpsSession {
             session,
             host: host.to_owned(),
+            telemetry: self.telemetry.clone(),
         })
     }
 
@@ -133,6 +146,7 @@ impl HttpsClient {
 pub struct HttpsSession {
     session: TlsSession,
     host: String,
+    telemetry: Option<revelio_telemetry::Telemetry>,
 }
 
 impl std::fmt::Debug for HttpsSession {
@@ -150,7 +164,19 @@ impl HttpsSession {
     ///
     /// Returns [`HttpError`] on transport or parse failure.
     pub fn send(&mut self, request: &Request) -> Result<Response, HttpError> {
-        let request = request.clone().with_header("Host", &self.host);
+        let mut request = request.clone().with_header("Host", &self.host);
+        // Client half of context propagation: inject the innermost open
+        // span as a `traceparent` header (an explicit header wins).
+        if request.header(crate::router::TRACEPARENT_HEADER).is_none() {
+            if let Some(context) = self
+                .telemetry
+                .as_ref()
+                .and_then(revelio_telemetry::Telemetry::current_context)
+            {
+                request = request
+                    .with_header(crate::router::TRACEPARENT_HEADER, &context.to_traceparent());
+            }
+        }
         // The path labels the exchange so per-route fault plans apply.
         let bytes = self
             .session
@@ -375,6 +401,63 @@ mod tests {
             .post("https://pad.example.org/echo", b"payload".to_vec())
             .unwrap();
         assert_eq!(res.body, b"payload");
+    }
+
+    #[test]
+    fn trace_context_propagates_client_to_server() {
+        use revelio_telemetry::Telemetry;
+
+        let w = world();
+        let key = SigningKey::from_seed(&[1; 32]);
+        let telemetry = Telemetry::new(w.clock.clone());
+        serve(
+            &w,
+            "pad.example.org",
+            "10.0.0.1:443",
+            &key,
+            Router::new()
+                .get("/", |_| Response::ok(vec![]))
+                .with_tracing(telemetry.clone(), "node"),
+        );
+        let client = client(&w).with_telemetry(telemetry.clone());
+        let browse = telemetry.span("client.browse");
+        let mut session = client.open("pad.example.org").unwrap();
+        assert!(session.send(&Request::get("/")).unwrap().is_success());
+        browse.finish_ms();
+
+        // The server span is a child of the client span, same trace.
+        let client_span = telemetry.span_record(0).unwrap();
+        assert_eq!(client_span.name, "client.browse");
+        let server_span = telemetry.span_record(1).unwrap();
+        assert_eq!(server_span.name, "http.server");
+        assert_eq!(server_span.parent, Some(client_span.id));
+        assert_eq!(server_span.trace_id, client_span.trace_id);
+    }
+
+    #[test]
+    fn no_open_span_means_no_traceparent_header() {
+        use revelio_telemetry::Telemetry;
+
+        let w = world();
+        let key = SigningKey::from_seed(&[1; 32]);
+        let telemetry = Telemetry::new(w.clock.clone());
+        serve(
+            &w,
+            "pad.example.org",
+            "10.0.0.1:443",
+            &key,
+            Router::new().get("/tp", |req| {
+                Response::ok(
+                    req.header(crate::router::TRACEPARENT_HEADER)
+                        .unwrap_or("none")
+                        .as_bytes()
+                        .to_vec(),
+                )
+            }),
+        );
+        let client = client(&w).with_telemetry(telemetry);
+        let res = client.get("https://pad.example.org/tp").unwrap();
+        assert_eq!(res.body, b"none");
     }
 
     #[test]

@@ -104,6 +104,32 @@ pub fn plain_request(
     Response::from_bytes(&bytes)
 }
 
+/// [`plain_request`] with trace-context propagation: when a span is open
+/// in `telemetry`, its context is injected as a `traceparent` header (an
+/// explicit header on the request wins) so the server side can stitch the
+/// call into the caller's trace.
+///
+/// # Errors
+///
+/// Returns [`HttpError`] on transport or parse failure.
+pub fn plain_request_traced(
+    net: &SimNet,
+    address: &str,
+    request: &Request,
+    telemetry: Option<&revelio_telemetry::Telemetry>,
+) -> Result<Response, HttpError> {
+    let context = telemetry.and_then(revelio_telemetry::Telemetry::current_context);
+    match context {
+        Some(context) if request.header(crate::router::TRACEPARENT_HEADER).is_none() => {
+            let traced = request
+                .clone()
+                .with_header(crate::router::TRACEPARENT_HEADER, &context.to_traceparent());
+            plain_request(net, address, &traced)
+        }
+        _ => plain_request(net, address, request),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

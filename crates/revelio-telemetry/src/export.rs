@@ -12,7 +12,7 @@ use crate::span::SpanRecord;
 use crate::Telemetry;
 
 /// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -36,6 +36,47 @@ fn fmt_f64(v: f64) -> String {
     format!("{v:?}")
 }
 
+/// Escapes a Prometheus label value: inside the `label="…"` quoting,
+/// backslash, double-quote, and newline must be escaped.
+#[must_use]
+pub fn prometheus_escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builds a `name{key="value",…}` Prometheus sample name with escaped
+/// label values. Labels are rendered in the order given, so a fixed call
+/// site always produces the same sample name.
+#[must_use]
+pub fn labeled_metric(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::from(name);
+    out.push('{');
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{key}=\"{}\"", prometheus_escape_label(value));
+    }
+    out.push('}');
+    out
+}
+
+/// The metric-family name of a sample: everything before the label block.
+fn family_of(sample_name: &str) -> &str {
+    sample_name.split('{').next().unwrap_or(sample_name)
+}
+
 impl Telemetry {
     /// Exports the full registry as a JSON-lines event log: one `span`
     /// line per recorded span (id order), then `counter`, `gauge`, and
@@ -47,8 +88,9 @@ impl Telemetry {
         for span in &state.spans {
             let _ = write!(
                 out,
-                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_us\":{},\"end_us\":{}",
+                "{{\"type\":\"span\",\"id\":{},\"trace\":{},\"parent\":{},\"name\":\"{}\",\"start_us\":{},\"end_us\":{}",
                 span.id,
+                span.trace_id,
                 span.parent.map_or_else(|| "null".to_string(), |p| p.to_string()),
                 json_escape(&span.name),
                 span.start_us,
@@ -107,19 +149,37 @@ impl Telemetry {
     }
 
     /// Exports counters, gauges, and histograms in Prometheus text
-    /// exposition format.
+    /// exposition format: metric families in lexicographic name order
+    /// (across all three kinds), one `# TYPE` line per family, samples
+    /// within a family in name order. Label values embedded in sample
+    /// names via [`labeled_metric`] arrive pre-escaped; the exporter
+    /// escapes the `le` values it generates itself. The output is a pure
+    /// function of registry contents — byte-identical across runs.
     #[must_use]
     pub fn export_prometheus(&self) -> String {
+        struct Family {
+            kind: &'static str,
+            samples: Vec<String>,
+        }
         let state = self.inner.state.lock();
-        let mut out = String::new();
+        let mut families: BTreeMap<String, Family> = BTreeMap::new();
+        let mut push = |name: &str, kind: &'static str, sample: String| {
+            families
+                .entry(family_of(name).to_string())
+                .or_insert_with(|| Family {
+                    kind,
+                    samples: Vec::new(),
+                })
+                .samples
+                .push(sample);
+        };
         for (name, value) in &state.counters {
-            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+            push(name, "counter", format!("{name} {value}"));
         }
         for (name, value) in &state.gauges {
-            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", fmt_f64(*value));
+            push(name, "gauge", format!("{name} {}", fmt_f64(*value)));
         }
         for (name, hist) in &state.histograms {
-            let _ = writeln!(out, "# TYPE {name} histogram");
             let mut cumulative = 0u64;
             for (idx, count) in hist.counts().iter().enumerate() {
                 cumulative += count;
@@ -127,10 +187,28 @@ impl Telemetry {
                     .bounds()
                     .get(idx)
                     .map_or_else(|| "+Inf".to_string(), |b| fmt_f64(*b));
-                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                push(
+                    name,
+                    "histogram",
+                    format!(
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                        prometheus_escape_label(&le)
+                    ),
+                );
             }
-            let _ = writeln!(out, "{name}_sum {}", fmt_f64(hist.sum()));
-            let _ = writeln!(out, "{name}_count {}", hist.count());
+            push(
+                name,
+                "histogram",
+                format!("{name}_sum {}", fmt_f64(hist.sum())),
+            );
+            push(name, "histogram", format!("{name}_count {}", hist.count()));
+        }
+        let mut out = String::new();
+        for (family, Family { kind, samples }) in &families {
+            let _ = writeln!(out, "# TYPE {family} {kind}");
+            for sample in samples {
+                let _ = writeln!(out, "{sample}");
+            }
         }
         out
     }
@@ -262,9 +340,15 @@ mod tests {
 
         let lines: Vec<&str> = json.lines().collect();
         assert_eq!(lines.len(), 6); // 3 spans + counter + gauge + histogram
-        assert!(lines[0]
-            .starts_with("{\"type\":\"span\",\"id\":0,\"parent\":null,\"name\":\"request\""));
+        assert!(lines[0].starts_with(
+            "{\"type\":\"span\",\"id\":0,\"trace\":1,\"parent\":null,\"name\":\"request\""
+        ));
         assert!(lines[0].contains("\"attrs\":{\"path\":\"/pad\"}"));
+        assert!(
+            lines[1].contains("\"trace\":1"),
+            "children inherit: {}",
+            lines[1]
+        );
         assert!(lines[1].contains("\"parent\":0"));
         assert!(lines[3].contains("\"type\":\"counter\""));
         assert!(lines[5].contains("\"le\":\"+Inf\",\"count\":1"));
@@ -293,6 +377,36 @@ mod tests {
         assert!(text.contains("revelio_test_latency_ms_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("revelio_test_latency_ms_sum 55.0"));
         assert!(text.contains("revelio_test_latency_ms_count 2"));
+    }
+
+    #[test]
+    fn prometheus_families_sorted_and_labels_escaped() {
+        let (t, _) = fixture();
+        // Deliberately register out of lexicographic order and across
+        // kinds: the export must interleave kinds into one sorted pass.
+        t.counter_add("zz_total", 1);
+        t.gauge_set("mm_depth", 1.5);
+        t.register_histogram("aa_latency_ms", &[1.0]);
+        t.observe("aa_latency_ms", 0.5);
+        t.counter_add(
+            &labeled_metric("mm_events_total", &[("node", "a\\b\"c\nd")]),
+            2,
+        );
+        let text = t.export_prometheus();
+        let expected = "# TYPE aa_latency_ms histogram\n\
+                        aa_latency_ms_bucket{le=\"1.0\"} 1\n\
+                        aa_latency_ms_bucket{le=\"+Inf\"} 1\n\
+                        aa_latency_ms_sum 0.5\n\
+                        aa_latency_ms_count 1\n\
+                        # TYPE mm_depth gauge\n\
+                        mm_depth 1.5\n\
+                        # TYPE mm_events_total counter\n\
+                        mm_events_total{node=\"a\\\\b\\\"c\\nd\"} 2\n\
+                        # TYPE zz_total counter\n\
+                        zz_total 1\n";
+        assert_eq!(text, expected);
+        // Byte-identical across repeated exports of the same registry.
+        assert_eq!(text, t.export_prometheus());
     }
 
     #[test]

@@ -20,10 +20,12 @@
 //!   I/O time and record per-device metrics.
 
 mod export;
+pub mod flight;
 mod metrics;
 mod probe;
 pub mod retry;
 mod span;
+pub mod trace;
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -31,10 +33,15 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use revelio_net::clock::SimClock;
 
+pub use export::{labeled_metric, prometheus_escape_label};
+pub use flight::{
+    FlightDirectory, FlightDump, FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY,
+};
 pub use metrics::Histogram;
 pub use probe::DeviceProbe;
 pub use retry::retry_with_telemetry;
-pub use span::{SpanGuard, SpanRecord};
+pub use span::{SpanGuard, SpanRecord, TraceContext};
+pub use trace::{export_all_traces, TraceAssembler};
 
 // Re-exported so crates that don't otherwise depend on `revelio-net` (e.g.
 // `revelio-storage`) can construct a clock-driven registry.
@@ -46,9 +53,26 @@ pub(crate) struct State {
     pub(crate) spans: Vec<SpanRecord>,
     /// Stack of open span ids; the top is the parent of the next span.
     pub(crate) stack: Vec<u64>,
+    /// Last allocated trace id; 0 is reserved (never a valid trace).
+    pub(crate) last_trace_id: u64,
     pub(crate) counters: BTreeMap<String, u64>,
     pub(crate) gauges: BTreeMap<String, f64>,
     pub(crate) histograms: BTreeMap<String, Histogram>,
+}
+
+impl State {
+    /// Trace id for a new span: inherit the parent's, or allocate the
+    /// next one for a root. Allocation is sequential from 1, so trace ids
+    /// are a pure function of root-span creation order.
+    pub(crate) fn trace_of(&mut self, parent: Option<u64>) -> u64 {
+        match parent {
+            Some(pid) => self.spans[pid as usize].trace_id,
+            None => {
+                self.last_trace_id += 1;
+                self.last_trace_id
+            }
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -104,10 +128,26 @@ impl Telemetry {
             .insert(name.to_string(), value);
     }
 
-    /// Registers a histogram with explicit bucket upper bounds (sorted,
-    /// exclusive of the implicit `+Inf` overflow bucket). Re-registering
-    /// an existing name keeps the original buckets.
+    /// Registers a histogram with explicit bucket upper bounds (strictly
+    /// increasing and finite, exclusive of the implicit `+Inf` overflow
+    /// bucket). Re-registering an existing name keeps the original
+    /// buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any bound is non-finite or the bounds are not strictly
+    /// increasing — misordered bounds would silently misbucket every
+    /// observation, so they are rejected loudly at registration time.
     pub fn register_histogram(&self, name: &str, bounds: &[f64]) {
+        if let Some(bad) = bounds.iter().find(|b| !b.is_finite()) {
+            panic!("histogram {name:?}: non-finite bucket bound {bad} (the +Inf overflow bucket is implicit; every explicit bound must be finite)");
+        }
+        if let Some(pair) = bounds.windows(2).find(|w| w[0] >= w[1]) {
+            panic!(
+                "histogram {name:?}: bucket bounds must be strictly increasing, got {} followed by {}",
+                pair[0], pair[1]
+            );
+        }
         let mut state = self.inner.state.lock();
         if !state.histograms.contains_key(name) {
             state
@@ -201,5 +241,34 @@ mod tests {
         let u = t.clone();
         t.counter_add("shared", 1);
         assert_eq!(u.counter("shared"), 1);
+    }
+
+    #[test]
+    fn valid_histogram_bounds_accepted() {
+        let t = Telemetry::new(SimClock::new());
+        t.register_histogram("h", &[0.5, 1.0, 10.0]);
+        t.observe("h", 0.7);
+        assert_eq!(t.histogram("h").unwrap().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn misordered_histogram_bounds_rejected() {
+        let t = Telemetry::new(SimClock::new());
+        t.register_histogram("h", &[1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_histogram_bounds_rejected() {
+        let t = Telemetry::new(SimClock::new());
+        t.register_histogram("h", &[1.0, f64::INFINITY]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_histogram_bounds_rejected() {
+        let t = Telemetry::new(SimClock::new());
+        t.register_histogram("h", &[f64::NAN]);
     }
 }

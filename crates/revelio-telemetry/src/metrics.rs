@@ -20,13 +20,23 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    /// Creates a histogram with the given upper bounds (must be sorted
-    /// ascending; an implicit `+Inf` overflow bucket is appended).
+    /// Creates a histogram with the given upper bounds (an implicit
+    /// `+Inf` overflow bucket is appended).
+    ///
+    /// # Panics
+    ///
+    /// Panics when bounds are non-finite or not strictly increasing:
+    /// [`Histogram::observe`] picks the first bound `>=` the value, so
+    /// misordered or NaN bounds would silently misbucket forever.
     #[must_use]
     pub fn new(bounds: &[f64]) -> Self {
-        debug_assert!(
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bucket bounds must be finite (the +Inf overflow bucket is implicit), got {bounds:?}"
+        );
+        assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
-            "bounds must be sorted"
+            "histogram bucket bounds must be strictly increasing, got {bounds:?}"
         );
         Histogram {
             bounds: bounds.to_vec(),

@@ -6,16 +6,81 @@ use crate::Telemetry;
 
 /// One recorded span. Spans form a tree via `parent`; ids are assigned in
 /// creation order, so the vector in the registry is a deterministic
-/// preorder-ish log of the run.
+/// preorder-ish log of the run. Every span belongs to exactly one trace:
+/// roots allocate the next trace id from the registry, children (ambient
+/// or remote) inherit their parent's.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpanRecord {
     pub id: u64,
+    /// Trace this span belongs to. Allocated sequentially starting at 1,
+    /// so ids are a pure function of root-span creation order.
+    pub trace_id: u64,
     pub parent: Option<u64>,
     pub name: String,
     pub start_us: u64,
     /// `None` while the span is open.
     pub end_us: Option<u64>,
     pub attrs: BTreeMap<String, String>,
+}
+
+/// A position in a trace, carried across call boundaries in a
+/// `traceparent`-style header (`00-<32 hex trace>-<16 hex span>-01`).
+///
+/// The wire format follows W3C Trace Context with two deliberate
+/// restrictions for the closed simulated world: trace ids are 64-bit
+/// (the upper 16 hex digits must be zero) and an all-zero trace id is
+/// malformed (the registry never allocates trace id 0). Span id 0 *is*
+/// accepted — registry span ids start at 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    pub trace_id: u64,
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// Renders the context as a `traceparent` header value.
+    #[must_use]
+    pub fn to_traceparent(&self) -> String {
+        format!("00-{:032x}-{:016x}-01", self.trace_id, self.span_id)
+    }
+
+    /// Strictly parses a `traceparent` header value; any deviation from
+    /// the format (length, version, separators, hex case, flags, zero or
+    /// oversized trace id) returns `None`.
+    #[must_use]
+    pub fn parse_traceparent(value: &str) -> Option<TraceContext> {
+        let bytes = value.as_bytes();
+        if bytes.len() != 55 {
+            return None;
+        }
+        if &bytes[0..2] != b"00" || bytes[2] != b'-' || bytes[35] != b'-' || bytes[52] != b'-' {
+            return None;
+        }
+        let flags = &bytes[53..55];
+        if flags != b"00" && flags != b"01" {
+            return None;
+        }
+        let lower_hex = |field: &[u8]| {
+            field
+                .iter()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(b))
+        };
+        let trace_hex = &bytes[3..35];
+        let span_hex = &bytes[36..52];
+        if !lower_hex(trace_hex) || !lower_hex(span_hex) {
+            return None;
+        }
+        // 64-bit trace ids: the upper half of the 128-bit field must be zero.
+        if trace_hex[..16].iter().any(|&b| b != b'0') {
+            return None;
+        }
+        let trace_id = u64::from_str_radix(std::str::from_utf8(&trace_hex[16..]).ok()?, 16).ok()?;
+        if trace_id == 0 {
+            return None;
+        }
+        let span_id = u64::from_str_radix(std::str::from_utf8(span_hex).ok()?, 16).ok()?;
+        Some(TraceContext { trace_id, span_id })
+    }
 }
 
 impl SpanRecord {
@@ -50,8 +115,10 @@ impl Telemetry {
         let mut state = self.inner.state.lock();
         let id = state.spans.len() as u64;
         let parent = state.stack.last().copied();
+        let trace_id = state.trace_of(parent);
         state.spans.push(SpanRecord {
             id,
+            trace_id,
             parent,
             name: name.to_string(),
             start_us,
@@ -69,6 +136,75 @@ impl Telemetry {
         }
     }
 
+    /// Opens a span whose parent is an *explicit* [`TraceContext`] rather
+    /// than the innermost open span — the server half of context
+    /// propagation: the router parses the `traceparent` header a client
+    /// injected and parents its handler span to the remote caller's span,
+    /// stitching the cross-node tree together.
+    pub fn span_with_remote_parent(
+        &self,
+        name: &str,
+        attrs: &[(&str, &str)],
+        context: TraceContext,
+    ) -> SpanGuard {
+        let start_us = self.inner.clock.now_us();
+        let mut state = self.inner.state.lock();
+        let id = state.spans.len() as u64;
+        state.spans.push(SpanRecord {
+            id,
+            trace_id: context.trace_id,
+            parent: Some(context.span_id),
+            name: name.to_string(),
+            start_us,
+            end_us: None,
+            attrs: attrs
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+                .collect(),
+        });
+        state.stack.push(id);
+        SpanGuard {
+            telemetry: self.clone(),
+            id,
+            finished: false,
+        }
+    }
+
+    /// The [`TraceContext`] of the innermost open span, ready to inject
+    /// into an outgoing request; `None` outside any span.
+    #[must_use]
+    pub fn current_context(&self) -> Option<TraceContext> {
+        let state = self.inner.state.lock();
+        let id = *state.stack.last()?;
+        Some(TraceContext {
+            trace_id: state.spans[id as usize].trace_id,
+            span_id: id,
+        })
+    }
+
+    /// Ids of every trace in the registry, in allocation order.
+    #[must_use]
+    pub fn trace_ids(&self) -> Vec<u64> {
+        let state = self.inner.state.lock();
+        let mut ids: Vec<u64> = state.spans.iter().map(|s| s.trace_id).collect();
+        ids.dedup();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Snapshot of every finished span belonging to `trace_id`, id order.
+    #[must_use]
+    pub fn trace_spans(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let state = self.inner.state.lock();
+        state
+            .spans
+            .iter()
+            .filter(|s| s.trace_id == trace_id && s.end_us.is_some())
+            .cloned()
+            .collect()
+    }
+
     /// Records an already-finished span of modelled duration `ms` without
     /// advancing the clock. Used for costs the simulation models
     /// analytically (e.g. boot-time hashing) rather than simulates.
@@ -82,8 +218,10 @@ impl Telemetry {
         let mut state = self.inner.state.lock();
         let id = state.spans.len() as u64;
         let parent = state.stack.last().copied();
+        let trace_id = state.trace_of(parent);
         state.spans.push(SpanRecord {
             id,
+            trace_id,
             parent,
             name: name.to_string(),
             start_us,
@@ -237,6 +375,104 @@ mod tests {
         assert_eq!(child.parent, Some(0));
         assert_eq!(child.duration_ms(), Some(7.0));
         assert_eq!(clock.now_us(), 0);
+    }
+
+    #[test]
+    fn trace_ids_allocate_for_roots_and_inherit_for_children() {
+        let (t, _) = fixture();
+        let a = t.span("a"); // trace 1
+        let a_child = t.span("a.child");
+        a_child.finish_ms();
+        a.finish_ms();
+        let b = t.span("b"); // trace 2
+        b.finish_ms();
+        assert_eq!(t.span_record(0).unwrap().trace_id, 1);
+        assert_eq!(t.span_record(1).unwrap().trace_id, 1);
+        assert_eq!(t.span_record(2).unwrap().trace_id, 2);
+        assert_eq!(t.trace_ids(), vec![1, 2]);
+        assert_eq!(t.trace_spans(1).len(), 2);
+    }
+
+    #[test]
+    fn current_context_tracks_innermost_span() {
+        let (t, _) = fixture();
+        assert_eq!(t.current_context(), None);
+        let outer = t.span("outer");
+        let context = t.current_context().unwrap();
+        assert_eq!(
+            context,
+            TraceContext {
+                trace_id: 1,
+                span_id: 0
+            }
+        );
+        let inner = t.span("inner");
+        assert_eq!(t.current_context().unwrap().span_id, 1);
+        inner.finish_ms();
+        assert_eq!(t.current_context().unwrap().span_id, 0);
+        outer.finish_ms();
+        assert_eq!(t.current_context(), None);
+    }
+
+    #[test]
+    fn remote_parent_adopts_context_identity() {
+        let (t, clock) = fixture();
+        let context = TraceContext {
+            trace_id: 7,
+            span_id: 42,
+        };
+        let server = t.span_with_remote_parent("server", &[("path", "/")], context);
+        clock.advance_ms(1.0);
+        // Children opened while the remote-parented span is on the stack
+        // inherit its trace.
+        let child = t.span("child");
+        child.finish_ms();
+        server.finish_ms();
+        let rec = t.span_record(0).unwrap();
+        assert_eq!(rec.trace_id, 7);
+        assert_eq!(rec.parent, Some(42));
+        assert_eq!(t.span_record(1).unwrap().trace_id, 7);
+    }
+
+    #[test]
+    fn traceparent_round_trips() {
+        let context = TraceContext {
+            trace_id: 0xDEAD_BEEF,
+            span_id: 3,
+        };
+        let header = context.to_traceparent();
+        assert_eq!(
+            header,
+            "00-000000000000000000000000deadbeef-0000000000000003-01"
+        );
+        assert_eq!(TraceContext::parse_traceparent(&header), Some(context));
+    }
+
+    #[test]
+    fn malformed_traceparent_rejected() {
+        for bad in [
+            "",
+            "00-0000000000000000000000000000002a-0000000000000001", // short
+            "01-0000000000000000000000000000002a-0000000000000001-01", // version
+            "00-0000000000000000000000000000002A-0000000000000001-01", // upper hex
+            "00-0000000000000000000000000000002a-0000000000000001-02", // flags
+            "00-00000000000000000000000000000000-0000000000000001-01", // zero trace
+            "00-0000000000000001000000000000002a-0000000000000001-01", // >64-bit trace
+            "00-g000000000000000000000000000002a-0000000000000001-01", // non-hex
+            "00_0000000000000000000000000000002a-0000000000000001-01", // separator
+        ] {
+            assert_eq!(TraceContext::parse_traceparent(bad), None, "{bad:?}");
+        }
+        // Zero span id is valid here: registry span ids start at 0.
+        assert_eq!(
+            TraceContext::parse_traceparent(
+                "00-0000000000000000000000000000002a-0000000000000000-00"
+            ),
+            Some(TraceContext {
+                trace_id: 42,
+                span_id: 0
+            })
+        );
     }
 
     #[test]

@@ -66,10 +66,21 @@ impl TlsClient {
             .config
             .telemetry
             .as_ref()
-            .map(|t| t.span_with("tls.handshake", &[("sni", server_name)]));
+            // The dialed address identifies the hop in assembled traces
+            // (the SNI alone is ambiguous across a multi-node fleet).
+            .map(|t| {
+                t.span_with(
+                    "tls.handshake",
+                    &[("sni", server_name), ("address", address)],
+                )
+            });
         let result = self.connect_inner(net, address, server_name, ephemeral_seed);
         if let Some(telemetry) = &self.config.telemetry {
-            let ms = span.expect("span exists when telemetry does").finish_ms();
+            let span = span.expect("span exists when telemetry does");
+            if result.is_err() {
+                span.attr("outcome", "failure");
+            }
+            let ms = span.finish_ms();
             telemetry.observe("revelio_tls_handshake_ms", ms);
             let outcome = if result.is_ok() {
                 "revelio_tls_handshakes_total"

@@ -25,7 +25,7 @@ use revelio_net::dns::DnsZone;
 use revelio_net::net::SimNet;
 use revelio_net::retry::RetryPolicy;
 use revelio_pki::cert::Certificate;
-use revelio_telemetry::{retry_with_telemetry, Telemetry};
+use revelio_telemetry::{retry_with_telemetry, FlightDump, FlightRecorder, Telemetry};
 use revelio_tls::TlsClientConfig;
 use sev_snp::measurement::Measurement;
 use sev_snp::verify::ReportVerifier;
@@ -147,6 +147,7 @@ pub struct WebExtension {
     registered: BTreeMap<String, GoldenSet>,
     telemetry: Telemetry,
     retry: RetryPolicy,
+    flight: Option<FlightRecorder>,
 }
 
 impl std::fmt::Debug for WebExtension {
@@ -182,7 +183,10 @@ impl WebExtension {
                 telemetry: Some(telemetry.clone()),
             },
             entropy_seed,
-        );
+        )
+        // Outbound requests carry the open browse span's context as a
+        // `traceparent` header, stitching the server side into the trace.
+        .with_telemetry(telemetry.clone());
         WebExtension {
             clock: net.clock().clone(),
             kds,
@@ -191,6 +195,7 @@ impl WebExtension {
             registered: BTreeMap::new(),
             telemetry,
             retry: Self::default_retry_policy(),
+            flight: None,
         }
     }
 
@@ -209,20 +214,40 @@ impl WebExtension {
         self
     }
 
+    /// Attaches a flight recorder: the extension records its retries and
+    /// browse verdicts, and [`WebExtension::browse_classified`] attaches
+    /// a dump to `AttestationFailed` verdicts.
+    #[must_use]
+    pub fn with_flight_recorder(mut self, flight: FlightRecorder) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    fn flight_record(&self, kind: &str, detail: &str) {
+        if let Some(flight) = &self.flight {
+            flight.record(kind, detail);
+        }
+    }
+
     /// Retries `op` on transient faults; when the budget is exhausted the
     /// final transient error is wrapped as [`RevelioError::TransientNetwork`]
     /// so callers (and [`BrowseVerdict::classify`]) can distinguish "the
     /// network ate it" from "attestation failed".
     fn with_transient_retry<T>(
         &self,
-        op: impl FnMut(u32) -> Result<T, RevelioError>,
+        mut op: impl FnMut(u32) -> Result<T, RevelioError>,
     ) -> Result<T, RevelioError> {
         retry_with_telemetry(
             &self.retry,
             &self.telemetry,
             "extension",
             RevelioError::is_transient,
-            op,
+            |attempt| {
+                if attempt > 0 {
+                    self.flight_record("retry", &format!("browse attempt {attempt}"));
+                }
+                op(attempt)
+            },
         )
         .map_err(|e| {
             if e.is_transient() {
@@ -340,6 +365,34 @@ impl WebExtension {
     /// are the alerts the extension UI shows the user.
     pub fn browse(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
         self.with_transient_retry(|_attempt| self.browse_once(domain, path))
+    }
+
+    /// [`WebExtension::browse`] plus the UI classification: the verdict is
+    /// recorded into the extension's flight ring, and an
+    /// [`BrowseVerdict::AttestationFailed`] verdict carries the ring's
+    /// dump — the forensic timeline behind the red badge.
+    #[must_use]
+    pub fn browse_classified(&self, domain: &str, path: &str) -> ClassifiedBrowse {
+        let result = self.browse(domain, path);
+        let verdict = BrowseVerdict::classify(&result);
+        match &result {
+            Ok(_) => self.flight_record("verdict", &format!("{domain}{path}: attested")),
+            Err(e) => {
+                self.flight_record(
+                    "verdict",
+                    &format!("{domain}{path}: {} ({e})", verdict.as_str()),
+                );
+            }
+        }
+        let flight = match verdict {
+            BrowseVerdict::AttestationFailed => self.flight.as_ref().map(FlightRecorder::dump),
+            _ => None,
+        };
+        ClassifiedBrowse {
+            verdict,
+            result,
+            flight,
+        }
     }
 
     fn browse_once(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
@@ -518,6 +571,21 @@ impl WebExtension {
             .counter_add("revelio_extension_reconnects_total", 1);
         Ok(())
     }
+}
+
+/// Outcome of [`WebExtension::browse_classified`]: the UI verdict, the
+/// underlying result, and — only on an affirmative attestation failure —
+/// the extension's flight-recorder dump.
+#[derive(Debug)]
+pub struct ClassifiedBrowse {
+    /// The badge the UI shows.
+    pub verdict: BrowseVerdict,
+    /// The underlying browse result.
+    pub result: Result<BrowseOutcome, RevelioError>,
+    /// The extension's recent event timeline; populated only when
+    /// `verdict` is [`BrowseVerdict::AttestationFailed`] and a recorder
+    /// is attached.
+    pub flight: Option<FlightDump>,
 }
 
 /// An attested session whose every request re-validates the connection.

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use revelio_crypto::wire::{ByteReader, ByteWriter};
 use revelio_http::message::{Request, Response};
 use revelio_http::router::Router;
-use revelio_http::server::{plain_request, serve_http};
+use revelio_http::server::{plain_request_traced, serve_http};
 use revelio_http::HttpError;
 use revelio_net::net::SimNet;
 use revelio_net::retry::RetryPolicy;
@@ -53,8 +53,24 @@ pub fn serve_kds(
     address: &str,
     kds: KeyDistributionService,
 ) -> Result<(), RevelioError> {
+    serve_kds_with_telemetry(net, address, kds, None)
+}
+
+/// [`serve_kds`] with trace extraction: incoming `traceparent` contexts
+/// are re-opened as `http.server` spans labelled `kds`, so the KDS hop
+/// appears in assembled cross-node traces.
+///
+/// # Errors
+///
+/// Returns [`RevelioError::Http`] when the address is taken.
+pub fn serve_kds_with_telemetry(
+    net: &SimNet,
+    address: &str,
+    kds: KeyDistributionService,
+    telemetry: Option<Telemetry>,
+) -> Result<(), RevelioError> {
     let chain_kds = kds.clone();
-    let router = Router::new()
+    let mut router = Router::new()
         .post("/vcek", move |req: &Request| {
             match decode_query(&req.body)
                 .and_then(|(chip, tcb)| kds.vcek_chain(&chip, &tcb).map_err(RevelioError::Snp))
@@ -73,6 +89,9 @@ pub fn serve_kds(
             w.put_var_bytes(&ask.to_bytes());
             Response::ok(w.into_bytes())
         });
+    if let Some(telemetry) = telemetry {
+        router = router.with_tracing(telemetry, "kds");
+    }
     serve_http(net, address, router)?;
     Ok(())
 }
@@ -187,10 +206,11 @@ impl KdsHttpClient {
             // The 427 ms KDS round trip crosses the public internet —
             // transient drops are retried under the same kds.fetch span.
             let fetch = |_attempt: u32| {
-                plain_request(
+                plain_request_traced(
                     &self.net,
                     &self.address,
                     &Request::post("/vcek", encode_query(chip_id, tcb)),
+                    self.telemetry.as_ref(),
                 )
             };
             let response = match &self.telemetry {
@@ -240,8 +260,14 @@ impl KdsHttpClient {
     /// Returns [`RevelioError`] on transport failure or a malformed
     /// response.
     pub fn cert_chain(&self) -> Result<(AmdCert, AmdCert), RevelioError> {
-        let fetch =
-            |_attempt: u32| plain_request(&self.net, &self.address, &Request::get("/cert_chain"));
+        let fetch = |_attempt: u32| {
+            plain_request_traced(
+                &self.net,
+                &self.address,
+                &Request::get("/cert_chain"),
+                self.telemetry.as_ref(),
+            )
+        };
         let response = match &self.telemetry {
             Some(telemetry) => retry_with_telemetry(
                 &self.retry,

@@ -28,12 +28,12 @@ use revelio_crypto::wire::{ByteReader, ByteWriter};
 use revelio_crypto::x25519;
 use revelio_http::message::{Request, Response};
 use revelio_http::router::Router;
-use revelio_http::server::{plain_request, serve_http, serve_https};
+use revelio_http::server::{plain_request_traced, serve_http, serve_https};
 use revelio_http::WELL_KNOWN_ATTESTATION_PATH;
 use revelio_net::net::SimNet;
 use revelio_net::retry::RetryPolicy;
 use revelio_pki::cert::{CertificateChain, CertificateSigningRequest};
-use revelio_telemetry::{retry_with_telemetry, Telemetry};
+use revelio_telemetry::{retry_with_telemetry, FlightRecorder, Telemetry};
 use revelio_tls::TlsServerConfig;
 use sev_snp::ids::ChipId;
 use sev_snp::measurement::Measurement;
@@ -214,6 +214,9 @@ struct NodeShared {
     /// When set, the node records request counters and an evidence-build
     /// span, and its public port serves `GET /metrics`.
     telemetry: Option<Telemetry>,
+    /// When set, the node feeds its ring of recent protocol events (key
+    /// exchanges, verdicts) and its public port serves `GET /debug/flight`.
+    flight: Option<FlightRecorder>,
 }
 
 /// A deployed Revelio node.
@@ -232,6 +235,13 @@ impl std::fmt::Debug for RevelioNode {
 }
 
 impl NodeShared {
+    /// Appends an event to the node's flight ring, when one is attached.
+    fn flight_record(&self, kind: &str, detail: &str) {
+        if let Some(flight) = &self.flight {
+            flight.record(kind, detail);
+        }
+    }
+
     fn identity(&self) -> &SigningKey {
         self.vm
             .identity()
@@ -337,7 +347,21 @@ impl NodeShared {
         // Retry transient faults on the leader link: the nonce is reused
         // across attempts of ONE logical request (replay protection binds
         // the response to the request, not to the transport attempt).
-        let attempt = |_attempt: u32| plain_request(&self.net, leader_bootstrap, &request);
+        let span = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.span_with("node.key_fetch", &[("leader", leader_bootstrap)]));
+        let attempt = |attempt: u32| {
+            if attempt > 0 {
+                self.flight_record("retry", &format!("key-fetch attempt {attempt}"));
+            }
+            plain_request_traced(
+                &self.net,
+                leader_bootstrap,
+                &request,
+                self.telemetry.as_ref(),
+            )
+        };
         let response = match &self.telemetry {
             Some(telemetry) => retry_with_telemetry(
                 &self.retry,
@@ -355,7 +379,14 @@ impl NodeShared {
                     )
                     .0
             }
-        }?;
+        };
+        if let Some(span) = span {
+            if response.is_err() {
+                span.attr("outcome", "failure");
+            }
+            span.finish_ms();
+        }
+        let response = response?;
         if !response.is_success() {
             return Err(RevelioError::MutualAttestationFailed(format!(
                 "leader refused key request with status {}",
@@ -432,14 +463,26 @@ impl NodeShared {
                     .with_header("Content-Type", "text/plain; version=0.0.4")
             });
         }
+        if let Some(flight) = &self.flight {
+            // Read-only forensic window: the ring is capacity-bounded, so
+            // the response body is too.
+            let ring = flight.clone();
+            router = router.get("/debug/flight", move |_req| {
+                Response::ok(ring.dump().to_json().into_bytes())
+                    .with_header("Content-Type", "application/json")
+            });
+        }
         let request_telemetry = self.telemetry.clone();
-        let router = router.with_fallback(move |req| {
+        let mut router = router.with_fallback(move |req| {
             if let Some(telemetry) = &request_telemetry {
                 telemetry.counter_add("revelio_node_requests_total", 1);
             }
             clock.advance_ms(processing_ms);
             app_shared.vm_app_dispatch(req)
         });
+        if let Some(telemetry) = &self.telemetry {
+            router = router.with_tracing(telemetry.clone(), "node");
+        }
 
         let mut entropy_seed = [0u8; 32];
         entropy_seed.copy_from_slice(&Sha256::digest(
@@ -510,6 +553,28 @@ impl RevelioNode {
         app: Router,
         telemetry: Option<Telemetry>,
     ) -> Result<Self, RevelioError> {
+        Self::deploy_with_observability(net, kds, vm, config, app, telemetry, None)
+    }
+
+    /// [`RevelioNode::deploy_with_telemetry`] plus a flight recorder: the
+    /// node appends key-exchange and verdict events to the ring, and its
+    /// public HTTPS port serves `GET /debug/flight` (the bounded ring as
+    /// JSON) next to `/metrics`. Both routers also extract `traceparent`
+    /// contexts when telemetry is attached, stitching the node's server
+    /// side into the caller's trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RevelioError::Http`] when an address is already bound.
+    pub fn deploy_with_observability(
+        net: SimNet,
+        kds: KdsHttpClient,
+        vm: BootedVm,
+        config: NodeConfig,
+        app: Router,
+        telemetry: Option<Telemetry>,
+        flight: Option<FlightRecorder>,
+    ) -> Result<Self, RevelioError> {
         let identity_seed = *vm.identity().expect("identity enabled").seed();
         let box_secret: [u8; 32] = Hmac::<Sha256>::mac(&identity_seed, b"box-encryption")
             .try_into()
@@ -532,13 +597,14 @@ impl RevelioNode {
             eph_counter: AtomicU64::new(0),
             app,
             telemetry,
+            flight,
         });
 
         let bootstrap_router = {
             let s1 = Arc::clone(&shared);
             let s2 = Arc::clone(&shared);
             let s3 = Arc::clone(&shared);
-            Router::new()
+            let mut router = Router::new()
                 .get("/revelio/csr-bundle", move |_req| {
                     let csr = s1.csr();
                     let report = s1.vm.report_with_data(&csr.digest());
@@ -546,22 +612,38 @@ impl RevelioNode {
                 })
                 .post("/revelio/install-cert", move |req| {
                     match s2.install_cert(&req.body) {
-                        Ok(()) => Response::ok(Vec::new()),
-                        Err(e) => Response::status(403).with_header(
-                            "X-Revelio-Error",
-                            &e.to_string().replace(['\r', '\n'], " "),
-                        ),
+                        Ok(()) => {
+                            s2.flight_record("request", "install-cert accepted");
+                            Response::ok(Vec::new())
+                        }
+                        Err(e) => {
+                            s2.flight_record("verdict", &format!("install-cert refused: {e}"));
+                            Response::status(403).with_header(
+                                "X-Revelio-Error",
+                                &e.to_string().replace(['\r', '\n'], " "),
+                            )
+                        }
                     }
                 })
                 .post("/revelio/key-request", move |req| {
                     match s3.handle_key_request(&req.body) {
-                        Ok(body) => Response::ok(body),
-                        Err(e) => Response::status(403).with_header(
-                            "X-Revelio-Error",
-                            &e.to_string().replace(['\r', '\n'], " "),
-                        ),
+                        Ok(body) => {
+                            s3.flight_record("request", "key-request served");
+                            Response::ok(body)
+                        }
+                        Err(e) => {
+                            s3.flight_record("verdict", &format!("key-request refused: {e}"));
+                            Response::status(403).with_header(
+                                "X-Revelio-Error",
+                                &e.to_string().replace(['\r', '\n'], " "),
+                            )
+                        }
                     }
-                })
+                });
+            if let Some(telemetry) = &shared.telemetry {
+                router = router.with_tracing(telemetry.clone(), "node");
+            }
+            router
         };
         serve_http(&net, &shared.config.bootstrap_address, bootstrap_router)?;
         Ok(RevelioNode { shared })

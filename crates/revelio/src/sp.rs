@@ -10,13 +10,13 @@
 
 use revelio_crypto::ed25519::VerifyingKey;
 use revelio_http::message::{Request, Response};
-use revelio_http::server::plain_request;
+use revelio_http::server::plain_request_traced;
 use revelio_http::HttpError;
 use revelio_net::net::SimNet;
 use revelio_net::retry::RetryPolicy;
 use revelio_pki::acme::AcmeCa;
 use revelio_pki::cert::CertificateChain;
-use revelio_telemetry::{retry_with_telemetry, Telemetry};
+use revelio_telemetry::{retry_with_telemetry, FlightDirectory, FlightDump, Telemetry};
 use sev_snp::ids::ChipId;
 use sev_snp::verify::ReportVerifier;
 
@@ -95,6 +95,10 @@ pub struct QuarantinedNode {
     pub phase: ProvisionPhase,
     /// The error that triggered the quarantine.
     pub error: RevelioError,
+    /// The node's flight-recorder dump at quarantine time — its recent
+    /// fault/retry/verdict timeline, for forensics. `None` when the SP
+    /// runs without a flight directory (or the node has no ring).
+    pub flight: Option<FlightDump>,
 }
 
 impl QuarantinedNode {
@@ -133,6 +137,7 @@ pub struct ServiceProviderNode {
     config: SpConfig,
     telemetry: Option<Telemetry>,
     retry: RetryPolicy,
+    flight: Option<FlightDirectory>,
 }
 
 impl std::fmt::Debug for ServiceProviderNode {
@@ -154,6 +159,7 @@ impl ServiceProviderNode {
             config,
             telemetry: None,
             retry: Self::default_retry_policy(),
+            flight: None,
         }
     }
 
@@ -180,11 +186,56 @@ impl ServiceProviderNode {
         self
     }
 
+    /// Attaches the world's flight-recorder directory: every quarantine
+    /// entry then carries the victim node's recent event timeline
+    /// ([`QuarantinedNode::flight`]), and the SP's own retries are
+    /// recorded into the dialed node's ring.
+    #[must_use]
+    pub fn with_flight_directory(mut self, flight: FlightDirectory) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// Builds a quarantine record, snapshotting the node's flight ring
+    /// (with the quarantine verdict itself as the final event).
+    fn quarantine(
+        &self,
+        node: String,
+        phase: ProvisionPhase,
+        error: RevelioError,
+    ) -> QuarantinedNode {
+        let flight = self.flight.as_ref().and_then(|directory| {
+            let recorder = directory.get(&node)?;
+            recorder.record(
+                "verdict",
+                &format!("quarantined at {}: {error}", phase.as_str()),
+            );
+            Some(recorder.dump())
+        });
+        QuarantinedNode {
+            node,
+            phase,
+            error,
+            flight,
+        }
+    }
+
     /// A bootstrap-port request with transient faults retried: a dropped
     /// packet on the provider-internal network must not abort a whole
     /// fleet provisioning run.
     fn retried_request(&self, address: &str, request: &Request) -> Result<Response, RevelioError> {
-        let attempt = |_attempt: u32| plain_request(&self.net, address, request);
+        let attempt = |attempt: u32| {
+            if attempt > 0 {
+                if let Some(flight) = &self.flight {
+                    flight.record(
+                        address,
+                        "retry",
+                        &format!("sp {} attempt {attempt}", request.path),
+                    );
+                }
+            }
+            plain_request_traced(&self.net, address, request, self.telemetry.as_ref())
+        };
         let response = match &self.telemetry {
             Some(telemetry) => retry_with_telemetry(
                 &self.retry,
@@ -353,11 +404,11 @@ impl ServiceProviderNode {
                 }
                 Err(error) => {
                     span.finish_ms();
-                    quarantined.push(QuarantinedNode {
-                        node: addr.clone(),
-                        phase: ProvisionPhase::Retrieval,
+                    quarantined.push(self.quarantine(
+                        addr.clone(),
+                        ProvisionPhase::Retrieval,
                         error,
-                    });
+                    ));
                 }
             }
         }
@@ -374,11 +425,9 @@ impl ServiceProviderNode {
                 &bundle.report.report.reported_tcb,
             ) {
                 Ok(_) => prefetched.push((addr, bundle)),
-                Err(error) => quarantined.push(QuarantinedNode {
-                    node: addr,
-                    phase: ProvisionPhase::Validation,
-                    error,
-                }),
+                Err(error) => {
+                    quarantined.push(self.quarantine(addr, ProvisionPhase::Validation, error));
+                }
             }
         }
 
@@ -394,11 +443,7 @@ impl ServiceProviderNode {
                 }
                 Err(error) => {
                     span.finish_ms();
-                    quarantined.push(QuarantinedNode {
-                        node: addr,
-                        phase: ProvisionPhase::Validation,
-                        error,
-                    });
+                    quarantined.push(self.quarantine(addr, ProvisionPhase::Validation, error));
                 }
             }
         }
@@ -456,11 +501,11 @@ impl ServiceProviderNode {
                 }
                 Err(error) => {
                     span.finish_ms();
-                    quarantined.push(QuarantinedNode {
-                        node: addr.clone(),
-                        phase: ProvisionPhase::Distribution,
+                    quarantined.push(self.quarantine(
+                        addr.clone(),
+                        ProvisionPhase::Distribution,
                         error,
-                    });
+                    ));
                 }
             }
         }

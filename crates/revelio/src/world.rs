@@ -18,14 +18,14 @@ use revelio_net::net::{NetConfig, SimNet};
 use revelio_net::{FaultDomain, FaultPlan, RetryPolicy};
 use revelio_pki::acme::{AcmeCa, AcmePolicy};
 use revelio_pki::cert::Certificate;
-use revelio_telemetry::Telemetry;
+use revelio_telemetry::{FlightDirectory, Telemetry, DEFAULT_FLIGHT_CAPACITY};
 use sev_snp::ids::{ChipId, GuestPolicy, TcbVersion};
 use sev_snp::kds::KeyDistributionService;
 use sev_snp::measurement::Measurement;
 use sev_snp::platform::{AmdRootOfTrust, SnpPlatform};
 
 use crate::extension::{ExtensionConfig, ReconnectPolicy, WebExtension};
-use crate::kds_http::{serve_kds, KdsHttpClient, KDS_ADDRESS};
+use crate::kds_http::{serve_kds_with_telemetry, KdsHttpClient, KDS_ADDRESS};
 use crate::node::{NodeConfig, RevelioNode};
 use crate::registry::GoldenSet;
 use crate::sp::{ProvisionReport, ServiceProviderNode, SpConfig};
@@ -143,6 +143,10 @@ pub struct SimWorld {
     /// the whole attestation pipeline. Driven by [`SimWorld::clock`], which
     /// makes the export deterministic — same seed, same bytes.
     pub telemetry: Telemetry,
+    /// Per-node flight recorders keyed by address (bootstrap and public
+    /// addresses alias to one ring). Injected faults are mirrored here so
+    /// a quarantined node's dump shows what it saw before it went dark.
+    pub flight: FlightDirectory,
     /// The network fabric.
     pub net: SimNet,
     /// The DNS zone (service-provider controlled — i.e. untrusted).
@@ -205,22 +209,27 @@ impl SimWorld {
         // attestation dials it): give it a dedicated lock stripe before
         // any traffic flows.
         net.stripe_hot(KDS_ADDRESS);
+        let flight = FlightDirectory::new(clock.clone(), DEFAULT_FLIGHT_CAPACITY);
         // Mirror every injected fault into the world registry so chaos
         // runs can assert on (and diff) `revelio_net_faults_injected_total`
-        // alongside the retry counters.
+        // alongside the retry counters — and into the dialed node's flight
+        // recorder, so a quarantine dump carries its own fault timeline.
         let fault_telemetry = telemetry.clone();
-        net.set_fault_observer(Arc::new(move |_address: &str, kind| {
+        let fault_flight = flight.clone();
+        net.set_fault_observer(Arc::new(move |address: &str, kind| {
             fault_telemetry.counter_add("revelio_net_faults_injected_total", 1);
             fault_telemetry.counter_add(&format!("revelio_net_faults_{}_total", kind.as_str()), 1);
+            fault_flight.record(address, "fault", kind.as_str());
         }));
         let dns = DnsZone::new();
         let mut amd_seed = [0u8; 32];
         amd_seed[..8].copy_from_slice(&seed.to_le_bytes());
         let amd = Arc::new(AmdRootOfTrust::from_seed(amd_seed));
-        serve_kds(
+        serve_kds_with_telemetry(
             &net,
             KDS_ADDRESS,
             KeyDistributionService::new(Arc::clone(&amd)).with_telemetry(telemetry.clone()),
+            Some(telemetry.clone()),
         )
         .expect("fresh kds address");
         net.peer(KDS_ADDRESS).latency_us(tuning.kds_one_way_us);
@@ -241,6 +250,7 @@ impl SimWorld {
         SimWorld {
             clock,
             telemetry,
+            flight,
             net,
             dns,
             amd,
@@ -361,7 +371,12 @@ impl SimWorld {
                 ..BootOptions::default()
             },
         )?;
-        RevelioNode::deploy_with_telemetry(
+        // One forensic ring per node, reachable under both addresses: the
+        // SP quarantines by bootstrap address, faults are injected by
+        // whichever address was dialed.
+        let recorder = self.flight.register(&bootstrap_address);
+        self.flight.alias(&bootstrap_address, &public_address);
+        RevelioNode::deploy_with_observability(
             self.net.clone(),
             self.kds.clone(),
             vm,
@@ -378,6 +393,7 @@ impl SimWorld {
             },
             app,
             Some(self.telemetry.clone()),
+            Some(recorder),
         )
     }
 
@@ -414,6 +430,7 @@ impl SimWorld {
         )
         .with_telemetry(self.telemetry.clone())
         .with_retry_policy(self.tuning.retry.sp.clone())
+        .with_flight_directory(self.flight.clone())
     }
 
     /// Builds, boots, deploys and provisions an `n`-node fleet serving
@@ -580,6 +597,7 @@ impl SimWorld {
             Some(self.telemetry.clone()),
         )
         .with_retry_policy(self.tuning.retry.extension.clone())
+        .with_flight_recorder(self.flight.register("extension"))
     }
 
     /// The browser root-store certificate list.
