@@ -143,6 +143,23 @@ impl FaultPlan {
             ..FaultPlan::default()
         }
     }
+
+    /// Compact deterministic digest of every plan parameter, used by view
+    /// fingerprints to compare routing state across fabric modes. `{:?}`
+    /// on the probabilities prints the shortest round-trippable form, so
+    /// equal plans always digest identically.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "d{:?}/t{:?}/r{:?}/ff{}/to{}/j{}",
+            self.drop_probability,
+            self.timeout_probability,
+            self.reset_probability,
+            self.fail_first,
+            self.timeout_us,
+            self.jitter_us,
+        )
+    }
 }
 
 /// Derives the RNG stream key for a per-route plan. The `\n` separator

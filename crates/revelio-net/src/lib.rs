@@ -73,6 +73,7 @@ pub mod fault;
 pub mod net;
 pub mod retry;
 pub mod snapshot;
+pub(crate) mod view;
 
 pub use domain::{DomainEffect, FaultDomain};
 pub use error::NetError;

@@ -9,16 +9,22 @@
 //! array of `RwLock` shards keyed by `fnv1a(address)` — the
 //! **write-side store**. On top of it, the default
 //! [`ReadPath::Snapshot`] mode maintains an immutable [`RoutingView`]
-//! behind a [`crate::snapshot::Snapshot`]: every rare mutating operation
-//! (bind/unbind, shaper edits, fault-domain install/heal) republishes the
-//! affected slot copy-on-write, and a dial to a clean address — no fault
+//! behind a [`crate::snapshot::Snapshot`]: every mutating operation
+//! (bind/unbind, shaper edits, fault-domain install/heal) republishes
+//! the view copy-on-write, and a dial to a clean address — no fault
 //! plan, no active domain — touches **zero locks**: one atomic snapshot
-//! load, one hash lookup, done. Anything non-clean (fail-first windows,
-//! fault-plan RNG draws, degraded domains) falls back to the locked
-//! write-side path, which is also the whole story in
-//! [`ReadPath::Locked`] mode. The legacy single-mutex fabric
-//! ([`NetConfig::shards`]` = 1`) and the locked sharded fabric are kept
-//! as A/B baselines for `revelio-bench`'s three-way fleet benchmark.
+//! load, one hash lookup, done. The view is a persistent slot tree
+//! ([`crate::view::SlotTree`]): a single-address republish path-copies
+//! O(levels) interior nodes and shares everything else with the previous
+//! view, and [`SimNet::batch`] coalesces a burst of mutations (fleet
+//! provisioning) into one republish. Fault draws read **live entries
+//! published inside the view** (`Arc<Mutex<FaultEntry>>` shared with the
+//! shard maps), so chaos-mode traffic locks only a per-entry mutex —
+//! never a shard. The locked write-side path remains authoritative
+//! whenever fault domains are installed or a batch is in flight, and is
+//! the whole story in [`ReadPath::Locked`] mode. The legacy single-mutex
+//! fabric ([`NetConfig::shards`]` = 1`) and the locked sharded fabric are
+//! kept as A/B baselines for `revelio-bench`'s three-way fleet benchmark.
 //!
 //! Known-hot addresses (the KDS, boundary nodes) can be striped out of
 //! the hashed shard array via [`SimNet::stripe_hot`]: a hot address gets
@@ -39,7 +45,8 @@
 //! relaxed atomic: its total is a sum of per-stream counts and therefore
 //! equally interleaving-independent.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -49,6 +56,7 @@ use crate::clock::SimClock;
 use crate::domain::{domain_stream_key, DomainEffect, FaultDomain};
 use crate::fault::{fnv1a, route_stream_key, FaultEntry, FaultKind, FaultObserver, FaultPlan};
 use crate::snapshot::Snapshot;
+use crate::view::{PeerExtra, PeerView, SharedFaultEntry, SlotTree};
 use crate::NetError;
 
 /// Per-connection server-side state machine.
@@ -162,38 +170,119 @@ struct ShardState {
     latency_overrides: HashMap<String, u64>,
     redirects: HashMap<String, String>,
     tamper: HashMap<String, Arc<TamperFn>>,
-    /// Address-wide fault plans.
-    faults: HashMap<String, FaultEntry>,
+    /// Address-wide fault plans. Entries are shared (`Arc<Mutex<_>>`)
+    /// with the published routing view, so both read paths consume the
+    /// same decision stream.
+    faults: HashMap<String, SharedFaultEntry>,
     /// Per-route fault plans: address → `(path-prefix, entry)` list. The
     /// longest matching prefix wins; the address-wide plan is the
     /// fallback when no prefix matches.
-    route_faults: HashMap<String, Vec<(String, FaultEntry)>>,
+    route_faults: HashMap<String, Vec<(String, SharedFaultEntry)>>,
 }
 
 impl ShardState {
-    /// Collapses this slot's maps into the per-address read view the
-    /// snapshot publishes.
-    fn peer_view(&self) -> HashMap<String, PeerView> {
-        let mut out: HashMap<String, PeerView> = HashMap::new();
+    /// Builds the published view of one address from this slot's maps —
+    /// the incremental-republish unit: six single-key lookups, not a
+    /// whole-slot collapse. Returns `None` when nothing is known.
+    fn peer_view_of(&self, address: &str) -> Option<PeerView> {
+        let redirect = self.redirects.get(address).cloned();
+        let tamper = self.tamper.get(address).cloned();
+        let fault = self.faults.get(address).cloned();
+        let routes: Option<Arc<[(String, SharedFaultEntry)]>> =
+            self.route_faults.get(address).map(|routes| {
+                routes
+                    .iter()
+                    .map(|(prefix, entry)| (prefix.clone(), Arc::clone(entry)))
+                    .collect()
+            });
+        let extra = (redirect.is_some() || tamper.is_some() || fault.is_some() || routes.is_some())
+            .then(|| {
+                Box::new(PeerExtra {
+                    redirect,
+                    tamper,
+                    fault,
+                    routes,
+                })
+            });
+        let view = PeerView {
+            listener: self.listeners.get(address).cloned(),
+            latency_us: self.latency_overrides.get(address).copied(),
+            extra,
+        };
+        (!view.is_empty()).then_some(view)
+    }
+
+    /// Appends every address known to this slot, with its view, to
+    /// `out` (the full-rebuild path). Merges the six maps in one pass —
+    /// one probe per stored fact — instead of calling [`Self::peer_view_of`]
+    /// (six probes) per address; on a freshly provisioned fleet, where
+    /// almost every address has exactly one fact (its listener), that is
+    /// six times fewer hash lookups on the batch-overflow flush.
+    fn collect_views(&self, out: &mut Vec<(String, PeerView)>) {
+        // Freshly provisioned shards hold exactly one fact per address —
+        // its listener. Skip the merge map entirely for that shape; it
+        // is the whole working set of the batch-overflow flush right
+        // after `deploy_fleet`.
+        if self.latency_overrides.is_empty()
+            && self.redirects.is_empty()
+            && self.tamper.is_empty()
+            && self.faults.is_empty()
+            && self.route_faults.is_empty()
+        {
+            out.reserve(self.listeners.len());
+            for (address, listener) in &self.listeners {
+                out.push((
+                    address.clone(),
+                    PeerView {
+                        listener: Some(Arc::clone(listener)),
+                        ..PeerView::default()
+                    },
+                ));
+            }
+            return;
+        }
+        let mut views: HashMap<&str, PeerView> = HashMap::with_capacity(self.listeners.len());
         for (address, listener) in &self.listeners {
-            out.entry(address.clone()).or_default().listener = Some(Arc::clone(listener));
+            views.entry(address.as_str()).or_default().listener = Some(Arc::clone(listener));
         }
         for (address, latency) in &self.latency_overrides {
-            out.entry(address.clone()).or_default().latency_us = Some(*latency);
+            views.entry(address.as_str()).or_default().latency_us = Some(*latency);
         }
         for (address, target) in &self.redirects {
-            out.entry(address.clone()).or_default().redirect = Some(target.clone());
+            views
+                .entry(address.as_str())
+                .or_default()
+                .extra_mut()
+                .redirect = Some(target.clone());
         }
         for (address, tamper) in &self.tamper {
-            out.entry(address.clone()).or_default().tamper = Some(Arc::clone(tamper));
+            views
+                .entry(address.as_str())
+                .or_default()
+                .extra_mut()
+                .tamper = Some(Arc::clone(tamper));
         }
-        for address in self.faults.keys() {
-            out.entry(address.clone()).or_default().has_fault_plan = true;
+        for (address, entry) in &self.faults {
+            views.entry(address.as_str()).or_default().extra_mut().fault = Some(Arc::clone(entry));
         }
-        for address in self.route_faults.keys() {
-            out.entry(address.clone()).or_default().has_route_plan = true;
+        for (address, routes) in &self.route_faults {
+            views
+                .entry(address.as_str())
+                .or_default()
+                .extra_mut()
+                .routes = Some(
+                routes
+                    .iter()
+                    .map(|(prefix, entry)| (prefix.clone(), Arc::clone(entry)))
+                    .collect(),
+            );
         }
-        out
+        out.reserve(views.len());
+        for (address, view) in views {
+            if !view.is_empty() {
+                out.push((address.to_owned(), view));
+            }
+        }
     }
 }
 
@@ -210,48 +299,25 @@ enum Topology {
     },
 }
 
-/// Everything the clean read path needs to know about one address.
-/// Immutable once published; fault-entry *state* (RNG streams, dial
-/// counters) deliberately stays out — only plan **presence** is here,
-/// which routes non-clean traffic back to the locked path.
-#[derive(Default)]
-struct PeerView {
-    listener: Option<Arc<dyn Listener>>,
-    latency_us: Option<u64>,
-    redirect: Option<String>,
-    tamper: Option<Arc<TamperFn>>,
-    has_fault_plan: bool,
-    has_route_plan: bool,
-}
-
-/// The immutable routing snapshot published by mutating operations.
-/// Slot layout mirrors the lock array, so one `fnv1a` (or hot-stripe
-/// scan) addresses both worlds identically.
+/// The immutable routing snapshot published by mutating operations. The
+/// routing data lives in a persistent [`SlotTree`] keyed purely by the
+/// address hash — independent of the lock topology, so hot-stripe moves
+/// never touch the view and a republish path-copies O(levels) nodes.
 struct RoutingView {
-    slots: Box<[Arc<HashMap<String, PeerView>>]>,
-    mask: u64,
-    /// Number of hashed slots; hot stripe `i` is slot `base + i`.
-    base: usize,
-    /// Hot-striped addresses in stripe order.
-    hot: Vec<String>,
+    tree: SlotTree,
     /// Whether any fault domain is installed. Domain activity windows
     /// depend on sim time, so the view only gates the emptiness check;
     /// non-empty sends dials to the locked domain logic.
     has_domains: bool,
-    /// Per-slot count of peers carrying any fault or route plan,
-    /// maintained at republish time so [`RoutingView::all_clean`] is a
-    /// stored flag rather than a scan.
-    planned_per_slot: Box<[u32]>,
-    /// No plan on any peer and no domain installed: the per-exchange
-    /// fault check can answer "clean" from two field loads, without
-    /// hashing the dialed address into a slot map. On a faultless fleet
-    /// (the common case, and the benchmark's browse phase) this is what
-    /// keeps the snapshot exchange cheaper than an uncontended lock —
-    /// hashbrown short-circuits `contains_key` on *empty* maps, so the
-    /// locked path never pays a hash there either.
+    /// No plan on any peer (the tree's stored planned count is zero) and
+    /// no domain installed: the per-exchange fault check can answer
+    /// "clean" from two field loads, without hashing the dialed address
+    /// into the tree. On a faultless fleet (the common case, and the
+    /// benchmark's browse phase) this is what keeps the snapshot
+    /// exchange cheaper than an uncontended lock.
     all_clean: bool,
-    /// Publish sequence number, incremented by every republish. A
-    /// [`Connection`] stamps its dial-time clean verdict with this and
+    /// Publish sequence number, strictly increasing across republishes.
+    /// A [`Connection`] stamps its dial-time clean verdict with this and
     /// [`Fabric::view_gen`] revalidates it per exchange with one atomic
     /// load: generations equal ⟹ the live view is the very one the
     /// verdict came from.
@@ -259,33 +325,33 @@ struct RoutingView {
 }
 
 impl RoutingView {
-    fn slot_of(&self, address: &str) -> usize {
-        if !self.hot.is_empty() {
-            if let Some(i) = self.hot.iter().position(|hot| hot == address) {
-                return self.base + i;
-            }
-        }
-        (fnv1a(address) & self.mask) as usize
-    }
-
     fn peer(&self, address: &str) -> Option<&PeerView> {
-        self.slots[self.slot_of(address)].get(address)
+        self.tree.peer(address)
     }
 
-    /// Peers in `slot` that carry any plan (the `planned_per_slot` entry).
-    fn planned_in(slot: &HashMap<String, PeerView>) -> u32 {
-        let planned = slot
-            .values()
-            .filter(|p| p.has_fault_plan || p.has_route_plan)
-            .count();
-        u32::try_from(planned).expect("fewer than 2^32 peers per slot")
-    }
-
-    /// The stored-flag value: true iff no slot has a planned peer and no
+    /// The stored-flag value: true iff no peer carries a plan and no
     /// domain is installed.
-    fn derive_all_clean(planned_per_slot: &[u32], has_domains: bool) -> bool {
-        !has_domains && planned_per_slot.iter().all(|&n| n == 0)
+    fn derive_all_clean(tree: &SlotTree, has_domains: bool) -> bool {
+        !has_domains && tree.planned() == 0
     }
+}
+
+/// Once a batch has deferred this many distinct republishes, the flush
+/// switches from incremental leaf updates to one full rebuild — at that
+/// size the rebuild is cheaper than path-copying per address.
+const BATCH_REBUILD_THRESHOLD: usize = 1024;
+
+/// Mutations deferred by an open [`SimNet::batch`] scope.
+#[derive(Default)]
+struct BatchState {
+    /// Nesting depth of open batch scopes (batches compose).
+    depth: usize,
+    /// Addresses whose view entry must be refreshed at flush time.
+    /// Duplicates are fine — the flush dedupes.
+    dirty: Vec<String>,
+    /// Set once `dirty` crosses [`BATCH_REBUILD_THRESHOLD`]: the flush
+    /// rebuilds the whole tree instead of tracking every address.
+    rebuild_all: bool,
 }
 
 /// One installed [`FaultDomain`] plus its lazily created per-destination
@@ -309,13 +375,26 @@ struct Fabric {
     /// The published routing snapshot ([`ReadPath::Snapshot`] only).
     view: Option<Snapshot<RoutingView>>,
     /// Generation of the latest *published or in-flight* routing view.
-    /// Written inside the snapshot writer lock **before** the swap, so
-    /// the counter is never behind a live view: a connection's stamped
-    /// generation matching this counter proves the view it judged clean
-    /// is still the live one (a mid-publish counter bump merely forces a
-    /// spurious re-check). Exchanges validate against it with a single
-    /// atomic load — the cheapest possible clean-path fault check.
+    /// Bumped (fetch-add) before every swap, so the counter is never
+    /// behind a live view: a connection's stamped generation matching
+    /// this counter proves the view it judged clean is still the live
+    /// one (a counter ahead of the view merely forces a spurious
+    /// re-check). A batch's first deferred mutation also bumps it, which
+    /// is what invalidates every outstanding clean stamp while the view
+    /// is stale. Exchanges validate against it with a single atomic
+    /// load — the cheapest possible clean-path fault check.
     view_gen: AtomicU64,
+    /// Nonzero while a [`SimNet::batch`] scope is open somewhere. The
+    /// snapshot fast paths check it (one relaxed load) and fall back to
+    /// the locked path while mutations are deferred — a thread inside
+    /// its own batch therefore still observes its writes in program
+    /// order. Mirrors `batch.depth`; the mutex holds the truth.
+    batch_depth: AtomicUsize,
+    /// Deferred-republish state for open batch scopes.
+    batch: Mutex<BatchState>,
+    /// Hot-stripe registrations refused because all [`HOT_STRIPES`]
+    /// slots were taken (see [`SimNet::stripe_hot`]).
+    hot_overflows: AtomicU64,
     /// Fabric-wide fault seed; per-stream RNGs derive from it.
     fault_seed: AtomicU64,
     /// Total faults injected. Relaxed: the total is a sum of per-stream
@@ -389,25 +468,14 @@ impl Fabric {
                 total,
             )
         };
-        let mask = match &topology {
-            Topology::Single(_) => 0,
-            Topology::Sharded { mask, .. } => *mask,
-        };
         let view = match read_path {
             ReadPath::Locked => None,
-            ReadPath::Snapshot => {
-                let empty = Arc::new(HashMap::new());
-                Some(Snapshot::new(Arc::new(RoutingView {
-                    slots: (0..slots).map(|_| Arc::clone(&empty)).collect(),
-                    mask,
-                    base,
-                    hot: Vec::new(),
-                    has_domains: false,
-                    planned_per_slot: vec![0; slots].into_boxed_slice(),
-                    all_clean: true,
-                    generation: 0,
-                })))
-            }
+            ReadPath::Snapshot => Some(Snapshot::new(Arc::new(RoutingView {
+                tree: SlotTree::default(),
+                has_domains: false,
+                all_clean: true,
+                generation: 0,
+            }))),
         };
         Fabric {
             topology,
@@ -419,6 +487,9 @@ impl Fabric {
             hot_reg: Mutex::new(()),
             view,
             view_gen: AtomicU64::new(0),
+            batch_depth: AtomicUsize::new(0),
+            batch: Mutex::new(BatchState::default()),
+            hot_overflows: AtomicU64::new(0),
             fault_seed: AtomicU64::new(0),
             faults_injected: AtomicU64::new(0),
             acquisitions: (0..slots).map(|_| AtomicU64::new(0)).collect(),
@@ -496,118 +567,170 @@ impl Fabric {
         }
     }
 
-    /// Hot-striped addresses in stripe order.
-    fn hot_list(&self) -> Vec<String> {
-        let n = self.hot_count.load(Ordering::Acquire);
-        (0..n)
-            .map(|i| self.hot_addrs[i].get().expect("published stripe").clone())
-            .collect()
+    /// The generation for the next published view, bumped with a
+    /// fetch-add so it is strictly increasing across republishes *and*
+    /// batch-start bumps — a stale clean stamp can therefore never alias
+    /// a later generation. Republish callers hold the snapshot writer
+    /// lock; bumping before the swap keeps the counter never-behind the
+    /// live view (see `view_gen`'s invariant).
+    fn next_view_gen(&self) -> u64 {
+        self.view_gen.fetch_add(1, Ordering::SeqCst) + 1
     }
 
-    /// The generation for a view replacing `current`, also stored into
-    /// [`Fabric::view_gen`]. Only called from inside a `view.update`
-    /// closure: the writer lock serializes callers, and storing before
-    /// the swap keeps the counter never-behind the live view (see
-    /// `view_gen`'s invariant).
-    fn next_view_gen(&self, current: &RoutingView) -> u64 {
-        let next = current.generation + 1;
-        self.view_gen.store(next, Ordering::SeqCst);
-        next
-    }
-
-    /// Republishes the snapshot slot holding `address` (after a mutation
-    /// there). No-op in locked mode. The rebuild runs under the snapshot
-    /// writer lock so concurrent republishes of sibling addresses in the
-    /// same slot compose instead of overwriting each other.
+    /// Republishes the snapshot entry for `address` (after a mutation
+    /// there). No-op in locked mode. Inside an open batch scope the
+    /// republish is deferred: the address is noted dirty and the flush
+    /// publishes everything at once.
     fn republish_address(&self, address: &str) {
+        if self.view.is_none() {
+            return;
+        }
+        if self.batch_depth.load(Ordering::Relaxed) > 0 {
+            let mut batch = self.batch.lock();
+            if batch.depth > 0 {
+                if !batch.rebuild_all {
+                    if batch.dirty.is_empty() {
+                        // First deferral of this batch: invalidate every
+                        // outstanding clean stamp so connections re-check
+                        // (and, seeing the open batch, go locked).
+                        self.view_gen.fetch_add(1, Ordering::SeqCst);
+                    }
+                    if batch.dirty.len() >= BATCH_REBUILD_THRESHOLD {
+                        batch.rebuild_all = true;
+                        batch.dirty = Vec::new();
+                    } else {
+                        batch.dirty.push(address.to_owned());
+                    }
+                }
+                return;
+            }
+            // The batch ended between the atomic check and the lock:
+            // publish immediately like any unbatched mutation.
+        }
+        self.publish_addresses(std::slice::from_ref(&address.to_owned()));
+    }
+
+    /// Publishes fresh view entries for `addresses` (deduplicated) in
+    /// one copy-on-write tree update. Entry views are computed under the
+    /// snapshot writer lock so concurrent republishes of the same
+    /// address compose instead of overwriting each other.
+    fn publish_addresses(&self, addresses: &[String]) {
         let Some(view) = &self.view else { return };
-        let idx = self.slot_of(address);
+        let mut seen: HashSet<&str> = HashSet::with_capacity(addresses.len());
+        let unique: Vec<&String> = addresses
+            .iter()
+            .filter(|a| seen.insert(a.as_str()))
+            .collect();
         view.update(|current| {
-            let mut slots = current.slots.to_vec();
-            slots[idx] = Arc::new(self.read_slot(idx, ShardState::peer_view));
-            let mut planned = current.planned_per_slot.clone();
-            planned[idx] = RoutingView::planned_in(&slots[idx]);
-            let all_clean = RoutingView::derive_all_clean(&planned, current.has_domains);
+            let updates: Vec<(String, Option<PeerView>)> = unique
+                .iter()
+                .map(|address| {
+                    let entry = self.read(address, |state| state.peer_view_of(address));
+                    ((*address).clone(), entry)
+                })
+                .collect();
+            let tree = current.tree.with_updates(updates);
+            let all_clean = RoutingView::derive_all_clean(&tree, current.has_domains);
             (
                 Arc::new(RoutingView {
-                    slots: slots.into_boxed_slice(),
-                    mask: current.mask,
-                    base: current.base,
-                    hot: current.hot.clone(),
+                    tree,
                     has_domains: current.has_domains,
-                    planned_per_slot: planned,
                     all_clean,
-                    generation: self.next_view_gen(current),
+                    generation: self.next_view_gen(),
                 }),
                 (),
             )
         });
     }
 
-    /// Republishes the domain-emptiness flag (after install/clear).
+    /// Rebuilds and republishes the whole view from the shard maps (the
+    /// batch-overflow flush path).
+    fn publish_rebuild_all(&self) {
+        let Some(view) = &self.view else { return };
+        view.update(|current| {
+            let mut entries = Vec::new();
+            for idx in 0..self.acquisitions.len() {
+                self.read_slot(idx, |state| state.collect_views(&mut entries));
+            }
+            let tree = SlotTree::rebuilt_from(entries);
+            let all_clean = RoutingView::derive_all_clean(&tree, current.has_domains);
+            (
+                Arc::new(RoutingView {
+                    tree,
+                    has_domains: current.has_domains,
+                    all_clean,
+                    generation: self.next_view_gen(),
+                }),
+                (),
+            )
+        });
+    }
+
+    /// Republishes the domain-emptiness flag (after install/clear). A
+    /// flag-only republish: the new view **shares** the previous view's
+    /// tree (one `Arc` clone) instead of cloning any routing data.
     fn republish_domains(&self) {
         let Some(view) = &self.view else { return };
         view.update(|current| {
             let has_domains = !self.domains.read().is_empty();
-            let all_clean = RoutingView::derive_all_clean(&current.planned_per_slot, has_domains);
+            let all_clean = RoutingView::derive_all_clean(&current.tree, has_domains);
             (
                 Arc::new(RoutingView {
-                    slots: current.slots.to_vec().into_boxed_slice(),
-                    mask: current.mask,
-                    base: current.base,
-                    hot: current.hot.clone(),
+                    tree: current.tree.clone(),
                     has_domains,
-                    planned_per_slot: current.planned_per_slot.clone(),
                     all_clean,
-                    generation: self.next_view_gen(current),
+                    generation: self.next_view_gen(),
                 }),
                 (),
             )
         });
     }
 
-    /// Rebuilds and republishes the whole view (hot-stripe registration).
-    fn republish_all(&self) {
-        let Some(view) = &self.view else { return };
-        view.update(|current| {
-            let slots: Box<[Arc<HashMap<String, PeerView>>]> = (0..current.slots.len())
-                .map(|idx| Arc::new(self.read_slot(idx, ShardState::peer_view)))
-                .collect();
-            let planned: Box<[u32]> = slots
-                .iter()
-                .map(|slot| RoutingView::planned_in(slot))
-                .collect();
-            let has_domains = !self.domains.read().is_empty();
-            let all_clean = RoutingView::derive_all_clean(&planned, has_domains);
-            (
-                Arc::new(RoutingView {
-                    slots,
-                    mask: current.mask,
-                    base: current.base,
-                    hot: self.hot_list(),
-                    has_domains,
-                    planned_per_slot: planned,
-                    all_clean,
-                    generation: self.next_view_gen(current),
-                }),
-                (),
-            )
-        });
+    /// Opens a batch scope (scopes nest). While open, republishes are
+    /// deferred and the snapshot fast paths detour to the locked path,
+    /// so every thread still observes its own mutations in program
+    /// order.
+    fn begin_batch(&self) {
+        let mut batch = self.batch.lock();
+        batch.depth += 1;
+        self.batch_depth.store(batch.depth, Ordering::SeqCst);
+    }
+
+    /// Closes a batch scope; the outermost close flushes every deferred
+    /// republish in one view update **before** clearing the depth
+    /// marker, so a dial can never read a stale view as "not batching".
+    fn end_batch(&self) {
+        let mut batch = self.batch.lock();
+        batch.depth -= 1;
+        if batch.depth == 0 {
+            let dirty = std::mem::take(&mut batch.dirty);
+            let rebuild_all = std::mem::take(&mut batch.rebuild_all);
+            if rebuild_all {
+                self.publish_rebuild_all();
+            } else if !dirty.is_empty() {
+                self.publish_addresses(&dirty);
+            }
+        }
+        self.batch_depth.store(batch.depth, Ordering::SeqCst);
     }
 
     /// Moves `address` onto a dedicated hot stripe. See
     /// [`SimNet::stripe_hot`].
-    fn stripe_hot(&self, address: &str) {
+    fn stripe_hot(&self, address: &str) -> Result<(), NetError> {
         let Topology::Sharded { shards, mask } = &self.topology else {
-            return; // one lock total: striping cannot help
+            return Ok(()); // one lock total: striping cannot help
         };
         let _reg = self.hot_reg.lock();
         let count = self.hot_count.load(Ordering::Acquire);
         if (0..count).any(|i| self.hot_addrs[i].get().is_some_and(|a| a == address)) {
-            return; // already striped
+            return Ok(()); // already striped
         }
         if count == HOT_STRIPES {
-            return; // stripes exhausted: keep the hashed placement
+            // Stripes exhausted: the address keeps its hashed placement
+            // (correct, just not isolated). Surface the miss instead of
+            // indexing past `hot_addrs`.
+            self.hot_overflows.fetch_add(1, Ordering::Relaxed);
+            return Err(NetError::HotStripesExhausted(address.to_owned()));
         }
         let old = (fnv1a(address) & mask) as usize;
         let new = self.base_slots + count;
@@ -644,7 +767,10 @@ impl Fabric {
                 .expect("stripe published twice");
             self.hot_count.store(count + 1, Ordering::Release);
         }
-        self.republish_all();
+        // No republish: the routing view keys purely on the address
+        // hash, so moving the address between *lock* slots changes
+        // nothing a reader can see.
+        Ok(())
     }
 
     /// Records an injected fault and returns the observer to notify (the
@@ -827,12 +953,48 @@ impl SimNet {
     /// Call **before** traffic flows to the address — registration moves
     /// the address's state between lock slots, and a dial racing the
     /// move may transiently miss it. At most [`HOT_STRIPES`] addresses
-    /// can be striped; later registrations (and registrations on the
-    /// single-lock fabric) keep their hashed placement. Striping never
-    /// affects fault-stream determinism: streams are keyed by address,
-    /// not by slot.
-    pub fn stripe_hot(&self, address: &str) {
-        self.fabric.stripe_hot(address);
+    /// can be striped. Striping never affects fault-stream determinism:
+    /// streams are keyed by address, not by slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::HotStripesExhausted`] when all stripes are
+    /// taken; the address keeps its hashed placement (correct, just not
+    /// isolated) and [`SimNet::hot_stripe_overflows`] counts the miss.
+    /// Registrations on the single-lock fabric and re-registrations of
+    /// an already-striped address succeed as no-ops.
+    pub fn stripe_hot(&self, address: &str) -> Result<(), NetError> {
+        self.fabric.stripe_hot(address)
+    }
+
+    /// Hot-stripe registrations refused because all [`HOT_STRIPES`]
+    /// stripes were already taken.
+    #[must_use]
+    pub fn hot_stripe_overflows(&self) -> u64 {
+        self.fabric.hot_overflows.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` with every shaper/bind republish deferred, then publishes
+    /// them as **one** routing-view update — the write-side fast path for
+    /// bursts like fleet provisioning, where per-mutation republishes
+    /// would each copy interior tree nodes for no reader to see.
+    ///
+    /// Scopes nest; the outermost scope flushes. While a batch is open
+    /// anywhere on the fabric, dials and exchanges detour to the locked
+    /// read path, so the batching thread still observes its own
+    /// mutations in program order (and concurrent readers stay
+    /// correct — merely slower until the flush). The flush runs even if
+    /// `f` panics.
+    pub fn batch<R>(&self, f: impl FnOnce(&SimNet) -> R) -> R {
+        struct Guard<'a>(&'a Fabric);
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                self.0.end_batch();
+            }
+        }
+        self.fabric.begin_batch();
+        let _guard = Guard(&self.fabric);
+        f(self)
     }
 
     /// Returns the traffic-shaping handle for `address`: the single entry
@@ -865,17 +1027,20 @@ impl SimNet {
     /// the view carries — is unchanged.
     pub fn set_fault_seed(&self, seed: u64) {
         self.fabric.fault_seed.store(seed, Ordering::Relaxed);
+        // Entries are shared with the published view, so reseeding them
+        // in place (through their own locks) is immediately visible to
+        // both read paths.
         self.fabric.for_each_shard(|state| {
             for (address, entry) in &mut state.faults {
-                *entry = FaultEntry::new(entry.plan.clone(), seed, address);
+                let mut entry = entry.lock();
+                let plan = entry.plan.clone();
+                *entry = FaultEntry::new(plan, seed, address);
             }
             for (address, routes) in &mut state.route_faults {
                 for (prefix, entry) in routes.iter_mut() {
-                    *entry = FaultEntry::new(
-                        entry.plan.clone(),
-                        seed,
-                        &route_stream_key(address, prefix),
-                    );
+                    let mut entry = entry.lock();
+                    let plan = entry.plan.clone();
+                    *entry = FaultEntry::new(plan, seed, &route_stream_key(address, prefix));
                 }
             }
         });
@@ -948,6 +1113,105 @@ impl SimNet {
         self.fabric.shard_load()
     }
 
+    /// Cumulative spin/yield iterations snapshot writers spent waiting
+    /// for reader stripes to drain while retiring old routing views (the
+    /// `revelio_net_snapshot_retire_spins` counter) — writer-stall time,
+    /// reported honestly by the fleet benchmark. Always `0` in
+    /// [`ReadPath::Locked`] mode.
+    #[must_use]
+    pub fn snapshot_retire_spins(&self) -> u64 {
+        self.fabric.view.as_ref().map_or(0, Snapshot::retire_spins)
+    }
+
+    /// Deterministic estimate of the routing state's heap footprint in
+    /// bytes (structure sizes and string lengths, never allocator or
+    /// capacity artifacts). In snapshot mode this measures the published
+    /// view tree; in locked mode, the equivalent per-entry cost of the
+    /// shard maps. The fleet benchmark divides it by the node count for
+    /// its memory-per-node column.
+    #[must_use]
+    pub fn routing_memory_bytes(&self) -> usize {
+        if let Some(snap) = &self.fabric.view {
+            return snap.read_at(self.stripe, |view| view.tree.estimated_bytes());
+        }
+        let mut entries = Vec::new();
+        for idx in 0..self.fabric.acquisitions.len() {
+            self.fabric
+                .read_slot(idx, |state| state.collect_views(&mut entries));
+        }
+        entries
+            .iter()
+            .map(|(address, view)| view.estimated_bytes(address))
+            .sum()
+    }
+
+    /// A canonical dump of the fabric's routing state: every published
+    /// address sorted, with its listener/latency/redirect/tamper
+    /// presence and the full parameters of every installed plan, plus a
+    /// planned-count/domain footer. Byte-identical across fabric modes,
+    /// shard counts, and (after the flush) batched vs unbatched
+    /// mutation orders — the write-burst suites diff it to prove the
+    /// view converged. Do not call inside an open [`SimNet::batch`]
+    /// scope: the snapshot is stale until the flush.
+    #[must_use]
+    pub fn view_fingerprint(&self) -> String {
+        fn describe(view: &PeerView) -> String {
+            let mut line = String::new();
+            let _ = write!(
+                line,
+                "listener:{} latency:{:?} redirect:{:?} tamper:{}",
+                u8::from(view.listener.is_some()),
+                view.latency_us,
+                view.redirect(),
+                u8::from(view.tamper().is_some()),
+            );
+            if let Some(entry) = view.fault() {
+                let _ = write!(line, " plan:[{}]", entry.lock().plan.fingerprint());
+            }
+            if let Some(routes) = view.routes() {
+                let mut routes: Vec<(String, String)> = routes
+                    .iter()
+                    .map(|(prefix, entry)| (prefix.clone(), entry.lock().plan.fingerprint()))
+                    .collect();
+                routes.sort();
+                for (prefix, plan) in routes {
+                    let _ = write!(line, " route:{prefix}:[{plan}]");
+                }
+            }
+            line
+        }
+        let mut entries: Vec<(String, String, bool)> = Vec::new();
+        if let Some(snap) = &self.fabric.view {
+            let view = snap.load_at(self.stripe);
+            view.tree.for_each(|address, peer| {
+                entries.push((address.to_owned(), describe(peer), peer.planned()));
+            });
+            debug_assert_eq!(entries.len(), view.tree.len(), "tree len out of sync");
+        } else {
+            let mut collected = Vec::new();
+            for idx in 0..self.fabric.acquisitions.len() {
+                self.fabric
+                    .read_slot(idx, |state| state.collect_views(&mut collected));
+            }
+            for (address, peer) in &collected {
+                entries.push((address.clone(), describe(peer), peer.planned()));
+            }
+        }
+        entries.sort();
+        let planned = entries.iter().filter(|(_, _, planned)| *planned).count();
+        let domains = self.fabric.domains.read().len();
+        let mut out = String::new();
+        for (address, line, _) in &entries {
+            let _ = writeln!(out, "{address} | {line}");
+        }
+        let _ = writeln!(
+            out,
+            "-- entries:{} planned:{planned} domains:{domains}",
+            entries.len()
+        );
+        out
+    }
+
     /// Opens a connection to `address`.
     ///
     /// On the snapshot read path a clean dial — no installed fault plan,
@@ -962,55 +1226,78 @@ impl SimNet {
     /// or [`NetError::Timeout`] when the address's fault plan is inside a
     /// fail-first window.
     pub fn dial(&self, address: &str) -> Result<Connection, NetError> {
+        // While a batch is open the view may be stale: the locked path
+        // (reading the authoritative shard maps) keeps program order.
         if let Some(snap) = &self.fabric.view {
-            // Clean-path resolution happens under a guard-style read (no
-            // Arc round-trip); `accept()` runs after the guard is gone,
-            // so user handler code can never stall (or, by republishing,
-            // deadlock) a view writer.
-            enum Fast {
-                Clean(CleanRoute, Option<u64>),
-                Fallback,
-            }
-            let fast = snap.read_at(self.stripe, |view| {
-                if view.has_domains {
-                    return Fast::Fallback;
+            if self.fabric.batch_depth.load(Ordering::Relaxed) == 0 {
+                // Clean-path resolution happens under a guard-style read
+                // (no Arc round-trip); `accept()` and fault bookkeeping
+                // run after the guard is gone, so user code (handlers,
+                // fault observers) can never stall — or, by
+                // republishing, deadlock — a view writer.
+                enum Fast {
+                    Clean(CleanRoute, Option<u64>),
+                    /// A fail-first window fired; charge this timeout.
+                    Faulted(u64),
+                    Fallback,
                 }
-                match view.peer(address) {
-                    Some(peer) if !peer.has_fault_plan => {
-                        // Exchange-clean too (no route plan either): stamp
-                        // the view generation so exchanges revalidate the
-                        // verdict with one atomic load.
-                        let clean_gen = (!peer.has_route_plan).then_some(view.generation);
-                        Fast::Clean(Self::resolve_clean(view, address, peer), clean_gen)
+                let fast = snap.read_at(self.stripe, |view| {
+                    if view.has_domains {
+                        return Fast::Fallback;
                     }
-                    // Nothing at all is known about the address: no
-                    // listener, no redirect, no plan — refused, lock-free.
-                    None => Fast::Clean(None, None),
-                    // A fault plan exists: the fail-first window below
-                    // must consume from the authoritative entry.
-                    Some(_) => Fast::Fallback,
+                    match view.peer(address) {
+                        Some(peer) => {
+                            if let Some(entry) = peer.fault() {
+                                // The view publishes the live entry: the
+                                // fail-first window is consumed through
+                                // its own (leaf) lock — no shard locks.
+                                let mut entry = entry.lock();
+                                if entry.dial_fails() {
+                                    return Fast::Faulted(entry.plan.timeout_us);
+                                }
+                            }
+                            // Exchange-clean (no plan of either kind):
+                            // stamp the view generation so exchanges
+                            // revalidate the verdict with one atomic
+                            // load.
+                            let clean_gen = (!peer.planned()).then_some(view.generation);
+                            Fast::Clean(Self::resolve_clean(view, address, peer), clean_gen)
+                        }
+                        // Nothing at all is known about the address: no
+                        // listener, no redirect, no plan — refused,
+                        // lock-free.
+                        None => Fast::Clean(None, None),
+                    }
+                });
+                match fast {
+                    Fast::Clean(Some((listener, latency, tamper)), clean_gen) => {
+                        return Ok(Connection {
+                            clock: self.clock.clone(),
+                            handler: listener.accept(),
+                            one_way_us: latency.unwrap_or(self.config.default_one_way_us),
+                            tamper,
+                            dialed: address.to_owned(),
+                            local: self.local.clone(),
+                            closed: false,
+                            timeout_us: FaultPlan::default().timeout_us,
+                            clean_gen,
+                            stripe: self.stripe,
+                            fabric: Arc::clone(&self.fabric),
+                        });
+                    }
+                    Fast::Clean(None, _) => {
+                        return Err(NetError::ConnectionRefused(address.to_owned()));
+                    }
+                    Fast::Faulted(timeout_us) => {
+                        let observer = self.fabric.record_fault();
+                        self.clock.advance_us(timeout_us);
+                        if let Some(obs) = observer {
+                            obs(address, FaultKind::Timeout);
+                        }
+                        return Err(NetError::Timeout(address.to_owned()));
+                    }
+                    Fast::Fallback => {}
                 }
-            });
-            match fast {
-                Fast::Clean(Some((listener, latency, tamper)), clean_gen) => {
-                    return Ok(Connection {
-                        clock: self.clock.clone(),
-                        handler: listener.accept(),
-                        one_way_us: latency.unwrap_or(self.config.default_one_way_us),
-                        tamper,
-                        dialed: address.to_owned(),
-                        local: self.local.clone(),
-                        closed: false,
-                        timeout_us: FaultPlan::default().timeout_us,
-                        clean_gen,
-                        stripe: self.stripe,
-                        fabric: Arc::clone(&self.fabric),
-                    });
-                }
-                Fast::Clean(None, _) => {
-                    return Err(NetError::ConnectionRefused(address.to_owned()));
-                }
-                Fast::Fallback => {}
             }
         }
         self.dial_locked(address)
@@ -1024,12 +1311,12 @@ impl SimNet {
         // override installed on the victim keeps applying after a
         // redirect, falling back to the attacker's setting only when the
         // victim has none.
-        let (listener, fallback_latency, fallback_tamper) = match peer.redirect.as_deref() {
+        let (listener, fallback_latency, fallback_tamper) = match peer.redirect() {
             Some(effective) if effective != address => match view.peer(effective) {
                 Some(target) => (
                     target.listener.clone(),
                     target.latency_us,
-                    target.tamper.clone(),
+                    target.tamper().cloned(),
                 ),
                 None => (None, None, None),
             },
@@ -1038,7 +1325,7 @@ impl SimNet {
         Some((
             listener?,
             peer.latency_us.or(fallback_latency),
-            peer.tamper.clone().or(fallback_tamper),
+            peer.tamper().cloned().or(fallback_tamper),
         ))
     }
 
@@ -1059,28 +1346,27 @@ impl SimNet {
             }
             return Err(NetError::Timeout(address.to_owned()));
         }
-        // One read lock resolves everything about the dialed address; the
-        // write lock below is taken only when a fault plan is installed
+        // One read lock resolves everything about the dialed address;
+        // the fail-first draw (when a fault plan is installed) goes
+        // through the shared entry's own lock, never a shard write lock
         // (a fail-first window makes the service unreachable: the dial
         // times out before anything is delivered; only address-wide plans
         // apply — the route is not known until an exchange).
-        let (has_plan, redirect, victim_latency, victim_tamper, victim_listener) =
+        let (fault, redirect, victim_latency, victim_tamper, victim_listener) =
             self.fabric.read(address, |state| {
                 (
-                    state.faults.contains_key(address),
+                    state.faults.get(address).cloned(),
                     state.redirects.get(address).cloned(),
                     state.latency_overrides.get(address).copied(),
                     state.tamper.get(address).cloned(),
                     state.listeners.get(address).cloned(),
                 )
             });
-        if has_plan {
-            let timed_out = self.fabric.write(address, |state| {
-                state
-                    .faults
-                    .get_mut(address)
-                    .and_then(|entry| entry.dial_fails().then_some(entry.plan.timeout_us))
-            });
+        if let Some(entry) = fault {
+            let timed_out = {
+                let mut entry = entry.lock();
+                entry.dial_fails().then_some(entry.plan.timeout_us)
+            };
             if let Some(timeout_us) = timed_out {
                 let observer = self.fabric.record_fault();
                 self.clock.advance_us(timeout_us);
@@ -1198,7 +1484,7 @@ impl PeerShaper<'_> {
     pub fn fault_plan(self, plan: FaultPlan) -> Self {
         let seed = self.fabric().fault_seed.load(Ordering::Relaxed);
         self.fabric().write(&self.address, |state| {
-            let entry = FaultEntry::new(plan, seed, &self.address);
+            let entry = Arc::new(Mutex::new(FaultEntry::new(plan, seed, &self.address)));
             state.faults.insert(self.address.clone(), entry);
         });
         self.fabric().republish_address(&self.address);
@@ -1215,7 +1501,11 @@ impl PeerShaper<'_> {
     pub fn fault_plan_for_route(self, prefix: &str, plan: FaultPlan) -> Self {
         let seed = self.fabric().fault_seed.load(Ordering::Relaxed);
         self.fabric().write(&self.address, |state| {
-            let entry = FaultEntry::new(plan, seed, &route_stream_key(&self.address, prefix));
+            let entry = Arc::new(Mutex::new(FaultEntry::new(
+                plan,
+                seed,
+                &route_stream_key(&self.address, prefix),
+            )));
             let routes = state.route_faults.entry(self.address.clone()).or_default();
             match routes.iter_mut().find(|(p, _)| p == prefix) {
                 Some(slot) => slot.1 = entry,
@@ -1347,7 +1637,11 @@ impl Connection {
     ///
     /// On the snapshot read path the overwhelmingly common clean case —
     /// no domains installed, no plan on this address — is answered from
-    /// the routing view without touching a single lock.
+    /// the routing view without touching a single lock. A *planned*
+    /// address is almost as cheap: the view publishes the live fault
+    /// entries, so the draw locks only the entry's own mutex. Only
+    /// fault domains (and open batch scopes) fall back to the locked
+    /// path.
     fn fault_decision(&mut self, route: &str) -> (u64, Option<NetError>) {
         if let Some(snap) = &self.fabric.view {
             // Dial-time (or prior-exchange) clean verdict still valid?
@@ -1357,17 +1651,74 @@ impl Connection {
                     return (0, None);
                 }
             }
-            let (clean, gen) = snap.read_at(self.stripe, |view| {
-                let clean = view.all_clean
-                    || (!view.has_domains
-                        && view
-                            .peer(&self.dialed)
-                            .is_none_or(|p| !p.has_fault_plan && !p.has_route_plan));
-                (clean, view.generation)
-            });
-            self.clean_gen = clean.then_some(gen);
-            if clean {
-                return (0, None);
+            if self.fabric.batch_depth.load(Ordering::Relaxed) == 0 {
+                enum Verdict {
+                    /// No plan anywhere near this address: stamp this
+                    /// generation and skip future checks while it lives.
+                    Clean(u64),
+                    /// Route plans exist but none match this route and
+                    /// there is no address-wide fallback: clean, but not
+                    /// stampable (another route could match).
+                    NoDraw,
+                    /// This entry governs the exchange.
+                    Draw(SharedFaultEntry),
+                    /// Domains installed: the locked path arbitrates.
+                    Fallback,
+                }
+                let verdict = snap.read_at(self.stripe, |view| {
+                    if view.has_domains {
+                        return Verdict::Fallback;
+                    }
+                    if view.all_clean {
+                        return Verdict::Clean(view.generation);
+                    }
+                    let Some(peer) = view.peer(&self.dialed) else {
+                        return Verdict::Clean(view.generation);
+                    };
+                    if !peer.planned() {
+                        return Verdict::Clean(view.generation);
+                    }
+                    let route_entry = peer.routes().and_then(|routes| {
+                        routes
+                            .iter()
+                            .filter(|(prefix, _)| route.starts_with(prefix.as_str()))
+                            .max_by_key(|(prefix, _)| prefix.len())
+                            .map(|(_, entry)| Arc::clone(entry))
+                    });
+                    match route_entry.or_else(|| peer.fault().cloned()) {
+                        Some(entry) => Verdict::Draw(entry),
+                        None => Verdict::NoDraw,
+                    }
+                });
+                match verdict {
+                    Verdict::Clean(gen) => {
+                        self.clean_gen = Some(gen);
+                        return (0, None);
+                    }
+                    Verdict::NoDraw => {
+                        self.clean_gen = None;
+                        return (0, None);
+                    }
+                    Verdict::Draw(entry) => {
+                        self.clean_gen = None;
+                        // The draw happens outside the read guard (the
+                        // entry Arc keeps it alive) so the observer below
+                        // can never stall a view writer.
+                        let ((jitter_us, fault), timeout_us) = {
+                            let mut entry = entry.lock();
+                            (entry.exchange_decision(), entry.plan.timeout_us)
+                        };
+                        self.timeout_us = timeout_us;
+                        let Some(kind) = fault else {
+                            return (jitter_us, None);
+                        };
+                        if let Some(obs) = self.fabric.record_fault() {
+                            obs(&self.dialed, kind);
+                        }
+                        return (jitter_us, Some(self.fault_error(kind)));
+                    }
+                    Verdict::Fallback => {}
+                }
             }
         }
         self.fault_decision_locked(route)
@@ -1395,30 +1746,28 @@ impl Connection {
             }
             domain_jitter_us = jitter_us;
         }
-        // Fast path: nothing installed for this address — read lock only.
-        let has_plan = self.fabric.read(&self.dialed, |state| {
-            state.faults.contains_key(&self.dialed) || state.route_faults.contains_key(&self.dialed)
-        });
-        if !has_plan {
-            return (domain_jitter_us, None);
-        }
-        let decision = self.fabric.write(&self.dialed, |state| {
-            if let Some(routes) = state.route_faults.get_mut(&self.dialed) {
+        // One read lock picks the governing entry (longest matching
+        // route prefix, else the address-wide plan); the draw itself
+        // goes through the shared entry's own lock, so even the locked
+        // path never takes a shard write lock per draw.
+        let governing = self.fabric.read(&self.dialed, |state| {
+            if let Some(routes) = state.route_faults.get(&self.dialed) {
                 let best = routes
-                    .iter_mut()
+                    .iter()
                     .filter(|(prefix, _)| route.starts_with(prefix.as_str()))
                     .max_by_key(|(prefix, _)| prefix.len());
                 if let Some((_, entry)) = best {
-                    return Some((entry.exchange_decision(), entry.plan.timeout_us));
+                    return Some(Arc::clone(entry));
                 }
             }
-            state
-                .faults
-                .get_mut(&self.dialed)
-                .map(|entry| (entry.exchange_decision(), entry.plan.timeout_us))
+            state.faults.get(&self.dialed).cloned()
         });
-        let Some(((jitter_us, fault), timeout_us)) = decision else {
+        let Some(entry) = governing else {
             return (domain_jitter_us, None);
+        };
+        let ((jitter_us, fault), timeout_us) = {
+            let mut entry = entry.lock();
+            (entry.exchange_decision(), entry.plan.timeout_us)
         };
         let jitter_us = domain_jitter_us.saturating_add(jitter_us);
         self.timeout_us = timeout_us;
@@ -1817,8 +2166,8 @@ mod tests {
         let run = |stripe: bool| {
             let (clock, net) = fabric();
             if stripe {
-                net.stripe_hot("kds:443");
-                net.stripe_hot("kds:443"); // idempotent
+                net.stripe_hot("kds:443").unwrap();
+                net.stripe_hot("kds:443").unwrap(); // idempotent
             }
             net.bind("kds:443", Arc::new(Echo)).unwrap();
             net.bind("cold:443", Arc::new(Echo)).unwrap();
@@ -1845,7 +2194,7 @@ mod tests {
         let (clock, net) = fabric();
         net.bind("kds:443", Arc::new(Echo)).unwrap();
         net.peer("kds:443").latency_us(30_000);
-        net.stripe_hot("kds:443");
+        net.stripe_hot("kds:443").unwrap();
         let mut conn = net.dial("kds:443").unwrap();
         let start = clock.now_us();
         conn.exchange(b"q").unwrap();
@@ -1861,13 +2210,159 @@ mod tests {
         let (_, net) = fabric();
         for i in 0..(HOT_STRIPES + 3) {
             let address = format!("hot-{i}:443");
-            net.stripe_hot(&address);
+            let striped = net.stripe_hot(&address);
+            if i < HOT_STRIPES {
+                striped.unwrap();
+            } else {
+                // Overflowing registrations report the exhaustion instead
+                // of indexing past the registry; the address keeps its
+                // hashed placement.
+                assert!(matches!(striped, Err(NetError::HotStripesExhausted(a)) if a == address));
+            }
             net.bind(&address, Arc::new(Echo)).unwrap();
         }
-        // Overflowing addresses silently keep hashed placement; all dial.
+        assert_eq!(net.hot_stripe_overflows(), 3);
+        // Striped and overflowed addresses all still dial.
         for i in 0..(HOT_STRIPES + 3) {
             net.dial(&format!("hot-{i}:443")).unwrap();
         }
+        // Re-registering an already-striped address is not an overflow.
+        net.stripe_hot("hot-0:443").unwrap();
+        assert_eq!(net.hot_stripe_overflows(), 3);
+    }
+
+    #[test]
+    fn batch_coalesces_mutations_into_one_republish() {
+        let build = |batched: bool| {
+            let (_, net) = fabric();
+            let before = net.fabric.view_gen.load(Ordering::SeqCst);
+            let provision = |net: &SimNet| {
+                for i in 0..50 {
+                    let address = format!("node-{i}:443");
+                    net.bind(&address, Arc::new(Echo)).unwrap();
+                    net.peer(&address).latency_us(1_000 + i);
+                }
+            };
+            if batched {
+                net.batch(|net| provision(net));
+            } else {
+                provision(&net);
+            }
+            let republishes = net.fabric.view_gen.load(Ordering::SeqCst) - before;
+            (net, republishes)
+        };
+        let (batched, batched_gens) = build(true);
+        let (unbatched, unbatched_gens) = build(false);
+        // One generation bump to invalidate clean stamps when the first
+        // mutation is deferred, one for the single flush — versus one per
+        // mutation unbatched.
+        assert_eq!(batched_gens, 2);
+        assert_eq!(unbatched_gens, 100);
+        assert_eq!(batched.view_fingerprint(), unbatched.view_fingerprint());
+        // The coalesced view serves the snapshot fast path as usual.
+        let mut conn = batched.dial("node-7:443").unwrap();
+        assert_eq!(conn.exchange(b"x").unwrap(), b"x");
+    }
+
+    #[test]
+    fn batch_preserves_program_order_for_own_dials() {
+        for (clock, net) in all_modes() {
+            net.set_fault_seed(0xBA7C);
+            let echoed = net.batch(|net| {
+                // A bind must be visible to a dial later in the same
+                // batch (the deferral only delays the *published* view).
+                net.bind("kds:443", Arc::new(Echo)).unwrap();
+                let mut conn = net.dial("kds:443").unwrap();
+                let echoed = conn.exchange(b"ping").unwrap();
+                // A plan installed mid-batch governs the very next
+                // exchange, exactly as it would outside a batch.
+                net.peer("kds:443").fault_plan(FaultPlan::outage());
+                let mut conn = net.dial("kds:443").unwrap();
+                assert!(matches!(conn.exchange(b"q"), Err(NetError::Dropped(_))));
+                echoed
+            });
+            assert_eq!(echoed, b"ping");
+            assert_eq!(net.faults_injected(), 1);
+            assert!(clock.now_us() > 0);
+        }
+    }
+
+    #[test]
+    fn nested_batches_flush_at_outermost_exit() {
+        let (_, net) = fabric();
+        let before = net.fabric.view_gen.load(Ordering::SeqCst);
+        net.batch(|net| {
+            net.bind("outer:443", Arc::new(Echo)).unwrap();
+            net.batch(|net| {
+                net.bind("inner:443", Arc::new(Echo)).unwrap();
+            });
+            // The inner scope ended but the outer batch is still open:
+            // nothing has been published yet beyond the stamp bump.
+            assert_eq!(net.fabric.view_gen.load(Ordering::SeqCst), before + 1);
+        });
+        assert_eq!(net.fabric.view_gen.load(Ordering::SeqCst), before + 2);
+        net.dial("outer:443").unwrap();
+        net.dial("inner:443").unwrap();
+    }
+
+    #[test]
+    fn batch_flushes_even_when_the_closure_panics() {
+        let (_, net) = fabric();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.batch(|net| {
+                net.bind("survivor:443", Arc::new(Echo)).unwrap();
+                panic!("mid-batch failure");
+            })
+        }));
+        assert!(result.is_err());
+        // The guard flushed the deferred mutations on unwind: the bind is
+        // published and the batch depth is back to zero (the fast path
+        // serves the dial).
+        assert_eq!(net.fabric.batch_depth.load(Ordering::Relaxed), 0);
+        let mut conn = net.dial("survivor:443").unwrap();
+        assert_eq!(conn.exchange(b"x").unwrap(), b"x");
+    }
+
+    #[test]
+    fn batch_overflow_falls_back_to_full_rebuild() {
+        let (_, net) = fabric();
+        net.batch(|net| {
+            for i in 0..(BATCH_REBUILD_THRESHOLD + 50) {
+                net.bind(&format!("node-{i}:443"), Arc::new(Echo)).unwrap();
+            }
+        });
+        // Above the dirty-list threshold the flush rebuilds the whole
+        // tree from the shards; the result must be indistinguishable.
+        let (_, twin) = fabric();
+        for i in 0..(BATCH_REBUILD_THRESHOLD + 50) {
+            twin.bind(&format!("node-{i}:443"), Arc::new(Echo)).unwrap();
+        }
+        assert_eq!(net.view_fingerprint(), twin.view_fingerprint());
+        net.dial(&format!("node-{}:443", BATCH_REBUILD_THRESHOLD + 49))
+            .unwrap();
+    }
+
+    #[test]
+    fn view_fingerprint_agrees_across_modes() {
+        let mut prints = Vec::new();
+        for (_, net) in all_modes() {
+            net.set_fault_seed(0xF1F1);
+            net.bind("kds:443", Arc::new(Echo)).unwrap();
+            net.bind("vm:8080", Arc::new(Echo)).unwrap();
+            net.peer("kds:443")
+                .latency_us(30_000)
+                .fault_plan(FaultPlan {
+                    drop_probability: 0.25,
+                    ..FaultPlan::default()
+                });
+            net.peer("vm:8080")
+                .fault_plan_for_route("/attest", FaultPlan::fail_first(2));
+            net.peer("vm:8080").redirect_to("kds:443");
+            prints.push(net.view_fingerprint());
+        }
+        assert_eq!(prints[0], prints[1]);
+        assert_eq!(prints[1], prints[2]);
+        assert!(prints[0].contains("entries:2 planned:2 domains:0"));
     }
 
     #[test]

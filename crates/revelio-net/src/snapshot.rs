@@ -68,6 +68,10 @@ pub struct Snapshot<T> {
     readers: Box<[Stripe]>,
     /// Serializes writers; readers never touch it.
     writer: Mutex<()>,
+    /// Cumulative retire-pass iterations spent waiting on readers
+    /// (`revelio_net_snapshot_retire_spins`) — writer-stall time the
+    /// fleet bench reports alongside `provision_ms`.
+    retire_spins: AtomicU64,
 }
 
 impl<T> std::fmt::Debug for Snapshot<T> {
@@ -84,7 +88,17 @@ impl<T: Send + Sync> Snapshot<T> {
             current: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
             readers: (0..STRIPES).map(|_| Stripe(AtomicU64::new(0))).collect(),
             writer: Mutex::new(()),
+            retire_spins: AtomicU64::new(0),
         }
+    }
+
+    /// Cumulative iterations writers have spent in the retire pass
+    /// waiting for in-flight readers to drain — the
+    /// `revelio_net_snapshot_retire_spins` counter. Zero means every
+    /// republish so far found the stripes already quiescent.
+    #[must_use]
+    pub fn retire_spins(&self) -> u64 {
+        self.retire_spins.load(Ordering::Relaxed)
     }
 
     /// Returns the current value. Lock-free: one striped counter
@@ -165,20 +179,34 @@ impl<T: Send + Sync> Snapshot<T> {
 
     /// Swap in `value` and drop the old snapshot after the grace period.
     /// Caller must hold the writer lock.
+    ///
+    /// Each retire iteration scans *all* stripes rather than parking on
+    /// one stripe at a time: with a sequential per-stripe wait, a single
+    /// descheduled reader on a 1-core runner turns a write burst into a
+    /// yield-storm (the writer yields on stripe k while readers cycle
+    /// through the remaining stripes unobserved). The all-stripes scan
+    /// makes one quiescent pass over the whole array sufficient — see the
+    /// module safety argument, which is per-reader and does not need the
+    /// stripes to be simultaneously zero.
     fn swap_and_retire(&self, value: Arc<T>) {
         let old = self
             .current
             .swap(Arc::into_raw(value).cast_mut(), Ordering::SeqCst);
-        for stripe in self.readers.iter() {
-            let mut spins = 0u32;
-            while stripe.0.load(Ordering::SeqCst) != 0 {
-                spins += 1;
-                if spins < 64 {
-                    std::hint::spin_loop();
-                } else {
-                    std::thread::yield_now();
-                }
+        let mut spins: u64 = 0;
+        while self
+            .readers
+            .iter()
+            .any(|stripe| stripe.0.load(Ordering::SeqCst) != 0)
+        {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
             }
+        }
+        if spins > 0 {
+            self.retire_spins.fetch_add(spins, Ordering::Relaxed);
         }
         // SAFETY: every reader that could have loaded `old` has secured
         // its own strong count and left its stripe; this balances the
@@ -247,6 +275,41 @@ mod tests {
         // The retired snapshot stays valid for as long as a load holds it.
         assert_eq!(*one, 1);
         assert_eq!(*two, 2);
+    }
+
+    #[test]
+    fn retire_spins_counts_writer_stall_on_a_parked_reader() {
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let cell = Arc::new(Snapshot::new(Arc::new(Counted)));
+        assert_eq!(cell.retire_spins(), 0);
+        let entered = Arc::new(std::sync::Barrier::new(2));
+        std::thread::scope(|s| {
+            let reader_cell = Arc::clone(&cell);
+            let reader_entered = Arc::clone(&entered);
+            s.spawn(move || {
+                reader_cell.read(|_| {
+                    reader_entered.wait();
+                    // Park inside the read section long enough that the
+                    // writer's retire pass must spin before draining.
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                });
+            });
+            entered.wait();
+            cell.store(Arc::new(Counted));
+        });
+        assert!(
+            cell.retire_spins() > 0,
+            "writer stalled on a parked reader but recorded no spins"
+        );
+        // The parked reader's snapshot was retired exactly once, after
+        // the reader left its section.
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! key distribution. Every phase's simulated latency is recorded — the
 //! raw material of the paper's Table 2.
 
+use std::collections::HashMap;
+
 use revelio_crypto::ed25519::VerifyingKey;
 use revelio_http::message::{Request, Response};
 use revelio_http::server::plain_request_traced;
@@ -135,6 +137,11 @@ pub struct ServiceProviderNode {
     kds: KdsHttpClient,
     acme: AcmeCa,
     config: SpConfig,
+    /// The allowlist indexed by bootstrap address, built once at
+    /// construction: validation consults it per node, and a linear scan
+    /// of `config.allowlist` there would make fleet provisioning
+    /// quadratic in the fleet size.
+    allowlist_index: HashMap<String, Vec<ChipId>>,
     telemetry: Option<Telemetry>,
     retry: RetryPolicy,
     flight: Option<FlightDirectory>,
@@ -152,11 +159,19 @@ impl ServiceProviderNode {
     /// Creates an SP node.
     #[must_use]
     pub fn new(net: SimNet, kds: KdsHttpClient, acme: AcmeCa, config: SpConfig) -> Self {
+        let mut allowlist_index: HashMap<String, Vec<ChipId>> = HashMap::new();
+        for (chip, address) in &config.allowlist {
+            allowlist_index
+                .entry(address.clone())
+                .or_default()
+                .push(*chip);
+        }
         ServiceProviderNode {
             net,
             kds,
             acme,
             config,
+            allowlist_index,
             telemetry: None,
             retry: Self::default_retry_policy(),
             flight: None,
@@ -311,10 +326,9 @@ impl ServiceProviderNode {
             .map_err(|_| reject("csr proof of possession"))?;
 
         let allowed = self
-            .config
-            .allowlist
-            .iter()
-            .any(|(chip, addr)| *chip == bundle.report.report.chip_id && addr == bootstrap);
+            .allowlist_index
+            .get(bootstrap)
+            .is_some_and(|chips| chips.contains(&bundle.report.report.chip_id));
         if !allowed {
             return Err(reject("chip or address not in allowlist"));
         }

@@ -208,7 +208,8 @@ impl SimWorld {
         // The KDS is the hottest address in every scenario (each cold
         // attestation dials it): give it a dedicated lock stripe before
         // any traffic flows.
-        net.stripe_hot(KDS_ADDRESS);
+        net.stripe_hot(KDS_ADDRESS)
+            .expect("fresh fabric has a free hot stripe for the KDS");
         let flight = FlightDirectory::new(clock.clone(), DEFAULT_FLIGHT_CAPACITY);
         // Mirror every injected fault into the world registry so chaos
         // runs can assert on (and diff) `revelio_net_faults_injected_total`
@@ -482,7 +483,13 @@ impl SimWorld {
         let mut nodes = Vec::with_capacity(total);
         let mut golden_measurement = None;
         let home_subnet = self.subnet;
-        let deployed = (|| {
+        // Deploying a node is a burst of fabric mutations (binds, latency
+        // shaping); a batch scope coalesces the whole fleet into one view
+        // republish instead of one per mutation. Dials issued while the
+        // batch is open (node boot traffic) take the locked path and see
+        // every prior write, so behaviour is unchanged.
+        let net = self.net.clone();
+        let deployed = net.batch(|_| {
             for (subnet, count) in groups {
                 self.subnet = *subnet;
                 for _ in 0..*count {
@@ -499,7 +506,7 @@ impl SimWorld {
                 }
             }
             Ok::<(), RevelioError>(())
-        })();
+        });
         self.subnet = home_subnet;
         deployed?;
         let golden_measurement = golden_measurement.expect("fleets have at least one node");

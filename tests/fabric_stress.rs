@@ -89,8 +89,8 @@ fn stress_one_mode(mode: &str, config: NetConfig) {
     let net = SimNet::new(SimClock::new(), config);
     // Exercise hot striping under stress too: two stable addresses get
     // dedicated stripes before traffic starts.
-    net.stripe_hot(&stable_addr(0));
-    net.stripe_hot(&stable_addr(1));
+    net.stripe_hot(&stable_addr(0)).unwrap();
+    net.stripe_hot(&stable_addr(1)).unwrap();
     for i in 0..STABLE {
         net.bind(&stable_addr(i), Arc::new(Echo)).unwrap();
     }
@@ -203,7 +203,7 @@ fn run_partitioned(threads: usize, config: NetConfig) -> (Vec<Vec<&'static str>>
     let net = SimNet::new(clock.clone(), config);
     // Hot-stripe one of the faulted addresses: striping must not move
     // its decision stream (streams are keyed by address, not slot).
-    net.stripe_hot(&stable_addr(3));
+    net.stripe_hot(&stable_addr(3)).unwrap();
     for i in 0..ADDRS {
         net.bind(&stable_addr(i), Arc::new(Echo)).unwrap();
     }
