@@ -33,7 +33,7 @@ fn bench_vcek_cache(c: &mut Criterion) {
             let fleet = world
                 .deploy_fleet("pad.example.org", 1, demo_app())
                 .unwrap();
-            let mut extension = world.extension();
+            let extension = world.extension();
             extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
             let cold = extension.browse("pad.example.org", "/").unwrap().timing;
             let warm = extension.browse("pad.example.org", "/").unwrap().timing;

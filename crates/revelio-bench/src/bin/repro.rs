@@ -9,8 +9,9 @@
 use revelio_bench::{
     cert_strategy_ablation, fleet_dimensions_from_env, fleet_trials_from_env, run_chaos_column,
     run_fabric_bench, run_fig5, run_fig6, run_fleet_scaling, run_ratls_ablation,
-    run_retry_ablation, run_table1, run_table2, run_table3, run_telemetry, run_trace_demo,
-    run_verity_ablation, SCALE, TRACE_DEMO_FAULT_SEED, TRACE_DEMO_SEED,
+    run_retry_ablation, run_swarm, run_table1, run_table2, run_table3, run_telemetry,
+    run_trace_demo, run_verity_ablation, swarm_dimensions_from_env, SCALE, TRACE_DEMO_FAULT_SEED,
+    TRACE_DEMO_SEED,
 };
 
 const KNOWN_FLAGS: &[&str] = &[
@@ -24,6 +25,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--fleet",
     "--chaos",
     "--trace",
+    "--swarm",
 ];
 
 /// The default partition seed of the chaos column (the CI chaos job
@@ -82,6 +84,12 @@ fn main() {
     // printed hop sequences.
     if args.iter().any(|a| a == "--trace") {
         trace();
+    }
+    // The swarm drives a million monitored sessions at full size, so it
+    // only runs when asked for; the CI smoke job shrinks it via
+    // `REVELIO_SWARM_SESSIONS`.
+    if args.iter().any(|a| a == "--swarm") {
+        swarm();
     }
 }
 
@@ -436,6 +444,60 @@ fn fleet() {
         } else {
             for failure in &failures {
                 eprintln!("fleet gate FAILED: {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn swarm() {
+    let (sessions, threads, nodes) = swarm_dimensions_from_env();
+    println!("== Swarm: staged verification at browser-population scale ==");
+    println!(
+        "({sessions} monitored sessions, {threads} OS threads, {nodes}-node shared-cert \
+         fleet; every session re-runs the staged verify — a verdict-cache hit — plus one \
+         monitored GET; the cold baseline is a fresh extension paying the KDS round trip \
+         and the batched signature check)"
+    );
+    let report = run_swarm(sessions, threads, nodes);
+    println!("{:<34} {:>14} {:>14}", "phase", "p50 µs", "p99 µs");
+    println!(
+        "{:<34} {:>14.2} {:>14.2}",
+        "cold verify (fresh extension)", report.cold_verify_p50_us, report.cold_verify_p99_us
+    );
+    println!(
+        "{:<34} {:>14.2} {:>14.2}",
+        "cache-hit session (verify + GET)", report.session_p50_us, report.session_p99_us
+    );
+    println!(
+        "verify throughput: {:.0} sessions/sec over {:.2} s wall",
+        report.verify_throughput_per_sec, report.hot_elapsed_secs
+    );
+    println!(
+        "verdict cache: {} hits, {} misses (hit rate {:.4}), {} invalidations",
+        report.cache_hits, report.cache_misses, report.cache_hit_rate, report.cache_invalidations
+    );
+    println!(
+        "hot-phase signature verifications: {} (line-rate claim: 0); \
+         TLS-binding checks: {} (one per session)",
+        report.signature_checks, report.tls_binding_checks
+    );
+    println!("transcript sha256: {}", report.transcript_sha256);
+    match std::fs::write("BENCH_swarm.json", report.to_json()) {
+        Ok(()) => println!("report written: BENCH_swarm.json\n"),
+        Err(e) => println!("(could not write BENCH_swarm.json: {e})\n"),
+    }
+    if std::env::var("REVELIO_SWARM_GATE").as_deref() == Ok("1") {
+        let failures = report.gate_failures();
+        if failures.is_empty() {
+            println!(
+                "swarm gates: PASS (cache-hit session p50 beats cold-verify p50, zero \
+                 hot-phase signature verifications, hit rate >= 0.99, TLS binding checked \
+                 per session)\n"
+            );
+        } else {
+            for failure in &failures {
+                eprintln!("swarm gate FAILED: {failure}");
             }
             std::process::exit(1);
         }

@@ -816,7 +816,7 @@ pub fn run_retry_ablation(
             for _ in 0..samples {
                 // A fresh extension per sample: every browse pays the cold
                 // KDS fetch the faults are installed on.
-                let mut extension = world.extension();
+                let extension = world.extension();
                 extension.register_site("tail.example.org", vec![fleet.golden_measurement]);
                 if let Ok(outcome) = extension.browse("tail.example.org", "/") {
                     latencies.push(outcome.timing.total_ms);

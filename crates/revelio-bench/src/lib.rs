@@ -13,6 +13,7 @@
 //! `EXPERIMENTS.md` records paper-vs-reproduced values.
 
 pub mod fabric;
+pub mod swarm;
 pub mod trace_demo;
 
 use std::sync::Arc;
@@ -36,6 +37,9 @@ use revelio_storage::probed::ProbedDevice;
 use revelio_storage::verity::{VerityDevice, VerityParams, VerityTree};
 use revelio_telemetry::{DeviceProbe, Telemetry};
 use sev_snp::ids::GuestPolicy;
+pub use swarm::{
+    run_swarm, run_swarm_with_net, swarm_dimensions_from_env, SwarmReport, SWARM_DOMAIN, SWARM_SEED,
+};
 pub use trace_demo::{
     run_trace_demo, TraceDemoReport, TraceScenario, TRACE_DEMO_FAULT_SEED, TRACE_DEMO_SEED,
 };
@@ -378,7 +382,7 @@ pub fn run_table3() -> Table3 {
     let fleet = world
         .deploy_fleet("pad.example.org", 1, demo_app())
         .expect("fleet deploys");
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
 
     let network_latency_ms = 2.0 * world.tuning.link_one_way_us as f64 / 1000.0;
@@ -497,7 +501,7 @@ pub fn run_ratls_ablation() -> (f64, f64) {
     let fleet = world
         .deploy_fleet("pad.example.org", 1, demo_app())
         .expect("fleet deploys");
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     // Warm the VCEK cache so both paths are KDS-free.
     extension
@@ -550,7 +554,7 @@ pub fn run_telemetry(seed: u64) -> Telemetry {
     let fleet = world
         .deploy_fleet("pad.example.org", 2, demo_app())
         .expect("fleet deploys");
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     extension
         .browse("pad.example.org", "/")
@@ -663,7 +667,7 @@ pub fn run_chaos_column(fault_seed: u64) -> Vec<ChaosRow> {
             let fleet = world
                 .deploy_fleet_in_subnets("pad.example.org", &[(113, 12), (114, 4)], demo_app())
                 .expect("survivors provision");
-            let mut extension = world.extension();
+            let extension = world.extension();
             extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
             let browse = extension.browse("pad.example.org", "/");
             assert_eq!(

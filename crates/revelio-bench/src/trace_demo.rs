@@ -159,7 +159,7 @@ fn browse_world() -> (SimWorld, revelio::extension::WebExtension) {
     let fleet = world
         .deploy_fleet("pad.example.org", 2, demo_app())
         .expect("trace demo fleet deploys");
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     (world, extension)
 }

@@ -336,6 +336,114 @@ impl VerifyingKey {
     }
 }
 
+/// One `(public key, message, signature)` claim of a batch verification.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchItem<'a> {
+    /// The claimed signer.
+    pub key: &'a VerifyingKey,
+    /// The signed message.
+    pub message: &'a [u8],
+    /// The signature to check.
+    pub signature: &'a Signature,
+}
+
+/// Interleaved (Straus) multi-scalar multiplication: `Σ [zᵢ]Pᵢ`.
+///
+/// All pairs share one doubling chain — ~253 doublings total plus one
+/// addition per set bit — where evaluating each `[zᵢ]Pᵢ` separately
+/// would pay the full doubling chain per pair. This is what makes batch
+/// verification cheaper than verifying each signature individually.
+#[must_use]
+pub fn multiscalar_mul(pairs: &[(Scalar, EdwardsPoint)]) -> EdwardsPoint {
+    let bits = pairs.iter().map(|(z, _)| z.0.bit_len()).max().unwrap_or(0);
+    let mut acc = EdwardsPoint::identity();
+    for i in (0..bits).rev() {
+        acc = acc.double();
+        for (z, p) in pairs {
+            if z.0.bit(i) {
+                acc = acc.add(p);
+            }
+        }
+    }
+    acc
+}
+
+/// The random-linear-combination coefficient for batch item `index`.
+///
+/// The sim has no RNG, so the coefficients are derived by hashing the
+/// item itself under a domain separator — an adversary who controls the
+/// signatures also controls the coefficients, but forging the combined
+/// equation still requires predicting `SHA-512` preimages, which is the
+/// usual synthetic-coefficient batch argument (and this codebase trades
+/// side-channel-grade rigour for determinism throughout).
+fn batch_coefficient(
+    index: usize,
+    r_bytes: &[u8; 32],
+    a_bytes: &[u8; 32],
+    message: &[u8],
+) -> Scalar {
+    let m_hash = Sha512::digest(message);
+    let mut input = Vec::with_capacity(16 + 8 + 32 + 32 + 64);
+    input.extend_from_slice(b"revelio-batch/v1");
+    input.extend_from_slice(&(index as u64).to_le_bytes());
+    input.extend_from_slice(r_bytes);
+    input.extend_from_slice(a_bytes);
+    input.extend_from_slice(&m_hash);
+    let z = Scalar::from_bytes_wide(&Sha512::digest(input));
+    if z.0.is_zero() {
+        Scalar(BigUint::one())
+    } else {
+        z
+    }
+}
+
+/// Verifies a batch of signatures in one combined group equation.
+///
+/// Checks `[Σ zᵢsᵢ]B == Σ([zᵢ]Rᵢ + [zᵢkᵢ]Aᵢ)` with deterministic
+/// per-item coefficients `zᵢ`, sharing one doubling chain across every
+/// point via [`multiscalar_mul`]. An empty batch is trivially valid.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidSignature`] when any item is malformed
+/// or the combined equation fails. The batch cannot say *which* item is
+/// bad — callers wanting the precise culprit fall back to
+/// [`VerifyingKey::verify`] per item.
+pub fn verify_batch(items: &[BatchItem<'_>]) -> Result<(), CryptoError> {
+    if items.is_empty() {
+        return Ok(());
+    }
+    let mut sum_zs = Scalar(BigUint::zero());
+    let mut pairs: Vec<(Scalar, EdwardsPoint)> = Vec::with_capacity(2 * items.len());
+    for (i, item) in items.iter().enumerate() {
+        let r_bytes: [u8; 32] = item.signature.bytes[..32].try_into().expect("32 bytes");
+        let s_bytes: [u8; 32] = item.signature.bytes[32..].try_into().expect("32 bytes");
+        let s =
+            Scalar::from_canonical_bytes(&s_bytes).map_err(|_| CryptoError::InvalidSignature)?;
+        let r = EdwardsPoint::decompress(&r_bytes).map_err(|_| CryptoError::InvalidSignature)?;
+        let a =
+            EdwardsPoint::decompress(&item.key.bytes).map_err(|_| CryptoError::InvalidSignature)?;
+        let k = Scalar::from_bytes_wide(&Sha512::digest(
+            [&r_bytes[..], &item.key.bytes[..], item.message].concat(),
+        ));
+        // The first coefficient can be 1 without weakening the argument.
+        let z = if i == 0 {
+            Scalar(BigUint::one())
+        } else {
+            batch_coefficient(i, &r_bytes, &item.key.bytes, item.message)
+        };
+        sum_zs = sum_zs.add(&z.mul(&s));
+        pairs.push((z.mul(&k), a));
+        pairs.push((z, r));
+    }
+    let lhs = EdwardsPoint::basepoint().scalar_mul(&sum_zs);
+    if lhs == multiscalar_mul(&pairs) {
+        Ok(())
+    } else {
+        Err(CryptoError::InvalidSignature)
+    }
+}
+
 /// An Ed25519 signing key (seed plus derived scalar and prefix).
 #[derive(Clone)]
 pub struct SigningKey {
@@ -566,6 +674,109 @@ mod tests {
             .add(&EdwardsPoint::basepoint().scalar_mul(&b));
         let rhs = EdwardsPoint::basepoint().scalar_mul(&a.add(&b));
         assert_eq!(lhs, rhs);
+    }
+
+    fn batch_fixture() -> Vec<(SigningKey, Vec<u8>, Signature)> {
+        (0u8..4)
+            .map(|i| {
+                let key = SigningKey::from_seed(&[i + 10; 32]);
+                let message = format!("attestation payload {i}").into_bytes();
+                let sig = key.sign(&message);
+                (key, message, sig)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multiscalar_matches_naive_sum() {
+        let a = Scalar::from_bytes_reduced(&[7u8; 32]);
+        let b = Scalar::from_bytes_reduced(&[9u8; 32]);
+        let p = EdwardsPoint::basepoint();
+        let q = p.double().add(&p);
+        let naive = p.scalar_mul(&a).add(&q.scalar_mul(&b));
+        assert_eq!(multiscalar_mul(&[(a, p), (b, q)]), naive);
+        assert!(multiscalar_mul(&[]).is_identity());
+    }
+
+    #[test]
+    fn empty_batch_is_valid() {
+        assert_eq!(verify_batch(&[]), Ok(()));
+    }
+
+    #[test]
+    fn batch_accepts_valid_signatures() {
+        let fixture = batch_fixture();
+        let keys: Vec<VerifyingKey> = fixture.iter().map(|(k, _, _)| k.verifying_key()).collect();
+        let items: Vec<BatchItem<'_>> = fixture
+            .iter()
+            .zip(&keys)
+            .map(|((_, message, sig), key)| BatchItem {
+                key,
+                message,
+                signature: sig,
+            })
+            .collect();
+        verify_batch(&items).unwrap();
+    }
+
+    #[test]
+    fn batch_rejects_one_tampered_item() {
+        let fixture = batch_fixture();
+        let keys: Vec<VerifyingKey> = fixture.iter().map(|(k, _, _)| k.verifying_key()).collect();
+        for victim in 0..fixture.len() {
+            let mut messages: Vec<Vec<u8>> = fixture.iter().map(|(_, m, _)| m.clone()).collect();
+            messages[victim][0] ^= 1;
+            let items: Vec<BatchItem<'_>> = fixture
+                .iter()
+                .zip(&keys)
+                .zip(&messages)
+                .map(|(((_, _, sig), key), message)| BatchItem {
+                    key,
+                    message,
+                    signature: sig,
+                })
+                .collect();
+            assert_eq!(
+                verify_batch(&items),
+                Err(CryptoError::InvalidSignature),
+                "tampered item {victim} must fail the whole batch"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_rejects_swapped_signatures() {
+        let fixture = batch_fixture();
+        let keys: Vec<VerifyingKey> = fixture.iter().map(|(k, _, _)| k.verifying_key()).collect();
+        let items: Vec<BatchItem<'_>> = fixture
+            .iter()
+            .enumerate()
+            .map(|(i, (_, message, _))| BatchItem {
+                key: &keys[i],
+                message,
+                // Each item carries its neighbour's (individually valid)
+                // signature: every single equation is wrong.
+                signature: &fixture[(i + 1) % fixture.len()].2,
+            })
+            .collect();
+        assert_eq!(verify_batch(&items), Err(CryptoError::InvalidSignature));
+    }
+
+    #[test]
+    fn batch_rejects_non_canonical_s() {
+        let fixture = batch_fixture();
+        let key = fixture[0].0.verifying_key();
+        let mut bytes = fixture[0].2.to_bytes();
+        for b in bytes[32..].iter_mut() {
+            *b = 0xff;
+        }
+        let bad = Signature::from_bytes(bytes);
+        let items = [BatchItem {
+            key: &key,
+            message: &fixture[0].1,
+            signature: &bad,
+        }];
+        assert_eq!(verify_batch(&items), Err(CryptoError::InvalidSignature));
     }
 
     proptest! {

@@ -13,10 +13,35 @@
 //! DNS-controlling service provider's redirect attack), the extension
 //! flags it even though the browser itself would accept the attacker's
 //! valid certificate.
+//!
+//! # Staged verification (SNPGuard split)
+//!
+//! Verification is two explicit stages (see `DESIGN.md`, "Verifier at
+//! line rate"):
+//!
+//! * [`WebExtension::verify_evidence`] — the **cacheable** stage: VCEK
+//!   chain validity, report signature, guest policy, TCB floor, and
+//!   measurement-vs-golden. Its result is an [`EvidenceVerdict`] cached
+//!   under a [`VerdictKey`] (launch digest, reported TCB, VCEK
+//!   fingerprint, cert fingerprint) inside a generation-stamped
+//!   [`Snapshot`] cell. `register_site` / `revoke_measurement` /
+//!   [`WebExtension::set_tcb_floor`] bump the generation, making every
+//!   cached verdict unreachable at once — no TTLs, no stale trust.
+//! * [`WebExtension::verify_connection`] — the **per-connection** stage:
+//!   the TLS key binding against *this* connection. It can never be
+//!   cached and runs on every verification, cache hit or not.
+//!
+//! A cache hit performs **zero signature verifications** (the
+//! `revelio_extension_signature_verifications_total` counter proves it);
+//! a miss pays the full pipeline with the four signature equations
+//! collapsed into one batched check
+//! ([`ReportVerifier::verify_batched`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use revelio_crypto::ed25519::VerifyingKey;
+use revelio_crypto::sha2::Sha256;
 use revelio_http::client::{HttpsClient, HttpsSession};
 use revelio_http::message::{Request, Response};
 use revelio_http::{HttpError, WELL_KNOWN_ATTESTATION_PATH};
@@ -24,11 +49,13 @@ use revelio_net::clock::SimClock;
 use revelio_net::dns::DnsZone;
 use revelio_net::net::SimNet;
 use revelio_net::retry::RetryPolicy;
+use revelio_net::snapshot::Snapshot;
 use revelio_pki::cert::Certificate;
 use revelio_telemetry::{retry_with_telemetry, FlightDump, FlightRecorder, Telemetry};
 use revelio_tls::TlsClientConfig;
+use sev_snp::ids::TcbVersion;
 use sev_snp::measurement::Measurement;
-use sev_snp::verify::ReportVerifier;
+use sev_snp::verify::{ReportVerifier, SIGNATURE_CHECKS_PER_VERIFY};
 
 use crate::evidence::EvidenceBundle;
 use crate::kds_http::KdsHttpClient;
@@ -61,10 +88,13 @@ pub struct ExtensionConfig {
     /// Browser root store.
     pub tls_roots: Vec<Certificate>,
     /// Modelled cost of in-extension evidence validation, ms (fitted to
-    /// Table 3; JavaScript crypto is slow).
+    /// Table 3; JavaScript crypto is slow). Charged only on a verdict
+    /// cache **miss** — a hit skips the signature work it models.
     pub validation_ms: f64,
     /// Modelled cost of querying the browser's connection context per
-    /// monitored request, ms (Table 3: ~14 ms).
+    /// monitored request, ms (Table 3: ~14 ms). Also the cost of the
+    /// per-connection TLS-binding stage, which runs on every
+    /// verification, cached or not.
     pub connection_validation_ms: f64,
     /// What a monitored-session reconnect must re-establish.
     pub reconnect: ReconnectPolicy,
@@ -117,9 +147,18 @@ impl BrowseVerdict {
     pub fn classify(result: &Result<BrowseOutcome, RevelioError>) -> Self {
         match result {
             Ok(_) => BrowseVerdict::Attested,
-            Err(e) if e.is_transient() => BrowseVerdict::TransientNetworkRetry,
-            Err(RevelioError::NotRevelioSite(_)) => BrowseVerdict::NotRevelio,
-            Err(_) => BrowseVerdict::AttestationFailed,
+            Err(e) => Self::of_error(e),
+        }
+    }
+
+    /// The verdict for a failed browse.
+    fn of_error(e: &RevelioError) -> Self {
+        if e.is_transient() {
+            BrowseVerdict::TransientNetworkRetry
+        } else if matches!(e, RevelioError::NotRevelioSite(_)) {
+            BrowseVerdict::NotRevelio
+        } else {
+            BrowseVerdict::AttestationFailed
         }
     }
 
@@ -135,16 +174,147 @@ impl BrowseVerdict {
     }
 }
 
+/// The identity of an evidence bundle for verdict-cache purposes: the
+/// four components under which the cacheable checks are invariant
+/// (SNPGuard's split). Everything a cached [`EvidenceVerdict`] asserts
+/// is a function of these four values; fields outside the key (nonce,
+/// guest SVN, host data) are **not** asserted by a cache hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerdictKey {
+    /// The launch digest.
+    pub measurement: Measurement,
+    /// The reported TCB, packed ([`TcbVersion::to_u64`]).
+    pub reported_tcb: u64,
+    /// SHA-256 over the bundled VCEK certificate (covers the chip id and
+    /// TCB binding, the endorsement key, and the ASK signature).
+    pub vcek_fingerprint: [u8; 32],
+    /// The attested TLS-key digest from `REPORT_DATA` — the certificate
+    /// fingerprint a shared-cert fleet has in common.
+    pub cert_fingerprint: [u8; 32],
+}
+
+impl VerdictKey {
+    /// Computes the cache key of `evidence`. Pure: no network, no clock.
+    #[must_use]
+    pub fn of(evidence: &EvidenceBundle) -> Self {
+        let report = &evidence.report.report;
+        let cert_fingerprint: [u8; 32] = report.report_data.as_bytes()[..32]
+            .try_into()
+            .expect("REPORT_DATA holds at least 32 bytes");
+        VerdictKey {
+            measurement: report.measurement,
+            reported_tcb: report.reported_tcb.to_u64(),
+            vcek_fingerprint: Sha256::digest(evidence.chain.vcek.to_bytes()),
+            cert_fingerprint,
+        }
+    }
+}
+
+/// The result of the cacheable verification stage
+/// ([`WebExtension::verify_evidence`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvidenceVerdict {
+    /// The verified launch digest.
+    pub measurement: Measurement,
+    /// The verified reported TCB.
+    pub reported_tcb: TcbVersion,
+    /// The cache generation this verdict was computed under. A verdict
+    /// is served from cache only while the cell still carries the same
+    /// generation — any registration, revocation, or TCB-floor change
+    /// bumps it.
+    pub generation: u64,
+    /// Whether this verdict came from the cache.
+    pub cached: bool,
+    /// Signature equations checked by *this* call: 0 on a cache hit,
+    /// [`SIGNATURE_CHECKS_PER_VERIFY`] on a miss.
+    pub signature_checks: u64,
+    /// The KDS round trip paid by this call, ms (0 on a cache hit).
+    pub kds_ms: f64,
+}
+
+/// A cached stage-one verdict, stamped with the generation it was
+/// computed under.
+#[derive(Debug, Clone, Copy)]
+struct CachedVerdict {
+    measurement: Measurement,
+    reported_tcb: TcbVersion,
+    generation: u64,
+}
+
+/// Everything the cacheable stage reads, published as **one** immutable
+/// value: golden sets, TCB floor, and the verdict map all travel
+/// together, so a concurrent session sees a consistent snapshot and a
+/// verdict can never be paired with golden state from a different
+/// generation.
+#[derive(Debug, Clone, Default)]
+struct VerifierState {
+    generation: u64,
+    golden: BTreeMap<String, GoldenSet>,
+    tcb_floor: Option<TcbVersion>,
+    verdicts: HashMap<VerdictKey, CachedVerdict>,
+}
+
 /// Decorrelates the extension retry jitter stream from other components.
 const EXTENSION_JITTER_SEED: u64 = 0x657874; // "ext"
 
+/// The evidence channel of one attested visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BrowseMode {
+    /// Evidence fetched from the well-known URL after the handshake.
+    WellKnown,
+    /// Evidence carried inside the TLS handshake (§7 RA-TLS).
+    Ratls,
+}
+
+impl BrowseMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            BrowseMode::WellKnown => "well_known",
+            BrowseMode::Ratls => "ratls",
+        }
+    }
+}
+
+/// One attested visit before it is shaped into a public outcome: the
+/// session, the validated evidence, the page response (absent for
+/// monitored-session opens), and the timing breakdown.
+struct AttestedVisit {
+    session: HttpsSession,
+    evidence: EvidenceBundle,
+    response: Option<Response>,
+    timing: BrowseTiming,
+}
+
+impl AttestedVisit {
+    fn into_outcome(self) -> BrowseOutcome {
+        BrowseOutcome {
+            response: self.response.expect("page visits always fetch a response"),
+            timing: self.timing,
+            evidence: self.evidence,
+        }
+    }
+}
+
+/// The uniform result of the internal dispatch every public entry point
+/// funnels through.
+struct Dispatched {
+    verdict: BrowseVerdict,
+    visit: Result<AttestedVisit, RevelioError>,
+    flight: Option<FlightDump>,
+}
+
 /// The web extension.
+///
+/// All methods take `&self`: registration, revocation, and the verdict
+/// cache live behind a generation-stamped [`Snapshot`] cell, so one
+/// extension instance is safely shared across concurrent sessions (the
+/// swarm benchmark drives a million sessions through one instance).
 pub struct WebExtension {
     clock: SimClock,
     kds: KdsHttpClient,
     config: ExtensionConfig,
     client: HttpsClient,
-    registered: BTreeMap<String, GoldenSet>,
+    verifier: Snapshot<VerifierState>,
     telemetry: Telemetry,
     retry: RetryPolicy,
     flight: Option<FlightRecorder>,
@@ -153,7 +323,7 @@ pub struct WebExtension {
 impl std::fmt::Debug for WebExtension {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WebExtension")
-            .field("registered_sites", &self.registered.len())
+            .field("registered_sites", &self.verifier.read(|s| s.golden.len()))
             .finish_non_exhaustive()
     }
 }
@@ -192,7 +362,7 @@ impl WebExtension {
             kds,
             config,
             client,
-            registered: BTreeMap::new(),
+            verifier: Snapshot::new(Arc::new(VerifierState::default())),
             telemetry,
             retry: Self::default_retry_policy(),
             flight: None,
@@ -279,42 +449,146 @@ impl WebExtension {
         Err(RevelioError::NotRevelioSite(domain.to_owned()))
     }
 
+    /// Republishes the verifier state through `mutate` with the
+    /// generation bumped and every cached verdict dropped — the
+    /// invalidation primitive behind registration, revocation, and
+    /// TCB-floor changes. Readers holding the previous snapshot still
+    /// see a *consistent* (golden, verdicts) pair; they just can no
+    /// longer insert into the new generation with a stale stamp.
+    fn bump_generation(&self, mutate: impl FnOnce(&mut VerifierState)) {
+        self.verifier.update(|current| {
+            let mut next = current.clone();
+            next.generation += 1;
+            next.verdicts.clear();
+            mutate(&mut next);
+            (Arc::new(next), ())
+        });
+        self.telemetry
+            .counter_add("revelio_extension_verify_cache_invalidations_total", 1);
+    }
+
     /// Registers a domain with its acceptable measurements (manual
-    /// registration — the secure path, §5.3.2).
-    pub fn register_site(&mut self, domain: &str, golden: impl IntoIterator<Item = Measurement>) {
-        self.registered
-            .insert(domain.to_owned(), GoldenSet::from_measurements(golden));
+    /// registration — the secure path, §5.3.2). Bumps the verdict-cache
+    /// generation: concurrent sessions either see the old state or the
+    /// new one, never a mixture.
+    pub fn register_site(&self, domain: &str, golden: impl IntoIterator<Item = Measurement>) {
+        let set = GoldenSet::from_measurements(golden);
+        self.bump_generation(|next| {
+            next.golden.insert(domain.to_owned(), set);
+        });
     }
 
     /// Whether `domain` is registered for validation.
     #[must_use]
     pub fn is_registered(&self, domain: &str) -> bool {
-        self.registered.contains_key(domain)
+        self.verifier.read(|s| s.golden.contains_key(domain))
     }
 
     /// Revokes a golden measurement for a registered domain (image
-    /// rollout: prevents rollback, §6.1.4).
-    pub fn revoke_measurement(&mut self, domain: &str, measurement: Measurement) {
-        if let Some(set) = self.registered.get_mut(domain) {
-            set.revoke(measurement);
+    /// rollout: prevents rollback, §6.1.4). Bumps the verdict-cache
+    /// generation, so **every** cached verdict — not just this
+    /// domain's — dies instantly; the next verification re-runs the full
+    /// pipeline ("Insecure Despite Proven Updated" is why cached
+    /// verdicts must not outlive a revocation by even one session).
+    pub fn revoke_measurement(&self, domain: &str, measurement: Measurement) {
+        if !self.is_registered(domain) {
+            return;
         }
+        self.bump_generation(|next| {
+            if let Some(set) = next.golden.get_mut(domain) {
+                set.revoke(measurement);
+            }
+        });
     }
 
-    fn validate_evidence(
+    /// Sets (or clears) the minimum acceptable reported TCB — the
+    /// firmware-downgrade defense, applied in the cacheable stage. Bumps
+    /// the verdict-cache generation: verdicts computed under the old
+    /// floor are unreachable.
+    pub fn set_tcb_floor(&self, floor: Option<TcbVersion>) {
+        self.bump_generation(|next| {
+            next.tcb_floor = floor;
+        });
+    }
+
+    /// The current TCB floor, if any.
+    #[must_use]
+    pub fn tcb_floor(&self) -> Option<TcbVersion> {
+        self.verifier.read(|s| s.tcb_floor)
+    }
+
+    /// The current verdict-cache generation (diagnostics / tests).
+    #[must_use]
+    pub fn verdict_generation(&self) -> u64 {
+        self.verifier.read(|s| s.generation)
+    }
+
+    /// Number of cached verdicts in the current generation.
+    #[must_use]
+    pub fn cached_verdicts(&self) -> usize {
+        self.verifier.read(|s| s.verdicts.len())
+    }
+
+    /// **Stage 1 — cacheable.** Verifies everything about `evidence`
+    /// that does not depend on the connection: VCEK chain validity,
+    /// report signature, guest policy, TCB floor, and the measurement
+    /// against `domain`'s golden set.
+    ///
+    /// On a cache hit (same [`VerdictKey`], same generation) no KDS
+    /// round trip and **no signature verification** happens — only the
+    /// golden-set membership re-check against the very snapshot the
+    /// verdict is stamped for. On a miss the full pipeline runs with
+    /// the four signature equations batched
+    /// ([`ReportVerifier::verify_batched`]), and the verdict is
+    /// published unless the generation moved while it was being
+    /// computed (the insert is skipped, never misfiled).
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`RevelioError`] for the failing check.
+    pub fn verify_evidence(
         &self,
         domain: &str,
-        session: &HttpsSession,
         evidence: &EvidenceBundle,
-    ) -> Result<f64, RevelioError> {
-        let golden = self
-            .registered
+    ) -> Result<EvidenceVerdict, RevelioError> {
+        let state = self.verifier.load();
+        let golden = state
+            .golden
             .get(domain)
             .ok_or_else(|| RevelioError::NotRevelioSite(domain.to_owned()))?;
+        let key = VerdictKey::of(evidence);
+
+        if let Some(cached) = state.verdicts.get(&key) {
+            if cached.generation == state.generation {
+                self.telemetry
+                    .counter_add("revelio_extension_verify_cache_hits_total", 1);
+                // Defensive: a verdict and its golden set come from the
+                // same published value, and every golden mutation bumps
+                // the generation — so this lookup cannot disagree with
+                // the verdict. It stays because it is cheap and it is
+                // the line a future refactor would trip over.
+                if !golden.is_trusted(&cached.measurement) {
+                    return Err(RevelioError::UnknownMeasurement(
+                        cached.measurement.to_hex(),
+                    ));
+                }
+                return Ok(EvidenceVerdict {
+                    measurement: cached.measurement,
+                    reported_tcb: cached.reported_tcb,
+                    generation: cached.generation,
+                    cached: true,
+                    signature_checks: 0,
+                    kds_ms: 0.0,
+                });
+            }
+        }
+        self.telemetry
+            .counter_add("revelio_extension_verify_cache_misses_total", 1);
 
         // 1. Fetch the VCEK chain ourselves from the KDS (don't trust the
         //    bundled copy's provenance). The round trip is measured by the
-        //    `browse.kds` span — a cache hit advances the clock by nothing,
-        //    so its duration is exactly 0.
+        //    `browse.kds` span — a VCEK-cache hit advances the clock by
+        //    nothing, so its duration is exactly 0.
         let (chain, kds_ms) = {
             let span = self.telemetry.span("browse.kds");
             let chain = self.kds.vcek_chain(
@@ -324,9 +598,18 @@ impl WebExtension {
             (chain, span.finish_ms())
         };
 
-        // 2. Chain, signature, policy.
-        ReportVerifier::new(self.config.trusted_ark)
-            .verify(&evidence.report, &chain)
+        // 2. Chain, signature, policy, TCB floor — four signature
+        //    equations in one batched check.
+        let mut verifier = ReportVerifier::new(self.config.trusted_ark);
+        if let Some(floor) = state.tcb_floor {
+            verifier = verifier.require_minimum_tcb(floor);
+        }
+        self.telemetry.counter_add(
+            "revelio_extension_signature_verifications_total",
+            SIGNATURE_CHECKS_PER_VERIFY,
+        );
+        verifier
+            .verify_batched(&evidence.report, &chain)
             .map_err(|e| RevelioError::EvidenceRejected(e.to_string()))?;
 
         // 3. Measurement against the user's golden values.
@@ -335,12 +618,76 @@ impl WebExtension {
             return Err(RevelioError::UnknownMeasurement(measurement.to_hex()));
         }
 
-        // 4. The TLS binding: this very connection must terminate at the
-        //    attested key.
-        evidence.check_tls_binding(&session.peer_public_key())?;
-
         self.clock.advance_ms(self.config.validation_ms);
-        Ok(kds_ms)
+
+        // 4. Publish the verdict, stamped with the generation observed
+        //    *before* the verification work. If a registration or
+        //    revocation republished meanwhile, the stamp is stale and the
+        //    insert is skipped — the race loses cleanly instead of
+        //    resurrecting a pre-revocation verdict into the new
+        //    generation.
+        let generation = state.generation;
+        let reported_tcb = evidence.report.report.reported_tcb;
+        self.verifier.update(|current| {
+            let mut next = current.clone();
+            if current.generation == generation {
+                next.verdicts.insert(
+                    key,
+                    CachedVerdict {
+                        measurement,
+                        reported_tcb,
+                        generation,
+                    },
+                );
+            }
+            (Arc::new(next), ())
+        });
+        Ok(EvidenceVerdict {
+            measurement,
+            reported_tcb,
+            generation,
+            cached: false,
+            signature_checks: SIGNATURE_CHECKS_PER_VERIFY,
+            kds_ms,
+        })
+    }
+
+    /// **Stage 2 — per-connection, never cached.** Checks that *this*
+    /// TLS connection terminates at the key bound inside the evidence's
+    /// `REPORT_DATA`. Runs on every verification — cache hits included —
+    /// and increments `revelio_extension_tls_binding_checks_total`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RevelioError::TlsBindingMismatch`] when the connection
+    /// key is not the attested one.
+    pub fn verify_connection(
+        &self,
+        evidence: &EvidenceBundle,
+        tls_public_key: &VerifyingKey,
+    ) -> Result<(), RevelioError> {
+        self.telemetry
+            .counter_add("revelio_extension_tls_binding_checks_total", 1);
+        self.clock.advance_ms(self.config.connection_validation_ms);
+        evidence.check_tls_binding(tls_public_key)
+    }
+
+    /// The full staged verification: [`WebExtension::verify_evidence`]
+    /// (cacheable) then [`WebExtension::verify_connection`]
+    /// (per-connection).
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`RevelioError`] for whichever stage fails.
+    pub fn verify(
+        &self,
+        domain: &str,
+        evidence: &EvidenceBundle,
+        tls_public_key: &VerifyingKey,
+    ) -> Result<EvidenceVerdict, RevelioError> {
+        let verdict = self.verify_evidence(domain, evidence)?;
+        self.verify_connection(evidence, tls_public_key)?;
+        Ok(verdict)
     }
 
     fn record_browse(&self, total_ms: f64, attestation_ms: f64) {
@@ -348,11 +695,111 @@ impl WebExtension {
             .counter_add("revelio_extension_browses_total", 1);
         self.telemetry
             .observe("revelio_extension_browse_ms", total_ms);
-        // The end-user-visible attestation latency of the most recent
-        // attested page access — surfaced via the nodes' `/metrics` route
-        // because the registry is shared world-wide.
+        // The histogram is the real metric: concurrent sessions each
+        // contribute a sample, and p50/p99 survive interleaving.
+        self.telemetry
+            .observe("revelio_extension_attestation_latency_ms", attestation_ms);
+        // The same-named gauge predates the histogram and is kept for
+        // dashboards that scrape it. Documented last-writer-wins: under
+        // concurrent sessions it holds whichever browse recorded last,
+        // nothing more.
         self.telemetry
             .gauge_set("revelio_extension_attestation_latency_ms", attestation_ms);
+    }
+
+    /// Fetches and decodes the evidence bundle from the well-known URL
+    /// over an open session.
+    fn fetch_evidence(
+        &self,
+        domain: &str,
+        session: &mut HttpsSession,
+    ) -> Result<EvidenceBundle, RevelioError> {
+        let response = session.send(&Request::get(WELL_KNOWN_ATTESTATION_PATH))?;
+        Self::classify_evidence_status(domain, &response)?;
+        EvidenceBundle::from_bytes(&response.body)
+    }
+
+    /// One attested visit attempt: handshake, evidence (per `mode`),
+    /// staged verification, then the page fetch (when `path` is given;
+    /// monitored-session opens stop after attestation).
+    fn visit_once(
+        &self,
+        domain: &str,
+        path: Option<&str>,
+        mode: BrowseMode,
+    ) -> Result<AttestedVisit, RevelioError> {
+        let root = self.telemetry.span_with(
+            "browse",
+            &[
+                ("domain", domain),
+                ("mode", mode.as_str()),
+                ("path", path.unwrap_or("(monitored)")),
+            ],
+        );
+        let mut session = self.client.open(domain)?;
+
+        let attest = self.telemetry.span("browse.attestation");
+        let evidence = match mode {
+            BrowseMode::WellKnown => self.fetch_evidence(domain, &mut session)?,
+            BrowseMode::Ratls => {
+                let evidence_bytes = session
+                    .peer_evidence()
+                    .ok_or_else(|| RevelioError::NotRevelioSite(domain.to_owned()))?
+                    .to_vec();
+                EvidenceBundle::from_bytes(&evidence_bytes)?
+            }
+        };
+        let evidence_verdict = self.verify(domain, &evidence, &session.peer_public_key())?;
+        let attestation_ms = attest.finish_ms();
+
+        let response = match path {
+            Some(p) => Some(session.send(&Request::get(p))?),
+            None => None,
+        };
+        let total_ms = root.finish_ms();
+        if path.is_some() {
+            self.record_browse(total_ms, attestation_ms);
+        }
+        Ok(AttestedVisit {
+            session,
+            evidence,
+            response,
+            timing: BrowseTiming {
+                total_ms,
+                attestation_ms,
+                kds_ms: evidence_verdict.kds_ms,
+            },
+        })
+    }
+
+    /// The single retry/verdict loop every attested entry point funnels
+    /// through: retry-wrapped visit, verdict classification, flight
+    /// recording, and the forensic dump on an affirmative failure.
+    fn dispatch(&self, domain: &str, path: Option<&str>, mode: BrowseMode) -> Dispatched {
+        let visit = self.with_transient_retry(|_attempt| self.visit_once(domain, path, mode));
+        let verdict = match &visit {
+            Ok(_) => BrowseVerdict::Attested,
+            Err(e) => BrowseVerdict::of_error(e),
+        };
+        let target = match path {
+            Some(p) => format!("{domain}{p}"),
+            None => format!("{domain} (monitored)"),
+        };
+        match &visit {
+            Ok(_) => self.flight_record("verdict", &format!("{target}: attested")),
+            Err(e) => {
+                self.flight_record("verdict", &format!("{target}: {} ({e})", verdict.as_str()));
+            }
+        }
+        let flight = match verdict {
+            BrowseVerdict::AttestationFailed => self.flight.as_ref().map(FlightRecorder::dump),
+            _ => None,
+        };
+        Dispatched {
+            verdict,
+            visit,
+            flight,
+        }
     }
 
     /// Accesses `path` on a registered Revelio site with full attestation
@@ -364,7 +811,9 @@ impl WebExtension {
     /// Returns the specific [`RevelioError`] for the failing check — these
     /// are the alerts the extension UI shows the user.
     pub fn browse(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
-        self.with_transient_retry(|_attempt| self.browse_once(domain, path))
+        self.dispatch(domain, Some(path), BrowseMode::WellKnown)
+            .visit
+            .map(AttestedVisit::into_outcome)
     }
 
     /// [`WebExtension::browse`] plus the UI classification: the verdict is
@@ -373,54 +822,12 @@ impl WebExtension {
     /// dump — the forensic timeline behind the red badge.
     #[must_use]
     pub fn browse_classified(&self, domain: &str, path: &str) -> ClassifiedBrowse {
-        let result = self.browse(domain, path);
-        let verdict = BrowseVerdict::classify(&result);
-        match &result {
-            Ok(_) => self.flight_record("verdict", &format!("{domain}{path}: attested")),
-            Err(e) => {
-                self.flight_record(
-                    "verdict",
-                    &format!("{domain}{path}: {} ({e})", verdict.as_str()),
-                );
-            }
-        }
-        let flight = match verdict {
-            BrowseVerdict::AttestationFailed => self.flight.as_ref().map(FlightRecorder::dump),
-            _ => None,
-        };
+        let dispatched = self.dispatch(domain, Some(path), BrowseMode::WellKnown);
         ClassifiedBrowse {
-            verdict,
-            result,
-            flight,
+            verdict: dispatched.verdict,
+            result: dispatched.visit.map(AttestedVisit::into_outcome),
+            flight: dispatched.flight,
         }
-    }
-
-    fn browse_once(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
-        let root = self.telemetry.span_with(
-            "browse",
-            &[("domain", domain), ("mode", "well_known"), ("path", path)],
-        );
-        let mut session = self.client.open(domain)?;
-
-        let attest = self.telemetry.span("browse.attestation");
-        let evidence_response = session.send(&Request::get(WELL_KNOWN_ATTESTATION_PATH))?;
-        Self::classify_evidence_status(domain, &evidence_response)?;
-        let evidence = EvidenceBundle::from_bytes(&evidence_response.body)?;
-        let kds_ms = self.validate_evidence(domain, &session, &evidence)?;
-        let attestation_ms = attest.finish_ms();
-
-        let response = session.send(&Request::get(path))?;
-        let total_ms = root.finish_ms();
-        self.record_browse(total_ms, attestation_ms);
-        Ok(BrowseOutcome {
-            response,
-            timing: BrowseTiming {
-                total_ms,
-                attestation_ms,
-                kds_ms,
-            },
-            evidence,
-        })
     }
 
     /// RA-TLS access (paper §7's suggested RATLS integration): the
@@ -434,37 +841,9 @@ impl WebExtension {
     /// Returns [`RevelioError::NotRevelioSite`] when the handshake carried
     /// no evidence, plus every failure mode of [`WebExtension::browse`].
     pub fn browse_ratls(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
-        self.with_transient_retry(|_attempt| self.browse_ratls_once(domain, path))
-    }
-
-    fn browse_ratls_once(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
-        let root = self.telemetry.span_with(
-            "browse",
-            &[("domain", domain), ("mode", "ratls"), ("path", path)],
-        );
-        let mut session = self.client.open(domain)?;
-
-        let attest = self.telemetry.span("browse.attestation");
-        let evidence_bytes = session
-            .peer_evidence()
-            .ok_or_else(|| RevelioError::NotRevelioSite(domain.to_owned()))?
-            .to_vec();
-        let evidence = EvidenceBundle::from_bytes(&evidence_bytes)?;
-        let kds_ms = self.validate_evidence(domain, &session, &evidence)?;
-        let attestation_ms = attest.finish_ms();
-
-        let response = session.send(&Request::get(path))?;
-        let total_ms = root.finish_ms();
-        self.record_browse(total_ms, attestation_ms);
-        Ok(BrowseOutcome {
-            response,
-            timing: BrowseTiming {
-                total_ms,
-                attestation_ms,
-                kds_ms,
-            },
-            evidence,
-        })
+        self.dispatch(domain, Some(path), BrowseMode::Ratls)
+            .visit
+            .map(AttestedVisit::into_outcome)
     }
 
     /// Accesses a page **without** attestation (what a user without the
@@ -488,19 +867,12 @@ impl WebExtension {
     ///
     /// As for [`WebExtension::browse`].
     pub fn open_monitored(&self, domain: &str) -> Result<MonitoredSession, RevelioError> {
-        self.with_transient_retry(|_attempt| self.open_monitored_once(domain))
-    }
-
-    fn open_monitored_once(&self, domain: &str) -> Result<MonitoredSession, RevelioError> {
-        let mut session = self.client.open(domain)?;
-        let evidence_response = session.send(&Request::get(WELL_KNOWN_ATTESTATION_PATH))?;
-        Self::classify_evidence_status(domain, &evidence_response)?;
-        let evidence = EvidenceBundle::from_bytes(&evidence_response.body)?;
-        self.validate_evidence(domain, &session, &evidence)?;
+        let visit = self.dispatch(domain, None, BrowseMode::WellKnown).visit?;
         Ok(MonitoredSession {
-            pinned_key: session.peer_public_key(),
+            pinned_key: visit.session.peer_public_key(),
             domain: domain.to_owned(),
-            session,
+            evidence: visit.evidence,
+            session: visit.session,
             clock: self.clock.clone(),
             connection_validation_ms: self.config.connection_validation_ms,
             telemetry: self.telemetry.clone(),
@@ -540,9 +912,12 @@ impl WebExtension {
     /// defense against the redirect attack (§5.3.2). The pinned key is
     /// the fast path: a connection terminating at a different key fails
     /// immediately. Under [`ReconnectPolicy::ReattestAlways`] (the
-    /// default) the full evidence bundle is then re-fetched and
-    /// re-validated before the session resumes, so a measurement revoked
-    /// or evidence gone stale *behind* the pinned key is caught too.
+    /// default) the full evidence bundle is then re-fetched and re-run
+    /// through the staged verification before the session resumes — the
+    /// cacheable stage may hit the verdict cache (a revocation or floor
+    /// change bumps the generation, so a hit is as strong as a cold
+    /// verify), while the TLS binding is always re-checked against the
+    /// new connection.
     ///
     /// # Errors
     ///
@@ -561,10 +936,9 @@ impl WebExtension {
             return Err(RevelioError::TlsBindingMismatch);
         }
         if self.config.reconnect == ReconnectPolicy::ReattestAlways {
-            let evidence_response = session.send(&Request::get(WELL_KNOWN_ATTESTATION_PATH))?;
-            Self::classify_evidence_status(&monitored.domain, &evidence_response)?;
-            let evidence = EvidenceBundle::from_bytes(&evidence_response.body)?;
-            self.validate_evidence(&monitored.domain, &session, &evidence)?;
+            let evidence = self.fetch_evidence(&monitored.domain, &mut session)?;
+            self.verify(&monitored.domain, &evidence, &session.peer_public_key())?;
+            monitored.evidence = evidence;
         }
         monitored.session = session;
         self.telemetry
@@ -593,6 +967,7 @@ pub struct MonitoredSession {
     session: HttpsSession,
     pinned_key: VerifyingKey,
     domain: String,
+    evidence: EvidenceBundle,
     clock: SimClock,
     connection_validation_ms: f64,
     telemetry: Telemetry,
@@ -644,5 +1019,13 @@ impl MonitoredSession {
     #[must_use]
     pub fn domain(&self) -> &str {
         &self.domain
+    }
+
+    /// The evidence bundle this session was attested with (the input to
+    /// re-verification: the swarm benchmark re-runs the staged `verify`
+    /// against it on every session).
+    #[must_use]
+    pub fn evidence(&self) -> &EvidenceBundle {
+        &self.evidence
     }
 }

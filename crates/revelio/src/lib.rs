@@ -41,7 +41,7 @@
 //!
 //! // An end-user with the Revelio extension browses the site: the
 //! // extension attests the VM before the page is trusted.
-//! let mut extension = world.extension();
+//! let extension = world.extension();
 //! extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
 //! let outcome = extension.browse("pad.example.org", "/")?;
 //! assert!(outcome.response.is_success());

@@ -193,18 +193,29 @@ impl SimWorld {
     /// Panics only if internal setup fails (addresses are fresh).
     #[must_use]
     pub fn with_tuning(seed: u64, tuning: WorldTuning) -> Self {
+        let net_config = NetConfig {
+            default_one_way_us: tuning.link_one_way_us,
+            ..NetConfig::default()
+        }
+        // CI exercises the determinism suites under every fabric
+        // read path via REVELIO_FABRIC_MODE.
+        .with_env_mode();
+        Self::with_tuning_and_net(seed, tuning, net_config)
+    }
+
+    /// Creates a world with custom latency calibration **and** an
+    /// explicit fabric configuration, bypassing `REVELIO_FABRIC_MODE`.
+    /// The determinism suites use this to pin each of the three fabric
+    /// read paths in turn regardless of the ambient environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if internal setup fails (addresses are fresh).
+    #[must_use]
+    pub fn with_tuning_and_net(seed: u64, tuning: WorldTuning, net_config: NetConfig) -> Self {
         let clock = SimClock::new();
         let telemetry = Telemetry::new(clock.clone());
-        let net = SimNet::new(
-            clock.clone(),
-            NetConfig {
-                default_one_way_us: tuning.link_one_way_us,
-                ..NetConfig::default()
-            }
-            // CI exercises the determinism suites under every fabric
-            // read path via REVELIO_FABRIC_MODE.
-            .with_env_mode(),
-        );
+        let net = SimNet::new(clock.clone(), net_config);
         // The KDS is the hottest address in every scenario (each cold
         // attestation dials it): give it a dedicated lock stripe before
         // any traffic flows.
@@ -646,7 +657,7 @@ mod tests {
         let fleet = world
             .deploy_fleet("pad.example.org", 3, demo_app())
             .unwrap();
-        let mut extension = world.extension();
+        let extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
         for node in &fleet.nodes {
             // Point DNS at each node in turn; all must attest and serve.
@@ -684,7 +695,7 @@ mod tests {
         let fleet = world
             .deploy_fleet("pad.example.org", 1, demo_app())
             .unwrap();
-        let mut extension = world.extension();
+        let extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
 
         let cold = extension.browse("pad.example.org", "/").unwrap();
@@ -703,7 +714,7 @@ mod tests {
         let _fleet = world
             .deploy_fleet("pad.example.org", 1, demo_app())
             .unwrap();
-        let mut extension = world.extension();
+        let extension = world.extension();
         // User registered the site with the WRONG golden value.
         extension.register_site(
             "pad.example.org",
@@ -721,7 +732,7 @@ mod tests {
         let fleet = world
             .deploy_fleet("pad.example.org", 1, demo_app())
             .unwrap();
-        let mut extension = world.extension();
+        let extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
         extension.browse("pad.example.org", "/").unwrap();
         // The image is found vulnerable; the registry revokes it.
@@ -786,7 +797,7 @@ mod tests {
         let fleet = world
             .deploy_fleet("pad.example.org", 1, demo_app())
             .unwrap();
-        let mut extension = world.extension();
+        let extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
         let mut session = extension.open_monitored("pad.example.org").unwrap();
         session.request("/").unwrap();
@@ -845,7 +856,7 @@ mod tests {
         let extension = world.extension();
         assert_eq!(extension.discover("plain.example.org").unwrap(), None);
         // Browsing it attested fails; unprotected works.
-        let mut ext2 = world.extension();
+        let ext2 = world.extension();
         ext2.register_site("plain.example.org", vec![]);
         assert!(matches!(
             ext2.browse("plain.example.org", "/"),
@@ -889,7 +900,7 @@ mod tests {
         let fleet = world
             .deploy_fleet("pad.example.org", 1, demo_app())
             .unwrap();
-        let mut extension = world.extension();
+        let extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
         let mut session = extension.open_monitored("pad.example.org").unwrap();
         let (_, monitored_ms) = world.clock.time_ms(|| session.request("/").unwrap());
@@ -912,7 +923,7 @@ mod tests {
         let fleet = world
             .deploy_fleet("pad.example.org", 1, demo_app())
             .unwrap();
-        let mut extension = world.extension();
+        let extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
 
         let via_fetch = extension.browse("pad.example.org", "/").unwrap();
@@ -936,7 +947,7 @@ mod tests {
         let _fleet = world
             .deploy_fleet("pad.example.org", 1, demo_app())
             .unwrap();
-        let mut extension = world.extension();
+        let extension = world.extension();
         extension.register_site(
             "pad.example.org",
             vec![Measurement::of_launch_context(b"other image")],
@@ -963,7 +974,7 @@ mod tests {
         )
         .unwrap();
         world.dns.set_address("plain.example.org", "10.0.8.8:443");
-        let mut ext2 = world.extension();
+        let ext2 = world.extension();
         ext2.register_site("plain.example.org", vec![]);
         assert!(matches!(
             ext2.browse_ratls("plain.example.org", "/"),
@@ -990,7 +1001,7 @@ mod tests {
                 }
                 v
             }));
-        let mut extension = world.extension();
+        let extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
         assert!(extension.browse_ratls("pad.example.org", "/").is_err());
     }

@@ -6,12 +6,17 @@
 //! which measurements are acceptable is Revelio policy (trusted registry,
 //! user-supplied values) and lives in the `revelio` crate.
 
-use revelio_crypto::ed25519::VerifyingKey;
+use revelio_crypto::ed25519::{verify_batch, BatchItem, VerifyingKey};
 
 use crate::ids::TcbVersion;
 use crate::kds::VcekCertChain;
 use crate::report::SignedReport;
 use crate::SnpError;
+
+/// Signature equations one full report verification checks: the ARK
+/// self-signature, the ASK and VCEK certificate signatures, and the
+/// VCEK signature over the report body.
+pub const SIGNATURE_CHECKS_PER_VERIFY: u64 = 4;
 
 /// Verifies signed reports against a pinned AMD root key.
 #[derive(Debug, Clone)]
@@ -67,6 +72,85 @@ impl ReportVerifier {
             return Err(SnpError::ReportBindingMismatch);
         }
         signed.verify_signature(&vcek_public)?;
+        if self.reject_debug_policy && signed.report.policy.debug_allowed {
+            return Err(SnpError::PolicyRejected("debug access enabled".into()));
+        }
+        if let Some(min) = self.minimum_tcb {
+            let t = signed.report.reported_tcb;
+            let ok = t.bootloader >= min.bootloader
+                && t.tee >= min.tee
+                && t.snp >= min.snp
+                && t.microcode >= min.microcode;
+            if !ok {
+                return Err(SnpError::PolicyRejected(format!(
+                    "reported tcb {t} below required minimum {min}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Self::verify`] with the four signature checks collapsed into one
+    /// batched group equation ([`verify_batch`]), sharing a single
+    /// doubling chain across the ARK, ASK, VCEK, and report signatures.
+    ///
+    /// Accepts and rejects exactly the same inputs as [`Self::verify`]:
+    /// whenever the batched equation (or any structural precondition)
+    /// fails, this falls back to the sequential path so the caller sees
+    /// the same first-failing [`SnpError`] it always did.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Self::verify`].
+    pub fn verify_batched(
+        &self,
+        signed: &SignedReport,
+        chain: &VcekCertChain,
+    ) -> Result<(), SnpError> {
+        // Structural preconditions of the combined equation. Any failure
+        // here (or in the batch itself) defers to the sequential path,
+        // which reproduces the canonical check order and error.
+        let plausible = chain.ark.public_key == self.trusted_ark
+            && chain.vcek.vcek_binding.as_ref().is_some_and(|(chip, tcb)| {
+                *chip == signed.report.chip_id && *tcb == signed.report.reported_tcb
+            });
+        if !plausible {
+            return self.verify(signed, chain);
+        }
+        let ark_payload = chain.ark.signed_payload();
+        let ask_payload = chain.ask.signed_payload();
+        let vcek_payload = chain.vcek.signed_payload();
+        let report_payload = signed.report.to_bytes();
+        let items = [
+            BatchItem {
+                key: &self.trusted_ark,
+                message: &ark_payload,
+                signature: &chain.ark.signature,
+            },
+            BatchItem {
+                key: &chain.ark.public_key,
+                message: &ask_payload,
+                signature: &chain.ask.signature,
+            },
+            BatchItem {
+                key: &chain.ask.public_key,
+                message: &vcek_payload,
+                signature: &chain.vcek.signature,
+            },
+            BatchItem {
+                key: &chain.vcek.public_key,
+                message: &report_payload,
+                signature: &signed.signature,
+            },
+        ];
+        if verify_batch(&items).is_err() {
+            // The batch cannot name the culprit; the sequential pass can,
+            // and it is the error-compatibility oracle.
+            return match self.verify(signed, chain) {
+                Ok(()) => Err(SnpError::SignatureInvalid),
+                Err(e) => Err(e),
+            };
+        }
         if self.reject_debug_policy && signed.report.policy.debug_allowed {
             return Err(SnpError::PolicyRejected("debug access enabled".into()));
         }
@@ -221,6 +305,94 @@ mod tests {
             .require_minimum_tcb(TcbVersion::new(1, 0, 8, 100))
             .verify(&report, &chain)
             .unwrap();
+    }
+
+    #[test]
+    fn batched_verify_matches_sequential_on_every_fixture() {
+        let w = world();
+        let verifier = ReportVerifier::new(w.amd.ark_public_key());
+        let good_chain = w
+            .kds
+            .vcek_chain(&w.platform.chip_id(), &w.platform.tcb_version())
+            .unwrap();
+
+        // Valid report: both paths accept.
+        let guest = w.platform.launch(b"fw", GuestPolicy::default()).unwrap();
+        let report = guest.attestation_report(ReportData::from_slice(b"nonce"));
+        verifier.verify_batched(&report, &good_chain).unwrap();
+
+        // Tampered report body: same SignatureInvalid as sequential.
+        let mut tampered = report.clone();
+        tampered.report.guest_svn += 1;
+        assert_eq!(
+            verifier.verify_batched(&tampered, &good_chain),
+            verifier.verify(&tampered, &good_chain)
+        );
+        assert_eq!(
+            verifier.verify_batched(&tampered, &good_chain),
+            Err(SnpError::SignatureInvalid)
+        );
+
+        // Chain for a different chip: binding mismatch, same error.
+        let wrong_chip = w
+            .kds
+            .vcek_chain(&ChipId::from_seed(99), &w.platform.tcb_version())
+            .unwrap();
+        assert_eq!(
+            verifier.verify_batched(&report, &wrong_chip),
+            Err(SnpError::ReportBindingMismatch)
+        );
+
+        // Impostor AMD root: chain fails on the pinned ARK either way.
+        let fake_amd = Arc::new(AmdRootOfTrust::from_seed([99; 32]));
+        let fake_chain = KeyDistributionService::new(fake_amd)
+            .vcek_chain(&w.platform.chip_id(), &w.platform.tcb_version())
+            .unwrap();
+        assert_eq!(
+            verifier.verify_batched(&report, &fake_chain),
+            verifier.verify(&report, &fake_chain)
+        );
+        assert!(verifier.verify_batched(&report, &fake_chain).is_err());
+
+        // Corrupted ASK certificate signature: batch fails, the fallback
+        // names the certificate, matching the sequential error exactly.
+        let mut bad_ask = good_chain.clone();
+        let mut sig = bad_ask.ask.signature.to_bytes();
+        sig[7] ^= 1;
+        bad_ask.ask.signature = revelio_crypto::ed25519::Signature::from_bytes(sig);
+        assert_eq!(
+            verifier.verify_batched(&report, &bad_ask),
+            verifier.verify(&report, &bad_ask)
+        );
+        assert!(verifier.verify_batched(&report, &bad_ask).is_err());
+    }
+
+    #[test]
+    fn batched_verify_enforces_policy_and_tcb_floor() {
+        let w = world();
+        let policy = GuestPolicy {
+            debug_allowed: true,
+            ..GuestPolicy::default()
+        };
+        let guest = w.platform.launch(b"fw", policy).unwrap();
+        let report = guest.attestation_report(ReportData::default());
+        let chain = w
+            .kds
+            .vcek_chain(&w.platform.chip_id(), &w.platform.tcb_version())
+            .unwrap();
+        let verifier = ReportVerifier::new(w.amd.ark_public_key());
+        assert!(matches!(
+            verifier.verify_batched(&report, &chain),
+            Err(SnpError::PolicyRejected(_))
+        ));
+        let lenient = verifier.clone().allow_debug_policy();
+        lenient.verify_batched(&report, &chain).unwrap();
+        assert!(matches!(
+            lenient
+                .require_minimum_tcb(TcbVersion::new(1, 0, 9, 115))
+                .verify_batched(&report, &chain),
+            Err(SnpError::PolicyRejected(_))
+        ));
     }
 
     #[test]

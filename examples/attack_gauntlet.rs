@@ -153,7 +153,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // §6.1.4 — rollback to an obsolete (revoked) image.
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("victim.example.org", vec![fleet.golden_measurement]);
     extension.revoke_measurement("victim.example.org", fleet.golden_measurement);
     let result = extension.browse("victim.example.org", "/");
@@ -164,7 +164,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // §5.3.2 — certificate swap + redirect by the DNS-controlling provider.
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("victim.example.org", vec![fleet.golden_measurement]);
     let mut session = extension.open_monitored("victim.example.org")?;
     session.request("/")?;

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("boundary fleet deployed behind https://ic.example.org\n");
 
     // 3. An end-user attests the proxy, then uses the dapp.
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("ic.example.org", vec![fleet.golden_measurement]);
     let outcome = extension.browse("ic.example.org", "/")?;
     println!(

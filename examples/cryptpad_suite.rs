@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. The user attests the server BEFORE typing anything — closing
     //    CryptPad's "you must trust the served JavaScript" gap (§4.1).
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pads.example.org", vec![fleet.golden_measurement]);
     let mut session = extension.open_monitored("pads.example.org")?;
     println!(

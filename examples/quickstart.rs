@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. An end-user installs the extension and registers the site with
     //    the golden measurement (obtained from an auditor or reproduced
     //    themselves).
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
 
     // 4. First visit: full remote attestation before the page is trusted.

@@ -39,7 +39,7 @@ fn run_soak(fault_seed: u64) -> (Vec<&'static str>, String, u64) {
     let fleet = world
         .deploy_fleet("pad.example.org", 2, demo_app())
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     let site = fleet.nodes[0].public_address().to_owned();
     let mut verdicts = Vec::new();
@@ -184,7 +184,7 @@ fn route_scoped_kds_faults_spare_sibling_routes() {
 
     // A cold attested browse needs the VCEK and must classify the outage
     // as transient — never as an attestation failure.
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     let result = extension.browse("pad.example.org", "/");
     assert_eq!(
@@ -216,7 +216,7 @@ fn retry_rides_through_a_brief_kds_outage_end_to_end() {
     let fleet = world
         .deploy_fleet("pad.example.org", 1, demo_app())
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     let outcome = extension.browse("pad.example.org", "/").unwrap();
     assert!(outcome.response.is_success());

@@ -13,7 +13,7 @@ fn first_contact_full_attestation_then_cached() {
     let fleet = world
         .deploy_fleet("pad.example.org", 2, demo_app())
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
 
     let cold = extension.browse("pad.example.org", "/").unwrap();
@@ -35,7 +35,7 @@ fn evidence_binds_the_exact_tls_connection() {
     let fleet = world
         .deploy_fleet("pad.example.org", 1, demo_app())
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     let outcome = extension.browse("pad.example.org", "/").unwrap();
     // The evidence's REPORT_DATA holds the hash of the fleet's shared key.
@@ -58,7 +58,7 @@ fn unregistered_user_can_discover_then_register() {
     let fleet = world
         .deploy_fleet("pad.example.org", 1, demo_app())
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
 
     // Opportunistic discovery (§5.3.2): the extension notices the site
     // offers evidence; the user vets the measurement out-of-band.
@@ -95,7 +95,7 @@ fn community_voting_delegation_path() {
     assert!(registry.is_trusted(&fleet.golden_measurement));
 
     // The user imports the registry snapshot instead of hand-computing.
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", registry.snapshot().trusted());
     assert!(extension.browse("pad.example.org", "/").is_ok());
 
@@ -109,7 +109,7 @@ fn community_voting_delegation_path() {
             ))
             .unwrap();
     }
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", registry.snapshot().trusted());
     assert!(matches!(
         extension.browse("pad.example.org", "/"),
@@ -123,7 +123,7 @@ fn monitored_session_survives_benign_traffic_catches_redirect() {
     let fleet = world
         .deploy_fleet("pad.example.org", 1, demo_app())
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     let mut session = extension.open_monitored("pad.example.org").unwrap();
     for _ in 0..5 {
@@ -172,12 +172,12 @@ fn two_sites_with_distinct_golden_values() {
         .unwrap();
     assert_ne!(pads.golden_measurement, docs.golden_measurement);
 
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![pads.golden_measurement]);
     extension.register_site("docs.example.org", vec![docs.golden_measurement]);
     assert!(extension.browse("pad.example.org", "/").is_ok());
     // Cross-registering the wrong value fails closed.
-    let mut confused = world.extension();
+    let confused = world.extension();
     confused.register_site("docs.example.org", vec![pads.golden_measurement]);
     assert!(matches!(
         confused.browse("docs.example.org", "/pad/fetch"),
@@ -191,7 +191,7 @@ fn extension_timing_shape_matches_table3() {
     let fleet = world
         .deploy_fleet("pad.example.org", 1, demo_app())
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
 
     let (_, plain_ms) = world.clock.time_ms(|| {

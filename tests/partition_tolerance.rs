@@ -76,7 +76,7 @@ fn run_partitioned_provision(fault_seed: u64) -> ProvisionOutcome {
         .collect();
 
     // The surviving fleet serves: DNS points at the elected leader.
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     let browse = extension.browse("pad.example.org", "/");
     assert_eq!(
@@ -181,7 +181,7 @@ fn partition_heals_on_schedule_and_browsing_recovers() {
     let fleet = world
         .deploy_fleet("pad.example.org", 2, demo_app())
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
 
     // The whole site's subnet goes dark, healing 30 simulated seconds
@@ -231,7 +231,7 @@ fn well_known_503_is_transient_never_not_revelio() {
     .unwrap();
     world.dns.set_address("flaky.example.org", "10.0.9.9:443");
 
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("flaky.example.org", vec![]);
 
     // open_monitored: transient, with the 503 named in the error.
@@ -293,7 +293,7 @@ fn reconnect_reattests_and_catches_stale_evidence_behind_the_same_key() {
     // Same scenario, two policies: the endpoint key never changes, but
     // the golden measurement is revoked while the session is parked
     // (an image rollout revoking the old image, §6.1.4).
-    let mut reattesting = extension_with_policy(&world, ReconnectPolicy::ReattestAlways);
+    let reattesting = extension_with_policy(&world, ReconnectPolicy::ReattestAlways);
     reattesting.register_site("pad.example.org", vec![fleet.golden_measurement]);
     let mut session = reattesting.open_monitored("pad.example.org").unwrap();
     assert!(session.request("/").unwrap().is_success());
@@ -309,7 +309,7 @@ fn reconnect_reattests_and_catches_stale_evidence_behind_the_same_key() {
 
     // The pin-only policy is blind to exactly this: same key, stale
     // evidence, reconnect succeeds — the gap ReattestAlways closes.
-    let mut pin_only = extension_with_policy(&world, ReconnectPolicy::PinOnly);
+    let pin_only = extension_with_policy(&world, ReconnectPolicy::PinOnly);
     pin_only.register_site("pad.example.org", vec![fleet.golden_measurement]);
     let mut session = pin_only.open_monitored("pad.example.org").unwrap();
     pin_only.revoke_measurement("pad.example.org", fleet.golden_measurement);
@@ -325,7 +325,7 @@ fn reconnect_through_a_mitm_fails_the_pin_fast_path() {
     let fleet = world
         .deploy_fleet("pad.example.org", 1, demo_app())
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     let mut session = extension.open_monitored("pad.example.org").unwrap();
 

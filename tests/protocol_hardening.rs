@@ -226,7 +226,7 @@ fn evidence_replay_on_foreign_endpoint_detected() {
     let fleet = world.deploy_fleet("s.example", 1, demo_app()).unwrap();
 
     // Steal the real evidence bundle.
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("s.example", vec![fleet.golden_measurement]);
     let stolen = extension
         .browse("s.example", "/")
@@ -253,7 +253,7 @@ fn evidence_replay_on_foreign_endpoint_detected() {
     .unwrap();
     world.dns.set_address("s.example", "10.3.3.3:443");
 
-    let mut ext2 = world.extension();
+    let ext2 = world.extension();
     ext2.register_site("s.example", vec![fleet.golden_measurement]);
     assert_eq!(
         ext2.browse("s.example", "/").unwrap_err(),
@@ -331,7 +331,7 @@ fn evidence_is_stable_across_clients_and_sessions() {
     let fleet = world.deploy_fleet("s.example", 1, demo_app()).unwrap();
     let mut bundles = Vec::new();
     for seed in 0..3u64 {
-        let mut extension = world.extension();
+        let extension = world.extension();
         extension.register_site("s.example", vec![fleet.golden_measurement]);
         let outcome = extension.browse("s.example", "/").unwrap();
         let _ = seed;

@@ -177,7 +177,7 @@ fn rollback_attack_rejected_by_revocation() {
 
     // v1 is deployed and later found vulnerable; v2 replaces it.
     let fleet_v1 = world.deploy_fleet("s.example", 1, demo_app()).unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("s.example", vec![fleet_v1.golden_measurement]);
     assert!(extension.browse("s.example", "/").is_ok());
 

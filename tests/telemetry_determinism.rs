@@ -15,7 +15,7 @@ fn run_scenario(seed: u64) -> Telemetry {
     let fleet = world
         .deploy_fleet("pad.example.org", 2, demo_app())
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     extension.browse("pad.example.org", "/").unwrap();
     extension.browse("pad.example.org", "/").unwrap();
@@ -59,7 +59,7 @@ fn fault_seed_is_part_of_the_determinism_contract() {
                 ..revelio_net::FaultPlan::default()
             },
         );
-        let mut extension = world.extension();
+        let extension = world.extension();
         extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
         for _ in 0..3 {
             let _ = extension.browse("pad.example.org", "/");
@@ -154,7 +154,7 @@ fn nodes_serve_prometheus_metrics_over_attested_tls() {
     let fleet = world
         .deploy_fleet("pad.example.org", 1, demo_app())
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     // A first browse records the end-user-visible attestation latency.
     extension.browse("pad.example.org", "/").unwrap();

@@ -17,7 +17,7 @@ fn traced_browse_export(seed: u64) -> String {
     let fleet = world
         .deploy_fleet("pad.example.org", 2, demo_app())
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
     extension.browse("pad.example.org", "/").unwrap();
     export_all_traces(&world.telemetry)

@@ -31,7 +31,7 @@ fn cryptpad_full_lifecycle_over_attested_fleet() {
     let fleet = world
         .deploy_fleet("pads.example.org", 2, pad_router(store.clone()))
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("pads.example.org", vec![fleet.golden_measurement]);
     let mut session = extension.open_monitored("pads.example.org").unwrap();
 
@@ -141,7 +141,7 @@ fn boundary_node_full_stack_with_service_worker() {
     let fleet = world
         .deploy_fleet("ic.example.org", 2, boundary.router_with_assets(&["/"]))
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("ic.example.org", vec![fleet.golden_measurement]);
 
     // Direct translation path over the attested session.
@@ -180,7 +180,7 @@ fn byzantine_replicas_tolerated_through_full_stack() {
     let fleet = world
         .deploy_fleet("ic.example.org", 1, boundary.router_with_assets(&["/"]))
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("ic.example.org", vec![fleet.golden_measurement]);
     let outcome = extension.browse("ic.example.org", "/").unwrap();
     assert_eq!(outcome.response.body, b"<html>ok</html>");
@@ -200,7 +200,7 @@ fn tampering_boundary_detected_by_worker_over_https() {
     let fleet = world
         .deploy_fleet("ic.example.org", 1, boundary.router_with_assets(&["/"]))
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("ic.example.org", vec![fleet.golden_measurement]);
 
     // The direct path serves tampered content over a perfectly valid,
@@ -238,7 +238,7 @@ fn update_calls_go_through_consensus_over_https() {
     let fleet = world
         .deploy_fleet("ic.example.org", 1, boundary.router())
         .unwrap();
-    let mut extension = world.extension();
+    let extension = world.extension();
     extension.register_site("ic.example.org", vec![fleet.golden_measurement]);
     let mut session = extension.open_monitored("ic.example.org").unwrap();
 
