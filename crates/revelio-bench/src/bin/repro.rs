@@ -7,10 +7,11 @@
 //! ```
 
 use revelio_bench::{
-    cert_strategy_ablation, fleet_dimensions_from_env, fleet_trials_from_env, run_chaos_column,
-    run_fabric_bench, run_fig5, run_fig6, run_fleet_scaling, run_ratls_ablation,
-    run_retry_ablation, run_swarm, run_table1, run_table2, run_table3, run_telemetry,
-    run_trace_demo, run_verity_ablation, swarm_dimensions_from_env, SCALE, TRACE_DEMO_FAULT_SEED,
+    cert_strategy_ablation, fleet_dimensions_from_env, fleet_trials_from_env,
+    reconcile_dimensions_from_env, run_chaos_column, run_fabric_bench, run_fig5, run_fig6,
+    run_fleet_scaling, run_ratls_ablation, run_reconcile, run_retry_ablation, run_swarm,
+    run_table1, run_table2, run_table3, run_telemetry, run_trace_demo, run_verity_ablation,
+    swarm_dimensions_from_env, RECONCILE_FAULT_SEED, RECONCILE_SEED, SCALE, TRACE_DEMO_FAULT_SEED,
     TRACE_DEMO_SEED,
 };
 
@@ -26,6 +27,7 @@ const KNOWN_FLAGS: &[&str] = &[
     "--chaos",
     "--trace",
     "--swarm",
+    "--reconcile",
 ];
 
 /// The default partition seed of the chaos column (the CI chaos job
@@ -90,6 +92,13 @@ fn main() {
     // `REVELIO_SWARM_SESSIONS`.
     if args.iter().any(|a| a == "--swarm") {
         swarm();
+    }
+    // The reconcile benchmark replicates a full rolling upgrade across
+    // OS threads and fabric modes plus a 200-day renewal horizon, so it
+    // only runs when asked for; the CI smoke job shrinks it via the
+    // `REVELIO_RECONCILE_*` dimensions.
+    if args.iter().any(|a| a == "--reconcile") {
+        reconcile();
     }
 }
 
@@ -498,6 +507,71 @@ fn swarm() {
         } else {
             for failure in &failures {
                 eprintln!("swarm gate FAILED: {failure}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+fn reconcile() {
+    let (nodes, flaps, horizon_days, threads) = reconcile_dimensions_from_env();
+    println!(
+        "== Reconcile: control-plane convergence under pinned fault seeds \
+         (seed {RECONCILE_SEED:#x}, fault seed {RECONCILE_FAULT_SEED:#x}) =="
+    );
+    println!(
+        "({nodes}-node fleet across two racks; rolling upgrade under a scheduled-heal \
+         partition, replicated {threads}x per fabric mode; seeded drift halt + resume; \
+         {flaps} quarantine flap cycles; {horizon_days}-day renewal horizon)"
+    );
+    let report = run_reconcile(nodes, flaps, horizon_days, threads);
+    println!(
+        "rolling upgrade: converged={} in {} ticks (canary-first={}, leader-last={})",
+        report.upgrade_converged,
+        report.upgrade_convergence_ticks,
+        report.canary_first,
+        report.leader_last
+    );
+    println!(
+        "drift: halted={} naming {} diverging node(s); corrected spec converged={} \
+         in {} ticks",
+        report.drift_halted,
+        report.diverging_named,
+        report.drift_resumed,
+        report.drift_resume_ticks
+    );
+    println!(
+        "flapping: {} partition quarantines, {} re-admissions, {} left off the roster",
+        report.flap_quarantines, report.flap_readmissions, report.flap_residual_quarantined
+    );
+    println!(
+        "renewal: {} renewals across {} daily ticks, {} expiry violations",
+        report.renewals, report.horizon_days, report.expiry_violations
+    );
+    println!(
+        "determinism: {} distinct digest(s) across {} replicas ({} fabric modes x {} threads)",
+        report.distinct_digests,
+        report.determinism_runs,
+        report.fabric_modes,
+        report.replica_threads
+    );
+    println!("transcript sha256: {}", report.transcript_sha256);
+    println!("harness wall time: {:.1} s", report.wall_secs);
+    match std::fs::write("BENCH_reconcile.json", report.to_json()) {
+        Ok(()) => println!("report written: BENCH_reconcile.json\n"),
+        Err(e) => println!("(could not write BENCH_reconcile.json: {e})\n"),
+    }
+    if std::env::var("REVELIO_RECONCILE_GATE").as_deref() == Ok("1") {
+        let failures = report.gate_failures();
+        if failures.is_empty() {
+            println!(
+                "reconcile gates: PASS (canary-first convergence, drift halt names \
+                 divergents, every healed node re-admitted, no cert past not_after_ms, \
+                 byte-identical transcripts across threads and fabric modes)\n"
+            );
+        } else {
+            for failure in &failures {
+                eprintln!("reconcile gate FAILED: {failure}");
             }
             std::process::exit(1);
         }

@@ -13,6 +13,7 @@
 //! `EXPERIMENTS.md` records paper-vs-reproduced values.
 
 pub mod fabric;
+pub mod reconcile;
 pub mod swarm;
 pub mod trace_demo;
 
@@ -21,6 +22,10 @@ use std::sync::Arc;
 pub use fabric::{
     fleet_dimensions_from_env, fleet_trials_from_env, run_fabric_bench, run_retry_ablation,
     FabricBenchReport, RetryAblationPoint, TelemetryOverheadReport, TRACE_SAMPLE_EVERY,
+};
+pub use reconcile::{
+    reconcile_dimensions_from_env, run_reconcile, ReconcileReport, RECONCILE_DOMAIN,
+    RECONCILE_FAULT_SEED, RECONCILE_SEED,
 };
 use revelio::node::demo_app;
 use revelio::world::SimWorld;

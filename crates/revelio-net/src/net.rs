@@ -1074,6 +1074,20 @@ impl SimNet {
         self.fabric.republish_domains();
     }
 
+    /// Snapshot of every installed fault domain, in installation order.
+    /// The reconciler reads these to learn each outage's scheduled heal
+    /// (`until_us`) so it defers re-admission probes until the partition
+    /// is due to lift instead of burning retries into a black hole.
+    #[must_use]
+    pub fn fault_domains(&self) -> Vec<FaultDomain> {
+        self.fabric
+            .domains
+            .read()
+            .iter()
+            .map(|state| state.domain.clone())
+            .collect()
+    }
+
     /// Removes the fault domain named `name` (an unscheduled heal).
     pub fn clear_fault_domain(&self, name: &str) {
         self.fabric

@@ -283,6 +283,28 @@ impl AcmeCa {
         }
         result
     }
+
+    /// Renews the fleet certificate by running a fresh order for the same
+    /// CSR. ACME has no distinct renewal verb — a renewal *is* an order,
+    /// and it shares the domain's rate-limit window, which is exactly why
+    /// the reconciler renews ahead of expiry instead of at it (a
+    /// rate-limited renewal still leaves the old certificate serving).
+    ///
+    /// # Errors
+    ///
+    /// As for [`AcmeCa::order_certificate`].
+    pub fn renew_certificate(
+        &self,
+        csr: &CertificateSigningRequest,
+    ) -> Result<CertificateChain, PkiError> {
+        let result = self.order_certificate(csr);
+        if let Some(telemetry) = &self.telemetry {
+            if result.is_ok() {
+                telemetry.counter_add("revelio_pki_acme_renewals_total", 1);
+            }
+        }
+        result
+    }
 }
 
 #[cfg(test)]

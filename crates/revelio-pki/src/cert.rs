@@ -232,6 +232,15 @@ impl Certificate {
         Ok(())
     }
 
+    /// Whether the certificate enters its final `lead_ms` of validity at
+    /// `now_ms` — the reconciler's renewal trigger. Already-expired
+    /// certificates also report `true`: renewal is still the correct
+    /// remediation, just a late one.
+    #[must_use]
+    pub fn expires_within(&self, now_ms: u64, lead_ms: u64) -> bool {
+        now_ms.saturating_add(lead_ms) >= self.not_after_ms
+    }
+
     /// Checks that the subject covers `domain` (exact match; no wildcards
     /// in the simulation).
     ///

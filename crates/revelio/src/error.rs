@@ -51,6 +51,10 @@ pub enum RevelioError {
     },
     /// The decrypted TLS key does not match the distributed certificate.
     KeyCertificateMismatch,
+    /// An internal invariant of the extension or control plane was
+    /// violated — a bug surfaced as an error instead of a process abort.
+    /// Never transient, never an attestation verdict about the site.
+    Internal(String),
     /// Hardware attestation error.
     Snp(SnpError),
     /// Boot failure.
@@ -90,6 +94,21 @@ impl RevelioError {
             _ => false,
         }
     }
+
+    /// Whether this error is a certificate-expiry condition (directly, or
+    /// wrapped in the HTTP/TLS layers). Expiry is an *operational* state —
+    /// the fleet's shared certificate aged past `not_after_ms` — not
+    /// evidence tampering; the reconciler's renewal path keys off it.
+    #[must_use]
+    pub fn is_certificate_expired(&self) -> bool {
+        match self {
+            RevelioError::Pki(e) => matches!(e, PkiError::Expired { .. }),
+            RevelioError::Http(HttpError::Tls(revelio_tls::TlsError::Certificate(e))) => {
+                matches!(e, PkiError::Expired { .. })
+            }
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for RevelioError {
@@ -126,6 +145,7 @@ impl fmt::Display for RevelioError {
             RevelioError::KeyCertificateMismatch => {
                 write!(f, "distributed key does not match certificate")
             }
+            RevelioError::Internal(why) => write!(f, "internal invariant violated: {why}"),
             RevelioError::Snp(e) => write!(f, "attestation error: {e}"),
             RevelioError::Boot(e) => write!(f, "boot error: {e}"),
             RevelioError::Build(e) => write!(f, "build error: {e}"),
@@ -211,6 +231,34 @@ mod tests {
         assert!(!RevelioError::UnknownMeasurement("m".into()).is_transient());
         assert!(!RevelioError::Pki(PkiError::SignatureInvalid).is_transient());
         assert!(!RevelioError::EmptyFleet.is_transient());
+    }
+
+    #[test]
+    fn certificate_expiry_unwraps_layers_and_is_never_transient() {
+        let expired = PkiError::Expired {
+            now_ms: 2,
+            not_after_ms: 1,
+        };
+        // Bare PKI expiry, and expiry surfaced through the TLS handshake
+        // (the path a browse against an aged-out fleet actually takes).
+        let direct = RevelioError::Pki(expired.clone());
+        let via_tls =
+            RevelioError::Http(HttpError::Tls(revelio_tls::TlsError::Certificate(expired)));
+        assert!(direct.is_certificate_expired());
+        assert!(via_tls.is_certificate_expired());
+        assert!(!direct.is_transient());
+        assert!(!via_tls.is_transient());
+        // Other PKI failures are verdicts, not expiry.
+        assert!(!RevelioError::Pki(PkiError::SignatureInvalid).is_certificate_expired());
+        assert!(!RevelioError::TlsBindingMismatch.is_certificate_expired());
+    }
+
+    #[test]
+    fn internal_errors_are_not_transient_and_name_the_invariant() {
+        let e = RevelioError::Internal("page visit lost its response".into());
+        assert!(!e.is_transient());
+        assert!(!e.is_certificate_expired());
+        assert!(e.to_string().contains("page visit lost its response"));
     }
 
     #[test]

@@ -137,6 +137,12 @@ pub enum BrowseVerdict {
     /// Evidence was obtained and affirmatively failed a check (signature,
     /// measurement, TLS binding...).
     AttestationFailed,
+    /// The site's certificate chain aged past `not_after_ms` — an
+    /// *operational* condition (a fleet whose renewal lagged), distinct
+    /// from evidence tampering. The reconciler's renewal path keys off
+    /// this verdict; the UI says "certificate expired", not "attestation
+    /// failed".
+    CertificateExpired,
     /// The site is reachable but serves no Revelio evidence.
     NotRevelio,
 }
@@ -155,6 +161,8 @@ impl BrowseVerdict {
     fn of_error(e: &RevelioError) -> Self {
         if e.is_transient() {
             BrowseVerdict::TransientNetworkRetry
+        } else if e.is_certificate_expired() {
+            BrowseVerdict::CertificateExpired
         } else if matches!(e, RevelioError::NotRevelioSite(_)) {
             BrowseVerdict::NotRevelio
         } else {
@@ -169,6 +177,7 @@ impl BrowseVerdict {
             BrowseVerdict::Attested => "attested",
             BrowseVerdict::TransientNetworkRetry => "transient_network_retry",
             BrowseVerdict::AttestationFailed => "attestation_failed",
+            BrowseVerdict::CertificateExpired => "certificate_expired",
             BrowseVerdict::NotRevelio => "not_revelio",
         }
     }
@@ -286,12 +295,21 @@ struct AttestedVisit {
 }
 
 impl AttestedVisit {
-    fn into_outcome(self) -> BrowseOutcome {
-        BrowseOutcome {
-            response: self.response.expect("page visits always fetch a response"),
+    /// Shapes the visit into a page outcome. A visit dispatched without a
+    /// page path (a monitored-session open) legitimately carries no
+    /// response; shaping such a visit into a page outcome is a wiring bug
+    /// surfaced as [`RevelioError::Internal`] — never a process abort.
+    fn into_outcome(self) -> Result<BrowseOutcome, RevelioError> {
+        let response = self.response.ok_or_else(|| {
+            RevelioError::Internal(
+                "attested visit carries no page response (dispatched without a path)".into(),
+            )
+        })?;
+        Ok(BrowseOutcome {
+            response,
             timing: self.timing,
             evidence: self.evidence,
-        }
+        })
     }
 }
 
@@ -499,6 +517,10 @@ impl WebExtension {
                 set.revoke(measurement);
             }
         });
+        // A revocation event also poisons trust in cached *endorsements*:
+        // the "Insecure Despite Proven Updated" scenario revokes VCEKs, so
+        // the KDS cache must be re-fetched, not just the verdict cache.
+        self.kds.flush_cache();
     }
 
     /// Sets (or clears) the minimum acceptable reported TCB — the
@@ -509,6 +531,9 @@ impl WebExtension {
         self.bump_generation(|next| {
             next.tcb_floor = floor;
         });
+        // A floor bump means previously fetched VCEK chains may endorse a
+        // now-rejected TCB; drop them so the next verify re-fetches.
+        self.kds.flush_cache();
     }
 
     /// The current TCB floor, if any.
@@ -813,7 +838,7 @@ impl WebExtension {
     pub fn browse(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
         self.dispatch(domain, Some(path), BrowseMode::WellKnown)
             .visit
-            .map(AttestedVisit::into_outcome)
+            .and_then(AttestedVisit::into_outcome)
     }
 
     /// [`WebExtension::browse`] plus the UI classification: the verdict is
@@ -825,7 +850,7 @@ impl WebExtension {
         let dispatched = self.dispatch(domain, Some(path), BrowseMode::WellKnown);
         ClassifiedBrowse {
             verdict: dispatched.verdict,
-            result: dispatched.visit.map(AttestedVisit::into_outcome),
+            result: dispatched.visit.and_then(AttestedVisit::into_outcome),
             flight: dispatched.flight,
         }
     }
@@ -843,7 +868,7 @@ impl WebExtension {
     pub fn browse_ratls(&self, domain: &str, path: &str) -> Result<BrowseOutcome, RevelioError> {
         self.dispatch(domain, Some(path), BrowseMode::Ratls)
             .visit
-            .map(AttestedVisit::into_outcome)
+            .and_then(AttestedVisit::into_outcome)
     }
 
     /// Accesses a page **without** attestation (what a user without the
@@ -1027,5 +1052,55 @@ impl MonitoredSession {
     #[must_use]
     pub fn evidence(&self) -> &EvidenceBundle {
         &self.evidence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::demo_app;
+    use crate::world::SimWorld;
+
+    /// The dispatch seam every public entry point funnels through: a
+    /// visit dispatched without a path (the monitored-session open)
+    /// legitimately carries no page response. Shaping such a visit into
+    /// a page outcome used to `expect` the response and abort the
+    /// process; it must instead surface [`RevelioError::Internal`].
+    #[test]
+    fn pathless_dispatch_shapes_into_an_internal_error_not_a_panic() {
+        let mut world = SimWorld::new(31);
+        let fleet = world
+            .deploy_fleet("pad.example.org", 1, demo_app())
+            .unwrap();
+        let extension = world.extension();
+        extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
+
+        // The pathless visit itself attests fine…
+        let dispatched = extension.dispatch("pad.example.org", None, BrowseMode::WellKnown);
+        assert_eq!(dispatched.verdict, BrowseVerdict::Attested);
+        let visit = dispatched.visit.expect("monitored open attests");
+        assert!(visit.response.is_none(), "no path, no page response");
+
+        // …and the outcome conversion is fallible, not a process abort.
+        let err = visit
+            .into_outcome()
+            .expect_err("a response-less visit cannot become a page outcome");
+        assert!(
+            matches!(err, RevelioError::Internal(_)),
+            "wrong error class: {err:?}"
+        );
+        assert!(!err.is_transient(), "an internal bug is not a retry");
+
+        // A path-carrying dispatch still shapes into a page outcome.
+        let dispatched = extension.dispatch("pad.example.org", Some("/"), BrowseMode::WellKnown);
+        let outcome = dispatched
+            .visit
+            .and_then(AttestedVisit::into_outcome)
+            .expect("page visit carries its response");
+        assert!(outcome.response.is_success());
+
+        // And the monitored-session public path is unaffected.
+        let mut session = extension.open_monitored("pad.example.org").unwrap();
+        assert!(session.request("/healthz").unwrap().is_success());
     }
 }

@@ -96,16 +96,29 @@ pub fn serve_kds_with_telemetry(
     Ok(())
 }
 
-/// Cache of fetched VCEK chains, keyed by (chip id, packed TCB).
+/// Cache of fetched VCEK chains, keyed by (chip id, packed TCB), stamped
+/// with the generation it was filled under.
 ///
 /// Reads vastly outnumber writes — a chain is fetched once per firmware
-/// TCB and then served to every warm-cache browse — so the map sits
+/// TCB and then served to every warm-cache browse — so the state sits
 /// behind the same lock-free [`Snapshot`] cell the fabric's dial fast
 /// path uses: hits cost one atomic load, and the rare insert republishes
 /// a copied map under the cell's writer lock (concurrent inserts of
 /// distinct keys compose; racing fetches of the *same* key insert the
 /// same chain, so last-writer-wins is harmless).
-type VcekCache = Arc<Snapshot<HashMap<(ChipId, u64), VcekCertChain>>>;
+///
+/// The generation is the invalidation path the verdict cache already
+/// has: [`KdsHttpClient::flush_cache`] bumps it and clears the map, and
+/// a fetch that began under the old generation skips its insert — a
+/// revoked chain can never be re-filed into the new generation by an
+/// in-flight fetch.
+#[derive(Debug, Clone, Default)]
+struct VcekCacheState {
+    generation: u64,
+    chains: HashMap<(ChipId, u64), VcekCertChain>,
+}
+
+type VcekCache = Arc<Snapshot<VcekCacheState>>;
 
 /// Decorrelates the KDS retry jitter stream from other components.
 const KDS_JITTER_SEED: u64 = 0x006b_6473; // "kds"
@@ -144,7 +157,7 @@ impl KdsHttpClient {
         KdsHttpClient {
             net,
             address: address.to_owned(),
-            cache: Some(Arc::new(Snapshot::new(Arc::new(HashMap::new())))),
+            cache: Some(Arc::new(Snapshot::new(Arc::new(VcekCacheState::default())))),
             telemetry: None,
             retry: Self::default_retry_policy(),
         }
@@ -190,8 +203,13 @@ impl KdsHttpClient {
         chip_id: &ChipId,
         tcb: &TcbVersion,
     ) -> Result<VcekCertChain, RevelioError> {
+        // Capture the generation *before* the fetch: the insert below is
+        // valid only for the cache state the miss was observed under.
+        let mut fetch_generation = 0u64;
         if let Some(cache) = &self.cache {
-            if let Some(chain) = cache.load().get(&(*chip_id, tcb.to_u64())) {
+            let state = cache.load();
+            fetch_generation = state.generation;
+            if let Some(chain) = state.chains.get(&(*chip_id, tcb.to_u64())) {
                 if let Some(telemetry) = &self.telemetry {
                     telemetry.counter_add("revelio_kds_client_cache_hits_total", 1);
                 }
@@ -241,13 +259,58 @@ impl KdsHttpClient {
         }
         let chain = result?;
         if let Some(cache) = &self.cache {
-            cache.update(|map| {
-                let mut next = map.clone();
-                next.insert((*chip_id, tcb.to_u64()), chain.clone());
+            cache.update(|state| {
+                // A flush moved the generation while this fetch was in
+                // flight: the chain may be exactly the stale endorsement
+                // the flush evicted, so the insert is skipped — the race
+                // loses cleanly, never misfiles.
+                let mut next = state.clone();
+                if next.generation == fetch_generation {
+                    next.chains.insert((*chip_id, tcb.to_u64()), chain.clone());
+                }
                 (Arc::new(next), ())
             });
         }
         Ok(chain)
+    }
+
+    /// Drops every cached VCEK chain and bumps the cache generation —
+    /// the invalidation path for revocation and TCB-floor events
+    /// ("Insecure Despite Proven Updated": a revoked endorsement must
+    /// not be served from cache for even one more verification). A fetch
+    /// already in flight under the old generation skips its insert.
+    ///
+    /// Cache-less clients are a no-op. The flush is counted as
+    /// `revelio_kds_client_cache_invalidations_total` when telemetry is
+    /// attached.
+    pub fn flush_cache(&self) {
+        let Some(cache) = &self.cache else { return };
+        cache.update(|state| {
+            (
+                Arc::new(VcekCacheState {
+                    generation: state.generation + 1,
+                    chains: HashMap::new(),
+                }),
+                (),
+            )
+        });
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.counter_add("revelio_kds_client_cache_invalidations_total", 1);
+        }
+    }
+
+    /// The current cache generation (`None` for cache-less clients).
+    #[must_use]
+    pub fn cache_generation(&self) -> Option<u64> {
+        self.cache.as_ref().map(|c| c.read(|s| s.generation))
+    }
+
+    /// Number of VCEK chains currently cached.
+    #[must_use]
+    pub fn cached_chains(&self) -> usize {
+        self.cache
+            .as_ref()
+            .map_or(0, |c| c.read(|s| s.chains.len()))
     }
 
     /// Fetches the chip-independent ARK → ASK certificates from the KDS
@@ -390,6 +453,60 @@ mod tests {
         assert_eq!(ark.public_key, amd.ark_public_key());
         ark.verify(&amd.ark_public_key()).unwrap();
         ask.verify(&ark.public_key).unwrap();
+    }
+
+    #[test]
+    fn flush_evicts_cached_chains_and_bumps_the_generation() {
+        let (clock, net, _) = setup();
+        net.peer(KDS_ADDRESS).latency_us(213_650);
+        let telemetry = revelio_telemetry::Telemetry::new(net.clock().clone());
+        let client = KdsHttpClient::new(net, KDS_ADDRESS).with_telemetry(telemetry.clone());
+        let chip = ChipId::from_seed(1);
+        let tcb = TcbVersion::default();
+
+        // Fill, then hit for free.
+        let (_, first) = clock.time_ms(|| client.vcek_chain(&chip, &tcb).unwrap());
+        let (_, hit) = clock.time_ms(|| client.vcek_chain(&chip, &tcb).unwrap());
+        assert!(first > 400.0);
+        assert_eq!(hit, 0.0);
+        assert_eq!(client.cached_chains(), 1);
+        assert_eq!(client.cache_generation(), Some(0));
+
+        // A revocation/TCB-floor event flushes: generation moves, map
+        // empties, and the next fetch pays the round trip again.
+        client.flush_cache();
+        assert_eq!(client.cache_generation(), Some(1));
+        assert_eq!(client.cached_chains(), 0);
+        let (_, refetch) = clock.time_ms(|| client.vcek_chain(&chip, &tcb).unwrap());
+        assert!(refetch > 400.0, "flushed chain must be re-fetched");
+
+        assert_eq!(
+            telemetry.counter("revelio_kds_client_cache_invalidations_total"),
+            1
+        );
+        assert_eq!(telemetry.counter("revelio_kds_client_cache_hits_total"), 1);
+        assert_eq!(
+            telemetry.counter("revelio_kds_client_cache_misses_total"),
+            2
+        );
+    }
+
+    #[test]
+    fn flush_is_shared_across_clones_and_a_noop_without_a_cache() {
+        let (_, net, _) = setup();
+        let client = KdsHttpClient::new(net.clone(), KDS_ADDRESS);
+        let clone = client.clone();
+        clone
+            .vcek_chain(&ChipId::from_seed(1), &TcbVersion::default())
+            .unwrap();
+        assert_eq!(client.cached_chains(), 1, "clones share the cache cell");
+        client.flush_cache();
+        assert_eq!(clone.cached_chains(), 0, "flush reaches every clone");
+        assert_eq!(clone.cache_generation(), Some(1));
+
+        let uncached = KdsHttpClient::without_cache(net, KDS_ADDRESS);
+        uncached.flush_cache(); // must not panic
+        assert_eq!(uncached.cache_generation(), None);
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   via the KDS, measurement against golden values, TLS-key binding via
 //!   `REPORT_DATA`), and keeps monitoring the connection afterwards
 //!   (§5.3.2).
+//! * [`reconcile`] — the **control plane**: a declared [`reconcile::FleetSpec`]
+//!   and a reconciler loop driving the fleet toward it — canary-first
+//!   rolling upgrades with measurement-drift halts, automatic
+//!   re-admission of healed quarantined nodes, and certificate renewal
+//!   ahead of expiry.
 //! * [`registry`] — golden-value distribution: a static set for
 //!   self-verifying users and a quorum-voted registry for delegation to a
 //!   community (§3.4.7), with revocation for rollback protection (§6.1.4).
@@ -53,6 +58,7 @@ pub mod evidence;
 pub mod extension;
 pub mod kds_http;
 pub mod node;
+pub mod reconcile;
 pub mod registry;
 pub mod sp;
 pub mod world;

@@ -488,6 +488,13 @@ impl NodeShared {
         entropy_seed.copy_from_slice(&Sha256::digest(
             [&self.box_secret[..], b"tls-entropy"].concat(),
         ));
+        // A certificate renewal re-installs over a live service: release
+        // the public binding first so the bind below swaps the TLS config
+        // instead of failing with AddressInUse. First-time installs skip
+        // this (the address was never bound).
+        if self.state.lock().serving {
+            self.net.unbind(&self.config.public_address);
+        }
         serve_https(
             &self.net,
             &self.config.public_address,
@@ -711,8 +718,20 @@ impl NodeShared {
         // enforces it from its very first key request.
         self.state.lock().approved_chips = approved_chips;
 
-        let i_am_leader = chain.leaf().public_key == self.identity().verifying_key();
-        let key = if i_am_leader {
+        // Renewal fast path: a fresh chain over the key this node already
+        // holds needs no leader round trip — the fleet key survives a
+        // certificate renewal, only the chain's validity window moves.
+        let stored_key = {
+            let state = self.state.lock();
+            state
+                .tls_key
+                .clone()
+                .filter(|k| k.verifying_key() == chain.leaf().public_key)
+        };
+        let key = if let Some(key) = stored_key {
+            self.flight_record("request", "install-cert renewal (key reused)");
+            key
+        } else if chain.leaf().public_key == self.identity().verifying_key() {
             self.identity().clone()
         } else {
             self.fetch_key_from_leader(&leader_bootstrap, &chain)?

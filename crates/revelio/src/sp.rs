@@ -22,6 +22,9 @@ use revelio_telemetry::{retry_with_telemetry, FlightDirectory, FlightDump, Telem
 use sev_snp::ids::ChipId;
 use sev_snp::verify::ReportVerifier;
 
+use revelio_pki::cert::CertificateSigningRequest;
+use sev_snp::measurement::Measurement;
+
 use crate::kds_http::KdsHttpClient;
 use crate::node::CsrBundle;
 use crate::registry::GoldenSet;
@@ -126,6 +129,28 @@ pub struct ProvisionReport {
     /// (fleet order within each phase) — deterministic for a fixed
     /// fault seed.
     pub quarantined: Vec<QuarantinedNode>,
+}
+
+/// An integrity-verified observation of one node — the reconciler's raw
+/// input. Everything here has been checked *except* golden-set
+/// membership: the chain verifies, the report signature holds, the CSR
+/// is bound and possessed, the chip↔address pair is allowlisted. The
+/// **measurement is reported, not judged** — the observer (the
+/// reconciler diffing a fleet against its spec) decides whether it is
+/// the target image, the old image, or drift.
+#[derive(Debug, Clone)]
+pub struct NodeObservation {
+    /// Bootstrap address the observation was fetched from.
+    pub bootstrap: String,
+    /// The attested launch measurement the node is actually running.
+    pub measurement: Measurement,
+    /// The attested TCB the node's platform reports — diffed against the
+    /// spec's floor by the reconciler.
+    pub tcb: sev_snp::ids::TcbVersion,
+    /// The node's chip.
+    pub chip_id: ChipId,
+    /// The node's CSR (renewal input: the leader's CSR is re-ordered).
+    pub csr: CertificateSigningRequest,
 }
 
 /// Decorrelates the SP retry jitter stream from other components.
@@ -283,6 +308,19 @@ impl ServiceProviderNode {
     /// golden measurement, CSR binding, proof of possession, and the
     /// chip↔address allowlist.
     fn validate_bundle(&self, bootstrap: &str, bundle: &CsrBundle) -> Result<(), RevelioError> {
+        self.validate_bundle_inner(bootstrap, bundle, Some(&self.config.golden))
+    }
+
+    /// The bundle checks, with golden-set membership optional: the
+    /// provisioning path judges the measurement (`Some`), the reconciler's
+    /// observation path reports it unjudged (`None`) so drift can be
+    /// *named*, not just rejected.
+    fn validate_bundle_inner(
+        &self,
+        bootstrap: &str,
+        bundle: &CsrBundle,
+        golden: Option<&GoldenSet>,
+    ) -> Result<(), RevelioError> {
         let reject = |reason: &str| RevelioError::NodeRejected {
             node: bootstrap.to_owned(),
             reason: reason.to_owned(),
@@ -296,15 +334,13 @@ impl ServiceProviderNode {
             .verify(&bundle.report, &chain)
             .map_err(|e| reject(&format!("report verification: {e}")))?;
 
-        if !self
-            .config
-            .golden
-            .is_trusted(&bundle.report.report.measurement)
-        {
-            return Err(reject(&format!(
-                "measurement {} not golden",
-                bundle.report.report.measurement
-            )));
+        if let Some(golden) = golden {
+            if !golden.is_trusted(&bundle.report.report.measurement) {
+                return Err(reject(&format!(
+                    "measurement {} not golden",
+                    bundle.report.report.measurement
+                )));
+            }
         }
 
         if bundle.csr.domain != self.config.expected_domain {
@@ -538,5 +574,125 @@ impl ServiceProviderNode {
                 certificate_distribution_ms: distribution_total / distributed as f64,
             },
         })
+    }
+
+    /// Replaces the golden set the SP judges measurements against — the
+    /// reconciler rotates it when a rolling upgrade changes the fleet's
+    /// target image (the old image's measurement stops being golden the
+    /// moment the rollout completes).
+    pub fn set_golden(&mut self, golden: GoldenSet) {
+        self.config.golden = golden;
+    }
+
+    /// Fetches and integrity-verifies one node's bundle **without**
+    /// judging the measurement: chain, report signature, CSR binding,
+    /// proof of possession, and the chip↔address allowlist all hold, and
+    /// the attested measurement is *reported* for the caller to diff
+    /// against its spec. This is how the reconciler sees drift as a named
+    /// measurement instead of a bare rejection, and how a healed
+    /// quarantined node proves it is re-admissible.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surface transient; any integrity failure is
+    /// [`RevelioError::NodeRejected`].
+    pub fn observe_node(&self, bootstrap: &str) -> Result<NodeObservation, RevelioError> {
+        let telemetry = self.telemetry.clone();
+        let span = telemetry.map(|t| t.span_with("sp.observe_node", &[("node", bootstrap)]));
+        let result = (|| {
+            let bundle = self.fetch_bundle(bootstrap)?;
+            self.validate_bundle_inner(bootstrap, &bundle, None)?;
+            Ok(NodeObservation {
+                bootstrap: bootstrap.to_owned(),
+                measurement: bundle.report.report.measurement,
+                tcb: bundle.report.report.reported_tcb,
+                chip_id: bundle.report.report.chip_id,
+                csr: bundle.csr,
+            })
+        })();
+        if let Some(span) = span {
+            if result.is_err() {
+                span.attr("outcome", "failure");
+            }
+            span.finish_ms();
+        }
+        result
+    }
+
+    /// Installs `chain` on a single node over its bootstrap port — the
+    /// re-admission and renewal-distribution primitive (provisioning's
+    /// Phase 4, for one node). The node re-validates the chain against
+    /// its pinned roots and fetches the key from `leader_bootstrap`
+    /// unless it already holds the matching key.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures surface transient; a node-side refusal is
+    /// [`RevelioError::NodeRejected`] carrying the node's own reason.
+    pub fn install_certificate(
+        &self,
+        bootstrap: &str,
+        chain: &CertificateChain,
+        leader_bootstrap: &str,
+    ) -> Result<(), RevelioError> {
+        let approved_chips: Vec<ChipId> = self
+            .config
+            .allowlist
+            .iter()
+            .map(|(chip, _)| *chip)
+            .collect();
+        let payload = crate::node::encode_install_cert(chain, leader_bootstrap, &approved_chips);
+        let response =
+            self.retried_request(bootstrap, &Request::post("/revelio/install-cert", payload))?;
+        if !response.is_success() {
+            return Err(RevelioError::NodeRejected {
+                node: bootstrap.to_owned(),
+                reason: format!(
+                    "install-cert returned {} ({})",
+                    response.status,
+                    response.header("X-Revelio-Error").unwrap_or("no detail")
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Orders a renewal chain for the fleet ahead of `not_after_ms`: the
+    /// leader is re-observed (fresh integrity proof **and** a golden
+    /// measurement — an out-of-spec leader must not anchor a renewed
+    /// certificate), its CSR must still carry the public key the current
+    /// chain binds (the shared fleet key must survive a renewal
+    /// unchanged), and the ACME order runs under the CA's usual
+    /// rate-limit and retry machinery.
+    ///
+    /// # Errors
+    ///
+    /// [`RevelioError::KeyCertificateMismatch`] when the leader's key
+    /// rotated (a renewal cannot re-key the fleet — that is a full
+    /// re-provision), plus every observation and ACME failure mode.
+    pub fn renew_certificate(
+        &self,
+        leader_bootstrap: &str,
+        current: &CertificateChain,
+    ) -> Result<CertificateChain, RevelioError> {
+        let observed = self.observe_node(leader_bootstrap)?;
+        if !self.config.golden.is_trusted(&observed.measurement) {
+            return Err(RevelioError::NodeRejected {
+                node: leader_bootstrap.to_owned(),
+                reason: format!(
+                    "renewal leader runs non-golden measurement {}",
+                    observed.measurement
+                ),
+            });
+        }
+        if observed.csr.public_key != current.leaf().public_key {
+            return Err(RevelioError::KeyCertificateMismatch);
+        }
+        self.net.clock().advance_ms(self.config.ca_processing_ms);
+        let chain = self.acme.renew_certificate(&observed.csr)?;
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.counter_add("revelio_sp_certificate_renewals_total", 1);
+        }
+        Ok(chain)
     }
 }

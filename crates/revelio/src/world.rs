@@ -5,6 +5,7 @@
 //! Everything in `tests/`, `examples/` and the bench harness starts from a
 //! [`SimWorld`], so scenario code stays focused on the scenario.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use revelio_boot::firmware::{expected_measurement, FirmwareKind};
@@ -27,9 +28,22 @@ use sev_snp::platform::{AmdRootOfTrust, SnpPlatform};
 use crate::extension::{ExtensionConfig, ReconnectPolicy, WebExtension};
 use crate::kds_http::{serve_kds_with_telemetry, KdsHttpClient, KDS_ADDRESS};
 use crate::node::{NodeConfig, RevelioNode};
+use crate::reconcile::{FleetSpec, NodeActuator, Reconciler};
 use crate::registry::GoldenSet;
 use crate::sp::{ProvisionReport, ServiceProviderNode, SpConfig};
 use crate::RevelioError;
+
+/// The identity seed of the `index`-th node of a fleet deployed by
+/// [`SimWorld::deploy_fleet`] — derived from the world seed so a
+/// redeploy (a rolling upgrade on the same slot) boots with the same
+/// identity the SP's allowlist and the fleet's key protocol already
+/// know.
+fn fleet_identity_seed(world_seed: u64, index: u64) -> [u8; 32] {
+    let mut identity_seed = [0u8; 32];
+    identity_seed[..8].copy_from_slice(&(world_seed ^ (index + 1)).to_le_bytes());
+    identity_seed[8] = 0xd1;
+    identity_seed
+}
 
 /// Paper-calibrated latency constants (§6.4, Table 2/3).
 #[derive(Debug, Clone)]
@@ -510,9 +524,7 @@ impl SimWorld {
                     let (image, golden) = self.build(&spec)?;
                     golden_measurement.get_or_insert(golden);
                     let i = nodes.len() as u64;
-                    let mut identity_seed = [0u8; 32];
-                    identity_seed[..8].copy_from_slice(&(self.seed ^ (i + 1)).to_le_bytes());
-                    identity_seed[8] = 0xd1;
+                    let identity_seed = fleet_identity_seed(self.seed, i);
                     nodes.push(self.deploy_node(domain, &image, app.clone(), identity_seed)?);
                 }
             }
@@ -622,6 +634,224 @@ impl SimWorld {
     #[must_use]
     pub fn tls_roots(&self) -> Vec<Certificate> {
         vec![self.acme.root_certificate()]
+    }
+
+    /// An SP node configured exactly as the one that provisioned
+    /// `fleet`: same domain, the fleet's golden measurement, and the
+    /// chip↔bootstrap allowlist of its nodes. The reconciler starts
+    /// from here.
+    #[must_use]
+    pub fn fleet_sp(&self, fleet: &DeployedFleet) -> ServiceProviderNode {
+        let allowlist = fleet
+            .nodes
+            .iter()
+            .map(|node| {
+                (
+                    node.vm().guest().chip_id(),
+                    node.bootstrap_address().to_owned(),
+                )
+            })
+            .collect();
+        self.sp_node_for_domain(
+            &fleet.domain,
+            GoldenSet::from_measurements([fleet.golden_measurement]),
+            allowlist,
+        )
+    }
+
+    /// A [`FleetUpgrader`] over `fleet`: the reconciler's actuator,
+    /// able to tear any fleet slot down and redeploy it — same chip,
+    /// same addresses, same identity seed — from `target` (the
+    /// operator's current build of the next image).
+    #[must_use]
+    pub fn fleet_upgrader(
+        &self,
+        fleet: &DeployedFleet,
+        app: Router,
+        target: ImageSpec,
+    ) -> FleetUpgrader {
+        let slots = fleet
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| {
+                (
+                    node.bootstrap_address().to_owned(),
+                    UpgradeSlot {
+                        public: node.public_address().to_owned(),
+                        chip: node.vm().guest().chip_id(),
+                        identity_seed: fleet_identity_seed(self.seed, i as u64),
+                    },
+                )
+            })
+            .collect();
+        FleetUpgrader {
+            net: self.net.clone(),
+            kds: self.kds.clone(),
+            amd: Arc::clone(&self.amd),
+            telemetry: self.telemetry.clone(),
+            flight: self.flight.clone(),
+            tls_roots: self.tls_roots(),
+            domain: fleet.domain.clone(),
+            app,
+            page_processing_ms: self.tuning.page_processing_ms,
+            node_retry: self.tuning.retry.node.clone(),
+            target,
+            drift: BTreeMap::new(),
+            slots,
+            deployed: BTreeMap::new(),
+        }
+    }
+
+    /// A fully wired [`Reconciler`] over `fleet`: the fleet's SP as
+    /// observer, `upgrader` as actuator, the world's telemetry and DNS
+    /// attached.
+    #[must_use]
+    pub fn reconciler(
+        &self,
+        fleet: &DeployedFleet,
+        spec: FleetSpec,
+        upgrader: FleetUpgrader,
+    ) -> Reconciler<FleetUpgrader> {
+        let bootstraps: Vec<String> = fleet
+            .nodes
+            .iter()
+            .map(|n| n.bootstrap_address().to_owned())
+            .collect();
+        let public_addresses: BTreeMap<String, String> = fleet
+            .nodes
+            .iter()
+            .map(|n| {
+                (
+                    n.bootstrap_address().to_owned(),
+                    n.public_address().to_owned(),
+                )
+            })
+            .collect();
+        Reconciler::new(
+            self.fleet_sp(fleet),
+            self.net.clone(),
+            spec,
+            upgrader,
+            bootstraps,
+            &fleet.provision,
+            fleet.golden_measurement,
+        )
+        .with_telemetry(self.telemetry.clone())
+        .with_dns(self.dns.clone(), public_addresses)
+    }
+}
+
+struct UpgradeSlot {
+    public: String,
+    chip: ChipId,
+    identity_seed: [u8; 32],
+}
+
+/// The reconciler's actuator over a deployed fleet: redeploys a node in
+/// place — same chip, same public/bootstrap addresses, same identity
+/// seed — booted from the current build of the target image spec. The
+/// measured launch of the redeployed node is whatever that build
+/// *actually* produces; [`FleetUpgrader::inject_drift`] models a
+/// compromised or broken build pipeline emitting a different image for
+/// one slot, which the reconciler's attestation wave must catch.
+pub struct FleetUpgrader {
+    net: SimNet,
+    kds: KdsHttpClient,
+    amd: Arc<AmdRootOfTrust>,
+    telemetry: Telemetry,
+    flight: FlightDirectory,
+    tls_roots: Vec<Certificate>,
+    domain: String,
+    app: Router,
+    page_processing_ms: f64,
+    node_retry: RetryPolicy,
+    target: ImageSpec,
+    drift: BTreeMap<String, ImageSpec>,
+    slots: BTreeMap<String, UpgradeSlot>,
+    deployed: BTreeMap<String, RevelioNode>,
+}
+
+impl std::fmt::Debug for FleetUpgrader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetUpgrader")
+            .field("domain", &self.domain)
+            .field("slots", &self.slots.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetUpgrader {
+    /// Makes the build pipeline emit `spec` instead of the target when
+    /// upgrading `bootstrap` — seeded measurement drift.
+    pub fn inject_drift(&mut self, bootstrap: &str, spec: ImageSpec) {
+        self.drift.insert(bootstrap.to_owned(), spec);
+    }
+
+    /// Heals the build pipeline for `bootstrap` (drift fixed upstream).
+    pub fn clear_drift(&mut self, bootstrap: &str) {
+        self.drift.remove(bootstrap);
+    }
+
+    /// The node handle most recently deployed for `bootstrap` by an
+    /// upgrade (the original [`DeployedFleet`] handle goes stale once
+    /// its slot is redeployed).
+    #[must_use]
+    pub fn node(&self, bootstrap: &str) -> Option<&RevelioNode> {
+        self.deployed.get(bootstrap)
+    }
+}
+
+impl NodeActuator for FleetUpgrader {
+    fn upgrade(&mut self, bootstrap: &str) -> Result<(), RevelioError> {
+        let slot = self.slots.get(bootstrap).ok_or_else(|| {
+            RevelioError::Internal(format!("upgrade target {bootstrap} is not a fleet slot"))
+        })?;
+        let spec = self.drift.get(bootstrap).unwrap_or(&self.target);
+        let image = build_image(spec)?;
+        // Release both surfaces before the redeploy: the bootstrap port
+        // rebinds below, the public port only once a certificate is
+        // (re-)installed.
+        self.net.unbind(bootstrap);
+        self.net.unbind(&slot.public);
+        let platform = SnpPlatform::new(
+            Arc::clone(&self.amd),
+            slot.chip,
+            TcbVersion::new(1, 0, 8, 115),
+        );
+        let vm = Hypervisor::new(FirmwareKind::MeasuredDirectBoot).boot(
+            &platform,
+            &image,
+            GuestPolicy::default(),
+            BootOptions {
+                identity_seed: slot.identity_seed,
+                telemetry: Some(self.telemetry.clone()),
+                ..BootOptions::default()
+            },
+        )?;
+        let recorder = self.flight.register(bootstrap);
+        recorder.record("request", "upgraded: redeployed from current target build");
+        let node = RevelioNode::deploy_with_observability(
+            self.net.clone(),
+            self.kds.clone(),
+            vm,
+            NodeConfig {
+                domain: self.domain.clone(),
+                public_address: slot.public.clone(),
+                bootstrap_address: bootstrap.to_owned(),
+                organization: "Example Org".to_owned(),
+                country: "CH".to_owned(),
+                page_processing_ms: self.page_processing_ms,
+                trusted_ark: self.amd.ark_public_key(),
+                trusted_tls_roots: self.tls_roots.clone(),
+                retry: self.node_retry.clone(),
+            },
+            self.app.clone(),
+            Some(self.telemetry.clone()),
+            Some(recorder),
+        )?;
+        self.deployed.insert(bootstrap.to_owned(), node);
+        Ok(())
     }
 }
 

@@ -263,6 +263,49 @@ fn well_known_503_is_transient_never_not_revelio() {
     );
 }
 
+/// A fleet whose shared ACME certificate ages past `not_after_ms` must
+/// earn the *operational* `CertificateExpired` verdict — the signal the
+/// reconciler's renewal path watches — never `AttestationFailed` (nothing
+/// was tampered with) and never `TransientNetworkRetry` (a retry cannot
+/// un-expire a certificate).
+#[test]
+fn expired_certificate_is_its_own_verdict_not_attestation_failed() {
+    let mut world = SimWorld::new(11);
+    let fleet = world
+        .deploy_fleet("pad.example.org", 1, demo_app())
+        .unwrap();
+    let extension = world.extension();
+    extension.register_site("pad.example.org", vec![fleet.golden_measurement]);
+    assert_eq!(
+        BrowseVerdict::classify(&extension.browse("pad.example.org", "/")),
+        BrowseVerdict::Attested
+    );
+
+    // Age the world past the ACME leaf's 90-day lifetime: the TLS
+    // handshake now rejects the chain with `PkiError::Expired`.
+    let not_after_ms = fleet.provision.chain.leaf().not_after_ms;
+    let now_ms = world.clock.now_us() / 1000;
+    world
+        .clock
+        .advance_us((not_after_ms - now_ms + 1_000) * 1_000);
+
+    let browse = extension.browse("pad.example.org", "/");
+    let err = browse.as_ref().expect_err("expired chain cannot attest");
+    assert!(
+        err.is_certificate_expired(),
+        "expiry lost its identity through the layers: {err:?}"
+    );
+    assert_eq!(
+        BrowseVerdict::classify(&browse),
+        BrowseVerdict::CertificateExpired,
+        "expiry is an operational state, not a tamper verdict: {browse:?}"
+    );
+    assert_eq!(
+        BrowseVerdict::CertificateExpired.as_str(),
+        "certificate_expired"
+    );
+}
+
 /// Builds an extension sharing `world`'s fabric with an explicit
 /// reconnect policy (the world's default extension uses
 /// [`ReconnectPolicy::ReattestAlways`]).
